@@ -1,0 +1,54 @@
+// Reproduces Figure 2: the distribution of term specificity over the noun
+// dictionary (117,798 nouns; range 0..18; ~one-third of terms at 7).
+//
+// Paper series: count (x1000) of terms per specificity value.
+
+#include "bench_util.h"
+
+using namespace embellish;
+
+int main() {
+  const size_t terms = bench::EnvSize("EMBELLISH_BENCH_TERMS", 117798);
+  std::printf("== Figure 2: Distribution of Term Specificity ==\n");
+  std::printf("lexicon: %s terms (paper: 117,798 WordNet nouns)\n\n",
+              WithThousandsSeparators(terms).c_str());
+
+  auto fixture = bench::LexiconFixture::Build(terms);
+  std::printf("generated: %s terms, %s synsets (paper: 117,798 / 82,115)\n\n",
+              WithThousandsSeparators(fixture.lexicon.term_count()).c_str(),
+              WithThousandsSeparators(fixture.lexicon.synset_count()).c_str());
+
+  auto hist = fixture.specificity.TermHistogram();
+  std::vector<std::vector<std::string>> rows;
+  size_t total = 0;
+  size_t mode = 0;
+  for (size_t s = 0; s < hist.size(); ++s) {
+    total += hist[s];
+    if (hist[s] > hist[mode]) mode = s;
+  }
+  for (size_t s = 0; s < hist.size(); ++s) {
+    double thousands = static_cast<double>(hist[s]) / 1000.0;
+    std::string bar(static_cast<size_t>(
+                        60.0 * static_cast<double>(hist[s]) /
+                        static_cast<double>(hist[mode])),
+                    '#');
+    rows.push_back({std::to_string(s), StringPrintf("%.2f", thousands),
+                    StringPrintf("%5.1f%%", 100.0 * static_cast<double>(hist[s]) /
+                                                static_cast<double>(total)),
+                    bar});
+  }
+  bench::PrintTable({"specificity", "count (x1000)", "share", ""}, rows);
+  std::printf("\n");
+
+  const double mode_share =
+      static_cast<double>(hist[mode]) / static_cast<double>(total);
+  bench::ShapeCheck(mode == 7, "mode of the distribution is specificity 7");
+  bench::ShapeCheck(mode_share > 0.2 && mode_share < 0.45,
+                    StringPrintf("mode holds ~1/3 of terms (measured %.0f%%)",
+                                 mode_share * 100));
+  bench::ShapeCheck(fixture.specificity.max_specificity() <= 18,
+                    "specificity range tops out at 18");
+  bench::ShapeCheck(hist[0] <= 2 && (hist.size() < 2 || hist[1] <= 8),
+                    "near-empty head (1 synset at 0, 4 at 1 in the paper)");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Figure 7: performance impact of BktSz with the query size
+// fixed at 12 terms. Four panels: (a) server I/O, (b) server CPU,
+// (c) network traffic, (d) user CPU — PR vs PIR.
+//
+// Absolute milliseconds differ from the paper's 2010 testbed; the shapes
+// under comparison are listed in the shape-check footer.
+
+#include <cmath>
+
+#include "perf_common.h"
+
+using namespace embellish;
+
+int main() {
+  const size_t terms = bench::EnvSize("EMBELLISH_BENCH_TERMS", 30000);
+  const size_t docs = bench::EnvSize("EMBELLISH_BENCH_DOCS", 1500);
+  const size_t trials = bench::EnvSize("EMBELLISH_BENCH_TRIALS", 8);
+  const size_t key_bits = bench::EnvSize("EMBELLISH_BENCH_KEYLEN", 256);
+  constexpr size_t kQuerySize = 12;
+
+  std::printf("== Figure 7: Performance Impact of BktSz (query size 12) ==\n");
+  std::printf(
+      "lexicon %s terms, corpus %s docs, %zu queries/point, KeyLen %zu\n"
+      "(paper: WSJ 172,961 docs, 1,000 queries/point)\n\n",
+      WithThousandsSeparators(terms).c_str(),
+      WithThousandsSeparators(docs).c_str(), trials, key_bits);
+
+  auto fixture = bench::RetrievalFixture::Build(terms, docs);
+  std::printf("index: %zu searchable terms\n\n",
+              fixture.built.index.term_count());
+
+  const size_t bktsz_values[] = {2, 4, 8, 12, 16, 20, 24};
+  std::vector<std::vector<std::string>> rows;
+  std::vector<bench::PerfPoint> points;
+  for (size_t bktsz : bktsz_values) {
+    points.push_back(bench::MeasurePoint(fixture, bktsz, kQuerySize, trials,
+                                         key_bits, 1000 + bktsz));
+    rows.push_back(bench::PointRow(std::to_string(bktsz), points.back()));
+  }
+  bench::PrintTable(bench::PointHeader("BktSz"), rows);
+  std::printf("\n");
+
+  const auto& first = points.front();
+  const auto& last = points.back();
+  bool io_close = true;
+  bool traffic_gap = true;
+  bool pr_user_below = true;
+  for (const auto& p : points) {
+    io_close &= std::abs(p.pr.io_ms - p.pir.io_ms) <
+                0.25 * std::max(p.pr.io_ms, p.pir.io_ms);
+    traffic_gap &= p.pir.traffic_kb > 4.0 * p.pr.traffic_kb;
+    pr_user_below &= p.pr.user_cpu_ms < p.pir.user_cpu_ms;
+  }
+  bench::ShapeCheck(io_close,
+                    "server I/O virtually identical for PR and PIR (7a)");
+  bench::ShapeCheck(traffic_gap,
+                    "PR traffic an order of magnitude below PIR (7c)");
+  bench::ShapeCheck(
+      last.pr.traffic_kb < first.pr.traffic_kb * 9.0,
+      "PR traffic grows sublinearly in BktSz (7c; 12x BktSz -> <9x traffic)");
+  bench::ShapeCheck(pr_user_below, "PR user CPU below PIR at every BktSz (7d)");
+  bench::ShapeCheck(last.pir.traffic_kb > first.pir.traffic_kb,
+                    "PIR traffic grows with BktSz via padding (7c)");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 8: sensitivity to query size with BktSz fixed at 8.
+// Four panels: (a) server I/O, (b) server CPU, (c) network traffic,
+// (d) user CPU — PR vs PIR. The paper's headline: PIR's communication and
+// user computation grow linearly with query size; PR scales gracefully.
+
+#include "perf_common.h"
+
+using namespace embellish;
+
+int main() {
+  const size_t terms = bench::EnvSize("EMBELLISH_BENCH_TERMS", 30000);
+  const size_t docs = bench::EnvSize("EMBELLISH_BENCH_DOCS", 1500);
+  const size_t trials = bench::EnvSize("EMBELLISH_BENCH_TRIALS", 8);
+  const size_t key_bits = bench::EnvSize("EMBELLISH_BENCH_KEYLEN", 256);
+  constexpr size_t kBktSz = 8;
+
+  std::printf("== Figure 8: Performance Impact of Query Size (BktSz = 8) ==\n");
+  std::printf(
+      "lexicon %s terms, corpus %s docs, %zu queries/point, KeyLen %zu\n"
+      "(paper: WSJ 172,961 docs, 1,000 queries/point; TREC ad-hoc queries "
+      "reach 20+ terms, query expansion more)\n\n",
+      WithThousandsSeparators(terms).c_str(),
+      WithThousandsSeparators(docs).c_str(), trials, key_bits);
+
+  auto fixture = bench::RetrievalFixture::Build(terms, docs);
+
+  const size_t query_sizes[] = {2, 8, 16, 24, 32, 40};
+  std::vector<std::vector<std::string>> rows;
+  std::vector<bench::PerfPoint> points;
+  for (size_t qsize : query_sizes) {
+    points.push_back(bench::MeasurePoint(fixture, kBktSz, qsize, trials,
+                                         key_bits, 2000 + qsize));
+    rows.push_back(bench::PointRow(std::to_string(qsize), points.back()));
+  }
+  bench::PrintTable(bench::PointHeader("QuerySize"), rows);
+  std::printf("\n");
+
+  const auto& first = points.front();
+  const auto& last = points.back();
+  // PIR communication and user CPU grow ~linearly in query size (20x size
+  // from 2 to 40 -> expect >= 8x growth allowing dedup/collisions).
+  bench::ShapeCheck(last.pir.traffic_kb > 8.0 * first.pir.traffic_kb,
+                    "PIR traffic grows ~linearly with query size (8c)");
+  bench::ShapeCheck(last.pir.user_cpu_ms > 8.0 * first.pir.user_cpu_ms,
+                    "PIR user CPU grows ~linearly with query size (8d)");
+  bool traffic_gap = true;
+  bool pr_user_below = true;
+  for (const auto& p : points) {
+    traffic_gap &= p.pir.traffic_kb > 4.0 * p.pr.traffic_kb;
+    pr_user_below &= p.pr.user_cpu_ms < p.pir.user_cpu_ms;
+  }
+  bench::ShapeCheck(traffic_gap, "PR traffic far below PIR at every size (8c)");
+  bench::ShapeCheck(pr_user_below, "PR user CPU below PIR at every size (8d)");
+  bench::ShapeCheck(last.pr.user_cpu_ms < last.pir.user_cpu_ms / 2.0,
+                    "the PIR disadvantage is exacerbated for long queries");
+  return 0;
+}

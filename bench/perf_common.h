@@ -1,0 +1,120 @@
+// Shared measurement loop for the Section 5.2 benches (Figures 7 and 8):
+// runs the same random-query workload through PR and through KO-PIR and
+// averages the four cost metrics the paper plots.
+
+#ifndef EMBELLISH_BENCH_PERF_COMMON_H_
+#define EMBELLISH_BENCH_PERF_COMMON_H_
+
+#include "bench_util.h"
+
+namespace embellish::bench {
+
+struct SchemeCosts {
+  double io_ms = 0;
+  double cpu_ms = 0;
+  double traffic_kb = 0;  // downlink (the result stream), per the paper
+  double user_cpu_ms = 0;
+
+  void Accumulate(const core::RetrievalCosts& c) {
+    io_ms += c.server_io_ms;
+    cpu_ms += c.server_cpu_ms;
+    traffic_kb += static_cast<double>(c.downlink_bytes) / 1024.0;
+    user_cpu_ms += c.user_cpu_ms;
+  }
+  void Average(size_t n) {
+    io_ms /= static_cast<double>(n);
+    cpu_ms /= static_cast<double>(n);
+    traffic_kb /= static_cast<double>(n);
+    user_cpu_ms /= static_cast<double>(n);
+  }
+};
+
+struct PerfPoint {
+  SchemeCosts pr;
+  SchemeCosts pir;
+};
+
+/// \brief Measures one (BktSz, query size) data point over `trials` queries.
+inline PerfPoint MeasurePoint(const RetrievalFixture& fixture, size_t bktsz,
+                              size_t query_size, size_t trials,
+                              size_t key_bits, uint64_t seed) {
+  auto org = fixture.Buckets(bktsz);
+  auto layout = storage::StorageLayout::Build(
+      fixture.built.index, org.buckets(),
+      storage::LayoutPolicy::kBucketColocated, {});
+
+  Rng rng(seed);
+  crypto::BenalohKeyOptions ko;
+  ko.key_bits = key_bits;
+  ko.r = 59049;
+  auto keys = crypto::BenalohKeyPair::Generate(ko, &rng);
+  if (!keys.ok()) std::exit(1);
+
+  // Paper-faithful Algorithm 4: per-posting modexp (see
+  // PrivateRetrievalServerOptions; the ablation bench measures the
+  // power-table speedup separately).
+  core::PrivateRetrievalServerOptions so;
+  so.use_power_table = false;
+  core::PrivateRetrievalClient pr_client(&org, &keys->public_key(),
+                                         &keys->private_key());
+  core::PrivateRetrievalServer pr_server(&fixture.built.index, &org, &layout,
+                                         storage::DiskModelOptions{}, so);
+
+  core::PirRetrievalServer pir_server(&fixture.built.index, &org, &layout);
+  auto pir_client = core::PirRetrievalClient::Create(&org, key_bits, &rng);
+  if (!pir_client.ok()) std::exit(1);
+
+  auto queries = fixture.RandomQueries(trials, query_size, &rng);
+  PerfPoint point;
+  for (const auto& q : queries) {
+    core::RetrievalCosts pr_costs;
+    auto pr = core::RunPrivateQuery(pr_client, pr_server, keys->public_key(),
+                                    q, 20, &rng, &pr_costs);
+    if (!pr.ok()) {
+      std::fprintf(stderr, "PR failed: %s\n", pr.status().ToString().c_str());
+      std::exit(1);
+    }
+    point.pr.Accumulate(pr_costs);
+
+    core::RetrievalCosts pir_costs;
+    auto pir = pir_client->RunQuery(pir_server, q, 20, &rng, &pir_costs);
+    if (!pir.ok()) {
+      std::fprintf(stderr, "PIR failed: %s\n",
+                   pir.status().ToString().c_str());
+      std::exit(1);
+    }
+    point.pir.Accumulate(pir_costs);
+  }
+  point.pr.Average(trials);
+  point.pir.Average(trials);
+  return point;
+}
+
+inline std::vector<std::string> PointRow(const std::string& x,
+                                         const PerfPoint& p) {
+  return {x,
+          StringPrintf("%.1f", p.pr.io_ms),
+          StringPrintf("%.1f", p.pir.io_ms),
+          StringPrintf("%.1f", p.pr.cpu_ms),
+          StringPrintf("%.1f", p.pir.cpu_ms),
+          StringPrintf("%.1f", p.pr.traffic_kb),
+          StringPrintf("%.1f", p.pir.traffic_kb),
+          StringPrintf("%.1f", p.pr.user_cpu_ms),
+          StringPrintf("%.1f", p.pir.user_cpu_ms)};
+}
+
+inline std::vector<std::string> PointHeader(const std::string& x) {
+  return {x,
+          "IO PR (ms)",
+          "IO PIR (ms)",
+          "CPU PR (ms)",
+          "CPU PIR (ms)",
+          "Traffic PR (KB)",
+          "Traffic PIR (KB)",
+          "UserCPU PR (ms)",
+          "UserCPU PIR (ms)"};
+}
+
+}  // namespace embellish::bench
+
+#endif  // EMBELLISH_BENCH_PERF_COMMON_H_

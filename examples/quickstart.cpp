@@ -1,0 +1,144 @@
+// Quickstart: the complete private-search pipeline in ~100 lines.
+//
+//   1. build a lexicon (here: the curated mini-WordNet);
+//   2. derive specificity, sequence the dictionary (Algorithm 1), form
+//      buckets (Algorithm 2);
+//   3. index a corpus with impact-ordered inverted lists;
+//   4. generate Benaloh keys, embellish a query (Algorithm 3);
+//   5. let the server compute encrypted scores (Algorithm 4);
+//   6. post-filter client-side (Algorithm 5) and print the ranking.
+
+#include <cstdio>
+
+#include "embellish.h"
+
+using namespace embellish;
+
+int main() {
+  // ---- 1. Lexicon ----
+  auto lexicon = wordnet::BuildMiniWordNet();
+  if (!lexicon.ok()) {
+    std::fprintf(stderr, "lexicon: %s\n", lexicon.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("lexicon: %zu terms, %zu synsets\n", lexicon->term_count(),
+              lexicon->synset_count());
+
+  // ---- 2. Bucket organization ----
+  auto specificity = core::SpecificityMap::FromHypernymDepth(*lexicon);
+  auto sequences = core::SequenceDictionary(*lexicon);
+  core::BucketizerOptions bucketizer_options;
+  bucketizer_options.bucket_size = 4;
+  bucketizer_options.segment_size = 16;
+  auto buckets = core::FormBuckets(sequences, specificity, bucketizer_options);
+  if (!buckets.ok()) {
+    std::fprintf(stderr, "buckets: %s\n", buckets.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("buckets: %zu of size %zu\n", buckets->bucket_count(),
+              buckets->nominal_bucket_size());
+
+  // ---- 3. A small corpus: hand-written "documents" over the lexicon ----
+  const char* articles[] = {
+      "accelerated radiation therapy is the standard therapy for "
+      "osteosarcoma a cancer of the bone",
+      "the amaranthaceae family shows water soaked tissues when flooding "
+      "damages the plant",
+      "divers track residual nitrogen time after deep water dives",
+      "moustille is served with active dry yeast bread and wine",
+      "osteosarcoma therapy combines radiation with surgery",
+      "terrorism reports named abu sayyaf in the huntsville case",
+      "the sign of the zodiac and saturn fascinate astronomy fans",
+      "water flooding soaked the tissues of the american chestnut",
+  };
+  std::vector<corpus::Document> docs;
+  for (const char* text : articles) {
+    corpus::Document doc;
+    for (const std::string& token : text::Analyze(text)) {
+      wordnet::TermId id = lexicon->FindTerm(token);
+      if (id != wordnet::kInvalidTermId) doc.tokens.push_back(id);
+    }
+    docs.push_back(std::move(doc));
+  }
+  corpus::Corpus corp(std::move(docs));
+  auto built = index::BuildIndex(corp, {});
+  if (!built.ok()) {
+    std::fprintf(stderr, "index: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("index: %zu terms over %zu documents\n\n",
+              built->index.term_count(), built->index.document_count());
+
+  // ---- 4. Keys + private query ----
+  Rng rng(2010);
+  crypto::BenalohKeyOptions key_options;  // 512-bit modulus, r = 3^10
+  auto keys = crypto::BenalohKeyPair::Generate(key_options, &rng);
+  if (!keys.ok()) {
+    std::fprintf(stderr, "keygen: %s\n", keys.status().ToString().c_str());
+    return 1;
+  }
+
+  auto layout = storage::StorageLayout::Build(
+      built->index, buckets->buckets(),
+      storage::LayoutPolicy::kBucketColocated, {});
+  core::PrivateRetrievalClient client(&*buckets, &keys->public_key(),
+                                      &keys->private_key());
+  core::PrivateRetrievalServer server(&built->index, &*buckets, &layout);
+
+  std::vector<std::string> words{"osteosarcoma", "radiation", "therapy"};
+  std::vector<wordnet::TermId> genuine;
+  for (const auto& w : words) genuine.push_back(lexicon->FindTerm(w));
+  std::printf("genuine query: osteosarcoma radiation therapy\n");
+
+  core::RetrievalCosts costs;
+  auto query = client.FormulateQuery(genuine, &rng, &costs);
+  if (!query.ok()) {
+    std::fprintf(stderr, "embellish: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("embellished query as the server sees it (%zu terms):\n ",
+              query->entries.size());
+  for (const auto& e : query->entries) {
+    std::printf(" '%s'", lexicon->term(e.term).text.c_str());
+  }
+  std::printf("\n\n");
+
+  // ---- 5 + 6. Server processing and client post-filtering ----
+  auto encrypted = server.Process(*query, keys->public_key(), &costs);
+  if (!encrypted.ok()) {
+    std::fprintf(stderr, "server: %s\n",
+                 encrypted.status().ToString().c_str());
+    return 1;
+  }
+  auto ranked = client.PostFilter(*encrypted, 5, &costs);
+  if (!ranked.ok()) {
+    std::fprintf(stderr, "post-filter: %s\n",
+                 ranked.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("top results (doc: score | text):\n");
+  for (const auto& sd : *ranked) {
+    std::printf("  doc %u: %llu | %.72s...\n", sd.doc,
+                static_cast<unsigned long long>(sd.score), articles[sd.doc]);
+  }
+  std::printf(
+      "\ncosts: server I/O %.1f ms (model), server CPU %.2f ms, uplink %llu "
+      "B, downlink %llu B, user CPU %.2f ms\n",
+      costs.server_io_ms, costs.server_cpu_ms,
+      static_cast<unsigned long long>(costs.uplink_bytes),
+      static_cast<unsigned long long>(costs.downlink_bytes),
+      costs.user_cpu_ms);
+
+  // Sanity: the private ranking equals the plaintext ranking (Claim 1).
+  auto reference = index::EvaluateFull(built->index, genuine);
+  if (reference.size() > 5) reference.resize(5);
+  bool match = reference.size() == ranked->size();
+  for (size_t i = 0; match && i < reference.size(); ++i) {
+    match = reference[i].doc == (*ranked)[i].doc &&
+            reference[i].score == (*ranked)[i].score;
+  }
+  std::printf("Claim 1 check (private == plaintext ranking): %s\n",
+              match ? "PASS" : "FAIL");
+  return match ? 0 : 1;
+}

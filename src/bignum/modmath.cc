@@ -1,0 +1,159 @@
+#include "bignum/modmath.h"
+
+#include <cassert>
+
+#include "bignum/montgomery.h"
+
+namespace embellish::bignum {
+
+BigInt ModAdd(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a % m + b % m) % m;
+}
+
+BigInt ModSub(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt ra = a % m;
+  BigInt rb = b % m;
+  if (ra >= rb) return ra - rb;
+  return ra + m - rb;
+}
+
+BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a % m) * (b % m) % m;
+}
+
+BigInt ModExp(const BigInt& a, const BigInt& e, const BigInt& m) {
+  assert(!m.IsZero());
+  if (m.IsOne()) return BigInt();
+  if (m.IsOdd() && m.LimbCount() >= 2) {
+    auto ctx = MontgomeryContext::Create(m);
+    if (ctx.ok()) return ctx->ModExp(a, e);
+  }
+  BigInt base = a % m;
+  BigInt result(1);
+  for (size_t i = e.BitLength(); i-- > 0;) {
+    result = result * result % m;
+    if (e.Bit(i)) result = result * base % m;
+  }
+  return result;
+}
+
+BigInt Gcd(const BigInt& a, const BigInt& b) {
+  // Euclid; BigInt division is fast enough for crypto-sized operands and the
+  // code is simpler than binary GCD with vector limb surgery.
+  BigInt x = a;
+  BigInt y = b;
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+Result<BigInt> ModInverse(const BigInt& a, const BigInt& m) {
+  if (m.IsZero() || m.IsOne()) {
+    return Status::InvalidArgument("modulus must be > 1");
+  }
+  // Extended Euclid tracking only the coefficient of `a`, with values kept
+  // non-negative by representing the sign separately.
+  BigInt r0 = m;
+  BigInt r1 = a % m;
+  BigInt t0;        // coefficient for m  (starts 0)
+  BigInt t1(1);     // coefficient for a  (starts 1)
+  bool t0_neg = false;
+  bool t1_neg = false;
+  while (!r1.IsZero()) {
+    BigInt q = r0 / r1;
+    BigInt r2 = r0 - q * r1;
+    // t2 = t0 - q*t1, in sign-magnitude form.
+    BigInt qt1 = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (!r0.IsOne()) {
+    return Status::InvalidArgument("value is not invertible (gcd != 1)");
+  }
+  BigInt inv = t0 % m;
+  if (t0_neg && !inv.IsZero()) inv = m - inv;
+  return inv;
+}
+
+int Jacobi(const BigInt& a_in, const BigInt& n_in) {
+  assert(n_in.IsOdd() && !n_in.IsZero());
+  BigInt a = a_in % n_in;
+  BigInt n = n_in;
+  int result = 1;
+  while (!a.IsZero()) {
+    // Pull out factors of two; each contributes (2/n) = (-1)^((n^2-1)/8).
+    while (a.IsEven()) {
+      a = a >> 1;
+      uint64_t n_mod8 = n.Low64() & 7;
+      if (n_mod8 == 3 || n_mod8 == 5) result = -result;
+    }
+    std::swap(a, n);
+    // Quadratic reciprocity: flip sign when both are 3 (mod 4).
+    if ((a.Low64() & 3) == 3 && (n.Low64() & 3) == 3) result = -result;
+    a = a % n;
+  }
+  if (n.IsOne()) return result;
+  return 0;
+}
+
+BigInt RandomBelow(const BigInt& bound, Rng* rng) {
+  assert(!bound.IsZero());
+  size_t bits = bound.BitLength();
+  size_t nbytes = (bits + 7) / 8;
+  std::vector<uint8_t> buf(nbytes);
+  // Rejection sampling: mask the top byte to the bound's width, retry on
+  // overshoot. Expected < 2 iterations.
+  const uint8_t top_mask =
+      static_cast<uint8_t>(0xFF >> ((8 - bits % 8) % 8));
+  while (true) {
+    rng->FillBytes(buf.data(), buf.size());
+    buf[0] &= top_mask;
+    BigInt candidate = BigInt::FromBigEndianBytes(buf);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt RandomBits(size_t bits, Rng* rng) {
+  assert(bits > 0);
+  size_t nbytes = (bits + 7) / 8;
+  std::vector<uint8_t> buf(nbytes);
+  rng->FillBytes(buf.data(), buf.size());
+  const uint8_t top_mask =
+      static_cast<uint8_t>(0xFF >> ((8 - bits % 8) % 8));
+  buf[0] &= top_mask;
+  // Force the top bit so the value has exactly `bits` bits.
+  buf[0] |= static_cast<uint8_t>(1u << ((bits - 1) % 8));
+  return BigInt::FromBigEndianBytes(buf);
+}
+
+BigInt RandomUnit(const BigInt& n, Rng* rng) {
+  assert(n > BigInt(1));
+  while (true) {
+    BigInt candidate = RandomBelow(n, rng);
+    if (candidate.IsZero()) continue;
+    if (Gcd(candidate, n).IsOne()) return candidate;
+  }
+}
+
+}  // namespace embellish::bignum

@@ -1,0 +1,135 @@
+#include "bignum/montgomery.h"
+
+#include <cassert>
+
+namespace embellish::bignum {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// Inverse of odd x modulo 2^64 by Newton iteration; 6 steps double the
+// precision from the 3 correct low bits of x itself.
+uint64_t InverseMod2_64(uint64_t x) {
+  assert(x & 1);
+  uint64_t inv = x;  // correct mod 2^3
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2 - x * inv;
+  }
+  return inv;
+}
+
+}  // namespace
+
+Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
+  if (modulus.IsZero() || modulus.IsOne()) {
+    return Status::InvalidArgument("Montgomery modulus must be > 1");
+  }
+  if (!modulus.IsOdd()) {
+    return Status::InvalidArgument("Montgomery modulus must be odd");
+  }
+  MontgomeryContext ctx;
+  ctx.modulus_ = modulus;
+  ctx.n_limbs_ = modulus.limbs();
+  ctx.k_ = ctx.n_limbs_.size();
+  ctx.n_prime_ = ~InverseMod2_64(ctx.n_limbs_[0]) + 1;  // -n^{-1} mod 2^64
+  BigInt r = BigInt::PowerOfTwo(64 * ctx.k_);
+  BigInt r_mod = r % modulus;
+  ctx.r_mod_n_ = r_mod.limbs();
+  ctx.r_mod_n_.resize(ctx.k_, 0);
+  ctx.r2_mod_n_ = r_mod * r_mod % modulus;
+  return ctx;
+}
+
+std::vector<uint64_t> MontgomeryContext::MontMul(
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) const {
+  const size_t k = k_;
+  assert(a.size() == k && b.size() == k);
+  // CIOS: t has k+2 limbs.
+  std::vector<uint64_t> t(k + 2, 0);
+  for (size_t i = 0; i < k; ++i) {
+    // t += a[i] * b
+    uint64_t ai = a[i];
+    u128 carry = 0;
+    for (size_t j = 0; j < k; ++j) {
+      u128 cur = static_cast<u128>(ai) * b[j] + t[j] + static_cast<uint64_t>(carry);
+      t[j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    u128 cur = static_cast<u128>(t[k]) + static_cast<uint64_t>(carry);
+    t[k] = static_cast<uint64_t>(cur);
+    t[k + 1] = static_cast<uint64_t>(cur >> 64);
+
+    // Reduction: make t divisible by 2^64.
+    uint64_t m_val = t[0] * n_prime_;
+    u128 acc = static_cast<u128>(m_val) * n_limbs_[0] + t[0];
+    carry = acc >> 64;
+    for (size_t j = 1; j < k; ++j) {
+      acc = static_cast<u128>(m_val) * n_limbs_[j] + t[j] +
+            static_cast<uint64_t>(carry);
+      t[j - 1] = static_cast<uint64_t>(acc);
+      carry = acc >> 64;
+    }
+    acc = static_cast<u128>(t[k]) + static_cast<uint64_t>(carry);
+    t[k - 1] = static_cast<uint64_t>(acc);
+    t[k] = t[k + 1] + static_cast<uint64_t>(acc >> 64);
+    t[k + 1] = 0;
+  }
+
+  // Final conditional subtraction: result may be in [0, 2n).
+  bool geq = t[k] != 0;
+  if (!geq) {
+    geq = true;
+    for (size_t i = k; i-- > 0;) {
+      if (t[i] != n_limbs_[i]) {
+        geq = t[i] > n_limbs_[i];
+        break;
+      }
+    }
+  }
+  std::vector<uint64_t> out(t.begin(), t.begin() + k);
+  if (geq) {
+    u128 borrow = 0;
+    for (size_t i = 0; i < k; ++i) {
+      u128 diff = static_cast<u128>(out[i]) - n_limbs_[i] -
+                  static_cast<uint64_t>(borrow);
+      out[i] = static_cast<uint64_t>(diff);
+      borrow = (diff >> 64) != 0 ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> MontgomeryContext::ToMontgomery(const BigInt& a) const {
+  BigInt reduced = a % modulus_;
+  std::vector<uint64_t> limbs = reduced.limbs();
+  limbs.resize(k_, 0);
+  std::vector<uint64_t> r2 = r2_mod_n_.limbs();
+  r2.resize(k_, 0);
+  return MontMul(limbs, r2);
+}
+
+BigInt MontgomeryContext::FromMontgomery(
+    const std::vector<uint64_t>& a) const {
+  std::vector<uint64_t> one(k_, 0);
+  one[0] = 1;
+  std::vector<uint64_t> plain = MontMul(a, one);
+  return BigInt::FromLimbs(std::move(plain));
+}
+
+BigInt MontgomeryContext::Mul(const BigInt& a, const BigInt& b) const {
+  return FromMontgomery(MontMul(ToMontgomery(a), ToMontgomery(b)));
+}
+
+BigInt MontgomeryContext::ModExp(const BigInt& a, const BigInt& e) const {
+  if (e.IsZero()) return BigInt(1) % modulus_;
+  std::vector<uint64_t> base = ToMontgomery(a);
+  std::vector<uint64_t> result = r_mod_n_;  // Montgomery form of 1
+  for (size_t i = e.BitLength(); i-- > 0;) {
+    result = MontMul(result, result);
+    if (e.Bit(i)) result = MontMul(result, base);
+  }
+  return FromMontgomery(result);
+}
+
+}  // namespace embellish::bignum

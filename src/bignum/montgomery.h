@@ -1,0 +1,64 @@
+// Montgomery multiplication context for a fixed odd modulus.
+//
+// The KO-PIR server multiplies thousands of KeyLen-bit residues per query
+// (Appendix A.1), and Benaloh encryption performs two modexps per term
+// (Algorithm 3); both sit on this context. Implementation is the standard
+// CIOS (coarsely integrated operand scanning) loop over 64-bit limbs.
+
+#ifndef EMBELLISH_BIGNUM_MONTGOMERY_H_
+#define EMBELLISH_BIGNUM_MONTGOMERY_H_
+
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "common/status.h"
+
+namespace embellish::bignum {
+
+/// \brief Precomputed state for fast multiplication modulo a fixed odd n.
+class MontgomeryContext {
+ public:
+  /// \brief Builds a context; `modulus` must be odd and > 1.
+  static Result<MontgomeryContext> Create(const BigInt& modulus);
+
+  const BigInt& modulus() const { return modulus_; }
+
+  /// \brief a * b mod n for a, b already reduced mod n (not in Montgomery
+  ///        form; conversion happens internally). Convenience wrapper.
+  BigInt Mul(const BigInt& a, const BigInt& b) const;
+
+  /// \brief a^e mod n.
+  BigInt ModExp(const BigInt& a, const BigInt& e) const;
+
+  // -- Lower-level API for batched work (PIR row products) --
+
+  /// \brief Converts into Montgomery form: aR mod n.
+  std::vector<uint64_t> ToMontgomery(const BigInt& a) const;
+
+  /// \brief Converts out of Montgomery form.
+  BigInt FromMontgomery(const std::vector<uint64_t>& a) const;
+
+  /// \brief Montgomery product of two Montgomery-form values (CIOS).
+  std::vector<uint64_t> MontMul(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b) const;
+
+  /// \brief Montgomery form of 1 (i.e. R mod n) — the product identity.
+  const std::vector<uint64_t>& One() const { return r_mod_n_; }
+
+  /// \brief Limb width k of the modulus; all Montgomery vectors have size k.
+  size_t limb_count() const { return k_; }
+
+ private:
+  MontgomeryContext() = default;
+
+  BigInt modulus_;
+  std::vector<uint64_t> n_limbs_;
+  std::vector<uint64_t> r_mod_n_;   // R mod n, Montgomery form of 1
+  BigInt r2_mod_n_;                 // R^2 mod n, for ToMontgomery
+  uint64_t n_prime_ = 0;            // -n^{-1} mod 2^64
+  size_t k_ = 0;
+};
+
+}  // namespace embellish::bignum
+
+#endif  // EMBELLISH_BIGNUM_MONTGOMERY_H_

@@ -1,0 +1,98 @@
+#include "bignum/prime.h"
+
+#include <cassert>
+
+#include "bignum/modmath.h"
+
+namespace embellish::bignum {
+
+namespace {
+
+constexpr uint64_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// One Miller-Rabin round: true if `a` passes (n may still be composite).
+bool MillerRabinWitness(const BigInt& n, const BigInt& n_minus_1,
+                        const BigInt& d, size_t s, const BigInt& a) {
+  BigInt x = ModExp(a, d, n);
+  if (x.IsOne() || x == n_minus_1) return true;
+  for (size_t i = 1; i < s; ++i) {
+    x = x * x % n;
+    if (x == n_minus_1) return true;
+    if (x.IsOne()) return false;  // nontrivial sqrt of 1 => composite
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, Rng* rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  for (uint64_t p : kSmallPrimes) {
+    BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).IsZero()) return false;
+  }
+  // Write n-1 = d * 2^s with d odd.
+  BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (d.IsEven()) {
+    d = d >> 1;
+    ++s;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    // Uniform base in [2, n-2].
+    BigInt a = RandomBelow(n - BigInt(3), rng) + BigInt(2);
+    if (!MillerRabinWitness(n, n_minus_1, d, s, a)) return false;
+  }
+  return true;
+}
+
+BigInt RandomPrime(size_t bits, Rng* rng) {
+  assert(bits >= 8);
+  while (true) {
+    BigInt candidate = RandomBits(bits, rng);
+    if (candidate.IsEven()) candidate += BigInt(1);
+    if (candidate.BitLength() != bits) continue;
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+Result<BigInt> RandomPrimeCongruentOneModR(size_t bits, const BigInt& r,
+                                           Rng* rng) {
+  if (r < BigInt(2)) {
+    return Status::InvalidArgument("r must be >= 2");
+  }
+  size_t r_bits = r.BitLength();
+  if (r_bits + 8 > bits) {
+    return Status::InvalidArgument("r too large for requested prime width");
+  }
+  // Construct p = r*m + 1 with m sized so p has exactly `bits` bits, then
+  // test primality and the gcd(r, (p-1)/r) = gcd(r, m) = 1 condition.
+  for (int attempts = 0; attempts < 200000; ++attempts) {
+    BigInt m = RandomBits(bits - r_bits + 1, rng);
+    BigInt p = r * m + BigInt(1);
+    if (p.BitLength() != bits) continue;
+    if (!Gcd(r, m).IsOne()) continue;
+    if (IsProbablePrime(p, rng)) return p;
+  }
+  return Status::Internal("prime search exhausted attempt budget");
+}
+
+Result<BigInt> RandomPrimeCoprimePMinus1(size_t bits, const BigInt& r,
+                                         Rng* rng) {
+  if (r < BigInt(2)) {
+    return Status::InvalidArgument("r must be >= 2");
+  }
+  for (int attempts = 0; attempts < 200000; ++attempts) {
+    BigInt p = RandomPrime(bits, rng);
+    if (Gcd(r, p - BigInt(1)).IsOne()) return p;
+  }
+  return Status::Internal("prime search exhausted attempt budget");
+}
+
+}  // namespace embellish::bignum

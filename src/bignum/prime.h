@@ -1,0 +1,34 @@
+// Primality testing and prime generation for crypto key setup.
+
+#ifndef EMBELLISH_BIGNUM_PRIME_H_
+#define EMBELLISH_BIGNUM_PRIME_H_
+
+#include "bignum/bigint.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace embellish::bignum {
+
+/// \brief Miller-Rabin probabilistic primality test.
+///
+/// Runs trial division by small primes first, then `rounds` random-base
+/// Miller-Rabin witnesses (error probability <= 4^-rounds).
+bool IsProbablePrime(const BigInt& n, Rng* rng, int rounds = 32);
+
+/// \brief Uniform prime with exactly `bits` bits (top bit set). bits >= 8.
+BigInt RandomPrime(size_t bits, Rng* rng);
+
+/// \brief Random prime p ≡ 1 (mod r) with exactly `bits` bits, subject to
+///        gcd(r, (p-1)/r) == 1 — the Benaloh key-generation condition on p1.
+///        `r` must be >= 2 and small relative to 2^bits.
+Result<BigInt> RandomPrimeCongruentOneModR(size_t bits, const BigInt& r,
+                                           Rng* rng);
+
+/// \brief Random prime p with exactly `bits` bits and gcd(r, p-1) == 1 —
+///        the Benaloh condition on p2.
+Result<BigInt> RandomPrimeCoprimePMinus1(size_t bits, const BigInt& r,
+                                         Rng* rng);
+
+}  // namespace embellish::bignum
+
+#endif  // EMBELLISH_BIGNUM_PRIME_H_

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The library is silent by default (kWarning); benches and examples raise the
+// level for progress reporting. Logging goes to stderr so bench tables on
+// stdout stay machine-parsable.
+
+#ifndef EMBELLISH_COMMON_LOG_H_
+#define EMBELLISH_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace embellish {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+/// \brief Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace embellish
+
+#define EMB_LOG(level)                                        \
+  if (::embellish::LogLevel::level < ::embellish::GetLogLevel()) \
+    ;                                                         \
+  else                                                        \
+    ::embellish::internal::LogMessage(::embellish::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // EMBELLISH_COMMON_LOG_H_

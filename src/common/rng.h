@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the embellish library draws randomness from
+// an explicitly seeded Rng so that experiments and tests are reproducible
+// bit-for-bit. The generator is xoshiro256** seeded via SplitMix64 — fast,
+// high quality, and trivially portable. It is NOT cryptographically secure;
+// the crypto module layers rejection sampling on top for protocol nonces in
+// this *simulation* setting (see crypto/README note in benaloh.h).
+
+#ifndef EMBELLISH_COMMON_RNG_H_
+#define EMBELLISH_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace embellish {
+
+/// \brief SplitMix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+/// \brief Deterministic xoshiro256** generator with convenience samplers.
+class Rng {
+ public:
+  /// \brief Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = kDefaultSeed);
+
+  /// \brief Seed used when none is supplied; fixed for reproducibility.
+  static constexpr uint64_t kDefaultSeed = 0x9E3779B97F4A7C15ULL;
+
+  /// \brief Next raw 64 random bits.
+  uint64_t Next64();
+
+  /// \brief Uniform integer in [0, bound). `bound` must be > 0.
+  ///        Uses Lemire rejection to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// \brief Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// \brief Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      using std::swap;
+      swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// \brief Sample `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// \brief Fill `n` random bytes.
+  void FillBytes(uint8_t* out, size_t n);
+
+  /// \brief Derive an independent child generator (stream splitting).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace embellish
+
+#endif  // EMBELLISH_COMMON_RNG_H_

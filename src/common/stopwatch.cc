@@ -1,0 +1,45 @@
+#include "common/stopwatch.h"
+
+#include <ctime>
+
+namespace embellish {
+
+namespace {
+
+int64_t ReadClock(clockid_t id) {
+  timespec ts;
+  if (clock_gettime(id, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+}
+
+// Some container kernels account thread CPU time in scheduler-tick quanta
+// (10 ms), which is useless for per-query measurements. Probe once: if the
+// smallest observable positive delta is coarser than 1 ms, fall back to
+// CLOCK_MONOTONIC — the measured sections are single-threaded pure compute,
+// so wall time equals CPU time for them.
+bool ThreadCpuClockIsFineGrained() {
+  int64_t prev = ReadClock(CLOCK_THREAD_CPUTIME_ID);
+  int64_t min_delta = -1;
+  for (int i = 0; i < 200000; ++i) {
+    int64_t now = ReadClock(CLOCK_THREAD_CPUTIME_ID);
+    int64_t d = now - prev;
+    if (d > 0) {
+      min_delta = d;
+      break;
+    }
+  }
+  return min_delta > 0 && min_delta < 1000000;  // < 1 ms
+}
+
+clockid_t CpuClockId() {
+  static const clockid_t kId =
+      ThreadCpuClockIsFineGrained() ? CLOCK_THREAD_CPUTIME_ID
+                                    : CLOCK_MONOTONIC;
+  return kId;
+}
+
+}  // namespace
+
+int64_t CpuStopwatch::NowThreadCpuNanos() { return ReadClock(CpuClockId()); }
+
+}  // namespace embellish

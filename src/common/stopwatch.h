@@ -1,0 +1,58 @@
+// Wall-clock and CPU-time stopwatches for the §5.2 cost metrics.
+
+#ifndef EMBELLISH_COMMON_STOPWATCH_H_
+#define EMBELLISH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace embellish {
+
+/// \brief Monotonic wall-clock stopwatch (microsecond resolution).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// \brief Microseconds since construction or last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Per-thread CPU-time stopwatch; used for the "CPU msec" metrics so
+///        that simulated-I/O sleeps and scheduler noise are excluded.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() { Restart(); }
+
+  void Restart() { start_ns_ = NowThreadCpuNanos(); }
+
+  int64_t ElapsedMicros() const {
+    return (NowThreadCpuNanos() - start_ns_) / 1000;
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  /// \brief Current thread CPU time in nanoseconds.
+  static int64_t NowThreadCpuNanos();
+
+ private:
+  int64_t start_ns_;
+};
+
+}  // namespace embellish
+
+#endif  // EMBELLISH_COMMON_STOPWATCH_H_

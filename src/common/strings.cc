@@ -1,0 +1,80 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace embellish {
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap_copy;
+  va_copy(ap_copy, ap);
+  int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap_copy);
+  }
+  va_end(ap_copy);
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view s, char delim,
+                                  bool skip_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      std::string_view piece = s.substr(start, i - start);
+      if (!piece.empty() || !skip_empty) out.emplace_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view StripAsciiWhitespace(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string WithThousandsSeparators(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace embellish

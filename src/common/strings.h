@@ -1,0 +1,39 @@
+// Small string helpers shared across modules.
+
+#ifndef EMBELLISH_COMMON_STRINGS_H_
+#define EMBELLISH_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace embellish {
+
+/// \brief printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Splits `s` on `delim`, dropping empty pieces when `skip_empty`.
+std::vector<std::string> StrSplit(std::string_view s, char delim,
+                                  bool skip_empty = false);
+
+/// \brief Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// \brief ASCII lower-casing (the analyzer never deals with non-ASCII input).
+std::string AsciiToLower(std::string_view s);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief Strip ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// \brief Renders `1234567` as `"1,234,567"` for bench tables.
+std::string WithThousandsSeparators(uint64_t v);
+
+}  // namespace embellish
+
+#endif  // EMBELLISH_COMMON_STRINGS_H_

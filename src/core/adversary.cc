@@ -1,0 +1,103 @@
+#include "core/adversary.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace embellish::core {
+
+namespace {
+
+constexpr double kCutoff = 32.0;
+
+// Mean pairwise proximity between two aligned term tuples.
+double QuerySimilarity(const SemanticDistanceCalculator& distance,
+                       const std::vector<wordnet::TermId>& a,
+                       const std::vector<wordnet::TermId>& b) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) {
+      total += 1.0;
+      continue;
+    }
+    double d = distance.TermDistance(a[i], b[i], kCutoff);
+    if (std::isinf(d)) d = kCutoff;
+    total += 1.0 / (1.0 + d);
+  }
+  return a.empty() ? 0.0 : total / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+Result<AdversaryRisk> ComputeAdversaryRisk(
+    const BucketOrganization& org, const SemanticDistanceCalculator& distance,
+    const std::vector<std::vector<wordnet::TermId>>& genuine_sequence,
+    uint64_t max_candidates) {
+  if (genuine_sequence.empty()) {
+    return Status::InvalidArgument("empty query sequence");
+  }
+
+  // Resolve each genuine term's bucket; Q_i = product of the host buckets.
+  // Count |S| first so we fail fast on oversized instances.
+  std::vector<std::vector<const std::vector<wordnet::TermId>*>> bucket_seq;
+  uint64_t candidates = 1;
+  for (const auto& query : genuine_sequence) {
+    if (query.empty()) {
+      return Status::InvalidArgument("empty query in sequence");
+    }
+    std::vector<const std::vector<wordnet::TermId>*> host_buckets;
+    for (wordnet::TermId t : query) {
+      EMB_ASSIGN_OR_RETURN(BucketSlot where, org.Locate(t));
+      host_buckets.push_back(&org.bucket(where.bucket));
+      uint64_t width = org.bucket(where.bucket).size();
+      if (candidates > max_candidates / width) {
+        return Status::InvalidArgument(StringPrintf(
+            "candidate space exceeds cap %llu",
+            static_cast<unsigned long long>(max_candidates)));
+      }
+      candidates *= width;
+    }
+    bucket_seq.push_back(std::move(host_buckets));
+  }
+
+  // Per-query candidate tuples and their similarity to the genuine query.
+  // risk factorizes: with a uniform prior, beta is uniform on S, and
+  // sim(s', s) averages per-query similarities, so
+  //   risk = (1/n) * sum_i mean_{q' in Q_i} sim_q(q', q_i).
+  // We still track the posterior on the exact genuine sequence.
+  double risk_total = 0.0;
+  double truth_mass = 1.0;
+  for (size_t i = 0; i < genuine_sequence.size(); ++i) {
+    const auto& hosts = bucket_seq[i];
+    const auto& genuine = genuine_sequence[i];
+    const size_t m = hosts.size();
+
+    // Enumerate Q_i with a mixed-radix counter.
+    std::vector<size_t> digit(m, 0);
+    double sim_sum = 0.0;
+    uint64_t count = 0;
+    while (true) {
+      std::vector<wordnet::TermId> candidate(m);
+      for (size_t j = 0; j < m; ++j) candidate[j] = (*hosts[j])[digit[j]];
+      sim_sum += QuerySimilarity(distance, candidate, genuine);
+      ++count;
+      size_t j = 0;
+      while (j < m) {
+        if (++digit[j] < hosts[j]->size()) break;
+        digit[j] = 0;
+        ++j;
+      }
+      if (j == m) break;
+    }
+    risk_total += sim_sum / static_cast<double>(count);
+    truth_mass /= static_cast<double>(count);
+  }
+
+  AdversaryRisk out;
+  out.risk = risk_total / static_cast<double>(genuine_sequence.size());
+  out.posterior_on_truth = truth_mass;
+  out.candidate_count = candidates;
+  return out;
+}
+
+}  // namespace embellish::core

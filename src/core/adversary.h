@@ -1,0 +1,55 @@
+// The Bayesian adversary of Section 3.1 (Equations 1-2), implemented exactly
+// on small instances.
+//
+// Observing buckets B_i1..B_im for each query i, the adversary's candidate
+// space is Q_i = B_i1 x ... x B_im; candidate sequences are S = Q_1 x ... x
+// Q_n. With prior alpha(s'), the posterior is
+//     beta(s') = alpha(s') / sum_{s*} alpha(s*)                     (Eq. 1)
+// and the privacy risk of the organization is
+//     risk = sum_{s'} beta(s') * sim(s', s)                         (Eq. 2)
+// where s is the genuine sequence. The paper notes exact computation is
+// impractical in general (S is exponential); this module enumerates it for
+// the small instances the tests and the privacy_audit example use, with a
+// hard cap on |S|.
+//
+// sim(s', s) is instantiated as the mean per-position query similarity,
+// where query similarity is the mean pairwise semantic proximity
+// 1 / (1 + dist) between aligned terms — a monotone proxy for Formula 3
+// that stays well-defined on term-id sequences.
+
+#ifndef EMBELLISH_CORE_ADVERSARY_H_
+#define EMBELLISH_CORE_ADVERSARY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/bucket_organization.h"
+#include "core/semantic_distance.h"
+
+namespace embellish::core {
+
+/// \brief Result of the exact risk computation.
+struct AdversaryRisk {
+  /// Eq. 2 value in [0, 1]: expected similarity of the adversary's pick to
+  /// the genuine sequence.
+  double risk = 0.0;
+
+  /// Posterior mass beta(s) on the genuine sequence itself.
+  double posterior_on_truth = 0.0;
+
+  /// Number of candidate sequences enumerated (|S|).
+  uint64_t candidate_count = 0;
+};
+
+/// \brief Exact Eq. 1-2 computation under a uniform prior.
+///
+/// `genuine_sequence[i]` is query i's genuine terms (each must be bucketed).
+/// Fails with InvalidArgument when |S| would exceed `max_candidates`.
+Result<AdversaryRisk> ComputeAdversaryRisk(
+    const BucketOrganization& org, const SemanticDistanceCalculator& distance,
+    const std::vector<std::vector<wordnet::TermId>>& genuine_sequence,
+    uint64_t max_candidates = 2000000);
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_ADVERSARY_H_

@@ -1,0 +1,83 @@
+#include "core/bucket_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace embellish::core {
+
+std::string SerializeBuckets(const BucketOrganization& org) {
+  std::ostringstream out;
+  out << "embellish-buckets 1\n";
+  out << "buckets " << org.bucket_count() << "\n";
+  for (size_t b = 0; b < org.bucket_count(); ++b) {
+    out << "B";
+    for (wordnet::TermId t : org.bucket(b)) out << " " << t;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<BucketOrganization> ParseBuckets(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "embellish-buckets 1") {
+    return Status::Corruption("bad or missing bucket format header");
+  }
+  if (!std::getline(in, line) || !StartsWith(line, "buckets ")) {
+    return Status::Corruption("missing 'buckets' count line");
+  }
+  size_t count = 0;
+  try {
+    count = std::stoull(line.substr(8));
+  } catch (...) {
+    return Status::Corruption("bad bucket count");
+  }
+
+  std::vector<std::vector<wordnet::TermId>> buckets;
+  buckets.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line) || !StartsWith(line, "B")) {
+      return Status::Corruption(StringPrintf("missing bucket line %zu", i));
+    }
+    std::istringstream fields(line.substr(1));
+    std::vector<wordnet::TermId> bucket;
+    uint64_t tid;
+    while (fields >> tid) {
+      if (tid > wordnet::kInvalidTermId) {
+        return Status::Corruption("term id out of range");
+      }
+      bucket.push_back(static_cast<wordnet::TermId>(tid));
+    }
+    buckets.push_back(std::move(bucket));
+  }
+  // Create() re-validates (non-empty buckets, no duplicate terms).
+  return BucketOrganization::Create(std::move(buckets));
+}
+
+Status SaveBucketsToFile(const BucketOrganization& org,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << SerializeBuckets(org);
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<BucketOrganization> LoadBucketsFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseBuckets(buf.str());
+}
+
+}  // namespace embellish::core

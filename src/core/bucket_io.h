@@ -1,0 +1,40 @@
+// Persistence for bucket organizations.
+//
+// The bucket organization is deployment state shared between the client
+// software and the search engine (§4 requires both sides to agree on the
+// term -> bucket mapping). This module gives it a versioned text format so
+// it can be generated offline, audited, finetuned manually ("for sensitive
+// applications ... the buckets could be finetuned manually", §3), and
+// shipped.
+//
+// Format:
+//   embellish-buckets 1
+//   buckets <count>
+//   B <term-id> [<term-id> ...]     x count
+
+#ifndef EMBELLISH_CORE_BUCKET_IO_H_
+#define EMBELLISH_CORE_BUCKET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/bucket_organization.h"
+
+namespace embellish::core {
+
+/// \brief Serializes the organization to the text format.
+std::string SerializeBuckets(const BucketOrganization& org);
+
+/// \brief Parses and validates an organization from the text format.
+Result<BucketOrganization> ParseBuckets(const std::string& text);
+
+/// \brief Writes the text format to a file.
+Status SaveBucketsToFile(const BucketOrganization& org,
+                         const std::string& path);
+
+/// \brief Reads an organization from a file.
+Result<BucketOrganization> LoadBucketsFromFile(const std::string& path);
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_BUCKET_IO_H_

@@ -1,0 +1,45 @@
+#include "core/bucket_organization.h"
+
+#include "common/strings.h"
+
+namespace embellish::core {
+
+Result<BucketOrganization> BucketOrganization::Create(
+    std::vector<std::vector<wordnet::TermId>> buckets) {
+  BucketOrganization org;
+  org.buckets_ = std::move(buckets);
+  for (size_t b = 0; b < org.buckets_.size(); ++b) {
+    const auto& bucket = org.buckets_[b];
+    if (bucket.empty()) {
+      return Status::InvalidArgument(
+          StringPrintf("bucket %zu is empty", b));
+    }
+    org.nominal_bucket_size_ = std::max(org.nominal_bucket_size_,
+                                        bucket.size());
+    for (size_t slot = 0; slot < bucket.size(); ++slot) {
+      auto [it, inserted] =
+          org.locations_.try_emplace(bucket[slot], BucketSlot{b, slot});
+      if (!inserted) {
+        return Status::InvalidArgument(StringPrintf(
+            "term %u appears in buckets %zu and %zu", bucket[slot],
+            it->second.bucket, b));
+      }
+      ++org.term_count_;
+    }
+  }
+  if (org.buckets_.empty()) {
+    return Status::InvalidArgument("no buckets supplied");
+  }
+  return org;
+}
+
+Result<BucketSlot> BucketOrganization::Locate(wordnet::TermId term) const {
+  auto it = locations_.find(term);
+  if (it == locations_.end()) {
+    return Status::NotFound(
+        StringPrintf("term %u is not in any bucket", term));
+  }
+  return it->second;
+}
+
+}  // namespace embellish::core

@@ -1,0 +1,66 @@
+// The bucket organization: the data structure at the heart of the scheme.
+//
+// Every dictionary term lives in exactly one bucket; a query term always
+// pulls in its whole bucket (the other members acting as decoys). See
+// Figure 1 and Section 3.
+
+#ifndef EMBELLISH_CORE_BUCKET_ORGANIZATION_H_
+#define EMBELLISH_CORE_BUCKET_ORGANIZATION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "wordnet/database.h"
+
+namespace embellish::core {
+
+/// \brief Location of a term inside the organization.
+struct BucketSlot {
+  size_t bucket = 0;
+  size_t slot = 0;
+};
+
+/// \brief Immutable assignment of terms to buckets.
+class BucketOrganization {
+ public:
+  /// \brief Builds from explicit bucket contents; every term must appear at
+  ///        most once across all buckets.
+  static Result<BucketOrganization> Create(
+      std::vector<std::vector<wordnet::TermId>> buckets);
+
+  size_t bucket_count() const { return buckets_.size(); }
+
+  const std::vector<wordnet::TermId>& bucket(size_t b) const {
+    return buckets_[b];
+  }
+
+  const std::vector<std::vector<wordnet::TermId>>& buckets() const {
+    return buckets_;
+  }
+
+  /// \brief Nominal bucket size (largest bucket; tail buckets may be
+  ///        smaller when N is not divisible).
+  size_t nominal_bucket_size() const { return nominal_bucket_size_; }
+
+  /// \brief Total terms across all buckets.
+  size_t term_count() const { return term_count_; }
+
+  /// \brief True if the term is covered by the organization.
+  bool Contains(wordnet::TermId term) const {
+    return locations_.count(term) > 0;
+  }
+
+  /// \brief Where `term` lives; error if the term is not covered.
+  Result<BucketSlot> Locate(wordnet::TermId term) const;
+
+ private:
+  std::vector<std::vector<wordnet::TermId>> buckets_;
+  std::unordered_map<wordnet::TermId, BucketSlot> locations_;
+  size_t nominal_bucket_size_ = 0;
+  size_t term_count_ = 0;
+};
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_BUCKET_ORGANIZATION_H_

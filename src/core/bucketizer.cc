@@ -1,0 +1,111 @@
+#include "core/bucketizer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace embellish::core {
+
+Status BucketizerOptions::Validate() const {
+  if (bucket_size < 1) {
+    return Status::InvalidArgument("bucket_size must be >= 1");
+  }
+  if (segment_size < 1) {
+    return Status::InvalidArgument("segment_size must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<BucketOrganization> FormBuckets(const SequencerResult& sequences,
+                                       const SpecificityMap& specificity,
+                                       const BucketizerOptions& options) {
+  EMB_RETURN_NOT_OK(options.Validate());
+
+  // Line 1: concatenate the input sequences into one long term sequence.
+  std::vector<wordnet::TermId> seq;
+  seq.reserve(sequences.TotalTerms());
+  for (const auto& s : sequences.sequences) {
+    seq.insert(seq.end(), s.begin(), s.end());
+  }
+  const size_t n = seq.size();
+  if (n < 2) {
+    return Status::InvalidArgument("need at least 2 terms to bucketize");
+  }
+  const size_t bktsz = options.bucket_size;
+  if (bktsz > n / 2) {
+    return Status::InvalidArgument(StringPrintf(
+        "bucket_size %zu violates BktSz <= N/2 (N = %zu)", bktsz, n));
+  }
+  // Paper constraint 1 <= SegSz <= N/BktSz; larger requests are clamped to
+  // the maximum (how the Figure 6 experiment asks for "maximal SegSz").
+  const size_t segsz = std::min(options.segment_size, n / bktsz);
+
+  // Lines 3-4: split into #Seg = round(N/SegSz) segments. When SegSz does
+  // not divide N, the remainder is spread so segment lengths differ by at
+  // most one — a ceil-split would orphan a tiny tail segment whose buckets
+  // degenerate to width < BktSz.
+  const size_t num_segments = std::max<size_t>(
+      1, (n + segsz / 2) / segsz);
+  const size_t base_len = n / num_segments;
+  const size_t extra = n % num_segments;
+  std::vector<std::pair<size_t, size_t>> segment_bounds;  // [begin, end)
+  segment_bounds.reserve(num_segments);
+  size_t cursor = 0;
+  for (size_t s = 0; s < num_segments; ++s) {
+    size_t len = base_len + (s < extra ? 1 : 0);
+    segment_bounds.emplace_back(cursor, cursor + len);
+    cursor += len;
+  }
+
+  // Line 5: sort terms within each segment by decreasing specificity.
+  // Stability preserves the sequence order among equal-specificity terms,
+  // which keeps synsets clustered (the Section 5.1 observation).
+  for (auto [begin, end] : segment_bounds) {
+    auto cmp = [&](wordnet::TermId a, wordnet::TermId b) {
+      return specificity.TermSpecificity(a) > specificity.TermSpecificity(b);
+    };
+    if (options.stable_specificity_sort) {
+      std::stable_sort(seq.begin() + static_cast<ptrdiff_t>(begin),
+                       seq.begin() + static_cast<ptrdiff_t>(end), cmp);
+    } else {
+      // Ablation: destroy the tie order deterministically by pre-reversing,
+      // then unstable-sorting.
+      std::reverse(seq.begin() + static_cast<ptrdiff_t>(begin),
+                   seq.begin() + static_cast<ptrdiff_t>(end));
+      std::sort(seq.begin() + static_cast<ptrdiff_t>(begin),
+                seq.begin() + static_cast<ptrdiff_t>(end), cmp);
+    }
+  }
+
+  // Lines 6-13: each group i draws one term per position from BktSz
+  // segments spaced `groups` apart: segments {i, G+i, 2G+i, ...}.
+  const size_t groups = (num_segments + bktsz - 1) / bktsz;  // G
+  std::vector<std::vector<wordnet::TermId>> buckets;
+  buckets.reserve(n / bktsz + groups);
+  for (size_t i = 0; i < groups; ++i) {
+    std::vector<size_t> active;  // segment indices
+    for (size_t j = 0; j < bktsz; ++j) {
+      size_t s = j * groups + i;
+      if (s < num_segments) active.push_back(s);
+    }
+    size_t max_len = 0;
+    for (size_t s : active) {
+      max_len = std::max(max_len,
+                         segment_bounds[s].second - segment_bounds[s].first);
+    }
+    for (size_t pos = 0; pos < max_len; ++pos) {
+      std::vector<wordnet::TermId> bucket;
+      bucket.reserve(active.size());
+      for (size_t s : active) {
+        size_t begin = segment_bounds[s].first;
+        size_t end = segment_bounds[s].second;
+        if (begin + pos < end) bucket.push_back(seq[begin + pos]);
+      }
+      if (!bucket.empty()) buckets.push_back(std::move(bucket));
+    }
+  }
+
+  return BucketOrganization::Create(std::move(buckets));
+}
+
+}  // namespace embellish::core

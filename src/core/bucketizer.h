@@ -1,0 +1,51 @@
+// Algorithm 2 (Section 3.4): form buckets from the sequenced dictionary.
+//
+// The concatenated term sequence is split into segments of SegSz terms;
+// within each segment terms are sorted by decreasing specificity with a
+// STABLE sort (line 5 preserves the relative order of specificity ties —
+// Section 5.1 observes this is what keeps whole synsets clustered and the
+// distance-difference metric flat across SegSz). Buckets then take one term
+// from each of BktSz segments spaced N/(BktSz*SegSz) apart, so co-bucket
+// terms are far apart in the sequence (semantically diverse) yet similar in
+// specificity.
+
+#ifndef EMBELLISH_CORE_BUCKETIZER_H_
+#define EMBELLISH_CORE_BUCKETIZER_H_
+
+#include "common/status.h"
+#include "core/bucket_organization.h"
+#include "core/sequencer.h"
+#include "core/specificity.h"
+
+namespace embellish::core {
+
+/// \brief Algorithm 2 parameters.
+struct BucketizerOptions {
+  /// BktSz: terms per bucket (1 <= BktSz <= N/2). The search engine fetches
+  /// whole buckets, so this is the decoy multiplier.
+  size_t bucket_size = 4;
+
+  /// SegSz: terms per segment (1 <= SegSz <= N/BktSz). Larger segments give
+  /// more freedom to equalize specificity within buckets.
+  size_t segment_size = 512;
+
+  /// When false, the in-segment specificity sort is unstable (an ablation
+  /// knob; the paper's algorithm is stable).
+  bool stable_specificity_sort = true;
+
+  Status Validate() const;
+};
+
+/// \brief Runs Algorithm 2 over the sequenced dictionary.
+///
+/// When the sequence length N is not a multiple of bucket_size*segment_size,
+/// the final (partial) stripe is bucketized the same way with proportionally
+/// shorter segments, so every term still lands in exactly one bucket and all
+/// buckets have at most bucket_size terms.
+Result<BucketOrganization> FormBuckets(const SequencerResult& sequences,
+                                       const SpecificityMap& specificity,
+                                       const BucketizerOptions& options);
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_BUCKETIZER_H_

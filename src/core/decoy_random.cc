@@ -1,0 +1,25 @@
+#include "core/decoy_random.h"
+
+namespace embellish::core {
+
+Result<BucketOrganization> RandomBucketOrganization(
+    const std::vector<wordnet::TermId>& terms, size_t bucket_size, Rng* rng) {
+  if (bucket_size < 1) {
+    return Status::InvalidArgument("bucket_size must be >= 1");
+  }
+  if (terms.empty()) {
+    return Status::InvalidArgument("no terms supplied");
+  }
+  std::vector<wordnet::TermId> shuffled = terms;
+  rng->Shuffle(&shuffled);
+  std::vector<std::vector<wordnet::TermId>> buckets;
+  buckets.reserve(shuffled.size() / bucket_size + 1);
+  for (size_t i = 0; i < shuffled.size(); i += bucket_size) {
+    size_t end = std::min(shuffled.size(), i + bucket_size);
+    buckets.emplace_back(shuffled.begin() + static_cast<ptrdiff_t>(i),
+                         shuffled.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return BucketOrganization::Create(std::move(buckets));
+}
+
+}  // namespace embellish::core

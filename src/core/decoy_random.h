@@ -1,0 +1,21 @@
+// The "Random" baseline of Section 5.1: decoys drawn uniformly from the
+// dictionary, i.e. a bucket organization formed by randomly permuting the
+// dictionary and chopping it into buckets.
+
+#ifndef EMBELLISH_CORE_DECOY_RANDOM_H_
+#define EMBELLISH_CORE_DECOY_RANDOM_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/bucket_organization.h"
+
+namespace embellish::core {
+
+/// \brief Builds a random bucket organization over `terms` with buckets of
+///        `bucket_size` (the final bucket may be smaller).
+Result<BucketOrganization> RandomBucketOrganization(
+    const std::vector<wordnet::TermId>& terms, size_t bucket_size, Rng* rng);
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_DECOY_RANDOM_H_

@@ -1,0 +1,49 @@
+#include "core/embellisher.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace embellish::core {
+
+QueryEmbellisher::QueryEmbellisher(
+    const BucketOrganization* buckets,
+    const crypto::BenalohPublicKey* public_key)
+    : buckets_(buckets), public_key_(public_key) {}
+
+Result<EmbellishedQuery> QueryEmbellisher::Embellish(
+    const std::vector<wordnet::TermId>& genuine_terms, Rng* rng) const {
+  if (genuine_terms.empty()) {
+    return Status::InvalidArgument("query has no terms");
+  }
+
+  // Collapse duplicates; resolve every genuine term's host bucket first so
+  // an unknown term fails the whole query before any encryption happens.
+  std::unordered_set<wordnet::TermId> genuine(genuine_terms.begin(),
+                                              genuine_terms.end());
+  std::vector<size_t> host_buckets;
+  for (wordnet::TermId t : genuine_terms) {
+    EMB_ASSIGN_OR_RETURN(BucketSlot where, buckets_->Locate(t));
+    host_buckets.push_back(where.bucket);
+  }
+  std::sort(host_buckets.begin(), host_buckets.end());
+  host_buckets.erase(std::unique(host_buckets.begin(), host_buckets.end()),
+                     host_buckets.end());
+
+  // Lines 2-8: from each host bucket take every member; genuine terms get
+  // E(1), the rest E(0).
+  EmbellishedQuery query;
+  for (size_t b : host_buckets) {
+    for (wordnet::TermId t : buckets_->bucket(b)) {
+      uint64_t u = genuine.count(t) ? 1 : 0;
+      EMB_ASSIGN_OR_RETURN(crypto::BenalohCiphertext c,
+                           public_key_->Encrypt(u, rng));
+      query.entries.push_back(EmbellishedTerm{t, std::move(c)});
+    }
+  }
+
+  // Final permutation: deny the server any positional grouping signal.
+  rng->Shuffle(&query.entries);
+  return query;
+}
+
+}  // namespace embellish::core

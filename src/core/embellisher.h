@@ -1,0 +1,63 @@
+// Algorithm 3 (Section 4): mask the genuine terms in a search query.
+//
+// For every genuine term, all other members of its host bucket are injected
+// as decoys. Each term t_j in the embellished query carries a Benaloh
+// ciphertext E(u_j), u_j = 1 for genuine terms and 0 for decoys. Finally the
+// entries are permuted uniformly at random, so the position of a term leaks
+// nothing about its provenance.
+
+#ifndef EMBELLISH_CORE_EMBELLISHER_H_
+#define EMBELLISH_CORE_EMBELLISHER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/bucket_organization.h"
+#include "crypto/benaloh.h"
+
+namespace embellish::core {
+
+/// \brief One entry of the embellished query: a term with its encrypted
+///        genuineness indicator.
+struct EmbellishedTerm {
+  wordnet::TermId term;
+  crypto::BenalohCiphertext indicator;  ///< E(1) genuine, E(0) decoy
+};
+
+/// \brief The embellished query q sent to the search engine.
+struct EmbellishedQuery {
+  std::vector<EmbellishedTerm> entries;
+
+  /// \brief Uplink wire size: per entry a 4-byte term id plus one
+  ///        ciphertext of the public key's width.
+  size_t WireBytes(const crypto::BenalohPublicKey& pk) const {
+    return entries.size() * (4 + pk.CiphertextBytes());
+  }
+};
+
+/// \brief Client-side query masking (Algorithm 3).
+class QueryEmbellisher {
+ public:
+  /// \brief Both pointers must outlive the embellisher.
+  QueryEmbellisher(const BucketOrganization* buckets,
+                   const crypto::BenalohPublicKey* public_key);
+
+  /// \brief Produces the embellished query for `genuine_terms`.
+  ///
+  /// Duplicated genuine terms are collapsed. Fails with NotFound if a term
+  /// is not covered by the bucket organization, and with InvalidArgument on
+  /// an empty query.
+  Result<EmbellishedQuery> Embellish(
+      const std::vector<wordnet::TermId>& genuine_terms, Rng* rng) const;
+
+  const BucketOrganization& buckets() const { return *buckets_; }
+
+ private:
+  const BucketOrganization* buckets_;
+  const crypto::BenalohPublicKey* public_key_;
+};
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_EMBELLISHER_H_

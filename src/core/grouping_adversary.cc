@@ -1,0 +1,124 @@
+#include "core/grouping_adversary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace embellish::core {
+
+namespace {
+
+// Coherence of a term combination: mean pairwise proximity 1/(1+d).
+// Higher = the terms look more like one topic.
+double Coherence(const SemanticDistanceCalculator& distance,
+                 const std::vector<wordnet::TermId>& terms, double cutoff) {
+  if (terms.size() < 2) return 1.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    for (size_t j = i + 1; j < terms.size(); ++j) {
+      double d = distance.TermDistance(terms[i], terms[j], cutoff);
+      if (std::isinf(d)) d = cutoff;
+      total += 1.0 / (1.0 + d);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+Result<MapAttackResult> RunMapCoherenceAttack(
+    const BucketOrganization& org, const SemanticDistanceCalculator& distance,
+    const std::vector<std::vector<wordnet::TermId>>& queries,
+    const MapAttackOptions& options) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("no queries supplied");
+  }
+
+  MapAttackResult result;
+  double chance_sum = 0.0;
+  for (const std::vector<wordnet::TermId>& genuine : queries) {
+    if (genuine.empty()) {
+      return Status::InvalidArgument("empty query in workload");
+    }
+    // The adversary's recovered groups: the distinct host buckets, in the
+    // order first touched by the query.
+    std::vector<size_t> hosts;
+    for (wordnet::TermId t : genuine) {
+      EMB_ASSIGN_OR_RETURN(BucketSlot where, org.Locate(t));
+      if (std::find(hosts.begin(), hosts.end(), where.bucket) ==
+          hosts.end()) {
+        hosts.push_back(where.bucket);
+      }
+    }
+    // One genuine member per group for the ground truth. (When two genuine
+    // terms share a bucket, the MAP rule can only pick one member per
+    // group; we use the first as truth, which only *helps* the adversary.)
+    std::vector<wordnet::TermId> truth;
+    for (size_t host : hosts) {
+      for (wordnet::TermId t : genuine) {
+        if (org.Locate(t)->bucket == host) {
+          truth.push_back(t);
+          break;
+        }
+      }
+    }
+
+    uint64_t combinations = 1;
+    for (size_t host : hosts) {
+      uint64_t width = org.bucket(host).size();
+      if (combinations > options.max_combinations / width) {
+        return Status::InvalidArgument(StringPrintf(
+            "combination space exceeds cap %llu",
+            static_cast<unsigned long long>(options.max_combinations)));
+      }
+      combinations *= width;
+    }
+    chance_sum += 1.0 / static_cast<double>(combinations);
+
+    // Enumerate one-member-per-group combinations with a mixed-radix
+    // counter; track the maximal coherence and whether the truth attains
+    // it.
+    std::vector<size_t> digit(hosts.size(), 0);
+    double best = -1.0;
+    uint64_t best_count = 0;
+    bool truth_is_best = false;
+    const double epsilon = 1e-12;
+    while (true) {
+      std::vector<wordnet::TermId> candidate(hosts.size());
+      for (size_t g = 0; g < hosts.size(); ++g) {
+        candidate[g] = org.bucket(hosts[g])[digit[g]];
+      }
+      double score =
+          Coherence(distance, candidate, options.distance_cutoff);
+      if (score > best + epsilon) {
+        best = score;
+        best_count = 1;
+        truth_is_best = candidate == truth;
+      } else if (score >= best - epsilon) {
+        ++best_count;
+        if (candidate == truth) truth_is_best = true;
+      }
+      size_t g = 0;
+      while (g < hosts.size()) {
+        if (++digit[g] < org.bucket(hosts[g]).size()) break;
+        digit[g] = 0;
+        ++g;
+      }
+      if (g == hosts.size()) break;
+    }
+    if (truth_is_best && best_count > 0) {
+      result.expected_hits += 1.0 / static_cast<double>(best_count);
+    }
+    ++result.queries;
+  }
+
+  result.hit_rate =
+      result.expected_hits / static_cast<double>(result.queries);
+  result.chance_rate = chance_sum / static_cast<double>(result.queries);
+  return result;
+}
+
+}  // namespace embellish::core

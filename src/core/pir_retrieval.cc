@@ -1,0 +1,180 @@
+#include "core/pir_retrieval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace embellish::core {
+
+namespace {
+
+// Column payload: [4-byte BE length][list bytes][zero padding].
+std::vector<uint8_t> EncodeColumn(const std::vector<uint8_t>& list_bytes,
+                                  size_t padded_payload) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + padded_payload);
+  uint32_t len = static_cast<uint32_t>(list_bytes.size());
+  out.push_back(static_cast<uint8_t>(len >> 24));
+  out.push_back(static_cast<uint8_t>(len >> 16));
+  out.push_back(static_cast<uint8_t>(len >> 8));
+  out.push_back(static_cast<uint8_t>(len));
+  out.insert(out.end(), list_bytes.begin(), list_bytes.end());
+  out.resize(4 + padded_payload, 0);
+  return out;
+}
+
+}  // namespace
+
+PirRetrievalServer::PirRetrievalServer(
+    const index::InvertedIndex* index, const BucketOrganization* buckets,
+    const storage::StorageLayout* layout,
+    const storage::DiskModelOptions& disk_options)
+    : index_(index),
+      buckets_(buckets),
+      layout_(layout),
+      disk_options_(disk_options) {}
+
+Result<const crypto::PirDatabase*> PirRetrievalServer::BucketMatrix(
+    size_t bucket) const {
+  if (bucket >= buckets_->bucket_count()) {
+    return Status::OutOfRange(StringPrintf("bucket %zu out of range", bucket));
+  }
+  auto it = matrix_cache_.find(bucket);
+  if (it != matrix_cache_.end()) return it->second.get();
+
+  const std::vector<wordnet::TermId>& members = buckets_->bucket(bucket);
+  size_t max_bytes = 0;
+  for (wordnet::TermId t : members) {
+    max_bytes = std::max(max_bytes, index_->ListBytes(t));
+  }
+  const size_t rows = (4 + max_bytes) * 8;
+  auto matrix =
+      std::make_unique<crypto::PirDatabase>(rows, members.size());
+  for (size_t col = 0; col < members.size(); ++col) {
+    std::vector<uint8_t> column =
+        EncodeColumn(index_->SerializeList(members[col]), max_bytes);
+    matrix->SetColumnFromBytes(col, column);
+  }
+  const crypto::PirDatabase* out = matrix.get();
+  matrix_cache_.emplace(bucket, std::move(matrix));
+  return out;
+}
+
+Result<crypto::PirResponse> PirRetrievalServer::Answer(
+    size_t bucket, const crypto::PirQuery& query,
+    RetrievalCosts* costs) const {
+  EMB_ASSIGN_OR_RETURN(const crypto::PirDatabase* matrix,
+                       BucketMatrix(bucket));
+
+  // I/O: the protocol touches every list in the bucket ("the generation of
+  // the output involves all the terms in the bucket"), one extent fetch.
+  if (layout_ != nullptr && costs != nullptr) {
+    storage::SimulatedDisk disk(disk_options_);
+    layout_->ChargeGroupRead(bucket, &disk);
+    costs->server_io_ms += disk.accumulated_ms();
+  }
+
+  CpuStopwatch cpu;
+  crypto::PirServer server_impl(
+      std::shared_ptr<const crypto::PirDatabase>(matrix, [](auto*) {}));
+  EMB_ASSIGN_OR_RETURN(crypto::PirResponse response,
+                       server_impl.Answer(query));
+  if (costs != nullptr) {
+    costs->server_cpu_ms += cpu.ElapsedMillis();
+  }
+  return response;
+}
+
+PirRetrievalClient::PirRetrievalClient(const BucketOrganization* buckets,
+                                       crypto::PirClient pir_client)
+    : buckets_(buckets), pir_client_(std::move(pir_client)) {}
+
+Result<PirRetrievalClient> PirRetrievalClient::Create(
+    const BucketOrganization* buckets, size_t key_bits, Rng* rng) {
+  EMB_ASSIGN_OR_RETURN(crypto::PirClient pir_client,
+                       crypto::PirClient::Create(key_bits, rng));
+  return PirRetrievalClient(buckets, std::move(pir_client));
+}
+
+Result<std::vector<index::Posting>> PirRetrievalClient::RetrieveList(
+    const PirRetrievalServer& server, wordnet::TermId term, Rng* rng,
+    RetrievalCosts* costs) const {
+  EMB_ASSIGN_OR_RETURN(BucketSlot where, buckets_->Locate(term));
+  const size_t cols = buckets_->bucket(where.bucket).size();
+
+  CpuStopwatch cpu;
+  EMB_ASSIGN_OR_RETURN(crypto::PirQuery query,
+                       pir_client_.BuildQuery(where.slot, cols, rng));
+  if (costs != nullptr) {
+    costs->user_cpu_ms += cpu.ElapsedMillis();
+    costs->uplink_bytes += query.WireBytes();
+  }
+
+  EMB_ASSIGN_OR_RETURN(crypto::PirResponse response,
+                       server.Answer(where.bucket, query, costs));
+  if (costs != nullptr) {
+    costs->downlink_bytes +=
+        response.WireBytes(pir_client_.key_bytes());
+  }
+
+  cpu.Restart();
+  EMB_ASSIGN_OR_RETURN(std::vector<bool> bits,
+                       pir_client_.DecodeResponse(response));
+  if (bits.size() < 32 || bits.size() % 8 != 0) {
+    return Status::Corruption("PIR response has invalid bit count");
+  }
+  std::vector<uint8_t> bytes(bits.size() / 8, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) bytes[i / 8] |= static_cast<uint8_t>(1u << (7 - i % 8));
+  }
+  const uint32_t len = (static_cast<uint32_t>(bytes[0]) << 24) |
+                       (static_cast<uint32_t>(bytes[1]) << 16) |
+                       (static_cast<uint32_t>(bytes[2]) << 8) |
+                       static_cast<uint32_t>(bytes[3]);
+  if (len > bytes.size() - 4) {
+    return Status::Corruption("PIR column length prefix exceeds payload");
+  }
+  std::vector<uint8_t> list_bytes(bytes.begin() + 4, bytes.begin() + 4 + len);
+  auto postings = index::InvertedIndex::DeserializeList(list_bytes);
+  if (costs != nullptr) {
+    costs->user_cpu_ms += cpu.ElapsedMillis();
+  }
+  return postings;
+}
+
+Result<std::vector<index::ScoredDoc>> PirRetrievalClient::RunQuery(
+    const PirRetrievalServer& server,
+    const std::vector<wordnet::TermId>& genuine_terms, size_t k, Rng* rng,
+    RetrievalCosts* costs) const {
+  if (genuine_terms.empty()) {
+    return Status::InvalidArgument("query has no terms");
+  }
+  // One execution per distinct genuine term ("their inverted lists have to
+  // be fetched one at a time").
+  std::vector<wordnet::TermId> distinct = genuine_terms;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  std::unordered_map<corpus::DocId, uint64_t> acc;
+  for (wordnet::TermId term : distinct) {
+    EMB_ASSIGN_OR_RETURN(std::vector<index::Posting> list,
+                         RetrieveList(server, term, rng, costs));
+    CpuStopwatch cpu;
+    for (const index::Posting& p : list) acc[p.doc] += p.impact;
+    if (costs != nullptr) costs->user_cpu_ms += cpu.ElapsedMillis();
+  }
+
+  std::vector<index::ScoredDoc> scored;
+  scored.reserve(acc.size());
+  for (const auto& [doc, score] : acc) {
+    scored.push_back(index::ScoredDoc{doc, score});
+  }
+  index::SortByScore(&scored);
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace embellish::core

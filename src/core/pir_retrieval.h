@@ -1,0 +1,89 @@
+// The "Alternate Retrieval Method" of Section 4: Kushilevitz-Ostrovsky PIR
+// over buckets, benchmarked against PR in Section 5.2.
+//
+// Each bucket is treated as a private database matrix whose columns are the
+// bucket's inverted lists, padded to a common length; the i-th row stores
+// the i-th bit of the lists. One protocol execution retrieves one column
+// (one term's list), so a query with g genuine terms performs g executions.
+// The client then scores documents locally from the retrieved lists.
+//
+// Column wire layout inside the matrix: a 4-byte big-endian list length (in
+// bytes) followed by the serialized postings, zero-padded to the bucket's
+// maximum. The length prefix lets the client strip padding unambiguously.
+
+#ifndef EMBELLISH_CORE_PIR_RETRIEVAL_H_
+#define EMBELLISH_CORE_PIR_RETRIEVAL_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "core/bucket_organization.h"
+#include "core/private_retrieval.h"
+#include "crypto/pir.h"
+#include "index/inverted_index.h"
+#include "index/topk.h"
+#include "storage/block_device.h"
+#include "storage/layout.h"
+
+namespace embellish::core {
+
+/// \brief Search-engine side: answers per-bucket PIR executions.
+///
+/// Bucket matrices are materialized lazily and cached (not thread-safe; the
+/// benches are single-threaded).
+class PirRetrievalServer {
+ public:
+  PirRetrievalServer(const index::InvertedIndex* index,
+                     const BucketOrganization* buckets,
+                     const storage::StorageLayout* layout,
+                     const storage::DiskModelOptions& disk_options = {});
+
+  /// \brief Runs one PIR execution against bucket `bucket`. Charges one
+  ///        bucket fetch of I/O plus the protocol CPU to `costs`.
+  Result<crypto::PirResponse> Answer(size_t bucket,
+                                     const crypto::PirQuery& query,
+                                     RetrievalCosts* costs) const;
+
+  /// \brief The (lazily built) matrix for a bucket.
+  Result<const crypto::PirDatabase*> BucketMatrix(size_t bucket) const;
+
+ private:
+  const index::InvertedIndex* index_;
+  const BucketOrganization* buckets_;
+  const storage::StorageLayout* layout_;
+  storage::DiskModelOptions disk_options_;
+  mutable std::unordered_map<size_t, std::unique_ptr<crypto::PirDatabase>>
+      matrix_cache_;
+};
+
+/// \brief User side: builds queries, decodes responses, scores locally.
+class PirRetrievalClient {
+ public:
+  /// \brief Generates the client's QR trapdoor key (n = p1*p2).
+  static Result<PirRetrievalClient> Create(const BucketOrganization* buckets,
+                                           size_t key_bits, Rng* rng);
+
+  /// \brief End-to-end private query: one PIR execution per distinct
+  ///        genuine term, local scoring, top-k ranking.
+  Result<std::vector<index::ScoredDoc>> RunQuery(
+      const PirRetrievalServer& server,
+      const std::vector<wordnet::TermId>& genuine_terms, size_t k, Rng* rng,
+      RetrievalCosts* costs) const;
+
+  /// \brief Retrieves a single term's inverted list privately.
+  Result<std::vector<index::Posting>> RetrieveList(
+      const PirRetrievalServer& server, wordnet::TermId term, Rng* rng,
+      RetrievalCosts* costs) const;
+
+ private:
+  PirRetrievalClient(const BucketOrganization* buckets,
+                     crypto::PirClient pir_client);
+
+  const BucketOrganization* buckets_;
+  crypto::PirClient pir_client_;
+};
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_PIR_RETRIEVAL_H_

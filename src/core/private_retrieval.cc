@@ -1,0 +1,173 @@
+#include "core/private_retrieval.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+
+namespace embellish::core {
+
+void RetrievalCosts::Add(const RetrievalCosts& other) {
+  server_io_ms += other.server_io_ms;
+  server_cpu_ms += other.server_cpu_ms;
+  uplink_bytes += other.uplink_bytes;
+  downlink_bytes += other.downlink_bytes;
+  user_cpu_ms += other.user_cpu_ms;
+}
+
+PrivateRetrievalServer::PrivateRetrievalServer(
+    const index::InvertedIndex* index, const BucketOrganization* buckets,
+    const storage::StorageLayout* layout,
+    const storage::DiskModelOptions& disk_options,
+    const PrivateRetrievalServerOptions& options)
+    : index_(index),
+      buckets_(buckets),
+      layout_(layout),
+      disk_options_(disk_options),
+      options_(options) {}
+
+Result<EncryptedResult> PrivateRetrievalServer::Process(
+    const EmbellishedQuery& query, const crypto::BenalohPublicKey& pk,
+    RetrievalCosts* costs) const {
+  if (query.entries.empty()) {
+    return Status::InvalidArgument("empty embellished query");
+  }
+
+  // --- I/O: fetch each touched bucket once (Section 4: a bucket's lists
+  // share disk blocks, so one extent read covers all its terms). ---
+  if (layout_ != nullptr) {
+    std::unordered_set<size_t> touched;
+    for (const EmbellishedTerm& e : query.entries) {
+      auto where = buckets_->Locate(e.term);
+      if (where.ok()) touched.insert(where->bucket);
+    }
+    storage::SimulatedDisk disk(disk_options_);
+    for (size_t b : touched) layout_->ChargeGroupRead(b, &disk);
+    if (costs != nullptr) costs->server_io_ms += disk.accumulated_ms();
+  }
+
+  // --- CPU: Algorithm 4 proper. ---
+  CpuStopwatch cpu;
+  const bignum::MontgomeryContext& mont = pk.mont();
+  const std::vector<uint64_t> mont_one = mont.One();
+
+  // Accumulators in Montgomery form keyed by document.
+  std::unordered_map<corpus::DocId, std::vector<uint64_t>> acc;
+
+  for (const EmbellishedTerm& entry : query.entries) {
+    const std::vector<index::Posting>* list = index_->postings(entry.term);
+    if (list == nullptr || list->empty()) continue;
+
+    const std::vector<uint64_t> c_mont = mont.ToMontgomery(entry.indicator.value);
+
+    // E(u)^p for the discretized impacts p in [1, 255]. For long lists a
+    // power table turns each posting into a single MontMul; short lists use
+    // direct square-and-multiply to avoid the table's setup cost.
+    uint32_t max_impact = 0;
+    for (const index::Posting& p : *list) {
+      max_impact = std::max(max_impact, p.impact);
+    }
+
+    auto pow_direct = [&](uint32_t e) {
+      std::vector<uint64_t> result = mont_one;
+      for (int bit = 31; bit >= 0; --bit) {
+        result = mont.MontMul(result, result);
+        if ((e >> bit) & 1) result = mont.MontMul(result, c_mont);
+      }
+      return result;
+    };
+
+    std::vector<std::vector<uint64_t>> power_table;
+    const bool use_table = options_.use_power_table && list->size() >= 64;
+    if (use_table) {
+      power_table.resize(max_impact + 1);
+      power_table[0] = mont_one;
+      for (uint32_t e = 1; e <= max_impact; ++e) {
+        power_table[e] = mont.MontMul(power_table[e - 1], c_mont);
+      }
+    }
+
+    for (const index::Posting& p : *list) {
+      const std::vector<uint64_t> powered =
+          use_table ? power_table[p.impact] : pow_direct(p.impact);
+      auto [it, inserted] = acc.try_emplace(p.doc, powered);
+      if (!inserted) {
+        it->second = mont.MontMul(it->second, powered);  // line 5
+      }
+    }
+  }
+
+  EncryptedResult result;
+  result.candidates.reserve(acc.size());
+  for (auto& [doc, score_mont] : acc) {
+    result.candidates.push_back(
+        EncryptedCandidate{doc, crypto::BenalohCiphertext{
+                                    mont.FromMontgomery(score_mont)}});
+  }
+  // Canonical order so results are deterministic on the wire.
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const EncryptedCandidate& a, const EncryptedCandidate& b) {
+              return a.doc < b.doc;
+            });
+
+  if (costs != nullptr) {
+    costs->server_cpu_ms += cpu.ElapsedMillis();
+    costs->downlink_bytes += result.WireBytes(pk);
+  }
+  return result;
+}
+
+PrivateRetrievalClient::PrivateRetrievalClient(
+    const BucketOrganization* buckets,
+    const crypto::BenalohPublicKey* public_key,
+    const crypto::BenalohPrivateKey* private_key)
+    : embellisher_(buckets, public_key),
+      public_key_(public_key),
+      private_key_(private_key) {}
+
+Result<EmbellishedQuery> PrivateRetrievalClient::FormulateQuery(
+    const std::vector<wordnet::TermId>& genuine_terms, Rng* rng,
+    RetrievalCosts* costs) const {
+  CpuStopwatch cpu;
+  EMB_ASSIGN_OR_RETURN(EmbellishedQuery query,
+                       embellisher_.Embellish(genuine_terms, rng));
+  if (costs != nullptr) {
+    costs->user_cpu_ms += cpu.ElapsedMillis();
+    costs->uplink_bytes += query.WireBytes(*public_key_);
+  }
+  return query;
+}
+
+Result<std::vector<index::ScoredDoc>> PrivateRetrievalClient::PostFilter(
+    const EncryptedResult& result, size_t k, RetrievalCosts* costs) const {
+  CpuStopwatch cpu;
+  std::vector<index::ScoredDoc> scored;
+  scored.reserve(result.candidates.size());
+  for (const EncryptedCandidate& cand : result.candidates) {
+    EMB_ASSIGN_OR_RETURN(uint64_t score, private_key_->Decrypt(cand.score));
+    if (score > 0) {
+      scored.push_back(index::ScoredDoc{cand.doc, score});
+    }
+  }
+  index::SortByScore(&scored);
+  if (scored.size() > k) scored.resize(k);
+  if (costs != nullptr) {
+    costs->user_cpu_ms += cpu.ElapsedMillis();
+  }
+  return scored;
+}
+
+Result<std::vector<index::ScoredDoc>> RunPrivateQuery(
+    const PrivateRetrievalClient& client, const PrivateRetrievalServer& server,
+    const crypto::BenalohPublicKey& pk,
+    const std::vector<wordnet::TermId>& genuine_terms, size_t k, Rng* rng,
+    RetrievalCosts* costs) {
+  EMB_ASSIGN_OR_RETURN(EmbellishedQuery query,
+                       client.FormulateQuery(genuine_terms, rng, costs));
+  EMB_ASSIGN_OR_RETURN(EncryptedResult encrypted,
+                       server.Process(query, pk, costs));
+  return client.PostFilter(encrypted, k, costs);
+}
+
+}  // namespace embellish::core

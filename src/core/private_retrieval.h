@@ -1,0 +1,125 @@
+// The Private Retrieval (PR) scheme: server-side Algorithm 4 and client-side
+// Algorithm 5, with the cost accounting used by the Section 5.2 experiments.
+//
+// The server walks the inverted list of every (genuine or decoy) term in the
+// embellished query and accumulates, per candidate document,
+//     E(score_j) <- E(score_j) * E(u_i)^{p_ij}  =  E(score_j + u_i * p_ij),
+// so only genuine terms (u_i = 1) contribute to the plaintext score while
+// every list is touched identically — the engine cannot tell which terms
+// mattered (Claim 1 guarantees the final ranking equals a plaintext engine's
+// ranking over the genuine terms alone).
+
+#ifndef EMBELLISH_CORE_PRIVATE_RETRIEVAL_H_
+#define EMBELLISH_CORE_PRIVATE_RETRIEVAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/bucket_organization.h"
+#include "core/embellisher.h"
+#include "crypto/benaloh.h"
+#include "index/inverted_index.h"
+#include "index/topk.h"
+#include "storage/block_device.h"
+#include "storage/layout.h"
+
+namespace embellish::core {
+
+/// \brief Cost metrics for one query (the four §5.2 panels plus splits).
+struct RetrievalCosts {
+  double server_io_ms = 0.0;        ///< simulated disk model
+  double server_cpu_ms = 0.0;       ///< measured thread CPU time
+  uint64_t uplink_bytes = 0;        ///< user -> server
+  uint64_t downlink_bytes = 0;      ///< server -> user (the paper's Traffic)
+  double user_cpu_ms = 0.0;         ///< query formulation + post filtering
+
+  void Add(const RetrievalCosts& other);
+};
+
+/// \brief One candidate document with its encrypted relevance score.
+struct EncryptedCandidate {
+  corpus::DocId doc;
+  crypto::BenalohCiphertext score;
+};
+
+/// \brief The candidate set R returned by Algorithm 4.
+struct EncryptedResult {
+  std::vector<EncryptedCandidate> candidates;
+
+  /// \brief Downlink wire size: 4-byte doc id + ciphertext per candidate.
+  size_t WireBytes(const crypto::BenalohPublicKey& pk) const {
+    return candidates.size() * (4 + pk.CiphertextBytes());
+  }
+};
+
+/// \brief Algorithm 4 execution options.
+struct PrivateRetrievalServerOptions {
+  /// When true (default), E(u)^p is computed via a per-term power table so
+  /// each posting costs one modular multiplication. When false, every
+  /// posting pays a full square-and-multiply modexp — the behaviour of the
+  /// paper's 2010 implementation, whose server CPU exceeds PIR's by ~19%
+  /// (Figure 7b). The fig7/fig8 benches run paper-faithful mode; the
+  /// ablation bench quantifies the speedup.
+  bool use_power_table = true;
+};
+
+/// \brief Search-engine side of the PR scheme (Algorithm 4).
+class PrivateRetrievalServer {
+ public:
+  /// \brief `layout` maps bucket ids to disk extents; pass nullptr to skip
+  ///        I/O accounting (unit tests). All pointers must outlive the
+  ///        server.
+  PrivateRetrievalServer(
+      const index::InvertedIndex* index, const BucketOrganization* buckets,
+      const storage::StorageLayout* layout,
+      const storage::DiskModelOptions& disk_options = {},
+      const PrivateRetrievalServerOptions& options = {});
+
+  /// \brief Processes an embellished query; charges I/O and CPU to `costs`
+  ///        (which may be null).
+  Result<EncryptedResult> Process(const EmbellishedQuery& query,
+                                  const crypto::BenalohPublicKey& pk,
+                                  RetrievalCosts* costs) const;
+
+ private:
+  const index::InvertedIndex* index_;
+  const BucketOrganization* buckets_;
+  const storage::StorageLayout* layout_;
+  storage::DiskModelOptions disk_options_;
+  PrivateRetrievalServerOptions options_;
+};
+
+/// \brief User side of the PR scheme: query formulation (Algorithm 3, via
+///        QueryEmbellisher) and post filtering (Algorithm 5).
+class PrivateRetrievalClient {
+ public:
+  PrivateRetrievalClient(const BucketOrganization* buckets,
+                         const crypto::BenalohPublicKey* public_key,
+                         const crypto::BenalohPrivateKey* private_key);
+
+  /// \brief Algorithm 3; charges encryption time and uplink to `costs`.
+  Result<EmbellishedQuery> FormulateQuery(
+      const std::vector<wordnet::TermId>& genuine_terms, Rng* rng,
+      RetrievalCosts* costs) const;
+
+  /// \brief Algorithm 5: decrypt scores, rank, return the top `k`
+  ///        (score > 0 only). Charges decryption time and downlink.
+  Result<std::vector<index::ScoredDoc>> PostFilter(
+      const EncryptedResult& result, size_t k, RetrievalCosts* costs) const;
+
+ private:
+  QueryEmbellisher embellisher_;
+  const crypto::BenalohPublicKey* public_key_;
+  const crypto::BenalohPrivateKey* private_key_;
+};
+
+/// \brief End-to-end convenience: formulate, process, post-filter.
+Result<std::vector<index::ScoredDoc>> RunPrivateQuery(
+    const PrivateRetrievalClient& client, const PrivateRetrievalServer& server,
+    const crypto::BenalohPublicKey& pk,
+    const std::vector<wordnet::TermId>& genuine_terms, size_t k, Rng* rng,
+    RetrievalCosts* costs);
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_PRIVATE_RETRIEVAL_H_

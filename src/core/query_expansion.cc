@@ -1,0 +1,68 @@
+#include "core/query_expansion.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace embellish::core {
+
+Status QueryExpansionOptions::Validate() const {
+  if (terms_per_seed < 1) {
+    return Status::InvalidArgument("terms_per_seed must be >= 1");
+  }
+  if (min_strength < 0.0 || min_strength >= 1.0) {
+    return Status::InvalidArgument("min_strength out of [0, 1)");
+  }
+  return Status::OK();
+}
+
+Result<QueryExpander> QueryExpander::Create(
+    const std::vector<wordnet::ExtractedRelation>& relations,
+    const QueryExpansionOptions& options) {
+  EMB_RETURN_NOT_OK(options.Validate());
+  QueryExpander expander;
+  expander.options_ = options;
+
+  // Collect (strength, neighbor) per endpoint, then keep the strongest
+  // terms_per_seed of each.
+  std::unordered_map<wordnet::TermId,
+                     std::vector<std::pair<double, wordnet::TermId>>>
+      weighted;
+  for (const wordnet::ExtractedRelation& rel : relations) {
+    if (rel.strength < options.min_strength) continue;
+    weighted[rel.a].emplace_back(rel.strength, rel.b);
+    weighted[rel.b].emplace_back(rel.strength, rel.a);
+  }
+  for (auto& [term, list] : weighted) {
+    std::sort(list.begin(), list.end(), [](const auto& x, const auto& y) {
+      if (x.first != y.first) return x.first > y.first;
+      return x.second < y.second;
+    });
+    if (list.size() > options.terms_per_seed) {
+      list.resize(options.terms_per_seed);
+    }
+    std::vector<wordnet::TermId> terms;
+    terms.reserve(list.size());
+    for (const auto& [strength, t] : list) terms.push_back(t);
+    expander.table_.emplace(term, std::move(terms));
+  }
+  return expander;
+}
+
+std::vector<wordnet::TermId> QueryExpander::Expand(
+    const std::vector<wordnet::TermId>& query) const {
+  std::vector<wordnet::TermId> out;
+  std::unordered_set<wordnet::TermId> seen;
+  for (wordnet::TermId t : query) {
+    if (seen.insert(t).second) out.push_back(t);
+  }
+  for (wordnet::TermId t : query) {
+    auto it = table_.find(t);
+    if (it == table_.end()) continue;
+    for (wordnet::TermId related : it->second) {
+      if (seen.insert(related).second) out.push_back(related);
+    }
+  }
+  return out;
+}
+
+}  // namespace embellish::core

@@ -1,0 +1,58 @@
+// Query expansion via corpus co-occurrence (local/global analysis in the
+// style of Xu & Croft [28] and Qiu & Frei [23]).
+//
+// The paper motivates decoy *injection* over query substitution partly
+// because expanded queries run to dozens of terms — "query expansion can
+// produce even longer queries" (§1, §2.1) — and Figure 8 measures exactly
+// that regime. This module supplies the expansion so examples and benches
+// can generate realistic long queries instead of padding with random terms.
+
+#ifndef EMBELLISH_CORE_QUERY_EXPANSION_H_
+#define EMBELLISH_CORE_QUERY_EXPANSION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "wordnet/relation_extraction.h"
+
+namespace embellish::core {
+
+/// \brief Expansion parameters.
+struct QueryExpansionOptions {
+  /// How many related terms each query term contributes.
+  size_t terms_per_seed = 3;
+
+  /// Associations weaker than this are not used.
+  double min_strength = 0.10;
+
+  Status Validate() const;
+};
+
+/// \brief Expands queries with the strongest associated terms.
+class QueryExpander {
+ public:
+  /// \brief Builds the expansion table from mined relations.
+  static Result<QueryExpander> Create(
+      const std::vector<wordnet::ExtractedRelation>& relations,
+      const QueryExpansionOptions& options = {});
+
+  /// \brief Returns the original terms followed by expansion terms, all
+  ///        distinct, original order preserved.
+  std::vector<wordnet::TermId> Expand(
+      const std::vector<wordnet::TermId>& query) const;
+
+  /// \brief Number of terms with at least one expansion candidate.
+  size_t table_size() const { return table_.size(); }
+
+ private:
+  QueryExpander() = default;
+
+  QueryExpansionOptions options_;
+  // term -> related terms, strongest first.
+  std::unordered_map<wordnet::TermId, std::vector<wordnet::TermId>> table_;
+};
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_QUERY_EXPANSION_H_

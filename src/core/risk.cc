@@ -1,0 +1,86 @@
+#include "core/risk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace embellish::core {
+
+RiskEvaluator::RiskEvaluator(const wordnet::WordNetDatabase* db,
+                             const SpecificityMap* specificity,
+                             const SemanticDistanceCalculator* distance)
+    : db_(db), specificity_(specificity), distance_(distance) {}
+
+double RiskEvaluator::AvgIntraBucketSpecificityDifference(
+    const BucketOrganization& org) const {
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t b = 0; b < org.bucket_count(); ++b) {
+    const std::vector<wordnet::TermId>& bucket = org.bucket(b);
+    if (bucket.size() < 2) continue;
+    int lo = specificity_->TermSpecificity(bucket[0]);
+    int hi = lo;
+    for (wordnet::TermId t : bucket) {
+      int s = specificity_->TermSpecificity(t);
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    total += hi - lo;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+DistanceDifferenceStats RiskEvaluator::MeasureDistanceDifference(
+    const BucketOrganization& org, size_t trials, Rng* rng) const {
+  DistanceDifferenceStats stats;
+  if (org.bucket_count() < 2) return stats;
+
+  auto clamped_term_distance = [&](wordnet::TermId a, wordnet::TermId b) {
+    double d = distance_->TermDistance(a, b, kDistanceCutoff);
+    return std::isinf(d) ? kDistanceCutoff : d;
+  };
+
+  double closest_sum = 0.0;
+  double farthest_sum = 0.0;
+  size_t done = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = trials * 8 + 64;
+  while (done < trials && attempts < max_attempts) {
+    ++attempts;
+    size_t b1 = static_cast<size_t>(rng->Uniform(org.bucket_count()));
+    size_t b2 = static_cast<size_t>(rng->Uniform(org.bucket_count()));
+    if (b1 == b2) continue;
+    const auto& bucket1 = org.bucket(b1);
+    const auto& bucket2 = org.bucket(b2);
+    const size_t width = std::min(bucket1.size(), bucket2.size());
+    if (width < 2) continue;
+
+    // The "user query": the pair of terms at a uniformly chosen slot.
+    const size_t qi = static_cast<size_t>(rng->Uniform(width));
+    const double genuine_dist =
+        clamped_term_distance(bucket1[qi], bucket2[qi]);
+
+    double closest = std::numeric_limits<double>::infinity();
+    double farthest = 0.0;
+    for (size_t j = 0; j < width; ++j) {
+      if (j == qi) continue;
+      const double decoy_dist =
+          clamped_term_distance(bucket1[j], bucket2[j]);
+      const double diff = std::abs(genuine_dist - decoy_dist);
+      closest = std::min(closest, diff);
+      farthest = std::max(farthest, diff);
+    }
+    closest_sum += closest;
+    farthest_sum += farthest;
+    ++done;
+  }
+
+  stats.trials = done;
+  if (done > 0) {
+    stats.avg_closest = closest_sum / static_cast<double>(done);
+    stats.avg_farthest = farthest_sum / static_cast<double>(done);
+  }
+  return stats;
+}
+
+}  // namespace embellish::core

@@ -1,0 +1,59 @@
+// Privacy-risk evaluation metrics (Section 5.1).
+//
+// Two bucket-quality measures, each compared against the Random baseline:
+//  * Intra-bucket specificity difference — max minus min specificity within
+//    a bucket, averaged over buckets. Small is good: recurring
+//    high-specificity query terms then attract similarly specific decoys.
+//  * Inter-bucket distance difference — pick two random buckets and a slot
+//    i; the "user query" is the pair of slot-i terms; every other slot j
+//    provides a decoy pair. Report |dist(genuine) - dist(decoy_j)|,
+//    minimized over j ("closest cover") and maximized ("farthest cover"),
+//    averaged over trials.
+
+#ifndef EMBELLISH_CORE_RISK_H_
+#define EMBELLISH_CORE_RISK_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/bucket_organization.h"
+#include "core/semantic_distance.h"
+#include "core/specificity.h"
+
+namespace embellish::core {
+
+/// \brief Closest/farthest cover statistics from the distance experiment.
+struct DistanceDifferenceStats {
+  double avg_closest = 0.0;
+  double avg_farthest = 0.0;
+  size_t trials = 0;
+};
+
+/// \brief Evaluates bucket organizations against the §5.1 metrics.
+class RiskEvaluator {
+ public:
+  /// \brief Distances beyond this cutoff are clamped (the synthetic synset
+  ///        graph is connected, but a cutoff keeps Dijkstra bounded).
+  static constexpr double kDistanceCutoff = 48.0;
+
+  RiskEvaluator(const wordnet::WordNetDatabase* db,
+                const SpecificityMap* specificity,
+                const SemanticDistanceCalculator* distance);
+
+  /// \brief Average over buckets of (max - min) member specificity.
+  double AvgIntraBucketSpecificityDifference(
+      const BucketOrganization& org) const;
+
+  /// \brief The distance-difference experiment, `trials` repetitions (the
+  ///        paper uses 1,000).
+  DistanceDifferenceStats MeasureDistanceDifference(
+      const BucketOrganization& org, size_t trials, Rng* rng) const;
+
+ private:
+  const wordnet::WordNetDatabase* db_;
+  const SpecificityMap* specificity_;
+  const SemanticDistanceCalculator* distance_;
+};
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_RISK_H_

@@ -1,0 +1,87 @@
+#include "core/semantic_distance.h"
+
+#include <queue>
+
+namespace embellish::core {
+
+double SemanticDistanceWeights::WeightOf(wordnet::RelationType type) const {
+  switch (type) {
+    case wordnet::RelationType::kHypernym:
+      return hypernym;
+    case wordnet::RelationType::kHyponym:
+      return hyponym;
+    case wordnet::RelationType::kAntonym:
+      return antonym;
+    case wordnet::RelationType::kHolonym:
+      return holonym;
+    case wordnet::RelationType::kMeronym:
+      return meronym;
+    case wordnet::RelationType::kDomain:
+      return domain;
+    case wordnet::RelationType::kDomainMember:
+      return domain_member;
+    case wordnet::RelationType::kDerivation:
+      return derivation;
+  }
+  return 1.0;
+}
+
+SemanticDistanceCalculator::SemanticDistanceCalculator(
+    const wordnet::WordNetDatabase* db, SemanticDistanceWeights weights)
+    : db_(db),
+      weights_(weights),
+      dist_(db->synset_count(), 0.0),
+      stamp_(db->synset_count(), 0),
+      target_stamp_(db->synset_count(), 0) {}
+
+double SemanticDistanceCalculator::SynsetDistance(wordnet::SynsetId a,
+                                                  wordnet::SynsetId b,
+                                                  double cutoff) const {
+  return MultiSourceDistance({a}, {b}, cutoff);
+}
+
+double SemanticDistanceCalculator::TermDistance(wordnet::TermId a,
+                                                wordnet::TermId b,
+                                                double cutoff) const {
+  return MultiSourceDistance(db_->term(a).synsets, db_->term(b).synsets,
+                             cutoff);
+}
+
+double SemanticDistanceCalculator::MultiSourceDistance(
+    const std::vector<wordnet::SynsetId>& sources,
+    const std::vector<wordnet::SynsetId>& targets, double cutoff) const {
+  ++epoch_;
+  for (wordnet::SynsetId t : targets) {
+    target_stamp_[t] = epoch_;
+  }
+  for (wordnet::SynsetId s : sources) {
+    if (target_stamp_[s] == epoch_) return 0.0;
+  }
+
+  using Entry = std::pair<double, wordnet::SynsetId>;  // (dist, synset)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (wordnet::SynsetId s : sources) {
+    dist_[s] = 0.0;
+    stamp_[s] = epoch_;
+    heap.emplace(0.0, s);
+  }
+
+  while (!heap.empty()) {
+    auto [d, s] = heap.top();
+    heap.pop();
+    if (stamp_[s] == epoch_ && d > dist_[s]) continue;  // stale entry
+    if (d > cutoff) return kUnreachable;
+    if (target_stamp_[s] == epoch_) return d;
+    for (const wordnet::Relation& rel : db_->synset(s).relations) {
+      double nd = d + weights_.WeightOf(rel.type);
+      if (nd > cutoff) continue;
+      if (stamp_[rel.target] == epoch_ && nd >= dist_[rel.target]) continue;
+      dist_[rel.target] = nd;
+      stamp_[rel.target] = epoch_;
+      heap.emplace(nd, rel.target);
+    }
+  }
+  return kUnreachable;
+}
+
+}  // namespace embellish::core

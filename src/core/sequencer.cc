@@ -1,0 +1,281 @@
+#include "core/sequencer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace embellish::core {
+
+namespace {
+
+using wordnet::RelationType;
+using wordnet::SynsetId;
+using wordnet::TermId;
+using wordnet::WordNetDatabase;
+
+// The paper's closeness order (Algorithm 1 line 18).
+constexpr RelationType kTraversalOrder[] = {
+    RelationType::kDerivation, RelationType::kAntonym,
+    RelationType::kHyponym,    RelationType::kHypernym,
+    RelationType::kMeronym,    RelationType::kHolonym};
+
+// Mutable sequencing state: a union of growable sequences with term ->
+// sequence tracking so ProcessSynset can detect spans and concatenate.
+class SequenceSet {
+ public:
+  explicit SequenceSet(size_t term_count)
+      : term_sequence_(term_count, kNone) {}
+
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  size_t SequenceOf(TermId t) const { return Resolve(term_sequence_[t]); }
+
+  size_t NewSequence() {
+    sequences_.emplace_back();
+    parent_.push_back(parent_.size());
+    return sequences_.size() - 1;
+  }
+
+  void Append(size_t seq, TermId t) {
+    seq = Resolve(seq);
+    sequences_[seq].push_back(t);
+    term_sequence_[t] = seq;
+  }
+
+  // Concatenates b onto a (a keeps its identity), returns a.
+  size_t Concatenate(size_t a, size_t b) {
+    a = Resolve(a);
+    b = Resolve(b);
+    if (a == b) return a;
+    std::vector<TermId>& va = sequences_[a];
+    std::vector<TermId>& vb = sequences_[b];
+    va.insert(va.end(), vb.begin(), vb.end());
+    vb.clear();
+    vb.shrink_to_fit();
+    parent_[b] = a;
+    return a;
+  }
+
+  // Final sequences in creation order, empties dropped.
+  std::vector<std::vector<TermId>> Extract() {
+    std::vector<std::vector<TermId>> out;
+    for (size_t i = 0; i < sequences_.size(); ++i) {
+      if (Resolve(i) == i && !sequences_[i].empty()) {
+        out.push_back(std::move(sequences_[i]));
+      }
+    }
+    return out;
+  }
+
+ private:
+  size_t Resolve(size_t s) const {
+    if (s == kNone) return kNone;
+    while (parent_[s] != s) s = parent_[s];
+    return s;
+  }
+
+  std::vector<std::vector<TermId>> sequences_;
+  std::vector<size_t> parent_;        // union-find over sequence ids
+  std::vector<size_t> term_sequence_; // term -> sequence id (unresolved)
+};
+
+// Generic Algorithm-1 engine. The relation source is abstracted behind
+// `neighbors(s)` — synsets related to s in DESCENDING closeness — so the
+// baseline WordNet traversal and the Appendix C merged-source traversal
+// share the sequencing/merging machinery.
+class Sequencer {
+ public:
+  using NeighborFn = std::function<std::vector<SynsetId>(SynsetId)>;
+  using FilterFn = std::function<bool(TermId)>;
+
+  Sequencer(const WordNetDatabase& db, FilterFn filter, NeighborFn neighbors)
+      : db_(db),
+        filter_(std::move(filter)),
+        neighbors_(std::move(neighbors)),
+        seqs_(db.term_count()),
+        synset_processed_(db.synset_count(), false),
+        term_processed_(db.term_count(), false) {}
+
+  SequencerResult Run() {
+    // Line 12: order seed synsets by decreasing number of relationships
+    // (ties by id for determinism).
+    std::vector<SynsetId> order(db_.synset_count());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](SynsetId a, SynsetId b) {
+                       return db_.synset(a).RelationCount() >
+                              db_.synset(b).RelationCount();
+                     });
+
+    // Lines 16-21, with the "procedure is repeated" reading: each seed's
+    // related synsets are themselves expanded, in closeness order, until
+    // the wave dies out (depth-first, closest relation first). This is
+    // what reproduces the paper's two §3.3 observations — the run over
+    // WordNet coalesces into ONE long sequence, and hyponym siblings form
+    // contiguous runs ('myosarcoma, neurosarcoma, ..., rhabdosarcoma').
+    for (SynsetId seed : order) {
+      if (synset_processed_[seed]) continue;
+      std::vector<SynsetId> stack{seed};
+      size_t sq = SequenceSet::kNone;
+      while (!stack.empty()) {
+        SynsetId s = stack.back();
+        stack.pop_back();
+        if (synset_processed_[s]) continue;
+        sq = ProcessSynset(s, sq);
+        // Push so the CLOSEST relation is popped first.
+        std::vector<SynsetId> related = neighbors_(s);
+        for (size_t i = related.size(); i-- > 0;) {
+          if (!synset_processed_[related[i]]) stack.push_back(related[i]);
+        }
+      }
+    }
+
+    SequencerResult result;
+    result.sequences = seqs_.Extract();
+    return result;
+  }
+
+ private:
+  bool Eligible(TermId t) const { return !filter_ || filter_(t); }
+
+  // Algorithm 1 lines 1-11. `current` is the sequence of the traversal
+  // wave that reached this synset (kNone for a fresh seed) — the line-19
+  // anchoring that keeps a wave's terms in one sequence. Returns the
+  // sequence the synset's terms went into.
+  size_t ProcessSynset(SynsetId ss, size_t current) {
+    const wordnet::Synset& synset = db_.synset(ss);
+
+    // Which existing sequences do this synset's terms touch? The wave's
+    // own sequence counts as touched (the anchor term of line 19).
+    std::vector<size_t> touched;
+    if (current != SequenceSet::kNone) touched.push_back(current);
+    for (TermId t : synset.terms) {
+      size_t s = seqs_.SequenceOf(t);
+      if (s != SequenceSet::kNone &&
+          std::find(touched.begin(), touched.end(), s) == touched.end()) {
+        touched.push_back(s);
+      }
+    }
+
+    size_t sq;
+    if (touched.size() > 1) {
+      // Lines 1-3: concatenate the spanned sequences.
+      sq = touched[0];
+      for (size_t i = 1; i < touched.size(); ++i) {
+        sq = seqs_.Concatenate(sq, touched[i]);
+      }
+    } else if (touched.empty()) {
+      sq = seqs_.NewSequence();  // lines 4-5
+    } else {
+      sq = touched[0];  // lines 6-7
+    }
+
+    // Line 8: append the unprocessed terms.
+    for (TermId t : synset.terms) {
+      if (term_processed_[t] || !Eligible(t)) continue;
+      seqs_.Append(sq, t);
+      term_processed_[t] = true;  // line 9
+    }
+    synset_processed_[ss] = true;  // line 10
+    return sq;
+  }
+
+  const WordNetDatabase& db_;
+  FilterFn filter_;
+  NeighborFn neighbors_;
+  SequenceSet seqs_;
+  std::vector<bool> synset_processed_;
+  std::vector<bool> term_processed_;
+};
+
+}  // namespace
+
+size_t SequencerResult::TotalTerms() const {
+  size_t n = 0;
+  for (const auto& s : sequences) n += s.size();
+  return n;
+}
+
+SequencerResult SequenceDictionary(const WordNetDatabase& db,
+                                   const SequencerOptions& options) {
+  auto neighbors = [&db](SynsetId s) {
+    std::vector<SynsetId> out;
+    const auto& relations = db.synset(s).relations;
+    for (RelationType type : kTraversalOrder) {
+      for (const wordnet::Relation& rel : relations) {
+        if (rel.type == type) out.push_back(rel.target);
+      }
+    }
+    return out;
+  };
+  Sequencer sequencer(db, options.term_filter, neighbors);
+  return sequencer.Run();
+}
+
+double RelationStrengths::OfType(wordnet::RelationType type) const {
+  switch (type) {
+    case RelationType::kDerivation:
+      return derivation;
+    case RelationType::kAntonym:
+      return antonym;
+    case RelationType::kHyponym:
+      return hyponym;
+    case RelationType::kHypernym:
+      return hypernym;
+    case RelationType::kMeronym:
+      return meronym;
+    case RelationType::kHolonym:
+      return holonym;
+    case RelationType::kDomain:
+    case RelationType::kDomainMember:
+      return 0.0;  // skipped, as in Algorithm 1
+  }
+  return 0.0;
+}
+
+SequencerResult SequenceDictionaryMerged(
+    const WordNetDatabase& db,
+    const std::vector<wordnet::ExtractedRelation>& extracted,
+    const MergedSequencerOptions& options) {
+  // Precompute the merged weighted adjacency. Extracted term relations are
+  // lifted to the terms' primary synsets; WordNet relations carry the
+  // configured per-type strengths. Each list is sorted by decreasing
+  // strength (Appendix C: "iterate from the strongest term relations, down
+  // to some minimum strength threshold"), ties by target id.
+  std::vector<std::vector<std::pair<double, SynsetId>>> adj(
+      db.synset_count());
+  for (SynsetId s = 0; s < db.synset_count(); ++s) {
+    for (const wordnet::Relation& rel : db.synset(s).relations) {
+      double strength = options.wordnet_strengths.OfType(rel.type);
+      if (strength >= options.min_strength) {
+        adj[s].emplace_back(strength, rel.target);
+      }
+    }
+  }
+  for (const wordnet::ExtractedRelation& rel : extracted) {
+    if (rel.strength < options.min_strength) continue;
+    if (rel.a >= db.term_count() || rel.b >= db.term_count()) continue;
+    const auto& sa = db.term(rel.a).synsets;
+    const auto& sb = db.term(rel.b).synsets;
+    if (sa.empty() || sb.empty()) continue;
+    adj[sa[0]].emplace_back(rel.strength, sb[0]);
+    adj[sb[0]].emplace_back(rel.strength, sa[0]);
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end(),
+              [](const auto& x, const auto& y) {
+                if (x.first != y.first) return x.first > y.first;
+                return x.second < y.second;
+              });
+  }
+
+  auto neighbors = [&adj](SynsetId s) {
+    std::vector<SynsetId> out;
+    out.reserve(adj[s].size());
+    for (const auto& [strength, target] : adj[s]) out.push_back(target);
+    return out;
+  };
+  Sequencer sequencer(db, options.term_filter, neighbors);
+  return sequencer.Run();
+}
+
+}  // namespace embellish::core

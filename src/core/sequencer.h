@@ -1,0 +1,84 @@
+// Algorithm 1 (Section 3.3): sequence the dictionary so that semantically
+// related terms end up adjacent.
+//
+// Synsets are processed in decreasing connectivity (relation count); each
+// seed synset pulls its related synsets' terms into the same sequence, in
+// the paper's closeness order: derivational relations, antonyms, hyponyms,
+// hypernyms, meronyms, then holonyms. (Topic/usage domain memberships are
+// skipped, as in the paper.) Synsets whose terms span multiple existing
+// sequences cause those sequences to be concatenated.
+
+#ifndef EMBELLISH_CORE_SEQUENCER_H_
+#define EMBELLISH_CORE_SEQUENCER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "wordnet/database.h"
+#include "wordnet/relation_extraction.h"
+
+namespace embellish::core {
+
+/// \brief Options for Algorithm 1.
+struct SequencerOptions {
+  /// Optional restriction to a searchable dictionary (Section 5.2 intersects
+  /// the corpus dictionary with WordNet). Terms outside the predicate are
+  /// never emitted. Null means "all lexicon terms".
+  std::function<bool(wordnet::TermId)> term_filter;
+};
+
+/// \brief Output of Algorithm 1: the term sequences (SeqSet), in a
+///        deterministic order.
+struct SequencerResult {
+  std::vector<std::vector<wordnet::TermId>> sequences;
+
+  /// Total number of terms across all sequences.
+  size_t TotalTerms() const;
+};
+
+/// \brief Runs Algorithm 1 over the lexicon.
+SequencerResult SequenceDictionary(const wordnet::WordNetDatabase& db,
+                                   const SequencerOptions& options = {});
+
+// --- Appendix C: merging multiple sources of term relations ---------------
+
+/// \brief Numeric strengths for the WordNet relation types, on the same
+///        (0, 1] scale as extracted-relation NPMI. Defaults order the types
+///        by the closeness ranking Algorithm 1 uses; domain memberships get
+///        strength 0 (skipped), as in the paper.
+struct RelationStrengths {
+  double derivation = 1.00;
+  double antonym = 0.90;
+  double hyponym = 0.80;
+  double hypernym = 0.70;
+  double meronym = 0.50;
+  double holonym = 0.45;
+
+  /// \brief Strength of a relation type; 0 for domain memberships.
+  double OfType(wordnet::RelationType type) const;
+};
+
+/// \brief Options for the merged-source sequencer.
+struct MergedSequencerOptions {
+  RelationStrengths wordnet_strengths;
+
+  /// Appendix C's minimum strength threshold: weaker associations are not
+  /// followed during the traversal.
+  double min_strength = 0.20;
+
+  /// Optional searchable-dictionary restriction (as in SequencerOptions).
+  std::function<bool(wordnet::TermId)> term_filter;
+};
+
+/// \brief Appendix C variant of Algorithm 1: the traversal at line 18
+///        iterates over the union of WordNet relations and corpus-extracted
+///        relations, from the strongest down to `min_strength`.
+SequencerResult SequenceDictionaryMerged(
+    const wordnet::WordNetDatabase& db,
+    const std::vector<wordnet::ExtractedRelation>& extracted,
+    const MergedSequencerOptions& options = {});
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_SEQUENCER_H_

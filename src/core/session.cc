@@ -1,0 +1,59 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace embellish::core {
+
+SearchSession::SearchSession(const wordnet::WordNetDatabase* db,
+                             const BucketOrganization* buckets,
+                             const crypto::BenalohPublicKey* public_key,
+                             uint64_t seed)
+    : db_(db), embellisher_(buckets, public_key), rng_(seed) {}
+
+Result<EmbellishedQuery> SearchSession::IssueQuery(
+    const std::vector<std::string>& genuine_words) {
+  std::vector<wordnet::TermId> ids;
+  ids.reserve(genuine_words.size());
+  for (const std::string& w : genuine_words) {
+    wordnet::TermId id = db_->FindTerm(w);
+    if (id == wordnet::kInvalidTermId) {
+      return Status::NotFound("unknown term '" + w + "'");
+    }
+    ids.push_back(id);
+  }
+  return IssueQueryByIds(ids);
+}
+
+Result<EmbellishedQuery> SearchSession::IssueQueryByIds(
+    const std::vector<wordnet::TermId>& genuine_terms) {
+  EMB_ASSIGN_OR_RETURN(EmbellishedQuery query,
+                       embellisher_.Embellish(genuine_terms, &rng_));
+  AdversaryView view;
+  view.observed_terms.reserve(query.entries.size());
+  for (const EmbellishedTerm& e : query.entries) {
+    view.observed_terms.push_back(e.term);
+  }
+  history_.push_back(std::move(view));
+  return query;
+}
+
+std::vector<wordnet::TermId> SearchSession::IntersectObservedQueries() const {
+  if (history_.empty()) return {};
+  std::unordered_set<wordnet::TermId> common(
+      history_[0].observed_terms.begin(), history_[0].observed_terms.end());
+  for (size_t i = 1; i < history_.size(); ++i) {
+    std::unordered_set<wordnet::TermId> next;
+    for (wordnet::TermId t : history_[i].observed_terms) {
+      if (common.count(t)) next.insert(t);
+    }
+    common = std::move(next);
+  }
+  std::vector<wordnet::TermId> out(common.begin(), common.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace embellish::core

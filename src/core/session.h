@@ -1,0 +1,68 @@
+// Search sessions (Section 1's "recurring high-specificity search terms"
+// threat and Section 3.1's sequence model).
+//
+// A SearchSession owns the client-side state for a sequence of queries:
+// the Benaloh keypair, the embellisher, and the history needed to reason
+// about what the server observes. Because a genuine term's decoys are a
+// deterministic function of the bucket organization, a term recurring across
+// the session always arrives with the same co-bucket decoys — intersecting
+// the session's queries yields whole buckets, never the genuine term alone.
+
+#ifndef EMBELLISH_CORE_SESSION_H_
+#define EMBELLISH_CORE_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/embellisher.h"
+#include "wordnet/database.h"
+
+namespace embellish::core {
+
+/// \brief What the search engine observes for one query: the permuted term
+///        multiset (ciphertexts omitted — they are indistinguishable from
+///        random by construction).
+struct AdversaryView {
+  std::vector<wordnet::TermId> observed_terms;
+};
+
+/// \brief Client-side session state.
+class SearchSession {
+ public:
+  /// \brief All pointers must outlive the session.
+  SearchSession(const wordnet::WordNetDatabase* db,
+                const BucketOrganization* buckets,
+                const crypto::BenalohPublicKey* public_key, uint64_t seed);
+
+  /// \brief Embellishes a query given as term texts (convenience for
+  ///        examples); unknown words produce NotFound.
+  Result<EmbellishedQuery> IssueQuery(
+      const std::vector<std::string>& genuine_words);
+
+  /// \brief Embellishes a query given as term ids.
+  Result<EmbellishedQuery> IssueQueryByIds(
+      const std::vector<wordnet::TermId>& genuine_terms);
+
+  /// \brief Number of queries issued so far.
+  size_t query_count() const { return history_.size(); }
+
+  /// \brief Server-side view of the i-th issued query.
+  const AdversaryView& observed(size_t i) const { return history_[i]; }
+
+  /// \brief Terms present in every observed query of the session — the
+  ///        intersection attack of Section 1. With bucket-consistent decoys
+  ///        this is always a union of whole buckets.
+  std::vector<wordnet::TermId> IntersectObservedQueries() const;
+
+ private:
+  const wordnet::WordNetDatabase* db_;
+  QueryEmbellisher embellisher_;
+  Rng rng_;
+  std::vector<AdversaryView> history_;
+};
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_SESSION_H_

@@ -1,0 +1,86 @@
+#include "core/specificity.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace embellish::core {
+
+SpecificityMap SpecificityMap::FromHypernymDepth(
+    const wordnet::WordNetDatabase& db) {
+  SpecificityMap map;
+  const size_t n = db.synset_count();
+  map.synset_specificity_.assign(n, -1);
+
+  // Multi-source BFS from every hypernym root, descending hyponym edges;
+  // the BFS level is exactly the shortest hypernym path back up.
+  std::queue<wordnet::SynsetId> frontier;
+  for (wordnet::SynsetId s = 0; s < n; ++s) {
+    if (db.IsHypernymRoot(s)) {
+      map.synset_specificity_[s] = 0;
+      frontier.push(s);
+    }
+  }
+  while (!frontier.empty()) {
+    wordnet::SynsetId s = frontier.front();
+    frontier.pop();
+    const int next_depth = map.synset_specificity_[s] + 1;
+    for (const wordnet::Relation& rel : db.synset(s).relations) {
+      if (rel.type != wordnet::RelationType::kHyponym) continue;
+      if (map.synset_specificity_[rel.target] < 0) {
+        map.synset_specificity_[rel.target] = next_depth;
+        frontier.push(rel.target);
+      }
+    }
+  }
+
+  map.term_specificity_.assign(db.term_count(), 0);
+  for (wordnet::TermId t = 0; t < db.term_count(); ++t) {
+    int best = -1;
+    for (wordnet::SynsetId s : db.term(t).synsets) {
+      int d = map.synset_specificity_[s];
+      if (d >= 0 && (best < 0 || d < best)) best = d;
+    }
+    map.term_specificity_[t] = best < 0 ? 0 : best;
+    map.max_specificity_ = std::max(map.max_specificity_,
+                                    map.term_specificity_[t]);
+  }
+  return map;
+}
+
+SpecificityMap SpecificityMap::FromDocumentFrequency(
+    const wordnet::WordNetDatabase& db, const corpus::Corpus& corpus,
+    int max_level) {
+  SpecificityMap map;
+  map.term_specificity_.assign(db.term_count(), max_level);
+
+  // Rank indexed terms by decreasing document frequency; percentile rank
+  // maps onto the 0..max_level scale so the two methods are comparable.
+  std::vector<std::pair<uint32_t, wordnet::TermId>> by_df;
+  for (wordnet::TermId t = 0; t < db.term_count(); ++t) {
+    uint32_t df = corpus.DocumentFrequency(t);
+    if (df > 0) by_df.emplace_back(df, t);
+  }
+  std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  const size_t n = by_df.size();
+  for (size_t rank = 0; rank < n; ++rank) {
+    int level = static_cast<int>(static_cast<double>(rank) * (max_level + 1) /
+                                 static_cast<double>(n));
+    map.term_specificity_[by_df[rank].second] =
+        std::min(level, max_level);
+  }
+  map.max_specificity_ = max_level;
+  return map;
+}
+
+std::vector<size_t> SpecificityMap::TermHistogram() const {
+  std::vector<size_t> hist(static_cast<size_t>(max_specificity_) + 1, 0);
+  for (int s : term_specificity_) {
+    hist[static_cast<size_t>(s)] += 1;
+  }
+  return hist;
+}
+
+}  // namespace embellish::core

@@ -1,0 +1,64 @@
+// Term specificity (Section 3.2).
+//
+// "We represent the specificity of a term as a non-negative integer,
+// determined as the length of the shortest path from the term's synset to a
+// root in its hypernym hierarchy." For polysemous terms we take the minimum
+// over the term's synsets (its most general sense).
+//
+// The document-frequency alternative the paper mentions (and [14] correlates
+// with the hypernym method) is provided for the ablation bench.
+
+#ifndef EMBELLISH_CORE_SPECIFICITY_H_
+#define EMBELLISH_CORE_SPECIFICITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "wordnet/database.h"
+
+namespace embellish::core {
+
+/// \brief Precomputed per-synset and per-term specificity values.
+class SpecificityMap {
+ public:
+  /// \brief Hypernym-path specificity (the paper's corpus-independent
+  ///        method): BFS depth from the hierarchy roots.
+  static SpecificityMap FromHypernymDepth(const wordnet::WordNetDatabase& db);
+
+  /// \brief Document-frequency specificity: terms are ranked by rising
+  ///        df and mapped onto the same 0..max_level scale (rarer = more
+  ///        specific). Terms absent from the corpus get the maximum level.
+  static SpecificityMap FromDocumentFrequency(
+      const wordnet::WordNetDatabase& db, const corpus::Corpus& corpus,
+      int max_level = 18);
+
+  /// \brief Specificity of a term (min over its synsets for the hypernym
+  ///        method).
+  int TermSpecificity(wordnet::TermId term) const {
+    return term_specificity_[term];
+  }
+
+  /// \brief Specificity of a synset (hypernym method only; -1 otherwise).
+  int SynsetSpecificity(wordnet::SynsetId synset) const {
+    return synset_specificity_.empty() ? -1 : synset_specificity_[synset];
+  }
+
+  /// \brief Largest specificity value present.
+  int max_specificity() const { return max_specificity_; }
+
+  /// \brief Histogram over term specificity (index = value) — Figure 2.
+  std::vector<size_t> TermHistogram() const;
+
+  size_t term_count() const { return term_specificity_.size(); }
+
+ private:
+  std::vector<int> term_specificity_;
+  std::vector<int> synset_specificity_;
+  int max_specificity_ = 0;
+};
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_SPECIFICITY_H_

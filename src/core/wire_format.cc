@@ -1,0 +1,117 @@
+#include "core/wire_format.h"
+
+#include "common/strings.h"
+
+namespace embellish::core {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+// Shared frame: [u32 count] + count x ([u32 id][key_bytes ciphertext]).
+template <typename Entry, typename GetId, typename GetCipher>
+std::vector<uint8_t> EncodeFrame(const std::vector<Entry>& entries,
+                                 const crypto::BenalohPublicKey& pk,
+                                 GetId get_id, GetCipher get_cipher) {
+  const size_t key_bytes = pk.CiphertextBytes();
+  std::vector<uint8_t> out;
+  out.reserve(4 + entries.size() * (4 + key_bytes));
+  PutU32(&out, static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    PutU32(&out, get_id(e));
+    std::vector<uint8_t> c = pk.Serialize(get_cipher(e));
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  return out;
+}
+
+struct FrameEntry {
+  uint32_t id;
+  crypto::BenalohCiphertext ciphertext;
+};
+
+Result<std::vector<FrameEntry>> DecodeFrame(
+    const std::vector<uint8_t>& bytes, const crypto::BenalohPublicKey& pk) {
+  const size_t key_bytes = pk.CiphertextBytes();
+  if (bytes.size() < 4) {
+    return Status::Corruption("frame shorter than its header");
+  }
+  const uint32_t count = GetU32(bytes.data());
+  const size_t entry_size = 4 + key_bytes;
+  const size_t expected = 4 + static_cast<size_t>(count) * entry_size;
+  if (bytes.size() != expected) {
+    return Status::Corruption(
+        StringPrintf("frame size %zu != expected %zu for %u entries",
+                     bytes.size(), expected, count));
+  }
+  std::vector<FrameEntry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t* p = bytes.data() + 4 + i * entry_size;
+    FrameEntry entry;
+    entry.id = GetU32(p);
+    std::vector<uint8_t> cipher_bytes(p + 4, p + 4 + key_bytes);
+    EMB_ASSIGN_OR_RETURN(entry.ciphertext, pk.Deserialize(cipher_bytes));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeQuery(const EmbellishedQuery& query,
+                                 const crypto::BenalohPublicKey& pk) {
+  return EncodeFrame(
+      query.entries, pk,
+      [](const EmbellishedTerm& e) { return static_cast<uint32_t>(e.term); },
+      [](const EmbellishedTerm& e) { return e.indicator; });
+}
+
+Result<EmbellishedQuery> DecodeQuery(const std::vector<uint8_t>& bytes,
+                                     const crypto::BenalohPublicKey& pk) {
+  EMB_ASSIGN_OR_RETURN(std::vector<FrameEntry> entries,
+                       DecodeFrame(bytes, pk));
+  EmbellishedQuery query;
+  query.entries.reserve(entries.size());
+  for (FrameEntry& e : entries) {
+    query.entries.push_back(
+        EmbellishedTerm{static_cast<wordnet::TermId>(e.id),
+                        std::move(e.ciphertext)});
+  }
+  return query;
+}
+
+std::vector<uint8_t> EncodeResult(const EncryptedResult& result,
+                                  const crypto::BenalohPublicKey& pk) {
+  return EncodeFrame(
+      result.candidates, pk,
+      [](const EncryptedCandidate& c) { return static_cast<uint32_t>(c.doc); },
+      [](const EncryptedCandidate& c) { return c.score; });
+}
+
+Result<EncryptedResult> DecodeResult(const std::vector<uint8_t>& bytes,
+                                     const crypto::BenalohPublicKey& pk) {
+  EMB_ASSIGN_OR_RETURN(std::vector<FrameEntry> entries,
+                       DecodeFrame(bytes, pk));
+  EncryptedResult result;
+  result.candidates.reserve(entries.size());
+  for (FrameEntry& e : entries) {
+    result.candidates.push_back(
+        EncryptedCandidate{static_cast<corpus::DocId>(e.id),
+                           std::move(e.ciphertext)});
+  }
+  return result;
+}
+
+}  // namespace embellish::core

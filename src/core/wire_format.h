@@ -1,0 +1,44 @@
+// Byte-level wire formats for the PR protocol messages.
+//
+// The §5.2 traffic metric counts exactly these encodings. Layouts (all
+// integers big-endian):
+//
+//   EmbellishedQuery:  [u32 entry_count] then per entry
+//                      [u32 term_id][ciphertext: key_bytes]
+//   EncryptedResult:   [u32 candidate_count] then per candidate
+//                      [u32 doc_id][ciphertext: key_bytes]
+//
+// Decoding validates counts, sizes and ciphertext ranges and returns
+// Status::Corruption on malformed input — exercised by the failure
+// injection tests.
+
+#ifndef EMBELLISH_CORE_WIRE_FORMAT_H_
+#define EMBELLISH_CORE_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/embellisher.h"
+#include "core/private_retrieval.h"
+
+namespace embellish::core {
+
+/// \brief Serializes an embellished query for the uplink.
+std::vector<uint8_t> EncodeQuery(const EmbellishedQuery& query,
+                                 const crypto::BenalohPublicKey& pk);
+
+/// \brief Parses and validates an embellished query.
+Result<EmbellishedQuery> DecodeQuery(const std::vector<uint8_t>& bytes,
+                                     const crypto::BenalohPublicKey& pk);
+
+/// \brief Serializes an encrypted result for the downlink.
+std::vector<uint8_t> EncodeResult(const EncryptedResult& result,
+                                  const crypto::BenalohPublicKey& pk);
+
+/// \brief Parses and validates an encrypted result.
+Result<EncryptedResult> DecodeResult(const std::vector<uint8_t>& bytes,
+                                     const crypto::BenalohPublicKey& pk);
+
+}  // namespace embellish::core
+
+#endif  // EMBELLISH_CORE_WIRE_FORMAT_H_

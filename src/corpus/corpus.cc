@@ -1,0 +1,43 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace embellish::corpus {
+
+Corpus::Corpus(std::vector<Document> documents)
+    : documents_(std::move(documents)) {
+  for (DocId i = 0; i < documents_.size(); ++i) {
+    documents_[i].id = i;
+    total_tokens_ += documents_[i].tokens.size();
+    std::unordered_set<wordnet::TermId> seen;
+    for (wordnet::TermId t : documents_[i].tokens) {
+      if (seen.insert(t).second) ++doc_frequency_[t];
+    }
+  }
+}
+
+uint32_t Corpus::DocumentFrequency(wordnet::TermId term) const {
+  auto it = doc_frequency_.find(term);
+  return it == doc_frequency_.end() ? 0 : it->second;
+}
+
+std::vector<wordnet::TermId> Corpus::DistinctTerms() const {
+  std::vector<wordnet::TermId> terms;
+  terms.reserve(doc_frequency_.size());
+  for (const auto& [term, freq] : doc_frequency_) terms.push_back(term);
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+std::string Corpus::RenderText(DocId id,
+                               const wordnet::WordNetDatabase& db) const {
+  std::string out;
+  for (wordnet::TermId t : documents_[id].tokens) {
+    if (!out.empty()) out.push_back(' ');
+    out += db.term(t).text;
+  }
+  return out;
+}
+
+}  // namespace embellish::corpus

@@ -1,0 +1,59 @@
+// Document collection model.
+//
+// Documents are token sequences over the lexical database's term ids. The
+// corpus also exposes collection statistics (document frequency f_t, total
+// document count N) that the impact computation of Appendix B.2 consumes.
+
+#ifndef EMBELLISH_CORPUS_CORPUS_H_
+#define EMBELLISH_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "wordnet/database.h"
+
+namespace embellish::corpus {
+
+/// \brief Document identifier (position in the corpus).
+using DocId = uint32_t;
+
+/// \brief A document: an ordered bag of dictionary terms.
+struct Document {
+  DocId id = 0;
+  std::vector<wordnet::TermId> tokens;
+};
+
+/// \brief An in-memory document collection with cached statistics.
+class Corpus {
+ public:
+  explicit Corpus(std::vector<Document> documents);
+
+  size_t document_count() const { return documents_.size(); }
+  const Document& document(DocId id) const { return documents_[id]; }
+  const std::vector<Document>& documents() const { return documents_; }
+
+  /// \brief Document frequency f_t: number of documents containing `term`.
+  uint32_t DocumentFrequency(wordnet::TermId term) const;
+
+  /// \brief All distinct terms appearing in the corpus.
+  std::vector<wordnet::TermId> DistinctTerms() const;
+
+  /// \brief Total token count across all documents.
+  uint64_t TotalTokens() const { return total_tokens_; }
+
+  /// \brief Renders a document back to text given the lexicon (for the
+  ///        analyzer-path integration tests and examples).
+  std::string RenderText(DocId id, const wordnet::WordNetDatabase& db) const;
+
+ private:
+  std::vector<Document> documents_;
+  std::unordered_map<wordnet::TermId, uint32_t> doc_frequency_;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace embellish::corpus
+
+#endif  // EMBELLISH_CORPUS_CORPUS_H_

@@ -1,0 +1,85 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "corpus/zipf.h"
+
+namespace embellish::corpus {
+
+Status SyntheticCorpusOptions::Validate() const {
+  if (num_docs == 0) {
+    return Status::InvalidArgument("num_docs must be >= 1");
+  }
+  if (mean_doc_tokens < 4) {
+    return Status::InvalidArgument("mean_doc_tokens must be >= 4");
+  }
+  if (zipf_s <= 0.0 || zipf_s > 3.0) {
+    return Status::InvalidArgument("zipf_s out of (0, 3]");
+  }
+  if (num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be >= 1");
+  }
+  if (topic_fraction < 0.0 || topic_fraction > 1.0) {
+    return Status::InvalidArgument("topic_fraction out of [0, 1]");
+  }
+  if (terms_per_topic < 10) {
+    return Status::InvalidArgument("terms_per_topic must be >= 10");
+  }
+  return Status::OK();
+}
+
+Result<Corpus> GenerateSyntheticCorpus(const wordnet::WordNetDatabase& lexicon,
+                                       const SyntheticCorpusOptions& options) {
+  EMB_RETURN_NOT_OK(options.Validate());
+  const size_t vocab = lexicon.term_count();
+  if (vocab < 100) {
+    return Status::InvalidArgument("lexicon too small for corpus generation");
+  }
+  Rng rng(options.seed);
+
+  // Global background: a random permutation of the vocabulary defines the
+  // global rank order (so 'rank 0' is an arbitrary term, not term id 0).
+  std::vector<wordnet::TermId> global_order(vocab);
+  for (size_t i = 0; i < vocab; ++i) {
+    global_order[i] = static_cast<wordnet::TermId>(i);
+  }
+  rng.Shuffle(&global_order);
+  ZipfSampler global_zipf(vocab, options.zipf_s);
+
+  // Topics: random dictionary subsets with their own Zipf orderings.
+  const size_t topic_size = std::min(options.terms_per_topic, vocab);
+  std::vector<std::vector<wordnet::TermId>> topics(options.num_topics);
+  for (auto& topic : topics) {
+    std::vector<size_t> pick = rng.SampleWithoutReplacement(vocab, topic_size);
+    topic.reserve(topic_size);
+    for (size_t idx : pick) {
+      topic.push_back(static_cast<wordnet::TermId>(idx));
+    }
+  }
+  ZipfSampler topic_zipf(topic_size, options.zipf_s);
+  // Topic popularity is itself skewed (some subjects dominate a newswire).
+  ZipfSampler topic_pick(options.num_topics, 0.7);
+
+  std::vector<Document> docs;
+  docs.reserve(options.num_docs);
+  for (size_t d = 0; d < options.num_docs; ++d) {
+    size_t len = options.mean_doc_tokens / 2 +
+                 rng.Uniform(options.mean_doc_tokens + 1);
+    const std::vector<wordnet::TermId>& topic =
+        topics[topic_pick.Sample(&rng)];
+    Document doc;
+    doc.tokens.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      if (rng.Bernoulli(options.topic_fraction)) {
+        doc.tokens.push_back(topic[topic_zipf.Sample(&rng)]);
+      } else {
+        doc.tokens.push_back(global_order[global_zipf.Sample(&rng)]);
+      }
+    }
+    docs.push_back(std::move(doc));
+  }
+  return Corpus(std::move(docs));
+}
+
+}  // namespace embellish::corpus

@@ -1,0 +1,51 @@
+// Synthetic document collection, standing in for the WSJ corpus (172,961
+// Wall Street Journal articles, 513 MB) used in Section 5.2.
+//
+// Generation uses a topical mixture model: each document draws most tokens
+// from one of `num_topics` topic-specific Zipf distributions (giving related
+// terms realistic co-occurrence) and the rest from a global Zipf background.
+// The resulting inverted-list length distribution is heavily skewed like a
+// real corpus — the property the retrieval-cost experiments depend on.
+
+#ifndef EMBELLISH_CORPUS_GENERATOR_H_
+#define EMBELLISH_CORPUS_GENERATOR_H_
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "wordnet/database.h"
+
+namespace embellish::corpus {
+
+/// \brief Parameters for the synthetic corpus.
+struct SyntheticCorpusOptions {
+  /// Number of documents (the paper's WSJ has 172,961).
+  size_t num_docs = 20000;
+
+  /// Mean document length in tokens; actual lengths vary uniformly in
+  /// [mean/2, 3*mean/2]. WSJ articles average a few hundred terms.
+  size_t mean_doc_tokens = 200;
+
+  /// Zipf skew for term selection.
+  double zipf_s = 1.0;
+
+  /// Topical structure: number of topics and the fraction of a document's
+  /// tokens drawn from its topic distribution (vs the global background).
+  size_t num_topics = 64;
+  double topic_fraction = 0.6;
+
+  /// Terms per topic (each topic is a random dictionary subset).
+  size_t terms_per_topic = 2000;
+
+  uint64_t seed = 5;
+
+  Status Validate() const;
+};
+
+/// \brief Generates documents over the given lexicon's terms.
+///        Deterministic given options.
+Result<Corpus> GenerateSyntheticCorpus(const wordnet::WordNetDatabase& lexicon,
+                                       const SyntheticCorpusOptions& options);
+
+}  // namespace embellish::corpus
+
+#endif  // EMBELLISH_CORPUS_GENERATOR_H_

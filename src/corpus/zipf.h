@@ -1,0 +1,38 @@
+// Zipf-distributed sampling over ranks 0..n-1.
+//
+// Term occurrence in natural-language corpora is famously Zipfian; the
+// synthetic WSJ substitute relies on this sampler so inverted-list length
+// distributions have realistic skew (which is what the §5.2 I/O and PIR
+// padding costs are sensitive to).
+
+#ifndef EMBELLISH_CORPUS_ZIPF_H_
+#define EMBELLISH_CORPUS_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace embellish::corpus {
+
+/// \brief Samples ranks with P(k) proportional to 1 / (k+1)^s.
+class ZipfSampler {
+ public:
+  /// \brief `n` must be >= 1; `s` is the skew exponent (1.0 is classic Zipf).
+  ZipfSampler(size_t n, double s);
+
+  /// \brief Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// \brief Probability mass of rank `k`.
+  double Pmf(size_t k) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative masses, cdf_.back() == 1.0
+};
+
+}  // namespace embellish::corpus
+
+#endif  // EMBELLISH_CORPUS_ZIPF_H_

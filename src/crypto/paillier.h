@@ -1,0 +1,90 @@
+// Paillier cryptosystem (EUROCRYPT 1999) — the alternative additively
+// homomorphic scheme referenced by the paper's Appendix A.2, which argues
+// Benaloh is preferable for this workload because its ciphertexts are n-sized
+// rather than n^2-sized. Implemented for the traffic/CPU ablation bench.
+//
+//   n = p*q,  g = n + 1,  lambda = lcm(p-1, q-1)
+//   E(m) = (1 + m*n) * u^n mod n^2
+//   D(c) = L(c^lambda mod n^2) * mu mod n,  L(x) = (x - 1) / n
+
+#ifndef EMBELLISH_CRYPTO_PAILLIER_H_
+#define EMBELLISH_CRYPTO_PAILLIER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "bignum/bigint.h"
+#include "bignum/montgomery.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace embellish::crypto {
+
+/// \brief A Paillier ciphertext; a residue modulo n^2.
+struct PaillierCiphertext {
+  bignum::BigInt value;
+
+  bool operator==(const PaillierCiphertext&) const = default;
+};
+
+/// \brief Paillier public key (n; g is fixed to n+1).
+class PaillierPublicKey {
+ public:
+  explicit PaillierPublicKey(bignum::BigInt n);
+
+  const bignum::BigInt& n() const { return n_; }
+  const bignum::BigInt& n_squared() const { return n2_; }
+
+  /// \brief Ciphertext wire size in bytes — twice the modulus width.
+  size_t CiphertextBytes() const { return (n2_.BitLength() + 7) / 8; }
+
+  /// \brief E(m) for m < n.
+  Result<PaillierCiphertext> Encrypt(const bignum::BigInt& m, Rng* rng) const;
+
+  /// \brief Homomorphic addition.
+  PaillierCiphertext Add(const PaillierCiphertext& a,
+                         const PaillierCiphertext& b) const;
+
+  /// \brief Scalar multiplication E(m)^s = E(m*s).
+  PaillierCiphertext ScalarMul(const PaillierCiphertext& c,
+                               uint64_t s) const;
+
+ private:
+  bignum::BigInt n_;
+  bignum::BigInt n2_;
+  std::shared_ptr<bignum::MontgomeryContext> mont_;  // modulo n^2
+};
+
+/// \brief Paillier private key.
+class PaillierPrivateKey {
+ public:
+  Result<bignum::BigInt> Decrypt(const PaillierCiphertext& c) const;
+
+ private:
+  friend class PaillierKeyPair;
+
+  bignum::BigInt n_;
+  bignum::BigInt n2_;
+  bignum::BigInt lambda_;
+  bignum::BigInt mu_;
+  std::shared_ptr<bignum::MontgomeryContext> mont_;  // modulo n^2
+};
+
+/// \brief A generated Paillier keypair.
+class PaillierKeyPair {
+ public:
+  /// \brief `key_bits` is the size of n (so ciphertexts are 2*key_bits).
+  static Result<PaillierKeyPair> Generate(size_t key_bits, Rng* rng);
+
+  const PaillierPublicKey& public_key() const { return *public_key_; }
+  const PaillierPrivateKey& private_key() const { return *private_key_; }
+
+ private:
+  PaillierKeyPair() = default;
+  std::shared_ptr<PaillierPublicKey> public_key_;
+  std::shared_ptr<PaillierPrivateKey> private_key_;
+};
+
+}  // namespace embellish::crypto
+
+#endif  // EMBELLISH_CRYPTO_PAILLIER_H_

@@ -1,0 +1,173 @@
+#include "crypto/pir.h"
+
+#include <cassert>
+
+#include "bignum/modmath.h"
+#include "bignum/prime.h"
+#include "common/strings.h"
+
+namespace embellish::crypto {
+
+using bignum::BigInt;
+
+PirDatabase::PirDatabase(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), bits_((rows * cols + 7) / 8, 0) {}
+
+void PirDatabase::SetBit(size_t row, size_t col, bool value) {
+  assert(row < rows_ && col < cols_);
+  size_t idx = row * cols_ + col;
+  if (value) {
+    bits_[idx / 8] |= static_cast<uint8_t>(1u << (idx % 8));
+  } else {
+    bits_[idx / 8] &= static_cast<uint8_t>(~(1u << (idx % 8)));
+  }
+}
+
+bool PirDatabase::GetBit(size_t row, size_t col) const {
+  assert(row < rows_ && col < cols_);
+  size_t idx = row * cols_ + col;
+  return (bits_[idx / 8] >> (idx % 8)) & 1;
+}
+
+void PirDatabase::SetColumnFromBytes(size_t col,
+                                     const std::vector<uint8_t>& bytes) {
+  assert(bytes.size() * 8 <= rows_ && "column data exceeds matrix height");
+  for (size_t b = 0; b < bytes.size(); ++b) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bool v = (bytes[b] >> (7 - bit)) & 1;
+      SetBit(b * 8 + static_cast<size_t>(bit), col, v);
+    }
+  }
+}
+
+size_t PirQuery::WireBytes() const {
+  size_t key_bytes = (n.BitLength() + 7) / 8;
+  return (1 + q.size()) * key_bytes;
+}
+
+Result<PirClient> PirClient::Create(size_t key_bits, Rng* rng) {
+  if (key_bits < 128 || key_bits > 4096) {
+    return Status::InvalidArgument("key_bits out of supported range");
+  }
+  PirClient client;
+  const size_t half = key_bits / 2;
+  client.p1_ = bignum::RandomPrime(half, rng);
+  do {
+    client.p2_ = bignum::RandomPrime(key_bits - half, rng);
+  } while (client.p2_ == client.p1_);
+  client.n_ = client.p1_ * client.p2_;
+  client.p1_half_ = (client.p1_ - BigInt(1)) >> 1;
+  client.p2_half_ = (client.p2_ - BigInt(1)) >> 1;
+  auto m1 = bignum::MontgomeryContext::Create(client.p1_);
+  auto m2 = bignum::MontgomeryContext::Create(client.p2_);
+  if (!m1.ok()) return m1.status();
+  if (!m2.ok()) return m2.status();
+  client.mont_p1_ =
+      std::make_shared<bignum::MontgomeryContext>(std::move(m1).value());
+  client.mont_p2_ =
+      std::make_shared<bignum::MontgomeryContext>(std::move(m2).value());
+  return client;
+}
+
+bool PirClient::IsQuadraticResidue(const BigInt& v) const {
+  // Euler's criterion modulo each prime factor.
+  BigInt e1 = mont_p1_->ModExp(v, p1_half_);
+  if (!e1.IsOne()) return false;
+  BigInt e2 = mont_p2_->ModExp(v, p2_half_);
+  return e2.IsOne();
+}
+
+Result<PirQuery> PirClient::BuildQuery(size_t target_col, size_t cols,
+                                       Rng* rng) const {
+  if (cols == 0) {
+    return Status::InvalidArgument("database must have at least one column");
+  }
+  if (target_col >= cols) {
+    return Status::OutOfRange(
+        StringPrintf("target column %zu out of range [0, %zu)", target_col,
+                     cols));
+  }
+  PirQuery query;
+  query.n = n_;
+  query.q.reserve(cols);
+  for (size_t j = 0; j < cols; ++j) {
+    if (j == target_col) {
+      // QNR with Jacobi symbol +1: non-residue modulo both prime factors,
+      // so it is indistinguishable from a QR without the trapdoor.
+      while (true) {
+        BigInt z = bignum::RandomUnit(n_, rng);
+        BigInt e1 = mont_p1_->ModExp(z, p1_half_);
+        if (e1.IsOne()) continue;  // QR mod p1
+        BigInt e2 = mont_p2_->ModExp(z, p2_half_);
+        if (e2.IsOne()) continue;  // QR mod p2
+        query.q.push_back(std::move(z));
+        break;
+      }
+    } else {
+      // Random QR: the square of a random unit.
+      BigInt w = bignum::RandomUnit(n_, rng);
+      query.q.push_back(w * w % n_);
+    }
+  }
+  return query;
+}
+
+Result<std::vector<bool>> PirClient::DecodeResponse(
+    const PirResponse& response) const {
+  std::vector<bool> bits;
+  bits.reserve(response.gamma.size());
+  for (const BigInt& g : response.gamma) {
+    if (g.IsZero() || g >= n_) {
+      return Status::Corruption("PIR response value outside Z*_n");
+    }
+    bits.push_back(!IsQuadraticResidue(g));  // QR => bit 0, QNR => bit 1
+  }
+  return bits;
+}
+
+PirServer::PirServer(std::shared_ptr<const PirDatabase> database)
+    : database_(std::move(database)) {
+  assert(database_ != nullptr);
+}
+
+Result<PirResponse> PirServer::Answer(const PirQuery& query,
+                                      uint64_t* ops_out) const {
+  const size_t rows = database_->rows();
+  const size_t cols = database_->cols();
+  if (query.q.size() != cols) {
+    return Status::InvalidArgument(
+        StringPrintf("query width %zu != database width %zu", query.q.size(),
+                     cols));
+  }
+  if (query.n.IsZero() || !query.n.IsOdd()) {
+    return Status::InvalidArgument("query modulus must be odd and nonzero");
+  }
+  auto mont_res = bignum::MontgomeryContext::Create(query.n);
+  if (!mont_res.ok()) return mont_res.status();
+  const bignum::MontgomeryContext& mont = mont_res.value();
+
+  // Precompute Montgomery forms of q_j and q_j^2 once per query; the row
+  // loop is then pure MontMul, which dominates server CPU (Section 5.2).
+  std::vector<std::vector<uint64_t>> q_mont(cols);
+  std::vector<std::vector<uint64_t>> q2_mont(cols);
+  for (size_t j = 0; j < cols; ++j) {
+    q_mont[j] = mont.ToMontgomery(query.q[j]);
+    q2_mont[j] = mont.MontMul(q_mont[j], q_mont[j]);
+  }
+
+  uint64_t ops = 0;
+  PirResponse response;
+  response.gamma.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<uint64_t> acc = mont.One();
+    for (size_t j = 0; j < cols; ++j) {
+      acc = mont.MontMul(acc, database_->GetBit(i, j) ? q_mont[j] : q2_mont[j]);
+      ++ops;
+    }
+    response.gamma.push_back(mont.FromMontgomery(acc));
+  }
+  if (ops_out != nullptr) *ops_out = ops;
+  return response;
+}
+
+}  // namespace embellish::crypto

@@ -1,0 +1,119 @@
+// Kushilevitz–Ostrovsky computationally-private information retrieval
+// (FOCS 1997), as specified in the paper's Appendix A.1 and used as the
+// baseline "Alternate Retrieval Method" in Section 4 / Section 5.2.
+//
+// The server holds a private database organized as an r x c matrix of bits.
+// To fetch column y privately, the user sends c numbers q_1..q_c in Z*_n
+// where q_y is a quadratic non-residue (with Jacobi symbol +1) and all other
+// q_j are quadratic residues. For every row i the server returns
+//   gamma_i = prod_j v_ij,  v_ij = q_j^2 if b_ij = 0 else q_j.
+// gamma_i is a QR iff b_iy = 0, which the user tests with the factorization
+// of n. One protocol execution therefore retrieves one whole column — in the
+// paper's usage, one term's padded inverted list out of a bucket.
+
+#ifndef EMBELLISH_CRYPTO_PIR_H_
+#define EMBELLISH_CRYPTO_PIR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "bignum/montgomery.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace embellish::crypto {
+
+/// \brief The bit-matrix "database" the PIR server answers over.
+///
+/// Rows are bit positions, columns are items (inverted lists in the paper's
+/// usage). Bits are stored packed, row-major.
+class PirDatabase {
+ public:
+  /// \brief Creates an all-zero matrix of `rows` x `cols` bits.
+  PirDatabase(size_t rows, size_t cols);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  void SetBit(size_t row, size_t col, bool value);
+  bool GetBit(size_t row, size_t col) const;
+
+  /// \brief Loads column `col` from bytes (MSB-first within each byte).
+  void SetColumnFromBytes(size_t col, const std::vector<uint8_t>& bytes);
+
+  /// \brief Size of the database in bytes (for storage accounting).
+  size_t SizeBytes() const { return bits_.size(); }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<uint8_t> bits_;  // packed, row-major, 8 bits per byte
+};
+
+/// \brief PIR query: the modulus and one residue per database column.
+struct PirQuery {
+  bignum::BigInt n;
+  std::vector<bignum::BigInt> q;  // size = cols
+
+  /// \brief Wire size in bytes: (1 + cols) values of KeyLen bits.
+  size_t WireBytes() const;
+};
+
+/// \brief PIR response: one residue per database row.
+struct PirResponse {
+  std::vector<bignum::BigInt> gamma;  // size = rows
+
+  /// \brief Wire size in bytes given the query's key length.
+  size_t WireBytes(size_t key_bytes) const { return gamma.size() * key_bytes; }
+};
+
+/// \brief Client side: key state, query generation, response decoding.
+class PirClient {
+ public:
+  /// \brief Generates a fresh n = p1*p2 of `key_bits` bits.
+  static Result<PirClient> Create(size_t key_bits, Rng* rng);
+
+  /// \brief Builds a query for column `target_col` of a `cols`-wide database.
+  Result<PirQuery> BuildQuery(size_t target_col, size_t cols, Rng* rng) const;
+
+  /// \brief Decodes the response into the target column's bits.
+  Result<std::vector<bool>> DecodeResponse(const PirResponse& response) const;
+
+  size_t key_bytes() const { return (n_.BitLength() + 7) / 8; }
+  const bignum::BigInt& n() const { return n_; }
+
+  /// \brief True iff `v` is a quadratic residue mod n (uses the trapdoor).
+  bool IsQuadraticResidue(const bignum::BigInt& v) const;
+
+ private:
+  PirClient() = default;
+
+  bignum::BigInt p1_;
+  bignum::BigInt p2_;
+  bignum::BigInt n_;
+  bignum::BigInt p1_half_;  // (p1-1)/2
+  bignum::BigInt p2_half_;  // (p2-1)/2
+  std::shared_ptr<bignum::MontgomeryContext> mont_p1_;
+  std::shared_ptr<bignum::MontgomeryContext> mont_p2_;
+};
+
+/// \brief Server side: evaluates queries against a PirDatabase.
+class PirServer {
+ public:
+  explicit PirServer(std::shared_ptr<const PirDatabase> database);
+
+  /// \brief Computes gamma_i for every row (the whole-column answer).
+  ///        `ops_out`, if non-null, receives the number of modular
+  ///        multiplications performed (CPU cost accounting).
+  Result<PirResponse> Answer(const PirQuery& query,
+                             uint64_t* ops_out = nullptr) const;
+
+ private:
+  std::shared_ptr<const PirDatabase> database_;
+};
+
+}  // namespace embellish::crypto
+
+#endif  // EMBELLISH_CRYPTO_PIR_H_

@@ -1,0 +1,104 @@
+#include "index/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace embellish::index {
+
+Status IndexBuildOptions::Validate() const {
+  if (impact_bits < 2 || impact_bits > 8) {
+    return Status::InvalidArgument(
+        "impact_bits out of [2, 8] (postings serialize impacts in one byte)");
+  }
+  if (scoring == ScoringModel::kOkapiBM25) {
+    if (bm25.k1 <= 0.0) {
+      return Status::InvalidArgument("BM25 k1 must be positive");
+    }
+    if (bm25.b < 0.0 || bm25.b > 1.0) {
+      return Status::InvalidArgument("BM25 b out of [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+Result<BuildOutput> BuildIndex(const corpus::Corpus& corpus,
+                               const IndexBuildOptions& options) {
+  EMB_RETURN_NOT_OK(options.Validate());
+  const size_t num_docs = corpus.document_count();
+  if (num_docs == 0) {
+    return Status::InvalidArgument("corpus is empty");
+  }
+
+  // Pass 1: per-document term frequencies, then the model's real-valued
+  // impacts. (map per doc is fine: documents are a few hundred tokens.)
+  double max_impact = 0.0;
+
+  struct RealPosting {
+    corpus::DocId doc;
+    double impact;
+  };
+  std::unordered_map<wordnet::TermId, std::vector<RealPosting>> real_lists;
+
+  const double avg_doc_len =
+      static_cast<double>(corpus.TotalTokens()) /
+      static_cast<double>(num_docs);
+
+  for (const corpus::Document& doc : corpus.documents()) {
+    std::map<wordnet::TermId, uint32_t> tf;
+    for (wordnet::TermId t : doc.tokens) ++tf[t];
+    if (tf.empty()) continue;
+
+    double w_d = 1.0;
+    if (options.scoring == ScoringModel::kCosine) {
+      double norm_sq = 0.0;
+      for (const auto& [term, f_dt] : tf) {
+        double w = DocTermWeight(f_dt);
+        norm_sq += w * w;
+      }
+      w_d = std::sqrt(norm_sq);
+    }
+
+    for (const auto& [term, f_dt] : tf) {
+      double p_dt;
+      if (options.scoring == ScoringModel::kCosine) {
+        p_dt = DocTermWeight(f_dt) *
+               TermWeight(num_docs, corpus.DocumentFrequency(term)) / w_d;
+      } else {
+        p_dt = Bm25Impact(num_docs, corpus.DocumentFrequency(term), f_dt,
+                          static_cast<double>(doc.tokens.size()),
+                          avg_doc_len, options.bm25);
+      }
+      real_lists[term].push_back(RealPosting{doc.id, p_dt});
+      max_impact = std::max(max_impact, p_dt);
+    }
+  }
+  if (real_lists.empty()) {
+    return Status::InvalidArgument("corpus contains no indexable tokens");
+  }
+
+  // Pass 2: discretize and impact-order every list.
+  EMB_ASSIGN_OR_RETURN(ImpactQuantizer quantizer,
+                       ImpactQuantizer::Create(options.impact_bits, max_impact));
+
+  std::unordered_map<wordnet::TermId, std::vector<Posting>> lists;
+  lists.reserve(real_lists.size());
+  for (auto& [term, rl] : real_lists) {
+    std::vector<Posting> list;
+    list.reserve(rl.size());
+    for (const RealPosting& rp : rl) {
+      list.push_back(Posting{rp.doc, quantizer.Quantize(rp.impact)});
+    }
+    std::sort(list.begin(), list.end(), [](const Posting& a, const Posting& b) {
+      if (a.impact != b.impact) return a.impact > b.impact;
+      return a.doc < b.doc;
+    });
+    lists.emplace(term, std::move(list));
+  }
+
+  return BuildOutput{
+      InvertedIndex(num_docs, std::move(lists), options.impact_bits),
+      quantizer, max_impact};
+}
+
+}  // namespace embellish::index

@@ -1,0 +1,53 @@
+// Builds an impact-ordered InvertedIndex from a Corpus.
+
+#ifndef EMBELLISH_INDEX_BUILDER_H_
+#define EMBELLISH_INDEX_BUILDER_H_
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "index/impact.h"
+#include "index/inverted_index.h"
+
+namespace embellish::index {
+
+/// \brief Similarity model for impact computation. The PR scheme is
+///        score-model-agnostic (Appendix B: "our solution applies generally
+///        to similarity retrieval models ... including Okapi").
+enum class ScoringModel {
+  kCosine,    ///< Formula 3/4: w_dt * w_t / W_d
+  kOkapiBM25  ///< Okapi BM25 [24]
+};
+
+/// \brief Index construction parameters.
+struct IndexBuildOptions {
+  /// Bits per discretized impact. 8 keeps postings at 5 bytes and bounds
+  /// Algorithm 4's accumulated scores well inside the Benaloh message space.
+  int impact_bits = 8;
+
+  ScoringModel scoring = ScoringModel::kCosine;
+
+  /// BM25 shape parameters (used when scoring == kOkapiBM25).
+  Bm25Params bm25;
+
+  Status Validate() const;
+};
+
+/// \brief Result of index construction: the index plus quantization
+///        diagnostics used by tests.
+struct BuildOutput {
+  InvertedIndex index;
+
+  /// The quantizer used, for reconstruction-error analysis.
+  ImpactQuantizer quantizer;
+
+  /// Largest real-valued impact observed before discretization.
+  double max_real_impact = 0.0;
+};
+
+/// \brief Builds the index per Appendix B.2 / Formula 4.
+Result<BuildOutput> BuildIndex(const corpus::Corpus& corpus,
+                               const IndexBuildOptions& options = {});
+
+}  // namespace embellish::index
+
+#endif  // EMBELLISH_INDEX_BUILDER_H_

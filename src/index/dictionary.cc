@@ -1,0 +1,31 @@
+#include "index/dictionary.h"
+
+#include <algorithm>
+
+namespace embellish::index {
+
+SearchDictionary SearchDictionary::Build(
+    const wordnet::WordNetDatabase& lexicon, const InvertedIndex& index) {
+  SearchDictionary dict;
+  for (wordnet::TermId term : index.IndexedTerms()) {
+    if (term < lexicon.term_count()) {
+      dict.terms_.push_back(term);
+      dict.membership_.insert(term);
+    }
+  }
+  std::sort(dict.terms_.begin(), dict.terms_.end());
+  return dict;
+}
+
+SearchDictionary SearchDictionary::AllLexiconTerms(
+    const wordnet::WordNetDatabase& lexicon) {
+  SearchDictionary dict;
+  dict.terms_.reserve(lexicon.term_count());
+  for (wordnet::TermId t = 0; t < lexicon.term_count(); ++t) {
+    dict.terms_.push_back(t);
+    dict.membership_.insert(t);
+  }
+  return dict;
+}
+
+}  // namespace embellish::index

@@ -1,0 +1,42 @@
+// The searchable dictionary: the intersection of the corpus's indexed terms
+// with the lexical database (Section 5.2: "This dictionary is intersected
+// with the WordNet database, giving us a list of searchable terms with known
+// semantic relationships").
+
+#ifndef EMBELLISH_INDEX_DICTIONARY_H_
+#define EMBELLISH_INDEX_DICTIONARY_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "wordnet/database.h"
+
+namespace embellish::index {
+
+/// \brief Set of terms that are both indexed and semantically known.
+class SearchDictionary {
+ public:
+  /// \brief Intersects the index's terms with the lexicon's.
+  static SearchDictionary Build(const wordnet::WordNetDatabase& lexicon,
+                                const InvertedIndex& index);
+
+  /// \brief Builds the degenerate dictionary of every lexicon term
+  ///        (used by the §5.1 experiments, which have no corpus).
+  static SearchDictionary AllLexiconTerms(
+      const wordnet::WordNetDatabase& lexicon);
+
+  const std::vector<wordnet::TermId>& terms() const { return terms_; }
+  size_t size() const { return terms_.size(); }
+  bool Contains(wordnet::TermId term) const {
+    return membership_.count(term) > 0;
+  }
+
+ private:
+  std::vector<wordnet::TermId> terms_;  // sorted
+  std::unordered_set<wordnet::TermId> membership_;
+};
+
+}  // namespace embellish::index
+
+#endif  // EMBELLISH_INDEX_DICTIONARY_H_

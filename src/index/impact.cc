@@ -1,0 +1,61 @@
+#include "index/impact.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace embellish::index {
+
+double TermWeight(uint64_t num_docs, uint64_t doc_frequency) {
+  assert(doc_frequency > 0);
+  return std::log(1.0 + static_cast<double>(num_docs) /
+                            static_cast<double>(doc_frequency));
+}
+
+double DocTermWeight(uint64_t term_frequency) {
+  assert(term_frequency > 0);
+  return 1.0 + std::log(static_cast<double>(term_frequency));
+}
+
+double Bm25Impact(uint64_t num_docs, uint64_t doc_frequency,
+                  uint64_t term_frequency, double doc_len, double avg_doc_len,
+                  const Bm25Params& params) {
+  assert(doc_frequency > 0 && term_frequency > 0 && avg_doc_len > 0);
+  const double n = static_cast<double>(num_docs);
+  const double ft = static_cast<double>(doc_frequency);
+  const double fdt = static_cast<double>(term_frequency);
+  const double idf = std::log(1.0 + (n - ft + 0.5) / (ft + 0.5));
+  const double norm = params.k1 * (1.0 - params.b +
+                                   params.b * doc_len / avg_doc_len);
+  return idf * fdt * (params.k1 + 1.0) / (fdt + norm);
+}
+
+Result<ImpactQuantizer> ImpactQuantizer::Create(int bits, double max_impact) {
+  if (bits < 2 || bits > 16) {
+    return Status::InvalidArgument("quantizer bits out of [2, 16]");
+  }
+  if (!(max_impact > 0.0)) {
+    return Status::InvalidArgument("max_impact must be positive");
+  }
+  return ImpactQuantizer(bits, max_impact);
+}
+
+ImpactQuantizer::ImpactQuantizer(int bits, double max_impact)
+    : bits_(bits),
+      max_level_((1u << bits) - 1),
+      max_impact_(max_impact),
+      step_(max_impact / static_cast<double>((1u << bits) - 1)) {}
+
+uint32_t ImpactQuantizer::Quantize(double impact) const {
+  if (impact <= 0.0) return 1;  // present but vanishing impact
+  double level = std::ceil(impact / step_);
+  return static_cast<uint32_t>(
+      std::clamp(level, 1.0, static_cast<double>(max_level_)));
+}
+
+double ImpactQuantizer::Reconstruct(uint32_t level) const {
+  assert(level >= 1 && level <= max_level_);
+  return (static_cast<double>(level) - 0.5) * step_;
+}
+
+}  // namespace embellish::index

@@ -1,0 +1,68 @@
+// Impact computation for the similarity model of Appendix B.2:
+//
+//   w_t   = ln(1 + N / f_t)
+//   w_dt  = 1 + ln(f_dt)
+//   W_d   = sqrt(sum_t w_dt^2)
+//   p_dt  = w_dt * w_t / W_d                      (Formula 4)
+//
+// Impacts are discretized to small non-negative integers (footnote 1 of the
+// paper, following Zobel & Moffat), which is also what makes them valid
+// Benaloh plaintext exponents in Algorithm 4.
+
+#ifndef EMBELLISH_INDEX_IMPACT_H_
+#define EMBELLISH_INDEX_IMPACT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace embellish::index {
+
+/// \brief Collection weight of a term: ln(1 + N / f_t).
+double TermWeight(uint64_t num_docs, uint64_t doc_frequency);
+
+/// \brief Within-document weight: 1 + ln(f_dt), for f_dt >= 1.
+double DocTermWeight(uint64_t term_frequency);
+
+/// \brief Okapi BM25 parameters (Appendix B cites Okapi [24] as the other
+///        well-known scoring function the scheme applies to).
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// \brief BM25 impact of a term in a document:
+///        idf(t) * f_dt*(k1+1) / (f_dt + k1*(1 - b + b*len/avg_len)),
+///        with the non-negative idf variant ln(1 + (N - f_t + 0.5)/(f_t + 0.5)).
+double Bm25Impact(uint64_t num_docs, uint64_t doc_frequency,
+                  uint64_t term_frequency, double doc_len, double avg_doc_len,
+                  const Bm25Params& params = {});
+
+/// \brief Uniform quantizer mapping real impacts in (0, max_impact] onto
+///        integer levels 1..(2^bits - 1). Level 0 is reserved for "absent".
+class ImpactQuantizer {
+ public:
+  /// \brief `bits` in [2, 16]; `max_impact` must be positive.
+  static Result<ImpactQuantizer> Create(int bits, double max_impact);
+
+  /// \brief Quantizes a real impact; result in [1, max_level()].
+  uint32_t Quantize(double impact) const;
+
+  /// \brief Midpoint of a level's cell, for reconstruction error analysis.
+  double Reconstruct(uint32_t level) const;
+
+  uint32_t max_level() const { return max_level_; }
+  int bits() const { return bits_; }
+
+ private:
+  ImpactQuantizer(int bits, double max_impact);
+
+  int bits_;
+  uint32_t max_level_;
+  double max_impact_;
+  double step_;
+};
+
+}  // namespace embellish::index
+
+#endif  // EMBELLISH_INDEX_IMPACT_H_

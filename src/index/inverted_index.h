@@ -1,0 +1,73 @@
+// Impact-ordered inverted index (Appendix B.2, Figure 9).
+//
+// For each term the index stores a postings list of <document, impact>
+// pairs sorted by decreasing impact. Impacts are discretized integers (see
+// impact.h). Wire/posting sizes are exposed because the §5.2 experiments
+// account for I/O, PIR padding, and network traffic in bytes.
+
+#ifndef EMBELLISH_INDEX_INVERTED_INDEX_H_
+#define EMBELLISH_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "wordnet/database.h"
+
+namespace embellish::index {
+
+/// \brief One entry of an inverted list.
+struct Posting {
+  corpus::DocId doc;
+  uint32_t impact;  ///< discretized p_dt, >= 1
+
+  bool operator==(const Posting&) const = default;
+};
+
+/// \brief Serialized size of one posting: 4-byte doc id + 1-byte impact.
+inline constexpr size_t kPostingWireBytes = 5;
+
+/// \brief Immutable impact-ordered inverted index. Build via IndexBuilder.
+class InvertedIndex {
+ public:
+  InvertedIndex(size_t num_docs,
+                std::unordered_map<wordnet::TermId, std::vector<Posting>> lists,
+                int impact_bits);
+
+  size_t document_count() const { return num_docs_; }
+  size_t term_count() const { return lists_.size(); }
+  int impact_bits() const { return impact_bits_; }
+
+  /// \brief The postings of `term`, or nullptr if the term is unindexed.
+  const std::vector<Posting>* postings(wordnet::TermId term) const;
+
+  /// \brief Document frequency f_t (inverted-list length).
+  size_t ListLength(wordnet::TermId term) const;
+
+  /// \brief Serialized list size in bytes (list length x posting size).
+  size_t ListBytes(wordnet::TermId term) const {
+    return ListLength(term) * kPostingWireBytes;
+  }
+
+  /// \brief Serializes a list: per posting, 4-byte big-endian doc id then
+  ///        1-byte impact. Used for the PIR bit-matrix and traffic numbers.
+  std::vector<uint8_t> SerializeList(wordnet::TermId term) const;
+
+  /// \brief Parses a serialized list (inverse of SerializeList).
+  static Result<std::vector<Posting>> DeserializeList(
+      const std::vector<uint8_t>& bytes);
+
+  /// \brief All indexed terms, sorted by id.
+  std::vector<wordnet::TermId> IndexedTerms() const;
+
+ private:
+  size_t num_docs_;
+  std::unordered_map<wordnet::TermId, std::vector<Posting>> lists_;
+  int impact_bits_;
+};
+
+}  // namespace embellish::index
+
+#endif  // EMBELLISH_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,72 @@
+#include "index/topk.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace embellish::index {
+
+void SortByScore(std::vector<ScoredDoc>* docs) {
+  std::sort(docs->begin(), docs->end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+}
+
+std::vector<ScoredDoc> EvaluateFull(
+    const InvertedIndex& index, const std::vector<wordnet::TermId>& query) {
+  std::unordered_map<corpus::DocId, uint64_t> acc;
+  for (wordnet::TermId term : query) {
+    const std::vector<Posting>* list = index.postings(term);
+    if (list == nullptr) continue;
+    for (const Posting& p : *list) acc[p.doc] += p.impact;
+  }
+  std::vector<ScoredDoc> out;
+  out.reserve(acc.size());
+  for (const auto& [doc, score] : acc) out.push_back(ScoredDoc{doc, score});
+  SortByScore(&out);
+  return out;
+}
+
+std::vector<ScoredDoc> EvaluateTopK(const InvertedIndex& index,
+                                    const std::vector<wordnet::TermId>& query,
+                                    size_t k) {
+  // Cursor per query-term list; a max-heap keyed by the cursor's current
+  // impact pops the globally highest remaining entry (Figure 10 step 2a).
+  struct Cursor {
+    const std::vector<Posting>* list;
+    size_t pos;
+  };
+  std::vector<Cursor> cursors;
+  for (wordnet::TermId term : query) {
+    const std::vector<Posting>* list = index.postings(term);
+    if (list != nullptr && !list->empty()) cursors.push_back(Cursor{list, 0});
+  }
+
+  auto cmp = [&](size_t a, size_t b) {
+    return (*cursors[a].list)[cursors[a].pos].impact <
+           (*cursors[b].list)[cursors[b].pos].impact;
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(cmp)> heap(cmp);
+  for (size_t i = 0; i < cursors.size(); ++i) heap.push(i);
+
+  std::unordered_map<corpus::DocId, uint64_t> acc;
+  while (!heap.empty()) {
+    size_t ci = heap.top();
+    heap.pop();
+    Cursor& cur = cursors[ci];
+    const Posting& p = (*cur.list)[cur.pos];
+    acc[p.doc] += p.impact;  // steps 2b-2c
+    if (++cur.pos < cur.list->size()) heap.push(ci);  // step 2d
+  }
+
+  std::vector<ScoredDoc> out;
+  out.reserve(acc.size());
+  for (const auto& [doc, score] : acc) out.push_back(ScoredDoc{doc, score});
+  SortByScore(&out);
+  if (out.size() > k) out.resize(k);  // step 3
+  return out;
+}
+
+}  // namespace embellish::index

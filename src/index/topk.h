@@ -1,0 +1,43 @@
+// Plaintext query evaluation over the impact-ordered index.
+//
+// EvaluateTopK implements the Figure 10 algorithm (repeatedly pop the
+// highest remaining impact across the query terms' lists, accumulate into
+// per-document accumulators). EvaluateFull performs complete accumulation —
+// the same quantity Algorithm 4 computes under encryption — and is the
+// reference the Claim-1 equivalence tests compare the private pipeline to.
+
+#ifndef EMBELLISH_INDEX_TOPK_H_
+#define EMBELLISH_INDEX_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace embellish::index {
+
+/// \brief A document with its accumulated (discretized) relevance score.
+struct ScoredDoc {
+  corpus::DocId doc;
+  uint64_t score;
+
+  bool operator==(const ScoredDoc&) const = default;
+};
+
+/// \brief Canonical result ordering: score desc, then doc id asc.
+void SortByScore(std::vector<ScoredDoc>* docs);
+
+/// \brief Full accumulation over the query terms' lists; returns every
+///        candidate document, canonically ordered.
+std::vector<ScoredDoc> EvaluateFull(const InvertedIndex& index,
+                                    const std::vector<wordnet::TermId>& query);
+
+/// \brief Figure 10: impact-ordered top-k evaluation. Returns up to `k`
+///        documents, canonically ordered.
+std::vector<ScoredDoc> EvaluateTopK(const InvertedIndex& index,
+                                    const std::vector<wordnet::TermId>& query,
+                                    size_t k);
+
+}  // namespace embellish::index
+
+#endif  // EMBELLISH_INDEX_TOPK_H_

@@ -1,0 +1,51 @@
+#include "storage/block_device.h"
+
+#include <cassert>
+
+namespace embellish::storage {
+
+Status DiskModelOptions::Validate() const {
+  if (block_bytes == 0 || (block_bytes & (block_bytes - 1)) != 0) {
+    return Status::InvalidArgument("block_bytes must be a power of two");
+  }
+  if (avg_seek_ms < 0 || avg_rotational_ms < 0) {
+    return Status::InvalidArgument("latencies must be non-negative");
+  }
+  if (transfer_mb_per_s <= 0) {
+    return Status::InvalidArgument("transfer rate must be positive");
+  }
+  return Status::OK();
+}
+
+SimulatedDisk::SimulatedDisk(const DiskModelOptions& options)
+    : options_(options) {
+  assert(options.Validate().ok());
+}
+
+uint64_t SimulatedDisk::BlocksForBytes(uint64_t bytes) const {
+  return (bytes + options_.block_bytes - 1) / options_.block_bytes;
+}
+
+double SimulatedDisk::ExtentReadMs(uint64_t blocks) const {
+  if (blocks == 0) return 0.0;
+  const double bytes =
+      static_cast<double>(blocks) * static_cast<double>(options_.block_bytes);
+  const double transfer_ms =
+      bytes / (options_.transfer_mb_per_s * 1e6) * 1e3;
+  return options_.avg_seek_ms + options_.avg_rotational_ms + transfer_ms;
+}
+
+void SimulatedDisk::ChargeExtent(uint64_t blocks) {
+  if (blocks == 0) return;
+  accumulated_ms_ += ExtentReadMs(blocks);
+  accumulated_blocks_ += blocks;
+  accumulated_extents_ += 1;
+}
+
+void SimulatedDisk::ResetAccounting() {
+  accumulated_ms_ = 0.0;
+  accumulated_blocks_ = 0;
+  accumulated_extents_ = 0;
+}
+
+}  // namespace embellish::storage

@@ -1,0 +1,62 @@
+// Simulated block storage cost model.
+//
+// The paper's server I/O metric (Figures 7a/8a) was measured on a Seagate
+// ST973401KC (2.5" 10k-RPM SAS) with 1-KByte blocks. We model a read of one
+// contiguous extent as positioning (seek + half-rotation) plus transfer at
+// the sustained rate, and expose an accumulator the retrieval schemes charge
+// their fetches to. Absolute milliseconds are a model, not a measurement —
+// EXPERIMENTS.md compares shapes, not absolutes, against the paper.
+
+#ifndef EMBELLISH_STORAGE_BLOCK_DEVICE_H_
+#define EMBELLISH_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace embellish::storage {
+
+/// \brief Drive/geometry parameters (defaults: ST973401KC-era hardware).
+struct DiskModelOptions {
+  size_t block_bytes = 1024;        ///< the paper's 1-KByte blocks
+  double avg_seek_ms = 4.7;         ///< 10k-RPM 2.5" SAS average read seek
+  double avg_rotational_ms = 3.0;   ///< half a rotation at 10k RPM
+  double transfer_mb_per_s = 62.0;  ///< sustained transfer
+
+  Status Validate() const;
+};
+
+/// \brief Pure cost model plus a per-query accumulator.
+class SimulatedDisk {
+ public:
+  explicit SimulatedDisk(const DiskModelOptions& options = {});
+
+  const DiskModelOptions& options() const { return options_; }
+
+  /// \brief Cost (ms) of reading one contiguous extent of `blocks` blocks.
+  double ExtentReadMs(uint64_t blocks) const;
+
+  /// \brief Blocks needed to hold `bytes`.
+  uint64_t BlocksForBytes(uint64_t bytes) const;
+
+  // -- Accounting --
+
+  /// \brief Charges one extent read to the accumulator.
+  void ChargeExtent(uint64_t blocks);
+
+  void ResetAccounting();
+  double accumulated_ms() const { return accumulated_ms_; }
+  uint64_t accumulated_blocks() const { return accumulated_blocks_; }
+  uint64_t accumulated_extents() const { return accumulated_extents_; }
+
+ private:
+  DiskModelOptions options_;
+  double accumulated_ms_ = 0.0;
+  uint64_t accumulated_blocks_ = 0;
+  uint64_t accumulated_extents_ = 0;
+};
+
+}  // namespace embellish::storage
+
+#endif  // EMBELLISH_STORAGE_BLOCK_DEVICE_H_

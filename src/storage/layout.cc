@@ -1,0 +1,52 @@
+#include "storage/layout.h"
+
+namespace embellish::storage {
+
+StorageLayout StorageLayout::Build(
+    const index::InvertedIndex& index,
+    const std::vector<std::vector<wordnet::TermId>>& groups,
+    LayoutPolicy policy, const DiskModelOptions& disk_options) {
+  StorageLayout layout;
+  layout.policy_ = policy;
+  layout.group_extents_.reserve(groups.size());
+  const size_t block_bytes = disk_options.block_bytes;
+  uint64_t next_block = 0;
+
+  for (const std::vector<wordnet::TermId>& group : groups) {
+    std::vector<Extent> extents;
+    if (policy == LayoutPolicy::kBucketColocated) {
+      uint64_t bytes = 0;
+      for (wordnet::TermId term : group) bytes += index.ListBytes(term);
+      uint64_t blocks = (bytes + block_bytes - 1) / block_bytes;
+      if (blocks == 0) blocks = 1;  // a bucket always owns >= 1 block
+      extents.push_back(Extent{next_block, blocks});
+      next_block += blocks;
+    } else {
+      for (wordnet::TermId term : group) {
+        uint64_t bytes = index.ListBytes(term);
+        uint64_t blocks = (bytes + block_bytes - 1) / block_bytes;
+        if (blocks == 0) blocks = 1;
+        extents.push_back(Extent{next_block, blocks});
+        next_block += blocks;
+        // Scattered placement leaves a gap so consecutive lists are not
+        // physically adjacent (each read pays its own positioning cost).
+        next_block += 8;
+      }
+    }
+    layout.group_extents_.push_back(std::move(extents));
+  }
+  layout.total_blocks_ = next_block;
+  return layout;
+}
+
+size_t StorageLayout::GroupExtentCount(size_t group) const {
+  return group_extents_[group].size();
+}
+
+void StorageLayout::ChargeGroupRead(size_t group, SimulatedDisk* disk) const {
+  for (const Extent& e : group_extents_[group]) {
+    disk->ChargeExtent(e.block_count);
+  }
+}
+
+}  // namespace embellish::storage

@@ -1,0 +1,68 @@
+// On-disk placement of inverted lists.
+//
+// Section 4: "the search engine should store the inverted lists for the
+// terms of a bucket in common disk block(s). This allows Algorithm 4 to
+// fetch the inverted lists of an entire bucket's worth of terms in one
+// operation." The colocated layout implements that; the scattered layout
+// (one extent per term) exists for the ablation bench quantifying the
+// saving.
+
+#ifndef EMBELLISH_STORAGE_LAYOUT_H_
+#define EMBELLISH_STORAGE_LAYOUT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "index/inverted_index.h"
+#include "storage/block_device.h"
+#include "wordnet/database.h"
+
+namespace embellish::storage {
+
+/// \brief A contiguous run of blocks.
+struct Extent {
+  uint64_t first_block = 0;
+  uint64_t block_count = 0;
+};
+
+/// \brief Placement policy.
+enum class LayoutPolicy {
+  kBucketColocated,  ///< each term group shares one contiguous extent
+  kScattered,        ///< every list in its own extent
+};
+
+/// \brief Immutable layout mapping term groups (buckets) to extents.
+class StorageLayout {
+ public:
+  /// \brief Lays out `groups` of terms (each group = one bucket).
+  ///        Terms missing from the index occupy zero bytes but remain
+  ///        addressable.
+  static StorageLayout Build(
+      const index::InvertedIndex& index,
+      const std::vector<std::vector<wordnet::TermId>>& groups,
+      LayoutPolicy policy, const DiskModelOptions& disk_options);
+
+  LayoutPolicy policy() const { return policy_; }
+
+  /// \brief Number of extents a read of group `g` touches (1 if colocated).
+  size_t GroupExtentCount(size_t group) const;
+
+  /// \brief Charges the read of all of group `g`'s lists to `disk`.
+  void ChargeGroupRead(size_t group, SimulatedDisk* disk) const;
+
+  /// \brief Total blocks occupied.
+  uint64_t total_blocks() const { return total_blocks_; }
+
+  size_t group_count() const { return group_extents_.size(); }
+
+ private:
+  LayoutPolicy policy_ = LayoutPolicy::kBucketColocated;
+  // Per group: one extent (colocated) or one per member term (scattered).
+  std::vector<std::vector<Extent>> group_extents_;
+  uint64_t total_blocks_ = 0;
+};
+
+}  // namespace embellish::storage
+
+#endif  // EMBELLISH_STORAGE_LAYOUT_H_

@@ -1,0 +1,21 @@
+#include "text/analyzer.h"
+
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace embellish::text {
+
+std::vector<std::string> Analyze(std::string_view input,
+                                 const AnalyzerOptions& options) {
+  std::vector<std::string> tokens = Tokenize(input);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& tok : tokens) {
+    if (tok.size() < options.min_token_length) continue;
+    if (options.remove_stopwords && IsStopword(tok)) continue;
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+}  // namespace embellish::text

@@ -1,0 +1,26 @@
+// Analysis pipeline: tokenize -> stopword removal (no stemming, per §5.2).
+
+#ifndef EMBELLISH_TEXT_ANALYZER_H_
+#define EMBELLISH_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace embellish::text {
+
+/// \brief Analyzer options.
+struct AnalyzerOptions {
+  bool remove_stopwords = true;
+
+  /// Tokens shorter than this are dropped (single letters are noise).
+  size_t min_token_length = 2;
+};
+
+/// \brief Runs the analysis pipeline over raw text.
+std::vector<std::string> Analyze(std::string_view input,
+                                 const AnalyzerOptions& options = {});
+
+}  // namespace embellish::text
+
+#endif  // EMBELLISH_TEXT_ANALYZER_H_

@@ -1,0 +1,46 @@
+#include "text/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace embellish::text {
+
+namespace {
+
+// The classic English list used by early Lucene / SMART-derived systems.
+const std::unordered_set<std::string>& StopwordSet() {
+  static const std::unordered_set<std::string>* kSet =
+      new std::unordered_set<std::string>{
+          "a",       "about",  "above",   "after",  "again",   "against",
+          "all",     "am",     "an",      "and",    "any",     "are",
+          "as",      "at",     "be",      "because","been",    "before",
+          "being",   "below",  "between", "both",   "but",     "by",
+          "can",     "could",  "did",     "do",     "does",    "doing",
+          "down",    "during", "each",    "few",    "for",     "from",
+          "further", "had",    "has",     "have",   "having",  "he",
+          "her",     "here",   "hers",    "him",    "his",     "how",
+          "i",       "if",     "in",      "into",   "is",      "it",
+          "its",     "itself", "just",    "me",     "more",    "most",
+          "my",      "myself", "no",      "nor",    "not",     "now",
+          "of",      "off",    "on",      "once",   "only",    "or",
+          "other",   "our",    "ours",    "out",    "over",    "own",
+          "s",       "same",   "she",     "should", "so",      "some",
+          "such",    "t",      "than",    "that",   "the",     "their",
+          "theirs",  "them",   "then",    "there",  "these",   "they",
+          "this",    "those",  "through", "to",     "too",     "under",
+          "until",   "up",     "very",    "was",    "we",      "were",
+          "what",    "when",   "where",   "which",  "while",   "who",
+          "whom",    "why",    "will",    "with",   "you",     "your",
+          "yours",   "yourself"};
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(std::string(word)) > 0;
+}
+
+size_t StopwordCount() { return StopwordSet().size(); }
+
+}  // namespace embellish::text

@@ -1,0 +1,20 @@
+// English stopword list. The paper's indexing pipeline (§5.2) removes
+// stopwords ("common words like 'the' and 'a' that are not useful for
+// differentiating between documents") and performs no stemming.
+
+#ifndef EMBELLISH_TEXT_STOPWORDS_H_
+#define EMBELLISH_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace embellish::text {
+
+/// \brief True if `word` (already lower-cased) is a stopword.
+bool IsStopword(std::string_view word);
+
+/// \brief Number of entries in the built-in stopword list.
+size_t StopwordCount();
+
+}  // namespace embellish::text
+
+#endif  // EMBELLISH_TEXT_STOPWORDS_H_

@@ -1,0 +1,37 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace embellish::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsJoiner(char c) { return c == '\'' || c == '-'; }
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (size_t i = 0; i < input.size(); ++i) {
+    char c = input[i];
+    if (IsWordChar(c)) {
+      cur.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (IsJoiner(c) && !cur.empty() && i + 1 < input.size() &&
+               IsWordChar(input[i + 1])) {
+      cur.push_back(c);  // keep internal ' and - ("fool's", "mix-net")
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+}  // namespace embellish::text

@@ -1,0 +1,21 @@
+// Word tokenizer for document text (the Lucene analyzer's role in §5.2).
+
+#ifndef EMBELLISH_TEXT_TOKENIZER_H_
+#define EMBELLISH_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace embellish::text {
+
+/// \brief Splits text into lower-cased word tokens.
+///
+/// A token is a maximal run of ASCII letters/digits, with internal
+/// apostrophes and hyphens preserved ("fool's", "yellow-breasted") so that
+/// dictionary entries like "fool's gold" tokenize consistently.
+std::vector<std::string> Tokenize(std::string_view text);
+
+}  // namespace embellish::text
+
+#endif  // EMBELLISH_TEXT_TOKENIZER_H_

@@ -1,0 +1,66 @@
+#include "wordnet/builder.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace embellish::wordnet {
+
+TermId WordNetBuilder::InternTerm(const std::string& text) {
+  auto it = term_index_.find(text);
+  if (it != term_index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(Term{text, {}});
+  term_index_.emplace(text, id);
+  return id;
+}
+
+SynsetId WordNetBuilder::AddSynset(const std::vector<std::string>& term_texts) {
+  SynsetId sid = static_cast<SynsetId>(synsets_.size());
+  Synset ss;
+  for (const std::string& text : term_texts) {
+    TermId tid = InternTerm(text);
+    // A term may legitimately appear once per synset, but not twice in one.
+    if (std::find(ss.terms.begin(), ss.terms.end(), tid) == ss.terms.end()) {
+      ss.terms.push_back(tid);
+      terms_[tid].synsets.push_back(sid);
+    }
+  }
+  synsets_.push_back(std::move(ss));
+  return sid;
+}
+
+bool WordNetBuilder::HasRelation(SynsetId from, RelationType type,
+                                 SynsetId to) const {
+  const Synset& ss = synsets_[from];
+  return std::find(ss.relations.begin(), ss.relations.end(),
+                   Relation{type, to}) != ss.relations.end();
+}
+
+Status WordNetBuilder::AddRelation(SynsetId from, RelationType type,
+                                   SynsetId to) {
+  if (from >= synsets_.size() || to >= synsets_.size()) {
+    return Status::OutOfRange("synset id out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-loop relation rejected");
+  }
+  if (HasRelation(from, type, to)) {
+    return Status::InvalidArgument(StringPrintf(
+        "duplicate %s relation %u -> %u", RelationTypeName(type), from, to));
+  }
+  synsets_[from].relations.push_back(Relation{type, to});
+  RelationType inv = InverseRelation(type);
+  if (!HasRelation(to, inv, from)) {
+    synsets_[to].relations.push_back(Relation{inv, from});
+  }
+  return Status::OK();
+}
+
+Result<WordNetDatabase> WordNetBuilder::Build() && {
+  WordNetDatabase db(std::move(terms_), std::move(synsets_));
+  EMB_RETURN_NOT_OK(ValidateDatabase(db));
+  return db;
+}
+
+}  // namespace embellish::wordnet

@@ -1,0 +1,52 @@
+// Incremental construction of a WordNetDatabase with automatic maintenance
+// of inverse relations.
+
+#ifndef EMBELLISH_WORDNET_BUILDER_H_
+#define EMBELLISH_WORDNET_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "wordnet/database.h"
+
+namespace embellish::wordnet {
+
+/// \brief Builder for WordNetDatabase.
+///
+/// Terms are created on first mention; a term mentioned in several synsets
+/// becomes polysemous. AddRelation inserts the inverse edge automatically so
+/// the resulting database always passes ValidateDatabase's symmetry checks.
+class WordNetBuilder {
+ public:
+  /// \brief Adds a synset containing `term_texts` (>= 1), returns its id.
+  SynsetId AddSynset(const std::vector<std::string>& term_texts);
+
+  /// \brief Adds `from --type--> to` and the inverse edge. Duplicate edges
+  ///        and self-loops are rejected.
+  Status AddRelation(SynsetId from, RelationType type, SynsetId to);
+
+  /// \brief Convenience: hypernym edge (child generalizes to parent).
+  Status AddHypernym(SynsetId child, SynsetId parent) {
+    return AddRelation(child, RelationType::kHypernym, parent);
+  }
+
+  size_t synset_count() const { return synsets_.size(); }
+  size_t term_count() const { return terms_.size(); }
+
+  /// \brief Finalizes and validates; the builder is consumed.
+  Result<WordNetDatabase> Build() &&;
+
+ private:
+  TermId InternTerm(const std::string& text);
+  bool HasRelation(SynsetId from, RelationType type, SynsetId to) const;
+
+  std::vector<Term> terms_;
+  std::vector<Synset> synsets_;
+  std::unordered_map<std::string, TermId> term_index_;
+};
+
+}  // namespace embellish::wordnet
+
+#endif  // EMBELLISH_WORDNET_BUILDER_H_

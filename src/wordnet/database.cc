@@ -1,0 +1,57 @@
+#include "wordnet/database.h"
+
+namespace embellish::wordnet {
+
+const char* RelationTypeName(RelationType t) {
+  switch (t) {
+    case RelationType::kHypernym:
+      return "hypernym";
+    case RelationType::kHyponym:
+      return "hyponym";
+    case RelationType::kHolonym:
+      return "holonym";
+    case RelationType::kMeronym:
+      return "meronym";
+    case RelationType::kAntonym:
+      return "antonym";
+    case RelationType::kDerivation:
+      return "derivation";
+    case RelationType::kDomain:
+      return "domain";
+    case RelationType::kDomainMember:
+      return "domain_member";
+  }
+  return "unknown";
+}
+
+WordNetDatabase::WordNetDatabase(std::vector<Term> terms,
+                                 std::vector<Synset> synsets)
+    : terms_(std::move(terms)), synsets_(std::move(synsets)) {
+  term_index_.reserve(terms_.size());
+  for (TermId id = 0; id < terms_.size(); ++id) {
+    term_index_.emplace(terms_[id].text, id);
+  }
+}
+
+TermId WordNetDatabase::FindTerm(const std::string& text) const {
+  auto it = term_index_.find(text);
+  return it == term_index_.end() ? kInvalidTermId : it->second;
+}
+
+std::vector<SynsetId> WordNetDatabase::RelatedSynsets(
+    SynsetId id, RelationType type) const {
+  std::vector<SynsetId> out;
+  for (const Relation& rel : synsets_[id].relations) {
+    if (rel.type == type) out.push_back(rel.target);
+  }
+  return out;
+}
+
+bool WordNetDatabase::IsHypernymRoot(SynsetId id) const {
+  for (const Relation& rel : synsets_[id].relations) {
+    if (rel.type == RelationType::kHypernym) return false;
+  }
+  return true;
+}
+
+}  // namespace embellish::wordnet

@@ -1,0 +1,67 @@
+// Immutable in-memory lexical database: the substrate for Algorithms 1 and 2.
+
+#ifndef EMBELLISH_WORDNET_DATABASE_H_
+#define EMBELLISH_WORDNET_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "wordnet/types.h"
+
+namespace embellish::wordnet {
+
+/// \brief A dictionary term (word or collocation, e.g. "abu sayyaf").
+struct Term {
+  std::string text;
+  std::vector<SynsetId> synsets;  ///< senses, in insertion order
+};
+
+/// \brief A sense shared by one or more terms, with typed out-edges.
+struct Synset {
+  std::vector<TermId> terms;
+  std::vector<Relation> relations;
+
+  /// \brief Number of relations (the "connectivity" Algorithm 1 orders by).
+  size_t RelationCount() const { return relations.size(); }
+};
+
+/// \brief Immutable lexical database. Construct via WordNetBuilder,
+///        SyntheticGenerator, MiniWordNet, or the text format loader.
+class WordNetDatabase {
+ public:
+  WordNetDatabase(std::vector<Term> terms, std::vector<Synset> synsets);
+
+  size_t term_count() const { return terms_.size(); }
+  size_t synset_count() const { return synsets_.size(); }
+
+  const Term& term(TermId id) const { return terms_[id]; }
+  const Synset& synset(SynsetId id) const { return synsets_[id]; }
+
+  const std::vector<Term>& terms() const { return terms_; }
+  const std::vector<Synset>& synsets() const { return synsets_; }
+
+  /// \brief Looks up a term by its text; kInvalidTermId if absent.
+  TermId FindTerm(const std::string& text) const;
+
+  /// \brief All relations of `id` with the given type.
+  std::vector<SynsetId> RelatedSynsets(SynsetId id, RelationType type) const;
+
+  /// \brief True if the synset has no hypernym (it is a hierarchy root).
+  bool IsHypernymRoot(SynsetId id) const;
+
+ private:
+  std::vector<Term> terms_;
+  std::vector<Synset> synsets_;
+  std::unordered_map<std::string, TermId> term_index_;
+};
+
+/// \brief Structural validation: ids in range, inverse edges present,
+///        no self-loops, every term in >= 1 synset and vice versa, and the
+///        hypernym graph is acyclic with every synset reaching a root.
+Status ValidateDatabase(const WordNetDatabase& db);
+
+}  // namespace embellish::wordnet
+
+#endif  // EMBELLISH_WORDNET_DATABASE_H_

@@ -1,0 +1,249 @@
+#include "wordnet/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "wordnet/builder.h"
+
+namespace embellish::wordnet {
+
+namespace {
+
+// Relative synset mass per depth, read off Figure 2 of the paper: near-zero
+// head (1 synset at depth 0, 4 at depth 1), steep rise to a mode at 7 that
+// holds about a third of the nouns, and a long tail to 18.
+constexpr double kDepthWeights[kFigure2DepthCount] = {
+    /*0*/ 0.0000122, /*1*/ 0.0000487, /*2*/ 0.011, /*3*/ 0.0366,
+    /*4*/ 0.0975,    /*5*/ 0.1706,    /*6*/ 0.268, /*7*/ 0.4265,
+    /*8*/ 0.1707,    /*9*/ 0.0975,    /*10*/ 0.0609, /*11*/ 0.0426,
+    /*12*/ 0.0244,   /*13*/ 0.0146,   /*14*/ 0.0097, /*15*/ 0.0043,
+    /*16*/ 0.0018,   /*17*/ 0.0007,   /*18*/ 0.0002};
+
+// Pronounceable pseudo-word syllable inventory.
+constexpr const char* kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "h",  "j",
+                                   "k",  "l",  "m",  "n",  "p",  "r",  "s",
+                                   "t",  "v",  "w",  "z",  "br", "cr", "dr",
+                                   "fl", "gl", "pr", "sk", "sp", "st", "tr",
+                                   "ch", "sh", "th", "ph"};
+constexpr const char* kNuclei[] = {"a", "e", "i", "o", "u", "ae", "ia", "io",
+                                   "ou", "ea", "ei", "oa"};
+constexpr const char* kCodas[] = {"",  "",  "",  "n", "r", "s",  "l",
+                                  "m", "t", "x", "d", "ck", "ph", "th"};
+
+class PseudoWordFactory {
+ public:
+  explicit PseudoWordFactory(Rng* rng) : rng_(rng) {}
+
+  // A fresh word never produced before (retries on collision).
+  std::string NewWord() {
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      std::string w = Sample();
+      if (seen_.insert(w).second) return w;
+    }
+    // Astronomically unlikely at our scales; fall back to a counter suffix.
+    std::string w = Sample() + StringPrintf("%zu", seen_.size());
+    seen_.insert(w);
+    return w;
+  }
+
+  // Marks an externally supplied word as used.
+  void Reserve(const std::string& w) { seen_.insert(w); }
+
+ private:
+  std::string Sample() {
+    size_t syllables = 2 + rng_->Uniform(3);  // 2..4
+    std::string w;
+    for (size_t s = 0; s < syllables; ++s) {
+      w += kOnsets[rng_->Uniform(std::size(kOnsets))];
+      w += kNuclei[rng_->Uniform(std::size(kNuclei))];
+      if (s + 1 == syllables || rng_->Bernoulli(0.3)) {
+        w += kCodas[rng_->Uniform(std::size(kCodas))];
+      }
+    }
+    return w;
+  }
+
+  Rng* rng_;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace
+
+const double* Figure2DepthWeights() { return kDepthWeights; }
+
+Status SyntheticWordNetOptions::Validate() const {
+  if (target_term_count < 50) {
+    return Status::InvalidArgument("target_term_count must be >= 50");
+  }
+  if (max_depth < 3 || max_depth >= 64) {
+    return Status::InvalidArgument("max_depth out of range [3, 64)");
+  }
+  for (double p : {extra_hypernym_prob, antonym_prob, meronym_prob,
+                   derivation_prob, domain_prob}) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("probability out of [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+Result<WordNetDatabase> GenerateSyntheticWordNet(
+    const SyntheticWordNetOptions& options) {
+  EMB_RETURN_NOT_OK(options.Validate());
+  Rng rng(options.seed);
+  PseudoWordFactory words(&rng);
+  WordNetBuilder builder;
+
+  // ---- 1. Per-depth synset budget, scaled from the Figure 2 profile. ----
+  // Words per synset average ~1.8 with ~45% of non-head slots reusing an
+  // existing term (polysemy), so distinct new terms per synset ~= 1.42 —
+  // matching WordNet's 117,798 words over 82,115 synsets.
+  const double kTermsPerSynset = 1.42;
+  const size_t synset_target = std::max<size_t>(
+      20, static_cast<size_t>(
+              std::llround(static_cast<double>(options.target_term_count) /
+                           kTermsPerSynset)));
+
+  const size_t depth_count = std::min(options.max_depth + 1,
+                                      kFigure2DepthCount);
+  double weight_sum = 0;
+  for (size_t d = 0; d < depth_count; ++d) weight_sum += kDepthWeights[d];
+
+  std::vector<size_t> budget(depth_count, 0);
+  budget[0] = 1;  // 'entity'
+  for (size_t d = 1; d < depth_count; ++d) {
+    budget[d] = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(
+               static_cast<double>(synset_target) * kDepthWeights[d] /
+               weight_sum)));
+  }
+  if (depth_count > 1) budget[1] = std::max<size_t>(budget[1], 4);
+
+  // ---- 2. Hypernym hierarchy, level by level. ----
+  std::vector<std::vector<SynsetId>> levels(depth_count);
+  std::vector<size_t> synset_depth;
+  // Pool of minted words, drawn from for polysemy (a term used by several
+  // synsets). ~20% of non-head slots reuse, which lands the distinct-term /
+  // synset ratio near WordNet's 117,798 / 82,115 ~= 1.43.
+  std::vector<std::string> minted;
+
+  auto make_synset = [&](size_t depth) -> SynsetId {
+    // Slot count distribution: mean ~1.8 words per synset.
+    size_t slots = 1;
+    double roll = rng.NextDouble();
+    if (roll > 0.45 && roll <= 0.80) {
+      slots = 2;
+    } else if (roll > 0.80 && roll <= 0.95) {
+      slots = 3;
+    } else if (roll > 0.95) {
+      slots = 4;
+    }
+    std::vector<std::string> texts;
+    texts.reserve(slots);
+    std::string head = words.NewWord();
+    minted.push_back(head);
+    texts.push_back(head);
+    for (size_t s = 1; s < slots; ++s) {
+      double style = rng.NextDouble();
+      if (!minted.empty() && style < 0.45) {
+        // Polysemy: an existing word acquires this synset as a new sense.
+        texts.push_back(minted[rng.Uniform(minted.size())]);
+      } else if (style < 0.80) {
+        std::string w = words.NewWord();
+        minted.push_back(w);
+        texts.push_back(std::move(w));
+      } else if (style < 0.92) {
+        // Collocation on the head word, mirroring WordNet's compound
+        // entries ("amaranthaceae" / "family amaranthaceae").
+        std::string w = "family " + head;
+        words.Reserve(w);
+        minted.push_back(w);
+        texts.push_back(std::move(w));
+      } else {
+        std::string w = head + " " + words.NewWord();
+        words.Reserve(w);
+        minted.push_back(w);
+        texts.push_back(std::move(w));
+      }
+    }
+    SynsetId sid = builder.AddSynset(texts);
+    synset_depth.push_back(depth);
+    return sid;
+  };
+
+  {
+    // Root: 'entity', like the real noun hierarchy.
+    SynsetId root = builder.AddSynset({"entity"});
+    synset_depth.push_back(0);
+    levels[0].push_back(root);
+  }
+  for (size_t d = 1; d < depth_count; ++d) {
+    levels[d].reserve(budget[d]);
+    for (size_t i = 0; i < budget[d]; ++i) {
+      SynsetId sid = make_synset(d);
+      SynsetId parent =
+          levels[d - 1][rng.Uniform(levels[d - 1].size())];
+      EMB_RETURN_NOT_OK(builder.AddHypernym(sid, parent));
+      // Occasional second hypernym at the same parent depth; the shortest
+      // path to the root is unchanged, so specificity stays equal to d.
+      if (levels[d - 1].size() > 1 &&
+          rng.Bernoulli(options.extra_hypernym_prob)) {
+        SynsetId second = levels[d - 1][rng.Uniform(levels[d - 1].size())];
+        if (second != parent) {
+          EMB_RETURN_NOT_OK(builder.AddHypernym(sid, second));
+        }
+      }
+      levels[d].push_back(sid);
+    }
+  }
+
+  const size_t total_synsets = builder.synset_count();
+
+  // ---- 3. Non-hierarchy relations. ----
+  auto random_synset_at_depth = [&](size_t depth) -> SynsetId {
+    return levels[depth][rng.Uniform(levels[depth].size())];
+  };
+
+  for (SynsetId sid = 0; sid < total_synsets; ++sid) {
+    size_t d = synset_depth[sid];
+    if (levels[d].size() > 1 && rng.Bernoulli(options.antonym_prob)) {
+      SynsetId other = random_synset_at_depth(d);
+      if (other != sid) {
+        // Ignore duplicate-edge rejections; they are harmless here.
+        (void)builder.AddRelation(sid, RelationType::kAntonym, other);
+      }
+    }
+    if (rng.Bernoulli(options.meronym_prob)) {
+      size_t lo = d >= 2 ? d - 2 : 0;
+      size_t hi = std::min(depth_count - 1, d + 2);
+      size_t dd = lo + rng.Uniform(hi - lo + 1);
+      SynsetId other = random_synset_at_depth(dd);
+      if (other != sid) {
+        (void)builder.AddRelation(sid, RelationType::kMeronym, other);
+      }
+    }
+    if (levels[d].size() > 1 && rng.Bernoulli(options.derivation_prob)) {
+      SynsetId other = random_synset_at_depth(d);
+      if (other != sid) {
+        (void)builder.AddRelation(sid, RelationType::kDerivation, other);
+      }
+    }
+    if (rng.Bernoulli(options.domain_prob)) {
+      // Domains are general concepts: depth 2..4.
+      size_t dd = 2 + rng.Uniform(std::min<size_t>(3, depth_count - 2));
+      if (dd < depth_count && !levels[dd].empty()) {
+        SynsetId other = random_synset_at_depth(dd);
+        if (other != sid) {
+          (void)builder.AddRelation(sid, RelationType::kDomain, other);
+        }
+      }
+    }
+  }
+
+  return std::move(builder).Build();
+}
+
+}  // namespace embellish::wordnet

@@ -1,0 +1,66 @@
+// Deterministic synthetic lexical database, standing in for the WordNet 2.x
+// noun database (117,798 nouns / 82,115 synsets) which cannot be shipped
+// with this repository.
+//
+// The generator reproduces the *structural* properties Algorithms 1-2 and the
+// Section 5.1 metrics depend on:
+//   * a single hypernym DAG rooted at 'entity' (every noun generalizes to it,
+//     as the paper observes in Section 3.3);
+//   * a specificity (= depth) distribution calibrated to Figure 2: range
+//     0..18, exactly 1 synset at depth 0 and 4 at depth 1, mode at 7 holding
+//     roughly one-third of the terms;
+//   * synonymy (multi-term synsets) and polysemy (multi-synset terms) at
+//     WordNet-like rates (~1.8 words/synset, ~1.2 senses/word);
+//   * antonym, meronym/holonym, derivational and domain edges in realistic
+//     proportions, since Algorithm 1's traversal order distinguishes them.
+// Term texts are pronounceable pseudo-words (deterministic), with occasional
+// multi-word collocations mirroring entries like "family amaranthaceae".
+
+#ifndef EMBELLISH_WORDNET_GENERATOR_H_
+#define EMBELLISH_WORDNET_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "wordnet/database.h"
+
+namespace embellish::wordnet {
+
+/// \brief Parameters for the synthetic lexicon.
+struct SyntheticWordNetOptions {
+  /// Approximate number of distinct terms to generate. The real noun
+  /// database has 117,798; tests use much smaller values.
+  size_t target_term_count = 117798;
+
+  /// PRNG seed; equal options produce identical databases.
+  uint64_t seed = 2010;
+
+  /// Maximum hypernym depth (Figure 2 tops out at 18).
+  size_t max_depth = 18;
+
+  /// Probability that a non-root synset receives a second hypernym edge
+  /// (to another synset at the same depth as its primary parent, so the
+  /// shortest-path specificity is unchanged).
+  double extra_hypernym_prob = 0.05;
+
+  /// Fractions of synsets receiving each non-hierarchy relation.
+  double antonym_prob = 0.02;
+  double meronym_prob = 0.08;
+  double derivation_prob = 0.05;
+  double domain_prob = 0.03;
+
+  Status Validate() const;
+};
+
+/// \brief Generates the synthetic lexicon. Deterministic given options.
+Result<WordNetDatabase> GenerateSyntheticWordNet(
+    const SyntheticWordNetOptions& options);
+
+/// \brief The Figure 2 depth profile: relative synset weight per depth
+///        (index = depth, 0..18). Exposed for tests and the fig2 bench.
+const double* Figure2DepthWeights();
+inline constexpr size_t kFigure2DepthCount = 19;
+
+}  // namespace embellish::wordnet
+
+#endif  // EMBELLISH_WORDNET_GENERATOR_H_

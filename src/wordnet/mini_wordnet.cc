@@ -1,0 +1,251 @@
+#include "wordnet/mini_wordnet.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "wordnet/builder.h"
+
+namespace embellish::wordnet {
+
+namespace {
+
+// Thin DSL over WordNetBuilder: synsets are memoized by their head term so
+// hypernym chains can share prefixes; every AddRelation failure here is a
+// programming error in the table below, hence the asserts.
+class MiniBuilder {
+ public:
+  // Creates (or fetches) the synset whose head term is texts[0].
+  SynsetId Syn(const std::vector<std::string>& texts) {
+    auto it = by_head_.find(texts[0]);
+    if (it != by_head_.end()) return it->second;
+    SynsetId sid = builder_.AddSynset(texts);
+    by_head_.emplace(texts[0], sid);
+    return sid;
+  }
+
+  // Builds a hypernym chain root-first: Chain({"entity", "a", "b"}) makes
+  // b -> a -> entity and returns b's synset. Multi-synonym nodes use '|'
+  // separators: "osteosarcoma|osteogenic sarcoma".
+  SynsetId Chain(const std::vector<std::string>& nodes) {
+    SynsetId prev = kInvalidSynsetId;
+    for (const std::string& node : nodes) {
+      SynsetId cur = Syn(SplitSynonyms(node));
+      if (prev != kInvalidSynsetId && !HasHypernym(cur)) {
+        Status st = builder_.AddHypernym(cur, prev);
+        assert(st.ok());
+        has_hypernym_.insert(cur);
+      }
+      prev = cur;
+    }
+    return prev;
+  }
+
+  void Relate(const std::string& from_head, RelationType type,
+              const std::string& to_head) {
+    auto f = by_head_.find(from_head);
+    auto t = by_head_.find(to_head);
+    assert(f != by_head_.end() && t != by_head_.end());
+    Status st = builder_.AddRelation(f->second, type, t->second);
+    assert(st.ok());
+    (void)st;
+  }
+
+  Result<WordNetDatabase> Build() && { return std::move(builder_).Build(); }
+
+ private:
+  static std::vector<std::string> SplitSynonyms(const std::string& node) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= node.size(); ++i) {
+      if (i == node.size() || node[i] == '|') {
+        out.push_back(node.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return out;
+  }
+
+  bool HasHypernym(SynsetId sid) const { return has_hypernym_.count(sid) > 0; }
+
+  WordNetBuilder builder_;
+  std::unordered_map<std::string, SynsetId> by_head_;
+  std::unordered_set<SynsetId> has_hypernym_;
+};
+
+}  // namespace
+
+Result<WordNetDatabase> BuildMiniWordNet() {
+  MiniBuilder b;
+
+  // --- People (paper: 'sir thomas wyatt' (7)) ---
+  b.Chain({"entity", "physical entity", "object", "living thing", "organism",
+           "person", "writer", "sir thomas wyatt"});
+
+  // --- Respiratory / physiological states ('hypocapnia' (6)) ---
+  b.Chain({"entity", "abstraction", "state", "condition",
+           "physiological state", "respiratory condition",
+           "hypocapnia|acapnia"});
+  b.Chain({"entity", "abstraction", "state", "condition",
+           "physiological state", "respiratory condition",
+           "hypercapnia|hypercarbia"});
+  b.Chain({"entity", "abstraction", "state", "condition",
+           "physiological state", "respiratory condition", "asphyxia"});
+  b.Chain({"entity", "abstraction", "state", "condition",
+           "physiological state", "oxygen debt"});
+  b.Chain({"entity", "abstraction", "state", "condition",
+           "physiological state", "hyperthermia|hyperthermy"});
+  b.Chain({"entity", "abstraction", "state", "symptom"});
+
+  // --- Cancers ('osteosarcoma' (14)); siblings from the §3.3 snippet ---
+  b.Chain({"entity", "abstraction", "state", "condition", "pathological state",
+           "ill health", "illness|sickness", "disease", "neoplasm",
+           "malignant neoplasm", "cancer", "sarcoma", "bone sarcoma",
+           "osteoid tumor", "osteosarcoma|osteogenic sarcoma"});
+  b.Chain({"entity", "abstraction", "state", "condition", "pathological state",
+           "ill health", "illness|sickness", "disease", "neoplasm",
+           "malignant neoplasm", "cancer", "sarcoma", "myosarcoma"});
+  b.Chain({"entity", "abstraction", "state", "condition", "pathological state",
+           "ill health", "illness|sickness", "disease", "neoplasm",
+           "malignant neoplasm", "cancer", "sarcoma", "neurosarcoma|malignant neuroma"});
+  b.Chain({"entity", "abstraction", "state", "condition", "pathological state",
+           "ill health", "illness|sickness", "disease", "neoplasm",
+           "malignant neoplasm", "cancer", "sarcoma",
+           "rhabdomyosarcoma|rhabdosarcoma"});
+
+  // --- Plant families ('amaranthaceae' (8)); §3.3 snippet siblings ---
+  b.Chain({"entity", "physical entity", "object", "living thing", "organism",
+           "plant", "flowering plant", "plant family",
+           "amaranthaceae|family amaranthaceae|amaranth family"});
+  b.Chain({"entity", "physical entity", "object", "living thing", "organism",
+           "plant", "flowering plant", "plant family", "batidaceae"});
+  b.Chain({"entity", "physical entity", "object", "living thing", "organism",
+           "plant", "flowering plant", "plant family", "carpetweed family|family tetragoniaceae"});
+  b.Chain({"entity", "physical entity", "object", "living thing", "organism",
+           "plant", "vascular plant", "woody plant", "tree",
+           "angiospermous tree", "chestnut", "american chestnut"});
+
+  // --- Terrorism cluster ('terrorism' (9), 'abu sayyaf' (7)) ---
+  b.Chain({"entity", "abstraction", "psychological feature", "event", "act",
+           "activity", "wrongdoing", "transgression", "crime", "terrorism"});
+  b.Chain({"entity", "abstraction", "psychological feature", "event", "act",
+           "activity", "wrongdoing", "transgression", "crime", "terrorism",
+           "act of terrorism|terrorist act"});
+  b.Chain({"entity", "abstraction", "group", "social group", "organization",
+           "political organization",
+           "terrorist organization|foreign terrorist organization",
+           "abu sayyaf|bearer of the sword"});
+  b.Chain({"entity", "abstraction", "group", "social group", "organization",
+           "political organization",
+           "terrorist organization|foreign terrorist organization",
+           "aksa martyrs brigades"});
+  b.Chain({"entity", "abstraction", "group", "social group", "organization",
+           "political organization",
+           "terrorist organization|foreign terrorist organization",
+           "abu hafs al-masri brigades"});
+
+  // --- Medical care ('therapy', 'radiation therapy') ---
+  b.Chain({"entity", "abstraction", "psychological feature", "event", "act",
+           "medical care", "therapy", "radiation therapy",
+           "accelerated radiation therapy"});
+
+  // --- Places ('huntsville' (9), 'smyrna' (7), 'lut desert' (6)) ---
+  b.Chain({"entity", "physical entity", "object", "location", "region",
+           "district", "administrative district", "municipality", "city",
+           "huntsville"});
+  b.Chain({"entity", "physical entity", "object", "location", "region",
+           "geographical area", "urban area", "smyrna"});
+  b.Chain({"entity", "physical entity", "object", "location", "region",
+           "desert", "lut desert"});
+
+  // --- Substances ('fool's gold' (6), water, nitrogen) ---
+  b.Chain({"entity", "physical entity", "object", "substance", "material",
+           "mineral", "fool's gold|pyrite"});
+  b.Chain({"entity", "physical entity", "object", "substance", "liquid",
+           "water"});
+  b.Chain({"entity", "physical entity", "object", "substance", "element",
+           "nitrogen"});
+  b.Chain({"entity", "physical entity", "object", "part", "tissue|tissues"});
+
+  // --- Taxonomy genera ('acipenser' (7), 'brama' (7),
+  //     'family eschrichtiidae' (7)) ---
+  b.Chain({"entity", "abstraction", "group", "biological group",
+           "taxonomic group", "genus", "fish genus", "acipenser"});
+  b.Chain({"entity", "abstraction", "group", "biological group",
+           "taxonomic group", "genus", "fish genus", "brama"});
+  b.Chain({"entity", "abstraction", "group", "biological group",
+           "taxonomic group", "family", "mammal family",
+           "eschrichtiidae|family eschrichtiidae"});
+
+  // --- Animals ('yellow-breasted bunting' (14), 'ectozoon' (7)) ---
+  b.Chain({"entity", "physical entity", "object", "living thing", "organism",
+           "animal", "chordate", "vertebrate", "bird", "passerine",
+           "oscine", "finch", "bunting", "old world bunting",
+           "yellow-breasted bunting"});
+  b.Chain({"entity", "physical entity", "object", "living thing", "organism",
+           "animal", "parasite", "ectozoon|ectoparasite"});
+  b.Chain({"entity", "physical entity", "object", "living thing", "organism",
+           "fungus", "yeast", "active dry yeast"});
+
+  // --- Artifacts ('mainspring' (9), 'love knot' (10), 'pigeon loft' (7)) ---
+  b.Chain({"entity", "physical entity", "object", "artifact",
+           "instrumentality", "device", "mechanism", "mechanical device",
+           "spring", "mainspring"});
+  b.Chain({"entity", "physical entity", "object", "artifact",
+           "instrumentality", "device", "mechanism", "mechanical device",
+           "spring", "watch spring"});
+  b.Chain({"entity", "physical entity", "object", "artifact",
+           "instrumentality", "device", "fastener", "knot", "bow knot",
+           "fancy knot", "love knot"});
+  b.Chain({"entity", "physical entity", "object", "artifact", "structure",
+           "shelter", "loft", "pigeon loft"});
+  b.Chain({"entity", "physical entity", "object", "artifact",
+           "instrumentality", "equipment", "exercise device", "threadmill"});
+  b.Chain({"entity", "physical entity", "object", "artifact",
+           "instrumentality", "device", "mechanism", "mechanical device",
+           "timepiece", "watch"});
+
+  // --- Astronomy ('sign of the zodiac' (5), 'saturn') ---
+  b.Chain({"entity", "abstraction", "attribute", "shape", "plane figure",
+           "sign of the zodiac"});
+  b.Chain({"entity", "physical entity", "object", "natural object",
+           "celestial body", "planet", "saturn"});
+  b.Chain({"entity", "abstraction", "cognition", "discipline", "science",
+           "astronomy"});
+
+  // --- Wine ('moustille' from Figure 1's bucket 37) ---
+  b.Chain({"entity", "physical entity", "object", "substance", "food",
+           "beverage", "wine", "moustille"});
+
+  // --- General/polysemous filler terms from the intro's example queries ---
+  b.Chain({"entity", "abstraction", "measure", "time"});
+  b.Chain({"entity", "abstraction", "attribute", "property", "wetness",
+           "soaked"});
+  b.Chain({"entity", "abstraction", "attribute", "property", "dryness",
+           "dry"});
+  b.Chain({"entity", "abstraction", "attribute", "property", "activeness",
+           "active"});
+  b.Chain({"entity", "abstraction", "relation", "remainder", "residual"});
+  b.Chain({"entity", "physical entity", "process", "natural process",
+           "radiation"});
+  b.Chain({"entity", "physical entity", "process", "natural process",
+           "flooding"});
+  b.Chain({"entity", "physical entity", "process", "change", "acceleration",
+           "accelerated"});
+
+  // --- Non-hierarchy relations exercising every type Algorithm 1 visits ---
+  b.Relate("hypercapnia", RelationType::kAntonym, "hypocapnia");
+  b.Relate("wetness", RelationType::kAntonym, "dryness");
+  b.Relate("terrorism", RelationType::kDerivation, "act of terrorism");
+  b.Relate("watch", RelationType::kMeronym, "watch spring");  // part: spring
+  b.Relate("mainspring", RelationType::kHolonym, "watch");
+  b.Relate("abu sayyaf", RelationType::kDomain, "terrorism");
+  b.Relate("saturn", RelationType::kDomain, "astronomy");
+  b.Relate("sign of the zodiac", RelationType::kDomain, "astronomy");
+  b.Relate("moustille", RelationType::kDerivation, "wine");
+  b.Relate("yeast", RelationType::kDomain, "wine");
+
+  return std::move(b).Build();
+}
+
+}  // namespace embellish::wordnet

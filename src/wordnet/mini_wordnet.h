@@ -1,0 +1,23 @@
+// A curated ~100-synset lexical database containing the paper's running
+// examples (osteosarcoma, amaranthaceae, hypocapnia, abu sayyaf, ...), with
+// hypernym chains whose depths reproduce the specificity values the paper
+// quotes in Section 3.4 (e.g. 'osteosarcoma' (14), 'terrorism' (9),
+// 'amaranthaceae' (8), 'sign of the zodiac' (5)).
+//
+// Used by the examples for human-readable output and by tests as a fixed,
+// hand-checkable fixture.
+
+#ifndef EMBELLISH_WORDNET_MINI_WORDNET_H_
+#define EMBELLISH_WORDNET_MINI_WORDNET_H_
+
+#include "common/status.h"
+#include "wordnet/database.h"
+
+namespace embellish::wordnet {
+
+/// \brief Builds the curated mini lexicon. Deterministic.
+Result<WordNetDatabase> BuildMiniWordNet();
+
+}  // namespace embellish::wordnet
+
+#endif  // EMBELLISH_WORDNET_MINI_WORDNET_H_

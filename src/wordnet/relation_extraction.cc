@@ -1,0 +1,109 @@
+#include "wordnet/relation_extraction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace embellish::wordnet {
+
+namespace {
+
+// Packed symmetric pair key (a < b).
+uint64_t PairKey(TermId a, TermId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Status RelationExtractionOptions::Validate() const {
+  if (window < 2) {
+    return Status::InvalidArgument("window must be >= 2 tokens");
+  }
+  if (min_strength <= 0.0 || min_strength >= 1.0) {
+    return Status::InvalidArgument("min_strength out of (0, 1)");
+  }
+  if (min_cooccurrences < 1) {
+    return Status::InvalidArgument("min_cooccurrences must be >= 1");
+  }
+  if (max_relations_per_term < 1) {
+    return Status::InvalidArgument("max_relations_per_term must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ExtractedRelation>> ExtractRelationsFromCorpus(
+    const corpus::Corpus& corpus, const RelationExtractionOptions& options) {
+  EMB_RETURN_NOT_OK(options.Validate());
+  if (corpus.document_count() == 0) {
+    return Status::InvalidArgument("corpus is empty");
+  }
+
+  // Windowed co-occurrence and marginal counts over token positions.
+  std::unordered_map<uint64_t, uint32_t> pair_counts;
+  std::unordered_map<TermId, uint64_t> term_counts;
+  uint64_t total_tokens = 0;
+
+  for (const corpus::Document& doc : corpus.documents()) {
+    const auto& toks = doc.tokens;
+    total_tokens += toks.size();
+    for (size_t i = 0; i < toks.size(); ++i) {
+      ++term_counts[toks[i]];
+      const size_t end = std::min(toks.size(), i + options.window);
+      for (size_t j = i + 1; j < end; ++j) {
+        if (toks[i] == toks[j]) continue;
+        ++pair_counts[PairKey(toks[i], toks[j])];
+      }
+    }
+  }
+  if (total_tokens == 0) {
+    return Status::InvalidArgument("corpus contains no tokens");
+  }
+
+  // NPMI scoring: npmi = pmi / (-log p(a,b)), clamped to (0, 1].
+  const double n = static_cast<double>(total_tokens);
+  // Expected window pairings per token (normalization for p(a,b)).
+  const double pairs_per_token = static_cast<double>(options.window - 1);
+  const double total_pairs = n * pairs_per_token;
+
+  std::vector<ExtractedRelation> relations;
+  relations.reserve(pair_counts.size() / 8);
+  for (const auto& [key, count] : pair_counts) {
+    if (count < options.min_cooccurrences) continue;
+    TermId a = static_cast<TermId>(key >> 32);
+    TermId b = static_cast<TermId>(key & 0xFFFFFFFFu);
+    const double p_ab = static_cast<double>(count) / total_pairs;
+    const double p_a = static_cast<double>(term_counts[a]) / n;
+    const double p_b = static_cast<double>(term_counts[b]) / n;
+    const double pmi = std::log(p_ab / (p_a * p_b));
+    const double npmi = pmi / -std::log(p_ab);
+    if (npmi < options.min_strength) continue;
+    relations.push_back(
+        ExtractedRelation{a, b, std::min(1.0, npmi)});
+  }
+
+  // Keep the strongest max_relations_per_term per endpoint.
+  std::sort(relations.begin(), relations.end(),
+            [](const ExtractedRelation& x, const ExtractedRelation& y) {
+              if (x.strength != y.strength) return x.strength > y.strength;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  std::unordered_map<TermId, size_t> degree;
+  std::vector<ExtractedRelation> kept;
+  kept.reserve(relations.size());
+  for (const ExtractedRelation& rel : relations) {
+    size_t& da = degree[rel.a];
+    size_t& db = degree[rel.b];
+    if (da >= options.max_relations_per_term ||
+        db >= options.max_relations_per_term) {
+      continue;
+    }
+    ++da;
+    ++db;
+    kept.push_back(rel);
+  }
+  return kept;
+}
+
+}  // namespace embellish::wordnet

@@ -1,0 +1,58 @@
+// Corpus-based term-relation extraction (Appendix C).
+//
+// The paper's decoy mechanism consumes a database of term associations;
+// WordNet's manually curated relations are accurate but not comprehensive,
+// so Appendix C proposes augmenting them with relations extracted from text
+// corpora [11] or the Web [25], rated on a numeric strength scale by
+// occurrence counts. This module implements the corpus side: windowed
+// co-occurrence counting scored with normalized pointwise mutual
+// information (NPMI in [0, 1] after clamping), which is the standard
+// occurrence-count-based strength rating.
+
+#ifndef EMBELLISH_WORDNET_RELATION_EXTRACTION_H_
+#define EMBELLISH_WORDNET_RELATION_EXTRACTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "wordnet/types.h"
+
+namespace embellish::wordnet {
+
+/// \brief A mined association between two terms, with strength in (0, 1].
+struct ExtractedRelation {
+  TermId a;
+  TermId b;
+  double strength;
+
+  bool operator==(const ExtractedRelation&) const = default;
+};
+
+/// \brief Extraction parameters.
+struct RelationExtractionOptions {
+  /// Co-occurrence window width in tokens.
+  size_t window = 8;
+
+  /// Minimum NPMI strength for a relation to be emitted.
+  double min_strength = 0.15;
+
+  /// Minimum co-occurrence count (guards against one-off coincidences).
+  uint32_t min_cooccurrences = 3;
+
+  /// At most this many relations are kept per term (strongest first).
+  size_t max_relations_per_term = 4;
+
+  Status Validate() const;
+};
+
+/// \brief Mines weighted term relations from the corpus.
+///
+/// Relations are symmetric and deduplicated (a < b); the result is sorted
+/// by decreasing strength, ties by (a, b) for determinism.
+Result<std::vector<ExtractedRelation>> ExtractRelationsFromCorpus(
+    const corpus::Corpus& corpus, const RelationExtractionOptions& options = {});
+
+}  // namespace embellish::wordnet
+
+#endif  // EMBELLISH_WORDNET_RELATION_EXTRACTION_H_

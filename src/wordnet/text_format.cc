@@ -1,0 +1,148 @@
+#include "wordnet/text_format.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace embellish::wordnet {
+
+namespace {
+
+Result<RelationType> RelationTypeFromName(const std::string& name) {
+  for (int i = 0; i < kNumRelationTypes; ++i) {
+    RelationType t = static_cast<RelationType>(i);
+    if (name == RelationTypeName(t)) return t;
+  }
+  return Status::Corruption("unknown relation type '" + name + "'");
+}
+
+}  // namespace
+
+std::string SerializeDatabase(const WordNetDatabase& db) {
+  std::ostringstream out;
+  out << "embellish-wordnet 1\n";
+  out << "terms " << db.term_count() << "\n";
+  for (TermId tid = 0; tid < db.term_count(); ++tid) {
+    out << db.term(tid).text << "\n";
+  }
+  out << "synsets " << db.synset_count() << "\n";
+  for (SynsetId sid = 0; sid < db.synset_count(); ++sid) {
+    out << "S";
+    for (TermId tid : db.synset(sid).terms) out << " " << tid;
+    out << "\n";
+  }
+  for (SynsetId sid = 0; sid < db.synset_count(); ++sid) {
+    for (const Relation& rel : db.synset(sid).relations) {
+      out << "R " << sid << " " << RelationTypeName(rel.type) << " "
+          << rel.target << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<WordNetDatabase> ParseDatabase(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  if (!std::getline(in, line) || line != "embellish-wordnet 1") {
+    return Status::Corruption("bad or missing format header");
+  }
+  if (!std::getline(in, line) || !StartsWith(line, "terms ")) {
+    return Status::Corruption("missing 'terms' section");
+  }
+  size_t term_count = 0;
+  try {
+    term_count = std::stoull(line.substr(6));
+  } catch (...) {
+    return Status::Corruption("bad term count");
+  }
+
+  std::vector<Term> terms;
+  terms.reserve(term_count);
+  for (size_t i = 0; i < term_count; ++i) {
+    if (!std::getline(in, line) || line.empty()) {
+      return Status::Corruption(StringPrintf("missing term line %zu", i));
+    }
+    terms.push_back(Term{line, {}});
+  }
+
+  if (!std::getline(in, line) || !StartsWith(line, "synsets ")) {
+    return Status::Corruption("missing 'synsets' section");
+  }
+  size_t synset_count = 0;
+  try {
+    synset_count = std::stoull(line.substr(8));
+  } catch (...) {
+    return Status::Corruption("bad synset count");
+  }
+
+  std::vector<Synset> synsets;
+  synsets.reserve(synset_count);
+  for (size_t i = 0; i < synset_count; ++i) {
+    if (!std::getline(in, line) || !StartsWith(line, "S")) {
+      return Status::Corruption(StringPrintf("missing synset line %zu", i));
+    }
+    Synset ss;
+    std::istringstream fields(line.substr(1));
+    uint64_t tid;
+    while (fields >> tid) {
+      if (tid >= terms.size()) {
+        return Status::Corruption(
+            StringPrintf("synset %zu references bad term %llu", i,
+                         static_cast<unsigned long long>(tid)));
+      }
+      ss.terms.push_back(static_cast<TermId>(tid));
+      terms[tid].synsets.push_back(static_cast<SynsetId>(i));
+    }
+    if (ss.terms.empty()) {
+      return Status::Corruption(StringPrintf("synset %zu has no terms", i));
+    }
+    synsets.push_back(std::move(ss));
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag, type_name;
+    uint64_t from, to;
+    if (!(fields >> tag >> from >> type_name >> to) || tag != "R") {
+      return Status::Corruption("bad relation line: " + line);
+    }
+    if (from >= synsets.size() || to >= synsets.size()) {
+      return Status::Corruption("relation references bad synset: " + line);
+    }
+    EMB_ASSIGN_OR_RETURN(RelationType type, RelationTypeFromName(type_name));
+    synsets[from].relations.push_back(
+        Relation{type, static_cast<SynsetId>(to)});
+  }
+
+  WordNetDatabase db(std::move(terms), std::move(synsets));
+  EMB_RETURN_NOT_OK(ValidateDatabase(db));
+  return db;
+}
+
+Status SaveDatabaseToFile(const WordNetDatabase& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << SerializeDatabase(db);
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<WordNetDatabase> LoadDatabaseFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseDatabase(buf.str());
+}
+
+}  // namespace embellish::wordnet

@@ -1,0 +1,39 @@
+// Line-oriented text serialization for WordNetDatabase.
+//
+// Format (version header, then terms, synsets, relations):
+//   embellish-wordnet 1
+//   terms <N>
+//   <text>                      x N   (term id = order of appearance)
+//   synsets <M>
+//   S <tid> [<tid> ...]         x M   (synset id = order of appearance)
+//   R <from-sid> <relation> <to-sid>  (every directed edge, inverses too)
+//
+// The loader validates the reconstructed database, so a corrupted file is
+// reported as Status::Corruption rather than silently loaded.
+
+#ifndef EMBELLISH_WORDNET_TEXT_FORMAT_H_
+#define EMBELLISH_WORDNET_TEXT_FORMAT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "wordnet/database.h"
+
+namespace embellish::wordnet {
+
+/// \brief Serializes `db` into the text format.
+std::string SerializeDatabase(const WordNetDatabase& db);
+
+/// \brief Parses a database from the text format and validates it.
+Result<WordNetDatabase> ParseDatabase(const std::string& text);
+
+/// \brief Writes the text format to a file.
+Status SaveDatabaseToFile(const WordNetDatabase& db, const std::string& path);
+
+/// \brief Reads a database from a file.
+Result<WordNetDatabase> LoadDatabaseFromFile(const std::string& path);
+
+}  // namespace embellish::wordnet
+
+#endif  // EMBELLISH_WORDNET_TEXT_FORMAT_H_

@@ -1,0 +1,77 @@
+// Core identifiers and relation taxonomy for the lexical database.
+//
+// The model follows Section 3.2 of the paper: terms map to one or more
+// synsets (senses); synsets carry typed relations to other synsets. Relation
+// types mirror the WordNet noun relations the paper uses: hypernym/hyponym
+// (generalization/specialization), holonym/meronym (containment/part-of),
+// antonym, derivational relatedness, and topic/usage domain membership.
+
+#ifndef EMBELLISH_WORDNET_TYPES_H_
+#define EMBELLISH_WORDNET_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace embellish::wordnet {
+
+/// \brief Index of a term in the database's term table.
+using TermId = uint32_t;
+
+/// \brief Index of a synset in the database's synset table.
+using SynsetId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = std::numeric_limits<TermId>::max();
+inline constexpr SynsetId kInvalidSynsetId =
+    std::numeric_limits<SynsetId>::max();
+
+/// \brief Typed relation between synsets.
+enum class RelationType : uint8_t {
+  kHypernym = 0,    ///< generalization ("osteosarcoma" -> "sarcoma")
+  kHyponym = 1,     ///< specialization (inverse of hypernym)
+  kHolonym = 2,     ///< whole-of ("tree" -> "forest")
+  kMeronym = 3,     ///< part-of (inverse of holonym)
+  kAntonym = 4,     ///< opposition (symmetric)
+  kDerivation = 5,  ///< derivational relatedness, e.g. man/manhood (symmetric)
+  kDomain = 6,      ///< topic/usage domain this synset belongs to
+  kDomainMember = 7 ///< inverse of kDomain
+};
+
+inline constexpr int kNumRelationTypes = 8;
+
+/// \brief The inverse relation type (antonym/derivation are self-inverse).
+constexpr RelationType InverseRelation(RelationType t) {
+  switch (t) {
+    case RelationType::kHypernym:
+      return RelationType::kHyponym;
+    case RelationType::kHyponym:
+      return RelationType::kHypernym;
+    case RelationType::kHolonym:
+      return RelationType::kMeronym;
+    case RelationType::kMeronym:
+      return RelationType::kHolonym;
+    case RelationType::kAntonym:
+      return RelationType::kAntonym;
+    case RelationType::kDerivation:
+      return RelationType::kDerivation;
+    case RelationType::kDomain:
+      return RelationType::kDomainMember;
+    case RelationType::kDomainMember:
+      return RelationType::kDomain;
+  }
+  return t;
+}
+
+/// \brief Human-readable relation name, for the text format and logs.
+const char* RelationTypeName(RelationType t);
+
+/// \brief Directed, typed edge out of a synset.
+struct Relation {
+  RelationType type;
+  SynsetId target;
+
+  bool operator==(const Relation&) const = default;
+};
+
+}  // namespace embellish::wordnet
+
+#endif  // EMBELLISH_WORDNET_TYPES_H_

@@ -1,0 +1,123 @@
+#include <queue>
+
+#include "common/strings.h"
+#include "wordnet/database.h"
+
+namespace embellish::wordnet {
+
+namespace {
+
+Status CheckIdsInRange(const WordNetDatabase& db) {
+  for (SynsetId sid = 0; sid < db.synset_count(); ++sid) {
+    const Synset& ss = db.synset(sid);
+    if (ss.terms.empty()) {
+      return Status::Corruption(StringPrintf("synset %u has no terms", sid));
+    }
+    for (TermId tid : ss.terms) {
+      if (tid >= db.term_count()) {
+        return Status::Corruption(
+            StringPrintf("synset %u references invalid term %u", sid, tid));
+      }
+    }
+    for (const Relation& rel : ss.relations) {
+      if (rel.target >= db.synset_count()) {
+        return Status::Corruption(StringPrintf(
+            "synset %u has relation to invalid synset %u", sid, rel.target));
+      }
+      if (rel.target == sid) {
+        return Status::Corruption(StringPrintf("synset %u self-loop", sid));
+      }
+    }
+  }
+  for (TermId tid = 0; tid < db.term_count(); ++tid) {
+    const Term& t = db.term(tid);
+    if (t.synsets.empty()) {
+      return Status::Corruption(
+          StringPrintf("term %u ('%s') in no synset", tid, t.text.c_str()));
+    }
+    for (SynsetId sid : t.synsets) {
+      if (sid >= db.synset_count()) {
+        return Status::Corruption(
+            StringPrintf("term %u references invalid synset %u", tid, sid));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckInverseEdges(const WordNetDatabase& db) {
+  for (SynsetId sid = 0; sid < db.synset_count(); ++sid) {
+    for (const Relation& rel : db.synset(sid).relations) {
+      RelationType inv = InverseRelation(rel.type);
+      bool found = false;
+      for (const Relation& back : db.synset(rel.target).relations) {
+        if (back.type == inv && back.target == sid) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::Corruption(StringPrintf(
+            "missing inverse of %s edge %u -> %u", RelationTypeName(rel.type),
+            sid, rel.target));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// The hypernym graph must be a DAG in which every synset reaches some root.
+// A reverse BFS from all roots along hyponym edges must cover all synsets
+// whose hypernym component contains a root; combined with acyclicity (Kahn)
+// this guarantees well-defined specificity values.
+Status CheckHypernymDag(const WordNetDatabase& db) {
+  const size_t n = db.synset_count();
+  std::vector<uint32_t> out_degree(n, 0);  // hypernym out-degree
+  for (SynsetId sid = 0; sid < n; ++sid) {
+    for (const Relation& rel : db.synset(sid).relations) {
+      if (rel.type == RelationType::kHypernym) ++out_degree[sid];
+    }
+  }
+  // Kahn's algorithm on hypernym edges (sid -> its hypernyms).
+  std::queue<SynsetId> ready;
+  std::vector<uint32_t> remaining = out_degree;
+  std::vector<std::vector<SynsetId>> dependents(n);  // hypernym -> hyponyms
+  for (SynsetId sid = 0; sid < n; ++sid) {
+    for (const Relation& rel : db.synset(sid).relations) {
+      if (rel.type == RelationType::kHypernym) {
+        dependents[rel.target].push_back(sid);
+      }
+    }
+    if (remaining[sid] == 0) ready.push(sid);  // roots
+  }
+  size_t visited = 0;
+  while (!ready.empty()) {
+    SynsetId sid = ready.front();
+    ready.pop();
+    ++visited;
+    for (SynsetId child : dependents[sid]) {
+      if (--remaining[child] == 0) ready.push(child);
+    }
+  }
+  if (visited != n) {
+    return Status::Corruption(StringPrintf(
+        "hypernym graph has a cycle or unreachable region (%zu of %zu synsets "
+        "processed)",
+        visited, n));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateDatabase(const WordNetDatabase& db) {
+  if (db.term_count() == 0 || db.synset_count() == 0) {
+    return Status::InvalidArgument("database is empty");
+  }
+  EMB_RETURN_NOT_OK(CheckIdsInRange(db));
+  EMB_RETURN_NOT_OK(CheckInverseEdges(db));
+  EMB_RETURN_NOT_OK(CheckHypernymDag(db));
+  return Status::OK();
+}
+
+}  // namespace embellish::wordnet

@@ -1,0 +1,182 @@
+// Differential and algebraic fuzzing for the bignum stack. Hand-written
+// multiprecision arithmetic fails in corner cases (normalization, carries,
+// Knuth-D qhat correction, Montgomery final subtraction), so beyond the
+// unit tests we hammer random operands across widths and check (a) ring
+// axioms, (b) agreement between independent code paths, and (c) round-trip
+// stability of every serialization.
+
+#include <gtest/gtest.h>
+
+#include "bignum/bigint.h"
+#include "bignum/modmath.h"
+#include "bignum/montgomery.h"
+#include "bignum/prime.h"
+#include "common/rng.h"
+
+namespace embellish::bignum {
+namespace {
+
+class WidthFuzz : public ::testing::TestWithParam<size_t> {
+ protected:
+  size_t bits() const { return GetParam(); }
+};
+
+TEST_P(WidthFuzz, RingAxioms) {
+  Rng rng(1000 + bits());
+  for (int i = 0; i < 60; ++i) {
+    BigInt a = RandomBits(bits(), &rng);
+    BigInt b = RandomBits(bits() / 2 + 1, &rng);
+    BigInt c = RandomBits(bits() / 3 + 1, &rng);
+    // Commutativity / associativity / distributivity.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    // Additive/multiplicative identities.
+    EXPECT_EQ(a + BigInt(), a);
+    EXPECT_EQ(a * BigInt(1), a);
+    EXPECT_TRUE((a * BigInt()).IsZero());
+    // Subtraction inverts addition.
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+TEST_P(WidthFuzz, DivModIsEuclidean) {
+  Rng rng(2000 + bits());
+  for (int i = 0; i < 60; ++i) {
+    BigInt a = RandomBits(bits(), &rng);
+    BigInt b = RandomBits(1 + rng.Uniform(bits()), &rng);
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+    // Self-division and division by one.
+    BigInt::DivMod(a, a, &q, &r);
+    EXPECT_TRUE(q.IsOne());
+    EXPECT_TRUE(r.IsZero());
+    BigInt::DivMod(a, BigInt(1), &q, &r);
+    EXPECT_EQ(q, a);
+    EXPECT_TRUE(r.IsZero());
+  }
+}
+
+TEST_P(WidthFuzz, ShiftsDecomposeMultiplication) {
+  Rng rng(3000 + bits());
+  for (int i = 0; i < 40; ++i) {
+    BigInt a = RandomBits(bits(), &rng);
+    size_t s = rng.Uniform(130);
+    EXPECT_EQ(a << s, a * BigInt::PowerOfTwo(s));
+    EXPECT_EQ((a << s) >> s, a);
+    // Right shift is floor division by 2^s.
+    EXPECT_EQ(a >> s, a / BigInt::PowerOfTwo(s));
+  }
+}
+
+TEST_P(WidthFuzz, MontgomeryAgreesWithGenericModExp) {
+  Rng rng(4000 + bits());
+  for (int i = 0; i < 12; ++i) {
+    BigInt m = RandomBits(bits(), &rng);
+    if (m.IsEven()) m += BigInt(1);
+    if (m.IsOne()) continue;
+    auto ctx = MontgomeryContext::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    BigInt a = RandomBelow(m, &rng);
+    BigInt e = RandomBits(1 + rng.Uniform(96), &rng);
+    // Plain square-and-multiply reference.
+    BigInt ref(1);
+    BigInt base = a % m;
+    for (size_t bit = e.BitLength(); bit-- > 0;) {
+      ref = ref * ref % m;
+      if (e.Bit(bit)) ref = ref * base % m;
+    }
+    EXPECT_EQ(ctx->ModExp(a, e), ref) << "m=" << m.ToHexString();
+    // And the dispatcher agrees with both.
+    EXPECT_EQ(ModExp(a, e, m), ref);
+  }
+}
+
+TEST_P(WidthFuzz, SerializationsRoundTrip) {
+  Rng rng(5000 + bits());
+  for (int i = 0; i < 40; ++i) {
+    BigInt a = RandomBits(1 + rng.Uniform(bits()), &rng);
+    EXPECT_EQ(BigInt::FromBigEndianBytes(a.ToBigEndianBytes()), a);
+    EXPECT_EQ(*BigInt::FromHexString(a.ToHexString()), a);
+    EXPECT_EQ(*BigInt::FromDecimalString(a.ToDecimalString()), a);
+    size_t width = (a.BitLength() + 7) / 8 + rng.Uniform(8);
+    EXPECT_EQ(BigInt::FromBigEndianBytes(a.ToBigEndianBytesPadded(width)), a);
+  }
+}
+
+TEST_P(WidthFuzz, ModularInverseLaw) {
+  Rng rng(6000 + bits());
+  for (int i = 0; i < 20; ++i) {
+    BigInt m = RandomBits(bits(), &rng) + BigInt(2);
+    BigInt a = RandomUnit(m, &rng);
+    auto inv = ModInverse(a, m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_TRUE((a * *inv % m).IsOne());
+    // Inverse of the inverse is the original (mod m).
+    auto inv2 = ModInverse(*inv, m);
+    ASSERT_TRUE(inv2.ok());
+    EXPECT_EQ(*inv2, a % m);
+  }
+}
+
+TEST_P(WidthFuzz, GcdLinearCombination) {
+  // gcd(a,b) divides both and gcd(ka, kb) = k*gcd(a,b).
+  Rng rng(7000 + bits());
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = RandomBits(bits(), &rng);
+    BigInt b = RandomBits(bits() / 2 + 1, &rng);
+    BigInt g = Gcd(a, b);
+    if (!g.IsZero()) {
+      EXPECT_TRUE((a % g).IsZero());
+      EXPECT_TRUE((b % g).IsZero());
+    }
+    BigInt k = RandomBits(16, &rng);
+    if (!k.IsZero()) {
+      EXPECT_EQ(Gcd(a * k, b * k), g * k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthFuzz,
+                         ::testing::Values(64, 65, 127, 128, 192, 256, 384,
+                                           512, 777, 1024));
+
+TEST(DifferentialFuzzTest, FermatEulerConsistency) {
+  // For n = p*q, Euler's theorem: a^phi = 1 (mod n) for units a — checks
+  // prime generation, multiplication and modexp against each other.
+  Rng rng(42);
+  BigInt p = RandomPrime(96, &rng);
+  BigInt q = RandomPrime(96, &rng);
+  BigInt n = p * q;
+  BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = RandomUnit(n, &rng);
+    EXPECT_TRUE(ModExp(a, phi, n).IsOne());
+  }
+}
+
+TEST(DifferentialFuzzTest, CrtConsistency) {
+  // a mod p and a mod q determine a mod pq: check via reconstruction.
+  Rng rng(43);
+  BigInt p = RandomPrime(80, &rng);
+  BigInt q = RandomPrime(80, &rng);
+  BigInt n = p * q;
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = RandomBelow(n, &rng);
+    BigInt ap = a % p;
+    BigInt aq = a % q;
+    // Garner: x = ap + p * ((aq - ap) * p^{-1} mod q)
+    auto p_inv = ModInverse(p % q, q);
+    ASSERT_TRUE(p_inv.ok());
+    BigInt diff = ModSub(aq, ap, q);
+    BigInt x = ap + p * (diff * *p_inv % q);
+    EXPECT_EQ(x % n, a);
+  }
+}
+
+}  // namespace
+}  // namespace embellish::bignum

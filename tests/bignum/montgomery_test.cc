@@ -1,0 +1,124 @@
+#include "bignum/montgomery.h"
+
+#include <gtest/gtest.h>
+
+#include "bignum/modmath.h"
+#include "bignum/prime.h"
+#include "common/rng.h"
+
+namespace embellish::bignum {
+namespace {
+
+TEST(MontgomeryTest, RejectsBadModuli) {
+  EXPECT_FALSE(MontgomeryContext::Create(BigInt(0)).ok());
+  EXPECT_FALSE(MontgomeryContext::Create(BigInt(1)).ok());
+  EXPECT_FALSE(MontgomeryContext::Create(BigInt(100)).ok());  // even
+}
+
+TEST(MontgomeryTest, RoundTripConversion) {
+  Rng rng(200);
+  for (size_t bits : {65u, 128u, 256u, 512u, 1000u}) {
+    BigInt m = RandomBits(bits, &rng);
+    if (m.IsEven()) m += BigInt(1);
+    auto ctx = MontgomeryContext::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    for (int i = 0; i < 20; ++i) {
+      BigInt a = RandomBelow(m, &rng);
+      EXPECT_EQ(ctx->FromMontgomery(ctx->ToMontgomery(a)), a);
+    }
+  }
+}
+
+TEST(MontgomeryTest, MulMatchesPlainModMul) {
+  Rng rng(201);
+  for (int trial = 0; trial < 50; ++trial) {
+    BigInt m = RandomBits(200 + trial, &rng);
+    if (m.IsEven()) m += BigInt(1);
+    auto ctx = MontgomeryContext::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    BigInt a = RandomBelow(m, &rng);
+    BigInt b = RandomBelow(m, &rng);
+    EXPECT_EQ(ctx->Mul(a, b), a * b % m);
+  }
+}
+
+TEST(MontgomeryTest, MontMulOnFormValues) {
+  Rng rng(202);
+  BigInt m = RandomBits(256, &rng);
+  if (m.IsEven()) m += BigInt(1);
+  auto ctx = MontgomeryContext::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  BigInt a = RandomBelow(m, &rng);
+  BigInt b = RandomBelow(m, &rng);
+  auto am = ctx->ToMontgomery(a);
+  auto bm = ctx->ToMontgomery(b);
+  EXPECT_EQ(ctx->FromMontgomery(ctx->MontMul(am, bm)), a * b % m);
+}
+
+TEST(MontgomeryTest, OneIsMultiplicativeIdentity) {
+  Rng rng(203);
+  BigInt m = RandomBits(192, &rng);
+  if (m.IsEven()) m += BigInt(1);
+  auto ctx = MontgomeryContext::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  BigInt a = RandomBelow(m, &rng);
+  auto am = ctx->ToMontgomery(a);
+  EXPECT_EQ(ctx->FromMontgomery(ctx->MontMul(am, ctx->One())), a);
+  EXPECT_EQ(ctx->FromMontgomery(ctx->One()), BigInt(1) % m);
+}
+
+TEST(MontgomeryTest, ModExpMatchesGenericForPrime) {
+  Rng rng(204);
+  BigInt p = RandomPrime(256, &rng);
+  auto ctx = MontgomeryContext::Create(p);
+  ASSERT_TRUE(ctx.ok());
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = RandomBelow(p, &rng);
+    BigInt e = RandomBits(100, &rng);
+    // Generic square-and-multiply reference (without Montgomery dispatch).
+    BigInt ref(1);
+    BigInt base = a % p;
+    for (size_t bit = e.BitLength(); bit-- > 0;) {
+      ref = ref * ref % p;
+      if (e.Bit(bit)) ref = ref * base % p;
+    }
+    EXPECT_EQ(ctx->ModExp(a, e), ref);
+  }
+}
+
+TEST(MontgomeryTest, ModExpEdgeExponents) {
+  Rng rng(205);
+  BigInt m = RandomBits(128, &rng);
+  if (m.IsEven()) m += BigInt(1);
+  auto ctx = MontgomeryContext::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  BigInt a = RandomBelow(m, &rng);
+  EXPECT_EQ(ctx->ModExp(a, BigInt(0)), BigInt(1) % m);
+  EXPECT_EQ(ctx->ModExp(a, BigInt(1)), a % m);
+  EXPECT_EQ(ctx->ModExp(a, BigInt(2)), a * a % m);
+  EXPECT_TRUE(ctx->ModExp(BigInt(0), BigInt(5)).IsZero());
+}
+
+TEST(MontgomeryTest, SingleLimbModulus) {
+  auto ctx = MontgomeryContext::Create(BigInt(101));
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ(ctx->Mul(BigInt(100), BigInt(100)), BigInt(1));
+  EXPECT_EQ(ctx->ModExp(BigInt(2), BigInt(100)), BigInt(1));  // Fermat
+}
+
+TEST(MontgomeryTest, FuzzAgainstModExp) {
+  Rng rng(206);
+  for (int trial = 0; trial < 30; ++trial) {
+    BigInt m = RandomBits(65 + trial * 13, &rng);
+    if (m.IsEven()) m += BigInt(1);
+    if (m.IsOne()) continue;
+    auto ctx = MontgomeryContext::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    BigInt a = RandomBelow(m, &rng);
+    BigInt e = RandomBits(64, &rng);
+    EXPECT_EQ(ctx->ModExp(a, e), ModExp(a, e, m)) << "m=" << m.ToHexString();
+  }
+}
+
+}  // namespace
+}  // namespace embellish::bignum

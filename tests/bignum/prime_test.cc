@@ -1,0 +1,94 @@
+#include "bignum/prime.h"
+
+#include <gtest/gtest.h>
+
+#include "bignum/modmath.h"
+#include "common/rng.h"
+
+namespace embellish::bignum {
+namespace {
+
+TEST(PrimeTest, SmallKnownPrimes) {
+  Rng rng(300);
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 251ULL, 257ULL, 65537ULL,
+                     4294967311ULL}) {
+    EXPECT_TRUE(IsProbablePrime(BigInt(p), &rng)) << p;
+  }
+}
+
+TEST(PrimeTest, SmallKnownComposites) {
+  Rng rng(301);
+  for (uint64_t c : {0ULL, 1ULL, 4ULL, 6ULL, 9ULL, 255ULL, 1001ULL,
+                     4294967297ULL /* F5 = 641 * 6700417 */}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), &rng)) << c;
+  }
+}
+
+TEST(PrimeTest, CarmichaelNumbersRejected) {
+  // Fermat pseudoprimes to many bases; Miller-Rabin must reject them.
+  Rng rng(302);
+  for (uint64_t c : {561ULL, 1105ULL, 1729ULL, 2465ULL, 41041ULL,
+                     825265ULL}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), &rng)) << c;
+  }
+}
+
+TEST(PrimeTest, ProductOfTwoPrimesRejected) {
+  Rng rng(303);
+  BigInt p = RandomPrime(96, &rng);
+  BigInt q = RandomPrime(96, &rng);
+  EXPECT_FALSE(IsProbablePrime(p * q, &rng));
+}
+
+class RandomPrimeWidthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RandomPrimeWidthTest, ExactBitWidthAndPrimality) {
+  size_t bits = GetParam();
+  Rng rng(304 + bits);
+  BigInt p = RandomPrime(bits, &rng);
+  EXPECT_EQ(p.BitLength(), bits);
+  EXPECT_TRUE(p.IsOdd());
+  EXPECT_TRUE(IsProbablePrime(p, &rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RandomPrimeWidthTest,
+                         ::testing::Values(16, 32, 64, 96, 128, 192, 256));
+
+TEST(PrimeTest, CongruentOneModRSatisfiesBenalohConditions) {
+  Rng rng(305);
+  for (uint64_t r : {3ULL, 59049ULL /* 3^10 */, 257ULL}) {
+    auto p = RandomPrimeCongruentOneModR(128, BigInt(r), &rng);
+    ASSERT_TRUE(p.ok()) << r;
+    EXPECT_EQ(p->BitLength(), 128u);
+    EXPECT_TRUE(IsProbablePrime(*p, &rng));
+    BigInt pm1 = *p - BigInt(1);
+    EXPECT_TRUE((pm1 % BigInt(r)).IsZero());               // r | p-1
+    EXPECT_TRUE(Gcd(BigInt(r), pm1 / BigInt(r)).IsOne());  // gcd(r,(p-1)/r)=1
+  }
+}
+
+TEST(PrimeTest, CoprimePMinus1Condition) {
+  Rng rng(306);
+  BigInt r(59049);
+  auto p = RandomPrimeCoprimePMinus1(128, r, &rng);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(IsProbablePrime(*p, &rng));
+  EXPECT_TRUE(Gcd(r, *p - BigInt(1)).IsOne());
+}
+
+TEST(PrimeTest, GeneratorValidation) {
+  Rng rng(307);
+  EXPECT_FALSE(RandomPrimeCongruentOneModR(128, BigInt(1), &rng).ok());
+  EXPECT_FALSE(RandomPrimeCoprimePMinus1(128, BigInt(0), &rng).ok());
+  // r too wide for the prime.
+  EXPECT_FALSE(
+      RandomPrimeCongruentOneModR(16, BigInt(1) << 14, &rng).ok());
+}
+
+TEST(PrimeTest, DistinctSeedsGiveDistinctPrimes) {
+  Rng a(308), b(309);
+  EXPECT_NE(RandomPrime(128, &a), RandomPrime(128, &b));
+}
+
+}  // namespace
+}  // namespace embellish::bignum

@@ -1,0 +1,165 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace embellish {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformCoversSmallRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIsRoughlyUnbiased) {
+  Rng rng(13);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.08);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(21);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), orig.begin()));  // w.h.p.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleHandlesDegenerateSizes) {
+  Rng rng(37);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(43);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(RngTest, FillBytesCoversAllPositions) {
+  Rng rng(47);
+  std::vector<uint8_t> buf(37, 0);
+  // 64 fills of 37 bytes: every position should be nonzero at least once.
+  std::vector<bool> touched(37, false);
+  for (int it = 0; it < 64; ++it) {
+    rng.FillBytes(buf.data(), buf.size());
+    for (size_t i = 0; i < buf.size(); ++i) {
+      if (buf[i] != 0) touched[i] = true;
+    }
+  }
+  for (bool t : touched) EXPECT_TRUE(t);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(51);
+  Rng child = a.Fork();
+  // Child diverges from parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == child.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace embellish

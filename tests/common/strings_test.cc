@@ -1,0 +1,78 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace embellish {
+namespace {
+
+TEST(StringPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringPrintf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StringPrintf("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+TEST(StrSplitTest, BasicSplit) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyPiecesByDefault) {
+  auto parts = StrSplit("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrSplitTest, SkipEmpty) {
+  auto parts = StrSplit("a,,b,", ',', /*skip_empty=*/true);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StrSplitTest, EmptyInput) {
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+  EXPECT_TRUE(StrSplit("", ',', true).empty());
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StrJoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> orig{"one", "two", "three"};
+  EXPECT_EQ(StrSplit(StrJoin(orig, "|"), '|'), orig);
+}
+
+TEST(AsciiToLowerTest, LowersOnlyAscii) {
+  EXPECT_EQ(AsciiToLower("OsteoSARCOMA"), "osteosarcoma");
+  EXPECT_EQ(AsciiToLower("abc123-XYZ"), "abc123-xyz");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("terms 123", "terms "));
+  EXPECT_FALSE(StartsWith("term", "terms"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StripAsciiWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("nostrip"), "nostrip");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+}
+
+TEST(ThousandsTest, InsertsSeparators) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(117798), "117,798");
+  EXPECT_EQ(WithThousandsSeparators(1234567890ULL), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace embellish

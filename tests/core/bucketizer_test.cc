@@ -1,0 +1,228 @@
+#include "core/bucketizer.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "core/decoy_random.h"
+#include "testutil.h"
+
+namespace embellish::core {
+namespace {
+
+SequencerResult SeqOf(const wordnet::WordNetDatabase& lex) {
+  return SequenceDictionary(lex);
+}
+
+TEST(BucketizerTest, OptionsValidation) {
+  BucketizerOptions o;
+  o.bucket_size = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = BucketizerOptions{};
+  o.segment_size = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  EXPECT_TRUE(BucketizerOptions{}.Validate().ok());
+}
+
+TEST(BucketizerTest, RejectsOversizedBucketsPerPaperConstraint) {
+  // BktSz <= N/2 (Section 3.4).
+  auto lex = testutil::TinyLexicon();  // 14 terms
+  auto spec = SpecificityMap::FromHypernymDepth(lex);
+  BucketizerOptions o;
+  o.bucket_size = 8;
+  auto org = FormBuckets(SeqOf(lex), spec, o);
+  EXPECT_FALSE(org.ok());
+  o.bucket_size = 7;
+  EXPECT_TRUE(FormBuckets(SeqOf(lex), spec, o).ok());
+}
+
+class BucketizerSweepTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(BucketizerSweepTest, PartitionInvariants) {
+  auto [bktsz, segsz] = GetParam();
+  auto lex = testutil::SmallSyntheticLexicon(2500, 51);
+  auto spec = SpecificityMap::FromHypernymDepth(lex);
+  BucketizerOptions o;
+  o.bucket_size = bktsz;
+  o.segment_size = segsz;
+  auto org = FormBuckets(SeqOf(lex), spec, o);
+  ASSERT_TRUE(org.ok()) << org.status().ToString();
+
+  // Every term in exactly one bucket (Create() rejects duplicates).
+  EXPECT_EQ(org->term_count(), lex.term_count());
+  // No bucket exceeds BktSz.
+  for (size_t b = 0; b < org->bucket_count(); ++b) {
+    EXPECT_LE(org->bucket(b).size(), bktsz);
+    EXPECT_GE(org->bucket(b).size(), 1u);
+  }
+  // Bucket count ~= N / BktSz.
+  EXPECT_GE(org->bucket_count(), lex.term_count() / bktsz);
+  // Locate() agrees with the bucket contents.
+  for (size_t b = 0; b < org->bucket_count(); b += 7) {
+    for (size_t s = 0; s < org->bucket(b).size(); ++s) {
+      auto where = org->Locate(org->bucket(b)[s]);
+      ASSERT_TRUE(where.ok());
+      EXPECT_EQ(where->bucket, b);
+      EXPECT_EQ(where->slot, s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BucketizerSweepTest,
+    ::testing::Values(std::pair<size_t, size_t>{2, 4},
+                      std::pair<size_t, size_t>{4, 512},
+                      std::pair<size_t, size_t>{8, 64},
+                      std::pair<size_t, size_t>{8, 1000000},  // clamped
+                      std::pair<size_t, size_t>{24, 16},
+                      std::pair<size_t, size_t>{3, 7},    // nothing divides
+                      std::pair<size_t, size_t>{16, 1}));
+
+TEST(BucketizerTest, ExactDivisionGivesUniformBuckets) {
+  // 2500-term lexicon truncated via filter to exactly 2048 terms.
+  auto lex = testutil::SmallSyntheticLexicon(2500, 52);
+  SequencerOptions so;
+  so.term_filter = [](wordnet::TermId t) { return t < 2048; };
+  auto seq = SequenceDictionary(lex, so);
+  ASSERT_EQ(seq.TotalTerms(), 2048u);
+  auto spec = SpecificityMap::FromHypernymDepth(lex);
+  BucketizerOptions o;
+  o.bucket_size = 8;
+  o.segment_size = 64;  // 2048 = 8 * 64 * 4 groups
+  auto org = FormBuckets(seq, spec, o);
+  ASSERT_TRUE(org.ok());
+  EXPECT_EQ(org->bucket_count(), 2048u / 8u);
+  for (size_t b = 0; b < org->bucket_count(); ++b) {
+    EXPECT_EQ(org->bucket(b).size(), 8u);
+  }
+}
+
+TEST(BucketizerTest, CoBucketTermsComeFromDistantSequenceRegions) {
+  // Algorithm 2's whole point: slot-mates are BktSz segments apart, i.e.
+  // far apart in the sequence, hence semantically diverse.
+  auto lex = testutil::SmallSyntheticLexicon(2500, 53);
+  auto seq = SequenceDictionary(lex);
+  auto spec = SpecificityMap::FromHypernymDepth(lex);
+  // Position map over the concatenated sequence.
+  std::unordered_map<wordnet::TermId, size_t> pos;
+  size_t i = 0;
+  for (const auto& s : seq.sequences) {
+    for (wordnet::TermId t : s) pos[t] = i++;
+  }
+  const size_t n = i;
+  BucketizerOptions o;
+  o.bucket_size = 4;
+  o.segment_size = 64;
+  auto org = FormBuckets(seq, spec, o);
+  ASSERT_TRUE(org.ok());
+  // For full buckets, consecutive slots must be >= one group span apart
+  // (group span = N/BktSz segments of the original sequence modulo the
+  // in-segment specificity sort, which moves terms < SegSz positions).
+  const size_t group_span = n / o.bucket_size;
+  size_t checked = 0;
+  for (size_t b = 0; b < org->bucket_count() && checked < 200; ++b) {
+    const auto& bucket = org->bucket(b);
+    if (bucket.size() < 2) continue;
+    for (size_t s = 1; s < bucket.size(); ++s) {
+      size_t p0 = pos.at(bucket[s - 1]);
+      size_t p1 = pos.at(bucket[s]);
+      size_t gap = p1 > p0 ? p1 - p0 : p0 - p1;
+      EXPECT_GT(gap + 2 * o.segment_size, group_span / 2)
+          << "bucket " << b << " slot " << s;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(BucketizerTest, StableSortKeepsTieOrder) {
+  // Within a segment, equal-specificity terms retain sequence order
+  // (Algorithm 2 line 5; the Section 5.1 observation).
+  auto lex = testutil::SmallSyntheticLexicon(2500, 54);
+  auto seq = SequenceDictionary(lex);
+  auto spec = SpecificityMap::FromHypernymDepth(lex);
+  BucketizerOptions stable;
+  stable.bucket_size = 4;
+  stable.segment_size = 128;
+  auto a = FormBuckets(seq, spec, stable);
+  auto b = FormBuckets(seq, spec, stable);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Determinism.
+  ASSERT_EQ(a->bucket_count(), b->bucket_count());
+  for (size_t i = 0; i < a->bucket_count(); ++i) {
+    EXPECT_EQ(a->bucket(i), b->bucket(i));
+  }
+  // The unstable ablation produces a different organization.
+  BucketizerOptions unstable = stable;
+  unstable.stable_specificity_sort = false;
+  auto c = FormBuckets(seq, spec, unstable);
+  ASSERT_TRUE(c.ok());
+  bool any_difference = false;
+  for (size_t i = 0; i < a->bucket_count() && !any_difference; ++i) {
+    any_difference = a->bucket(i) != c->bucket(i);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BucketizerTest, LargerSegmentsTightenSpecificitySpread) {
+  // Figure 5(a)'s qualitative claim.
+  auto lex = testutil::SmallSyntheticLexicon(4000, 55);
+  auto seq = SequenceDictionary(lex);
+  auto spec = SpecificityMap::FromHypernymDepth(lex);
+  auto spread = [&](size_t segsz) {
+    BucketizerOptions o;
+    o.bucket_size = 4;
+    o.segment_size = segsz;
+    auto org = FormBuckets(seq, spec, o);
+    EXPECT_TRUE(org.ok());
+    double total = 0;
+    for (size_t b = 0; b < org->bucket_count(); ++b) {
+      int lo = 1000, hi = -1;
+      for (auto t : org->bucket(b)) {
+        lo = std::min(lo, spec.TermSpecificity(t));
+        hi = std::max(hi, spec.TermSpecificity(t));
+      }
+      total += hi - lo;
+    }
+    return total / static_cast<double>(org->bucket_count());
+  };
+  EXPECT_LT(spread(512), spread(4));
+}
+
+TEST(BucketOrganizationTest, CreateRejectsDuplicatesAndEmpties) {
+  EXPECT_FALSE(BucketOrganization::Create({}).ok());
+  EXPECT_FALSE(BucketOrganization::Create({{1, 2}, {}}).ok());
+  EXPECT_FALSE(BucketOrganization::Create({{1, 2}, {2, 3}}).ok());
+  auto ok = BucketOrganization::Create({{1, 2}, {3, 4}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->bucket_count(), 2u);
+  EXPECT_EQ(ok->nominal_bucket_size(), 2u);
+  EXPECT_FALSE(ok->Locate(99).ok());
+  EXPECT_TRUE(ok->Contains(3));
+  EXPECT_FALSE(ok->Contains(9));
+}
+
+TEST(RandomBucketsTest, PartitionAndDeterminism) {
+  std::vector<wordnet::TermId> terms;
+  for (wordnet::TermId t = 0; t < 1000; ++t) terms.push_back(t);
+  Rng rng(1);
+  auto org = RandomBucketOrganization(terms, 8, &rng);
+  ASSERT_TRUE(org.ok());
+  EXPECT_EQ(org->term_count(), 1000u);
+  EXPECT_EQ(org->bucket_count(), 125u);
+  Rng rng2(1);
+  auto org2 = RandomBucketOrganization(terms, 8, &rng2);
+  ASSERT_TRUE(org2.ok());
+  for (size_t b = 0; b < org->bucket_count(); ++b) {
+    EXPECT_EQ(org->bucket(b), org2->bucket(b));
+  }
+  EXPECT_FALSE(RandomBucketOrganization({}, 8, &rng).ok());
+  EXPECT_FALSE(RandomBucketOrganization(terms, 0, &rng).ok());
+}
+
+}  // namespace
+}  // namespace embellish::core

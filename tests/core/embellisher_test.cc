@@ -1,0 +1,166 @@
+#include "core/embellisher.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace embellish::core {
+namespace {
+
+class EmbellisherTest : public ::testing::Test {
+ protected:
+  EmbellisherTest()
+      : lex_(testutil::SmallSyntheticLexicon(2000, 61)),
+        org_(testutil::MakeBuckets(lex_, 4, 64)) {
+    Rng rng(1);
+    crypto::BenalohKeyOptions ko;
+    ko.key_bits = 256;
+    ko.r = 729;
+    keys_ = std::make_unique<crypto::BenalohKeyPair>(
+        std::move(crypto::BenalohKeyPair::Generate(ko, &rng)).value());
+    embellisher_ = std::make_unique<QueryEmbellisher>(
+        &org_, &keys_->public_key());
+  }
+
+  wordnet::WordNetDatabase lex_;
+  BucketOrganization org_;
+  std::unique_ptr<crypto::BenalohKeyPair> keys_;
+  std::unique_ptr<QueryEmbellisher> embellisher_;
+};
+
+TEST_F(EmbellisherTest, RejectsEmptyQuery) {
+  Rng rng(2);
+  EXPECT_TRUE(embellisher_->Embellish({}, &rng).status().IsInvalidArgument());
+}
+
+TEST_F(EmbellisherTest, RejectsUnbucketedTerm) {
+  Rng rng(3);
+  auto result = embellisher_->Embellish({99999999}, &rng);
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(EmbellisherTest, QueryContainsExactlyTheHostBuckets) {
+  Rng rng(4);
+  std::vector<wordnet::TermId> genuine{10, 500, 1500};
+  auto query = embellisher_->Embellish(genuine, &rng);
+  ASSERT_TRUE(query.ok());
+  // Expected term multiset: union of host buckets.
+  std::set<size_t> host_buckets;
+  for (auto t : genuine) host_buckets.insert(org_.Locate(t)->bucket);
+  std::multiset<wordnet::TermId> expected;
+  for (size_t b : host_buckets) {
+    for (auto t : org_.bucket(b)) expected.insert(t);
+  }
+  std::multiset<wordnet::TermId> actual;
+  for (const auto& e : query->entries) actual.insert(e.term);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_F(EmbellisherTest, IndicatorsDecryptToGenuineness) {
+  Rng rng(5);
+  std::vector<wordnet::TermId> genuine{42, 1043};
+  auto query = embellisher_->Embellish(genuine, &rng);
+  ASSERT_TRUE(query.ok());
+  std::set<wordnet::TermId> genuine_set(genuine.begin(), genuine.end());
+  size_t ones = 0;
+  for (const auto& e : query->entries) {
+    auto u = keys_->private_key().Decrypt(e.indicator);
+    ASSERT_TRUE(u.ok());
+    EXPECT_EQ(*u, genuine_set.count(e.term) ? 1u : 0u);
+    ones += *u;
+  }
+  EXPECT_EQ(ones, genuine.size());
+}
+
+TEST_F(EmbellisherTest, DuplicateGenuineTermsCollapse) {
+  Rng rng(6);
+  auto query = embellisher_->Embellish({42, 42, 42}, &rng);
+  ASSERT_TRUE(query.ok());
+  size_t count = std::count_if(
+      query->entries.begin(), query->entries.end(),
+      [](const EmbellishedTerm& e) { return e.term == 42; });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(EmbellisherTest, TwoGenuineTermsSharingABucketAddItOnce) {
+  Rng rng(7);
+  // Pick two terms from bucket 5.
+  const auto& bucket = org_.bucket(5);
+  ASSERT_GE(bucket.size(), 2u);
+  auto query = embellisher_->Embellish({bucket[0], bucket[1]}, &rng);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->entries.size(), bucket.size());
+  // Both are marked genuine.
+  size_t ones = 0;
+  for (const auto& e : query->entries) {
+    ones += *keys_->private_key().Decrypt(e.indicator);
+  }
+  EXPECT_EQ(ones, 2u);
+}
+
+TEST_F(EmbellisherTest, RecurringTermBringsIdenticalDecoys) {
+  // The defense against the Section 1 intersection attack.
+  Rng rng(8);
+  auto q1 = embellisher_->Embellish({777}, &rng);
+  auto q2 = embellisher_->Embellish({777}, &rng);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  std::set<wordnet::TermId> t1, t2;
+  for (const auto& e : q1->entries) t1.insert(e.term);
+  for (const auto& e : q2->entries) t2.insert(e.term);
+  EXPECT_EQ(t1, t2);
+}
+
+TEST_F(EmbellisherTest, CiphertextsAreFreshAcrossQueries) {
+  // Same genuine term, two queries: every ciphertext must differ (Benaloh
+  // randomization), so the server cannot link recurring indicators.
+  Rng rng(9);
+  auto q1 = embellisher_->Embellish({777}, &rng);
+  auto q2 = embellisher_->Embellish({777}, &rng);
+  std::map<wordnet::TermId, bignum::BigInt> c1;
+  for (const auto& e : q1->entries) c1.emplace(e.term, e.indicator.value);
+  for (const auto& e : q2->entries) {
+    EXPECT_NE(c1.at(e.term), e.indicator.value);
+  }
+}
+
+TEST_F(EmbellisherTest, OrderIsPermuted) {
+  // With 3 buckets of 4 terms, the probability that two independent
+  // embellishments produce the same order is 1/12! — run a few and require
+  // at least one difference.
+  Rng rng(10);
+  std::vector<wordnet::TermId> genuine{10, 500, 1500};
+  auto q1 = embellisher_->Embellish(genuine, &rng);
+  auto q2 = embellisher_->Embellish(genuine, &rng);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  std::vector<wordnet::TermId> order1, order2;
+  for (const auto& e : q1->entries) order1.push_back(e.term);
+  for (const auto& e : q2->entries) order2.push_back(e.term);
+  EXPECT_NE(order1, order2);
+}
+
+TEST_F(EmbellisherTest, WireBytesAccounting) {
+  Rng rng(11);
+  auto query = embellisher_->Embellish({10}, &rng);
+  ASSERT_TRUE(query.ok());
+  size_t per_entry = 4 + keys_->public_key().CiphertextBytes();
+  EXPECT_EQ(query->WireBytes(keys_->public_key()),
+            query->entries.size() * per_entry);
+}
+
+TEST_F(EmbellisherTest, DecoyMultiplierMatchesBucketSize) {
+  // One genuine term brings BktSz - 1 decoys.
+  Rng rng(12);
+  auto query = embellisher_->Embellish({10}, &rng);
+  ASSERT_TRUE(query.ok());
+  size_t host = org_.Locate(10)->bucket;
+  EXPECT_EQ(query->entries.size(), org_.bucket(host).size());
+}
+
+}  // namespace
+}  // namespace embellish::core

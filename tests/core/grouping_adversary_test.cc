@@ -1,0 +1,157 @@
+// The quantitative version of §3.4's argument: once the adversary recovers
+// the groups, aligned bucket decoys must leave the MAP coherence rule near
+// its guessing floor, while random decoys let it isolate the genuine terms.
+
+#include "core/grouping_adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "core/decoy_random.h"
+#include "testutil.h"
+#include "wordnet/mini_wordnet.h"
+
+namespace embellish::core {
+namespace {
+
+TEST(GroupingAdversaryTest, ValidatesInput) {
+  auto lex = testutil::TinyLexicon();
+  SemanticDistanceCalculator dist(&lex);
+  auto org = BucketOrganization::Create({{0, 1}, {2, 3}});
+  ASSERT_TRUE(org.ok());
+  EXPECT_FALSE(RunMapCoherenceAttack(*org, dist, {}).ok());
+  EXPECT_FALSE(RunMapCoherenceAttack(*org, dist, {{}}).ok());
+  EXPECT_FALSE(RunMapCoherenceAttack(*org, dist, {{99}}).ok());
+}
+
+TEST(GroupingAdversaryTest, CombinationCapEnforced) {
+  auto lex = testutil::SmallSyntheticLexicon(1000, 121);
+  SemanticDistanceCalculator dist(&lex);
+  auto org = testutil::MakeBuckets(lex, 8, 32);
+  MapAttackOptions options;
+  options.max_combinations = 10;  // 8^2 = 64 > 10
+  auto terms = org.bucket(0);
+  std::vector<std::vector<wordnet::TermId>> queries{
+      {org.bucket(0)[0], org.bucket(1)[0]}};
+  EXPECT_FALSE(RunMapCoherenceAttack(org, dist, queries, options).ok());
+}
+
+TEST(GroupingAdversaryTest, SingleBucketQueryIsPureGuessing) {
+  // With one group and no cross-term coherence signal, every member ties:
+  // expected hits = 1/BktSz = chance.
+  auto lex = testutil::TinyLexicon();
+  SemanticDistanceCalculator dist(&lex);
+  auto org = BucketOrganization::Create(
+      {{lex.FindTerm("puppy"), lex.FindTerm("coupe"),
+        lex.FindTerm("garage"), lex.FindTerm("cat")}});
+  ASSERT_TRUE(org.ok());
+  auto result =
+      RunMapCoherenceAttack(*org, dist, {{lex.FindTerm("puppy")}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->hit_rate, 0.25, 1e-9);
+  EXPECT_NEAR(result->chance_rate, 0.25, 1e-9);
+}
+
+TEST(GroupingAdversaryTest, RandomDecoysExposeCoherentQuery) {
+  // Genuine query {dog, puppy} (distance 1); decoys from far topics. The
+  // MAP rule must isolate the genuine pair.
+  auto lex = testutil::TinyLexicon();
+  SemanticDistanceCalculator dist(&lex);
+  wordnet::TermId dog = lex.FindTerm("dog");
+  wordnet::TermId puppy = lex.FindTerm("puppy");
+  auto org = BucketOrganization::Create(
+      {{dog, lex.FindTerm("coupe")}, {puppy, lex.FindTerm("garage")}});
+  ASSERT_TRUE(org.ok());
+  auto result = RunMapCoherenceAttack(*org, dist, {{dog, puppy}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->hit_rate, 1.0, 1e-9) << "attack should succeed";
+  EXPECT_NEAR(result->chance_rate, 0.25, 1e-9);
+}
+
+TEST(GroupingAdversaryTest, AlignedDecoysRestorePlausibleDeniability) {
+  // The same genuine pair, but the decoys are themselves a coherent pair
+  // (car-coupe, distance 1 via hypernym): the MAP rule can no longer
+  // prefer the truth outright.
+  auto lex = testutil::TinyLexicon();
+  SemanticDistanceCalculator dist(&lex);
+  wordnet::TermId dog = lex.FindTerm("dog");
+  wordnet::TermId puppy = lex.FindTerm("puppy");
+  wordnet::TermId car = lex.FindTerm("car");
+  wordnet::TermId coupe = lex.FindTerm("coupe");
+  auto org = BucketOrganization::Create({{dog, car}, {puppy, coupe}});
+  ASSERT_TRUE(org.ok());
+  auto result = RunMapCoherenceAttack(*org, dist, {{dog, puppy}});
+  ASSERT_TRUE(result.ok());
+  // dog-puppy and car-coupe both have distance 1 -> a 2-way tie at best;
+  // the adversary's expected hits drop to 1/2.
+  EXPECT_LE(result->hit_rate, 0.5 + 1e-9);
+}
+
+TEST(GroupingAdversaryTest, PaperExampleFromSection34) {
+  // The 'abu sayyaf' + 'terrorism' query of §3.4: under the mini lexicon's
+  // bucket organization the adversary faces multiple plausible pairs.
+  auto db = wordnet::BuildMiniWordNet();
+  ASSERT_TRUE(db.ok());
+  SemanticDistanceCalculator dist(&*db);
+  auto org = testutil::MakeBuckets(*db, 4, 16);
+  wordnet::TermId abu = db->FindTerm("abu sayyaf");
+  wordnet::TermId terror = db->FindTerm("terrorism");
+  ASSERT_TRUE(org.Contains(abu));
+  ASSERT_TRUE(org.Contains(terror));
+  if (org.Locate(abu)->bucket == org.Locate(terror)->bucket) {
+    GTEST_SKIP() << "fixture placed both terms in one bucket";
+  }
+  auto result = RunMapCoherenceAttack(org, dist, {{abu, terror}});
+  ASSERT_TRUE(result.ok());
+  // 16 combinations to choose from; the attack is well-formed. (On a
+  // 186-term fixture the buckets cannot always align decoys tightly enough
+  // to defeat the MAP rule — BucketOrganizationBeatsRandomAtScale is the
+  // at-scale version of the claim.)
+  EXPECT_NEAR(result->chance_rate, 1.0 / 16.0, 1e-9);
+  EXPECT_GE(result->hit_rate, result->chance_rate - 1e-9);
+  EXPECT_LE(result->hit_rate, 1.0 + 1e-9);
+}
+
+TEST(GroupingAdversaryTest, BucketOrganizationBeatsRandomAtScale) {
+  // The headline property over a real workload: hit rate under Algorithm
+  // 1+2 buckets is well below hit rate under random buckets.
+  auto lex = testutil::SmallSyntheticLexicon(3000, 122);
+  SemanticDistanceCalculator dist(&lex);
+  auto bucket_org = testutil::MakeBuckets(lex, 4, SIZE_MAX);
+  std::vector<wordnet::TermId> all(lex.term_count());
+  for (wordnet::TermId t = 0; t < lex.term_count(); ++t) all[t] = t;
+  Rng rng(1);
+  auto random_org = RandomBucketOrganization(all, 4, &rng);
+  ASSERT_TRUE(random_org.ok());
+
+  // Coherent 2-term queries: a term and a semantic neighbour (hyponym or
+  // sibling), mimicking real related-term queries.
+  std::vector<std::vector<wordnet::TermId>> queries;
+  Rng pick(2);
+  while (queries.size() < 12) {
+    wordnet::TermId a =
+        static_cast<wordnet::TermId>(pick.Uniform(lex.term_count()));
+    // neighbour via the synset graph: any term of a related synset.
+    const auto& synsets = lex.term(a).synsets;
+    if (synsets.empty()) continue;
+    const auto& relations = lex.synset(synsets[0]).relations;
+    if (relations.empty()) continue;
+    const auto& other = lex.synset(relations[0].target);
+    if (other.terms.empty()) continue;
+    wordnet::TermId b = other.terms[0];
+    if (a == b) continue;
+    queries.push_back({a, b});
+  }
+
+  auto bucket_result = RunMapCoherenceAttack(bucket_org, dist, queries);
+  auto random_result = RunMapCoherenceAttack(*random_org, dist, queries);
+  ASSERT_TRUE(bucket_result.ok()) << bucket_result.status().ToString();
+  ASSERT_TRUE(random_result.ok());
+  // Random decoys: coherent queries stick out (high hit rate). Bucket
+  // decoys: aligned covers pull the rate down.
+  EXPECT_LT(bucket_result->hit_rate, random_result->hit_rate)
+      << "bucket=" << bucket_result->hit_rate
+      << " random=" << random_result->hit_rate;
+}
+
+}  // namespace
+}  // namespace embellish::core

@@ -1,0 +1,145 @@
+// Tests for the Appendix C merged-source sequencer.
+
+#include <gtest/gtest.h>
+
+#include "core/sequencer.h"
+#include "testutil.h"
+#include "wordnet/mini_wordnet.h"
+
+namespace embellish::core {
+namespace {
+
+using wordnet::ExtractedRelation;
+
+std::unordered_map<wordnet::TermId, size_t> Positions(
+    const SequencerResult& result) {
+  std::unordered_map<wordnet::TermId, size_t> pos;
+  size_t i = 0;
+  for (const auto& seq : result.sequences) {
+    for (wordnet::TermId t : seq) pos[t] = i++;
+  }
+  return pos;
+}
+
+TEST(RelationStrengthsTest, DefaultsFollowClosenessOrder) {
+  RelationStrengths s;
+  EXPECT_GT(s.OfType(wordnet::RelationType::kDerivation),
+            s.OfType(wordnet::RelationType::kAntonym));
+  EXPECT_GT(s.OfType(wordnet::RelationType::kAntonym),
+            s.OfType(wordnet::RelationType::kHyponym));
+  EXPECT_GT(s.OfType(wordnet::RelationType::kHyponym),
+            s.OfType(wordnet::RelationType::kHypernym));
+  EXPECT_GT(s.OfType(wordnet::RelationType::kHypernym),
+            s.OfType(wordnet::RelationType::kMeronym));
+  EXPECT_GT(s.OfType(wordnet::RelationType::kMeronym),
+            s.OfType(wordnet::RelationType::kHolonym));
+  // Domain memberships are skipped, as in Algorithm 1.
+  EXPECT_DOUBLE_EQ(s.OfType(wordnet::RelationType::kDomain), 0.0);
+  EXPECT_DOUBLE_EQ(s.OfType(wordnet::RelationType::kDomainMember), 0.0);
+}
+
+TEST(MergedSequencerTest, NoExtractedRelationsCoversAllTerms) {
+  auto lex = testutil::SmallSyntheticLexicon(2000, 91);
+  auto merged = SequenceDictionaryMerged(lex, {});
+  EXPECT_EQ(merged.TotalTerms(), lex.term_count());
+}
+
+TEST(MergedSequencerTest, EveryTermOnceWithExtractedRelations) {
+  auto lex = testutil::SmallSyntheticLexicon(2000, 92);
+  std::vector<ExtractedRelation> extracted{
+      {10, 500, 0.95}, {20, 600, 0.8}, {30, 700, 0.4}};
+  auto merged = SequenceDictionaryMerged(lex, extracted);
+  std::set<wordnet::TermId> seen;
+  for (const auto& seq : merged.sequences) {
+    for (wordnet::TermId t : seq) {
+      EXPECT_TRUE(seen.insert(t).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), lex.term_count());
+}
+
+TEST(MergedSequencerTest, StrongExtractedRelationPullsTermsTogether) {
+  // Two terms in unrelated topics, wired by a strong mined relation: the
+  // merged traversal must bring them far closer than the baseline puts
+  // them.
+  auto db = wordnet::BuildMiniWordNet();
+  ASSERT_TRUE(db.ok());
+  wordnet::TermId saturn = db->FindTerm("saturn");
+  wordnet::TermId yeast = db->FindTerm("yeast");
+  ASSERT_NE(saturn, wordnet::kInvalidTermId);
+  ASSERT_NE(yeast, wordnet::kInvalidTermId);
+
+  auto baseline = SequenceDictionary(*db);
+  auto base_pos = Positions(baseline);
+  size_t base_gap = base_pos.at(saturn) > base_pos.at(yeast)
+                        ? base_pos.at(saturn) - base_pos.at(yeast)
+                        : base_pos.at(yeast) - base_pos.at(saturn);
+  ASSERT_GT(base_gap, 8u) << "fixture: the two topics must start far apart";
+
+  std::vector<ExtractedRelation> extracted{{saturn, yeast, 0.99}};
+  auto merged = SequenceDictionaryMerged(*db, extracted);
+  auto merged_pos = Positions(merged);
+  size_t merged_gap = merged_pos.at(saturn) > merged_pos.at(yeast)
+                          ? merged_pos.at(saturn) - merged_pos.at(yeast)
+                          : merged_pos.at(yeast) - merged_pos.at(saturn);
+  EXPECT_LT(merged_gap, base_gap);
+  EXPECT_LT(merged_gap, 8u);
+}
+
+TEST(MergedSequencerTest, MinStrengthThresholdDropsWeakRelations) {
+  auto db = wordnet::BuildMiniWordNet();
+  ASSERT_TRUE(db.ok());
+  wordnet::TermId saturn = db->FindTerm("saturn");
+  wordnet::TermId yeast = db->FindTerm("yeast");
+
+  // The same wiring, but below the threshold: gap stays large.
+  std::vector<ExtractedRelation> weak{{saturn, yeast, 0.05}};
+  MergedSequencerOptions options;
+  options.min_strength = 0.2;
+  auto merged = SequenceDictionaryMerged(*db, weak, options);
+  auto pos = Positions(merged);
+  size_t gap = pos.at(saturn) > pos.at(yeast) ? pos.at(saturn) - pos.at(yeast)
+                                              : pos.at(yeast) - pos.at(saturn);
+  EXPECT_GT(gap, 8u);
+}
+
+TEST(MergedSequencerTest, HighThresholdPrunesWordNetEdgesToo) {
+  // With min_strength above every WordNet strength, no edges are followed:
+  // each synset becomes its own wave, but all terms still appear once.
+  auto lex = testutil::SmallSyntheticLexicon(1000, 93);
+  MergedSequencerOptions options;
+  options.min_strength = 2.0;  // above everything
+  auto merged = SequenceDictionaryMerged(lex, {}, options);
+  EXPECT_EQ(merged.TotalTerms(), lex.term_count());
+  // Fragmentation: many sequences (no traversal happened).
+  EXPECT_GT(merged.sequences.size(), lex.term_count() / 16);
+}
+
+TEST(MergedSequencerTest, TermFilterStillApplies) {
+  auto lex = testutil::SmallSyntheticLexicon(1000, 94);
+  MergedSequencerOptions options;
+  options.term_filter = [](wordnet::TermId t) { return t % 3 == 0; };
+  auto merged = SequenceDictionaryMerged(lex, {}, options);
+  for (const auto& seq : merged.sequences) {
+    for (wordnet::TermId t : seq) EXPECT_EQ(t % 3, 0u);
+  }
+}
+
+TEST(MergedSequencerTest, BucketsDownstreamStillValid) {
+  // The merged sequence feeds Algorithm 2 unchanged.
+  auto lex = testutil::SmallSyntheticLexicon(2000, 95);
+  auto corp = testutil::SmallCorpus(lex, 200, 96);
+  auto relations = wordnet::ExtractRelationsFromCorpus(corp);
+  ASSERT_TRUE(relations.ok());
+  auto merged = SequenceDictionaryMerged(lex, *relations);
+  auto spec = SpecificityMap::FromHypernymDepth(lex);
+  BucketizerOptions bo;
+  bo.bucket_size = 4;
+  bo.segment_size = 64;
+  auto org = FormBuckets(merged, spec, bo);
+  ASSERT_TRUE(org.ok()) << org.status().ToString();
+  EXPECT_EQ(org->term_count(), lex.term_count());
+}
+
+}  // namespace
+}  // namespace embellish::core

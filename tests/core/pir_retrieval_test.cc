@@ -1,0 +1,203 @@
+#include "core/pir_retrieval.h"
+
+#include <gtest/gtest.h>
+
+#include "index/builder.h"
+#include "testutil.h"
+
+namespace embellish::core {
+namespace {
+
+struct PirPipeline {
+  wordnet::WordNetDatabase lex;
+  corpus::Corpus corp;
+  index::BuildOutput built;
+  BucketOrganization org;
+  storage::StorageLayout layout;
+  std::unique_ptr<PirRetrievalServer> server;
+  std::unique_ptr<PirRetrievalClient> client;
+
+  explicit PirPipeline(size_t bucket_size, uint64_t seed = 91)
+      : lex(testutil::SmallSyntheticLexicon(1500, seed)),
+        corp(testutil::SmallCorpus(lex, 150, seed + 1)),
+        built(std::move(index::BuildIndex(corp, {})).value()),
+        org(testutil::MakeBuckets(lex, bucket_size, 64)),
+        layout(storage::StorageLayout::Build(
+            built.index, org.buckets(),
+            storage::LayoutPolicy::kBucketColocated, {})) {
+    server = std::make_unique<PirRetrievalServer>(&built.index, &org,
+                                                  &layout);
+    Rng rng(seed + 2);
+    client = std::make_unique<PirRetrievalClient>(
+        std::move(PirRetrievalClient::Create(&org, 128, &rng)).value());
+  }
+};
+
+TEST(PirRetrievalTest, RetrievedListsMatchIndexExactly) {
+  PirPipeline p(4);
+  Rng rng(1);
+  auto terms = p.built.index.IndexedTerms();
+  for (size_t i = 0; i < 8; ++i) {
+    wordnet::TermId term = terms[rng.Uniform(terms.size())];
+    RetrievalCosts costs;
+    auto list = p.client->RetrieveList(*p.server, term, &rng, &costs);
+    ASSERT_TRUE(list.ok()) << list.status().ToString();
+    EXPECT_EQ(*list, *p.built.index.postings(term));
+  }
+}
+
+TEST(PirRetrievalTest, EmptyListRetrievesEmpty) {
+  PirPipeline p(4);
+  Rng rng(2);
+  // A bucketed term that never appears in the corpus.
+  wordnet::TermId unindexed = wordnet::kInvalidTermId;
+  for (wordnet::TermId t = 0; t < p.lex.term_count(); ++t) {
+    if (p.built.index.postings(t) == nullptr && p.org.Contains(t)) {
+      unindexed = t;
+      break;
+    }
+  }
+  ASSERT_NE(unindexed, wordnet::kInvalidTermId);
+  RetrievalCosts costs;
+  auto list = p.client->RetrieveList(*p.server, unindexed, &rng, &costs);
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  EXPECT_TRUE(list->empty());
+}
+
+TEST(PirRetrievalTest, RankingMatchesPlaintext) {
+  PirPipeline p(4);
+  Rng rng(3);
+  auto terms = p.built.index.IndexedTerms();
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<wordnet::TermId> query;
+    for (int i = 0; i < 4; ++i) {
+      query.push_back(terms[rng.Uniform(terms.size())]);
+    }
+    RetrievalCosts costs;
+    auto ranked = p.client->RunQuery(*p.server, query, 25, &rng, &costs);
+    ASSERT_TRUE(ranked.ok());
+    std::vector<wordnet::TermId> distinct = query;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    auto reference = index::EvaluateFull(p.built.index, distinct);
+    if (reference.size() > 25) reference.resize(25);
+    ASSERT_EQ(ranked->size(), reference.size());
+    for (size_t i = 0; i < ranked->size(); ++i) {
+      EXPECT_EQ((*ranked)[i], reference[i]);
+    }
+  }
+}
+
+TEST(PirRetrievalTest, RejectsEmptyQueryAndUnknownTerm) {
+  PirPipeline p(4);
+  Rng rng(4);
+  RetrievalCosts costs;
+  EXPECT_FALSE(p.client->RunQuery(*p.server, {}, 10, &rng, &costs).ok());
+  EXPECT_FALSE(
+      p.client->RunQuery(*p.server, {99999999}, 10, &rng, &costs).ok());
+}
+
+TEST(PirRetrievalTest, ResponsePaddedToBucketMaximum) {
+  // Every execution against a bucket returns the same number of rows —
+  // the padding requirement of Section 4's alternate method.
+  PirPipeline p(4);
+  Rng rng(5);
+  const auto& bucket = p.org.bucket(3);
+  auto matrix = p.server->BucketMatrix(3);
+  ASSERT_TRUE(matrix.ok());
+  size_t max_bytes = 0;
+  for (auto t : bucket) {
+    max_bytes = std::max(max_bytes, p.built.index.ListBytes(t));
+  }
+  EXPECT_EQ((*matrix)->rows(), (4 + max_bytes) * 8);
+  EXPECT_EQ((*matrix)->cols(), bucket.size());
+}
+
+TEST(PirRetrievalTest, DownlinkScalesWithMaxListNotOwnList) {
+  // Fetching a short list from a bucket with one long list costs as much
+  // downlink as fetching the long list — the cost asymmetry the paper's
+  // Figure 7(c) attributes to PIR.
+  PirPipeline p(8);
+  Rng rng(6);
+  // Find a bucket with both a short and a long indexed list.
+  for (size_t b = 0; b < p.org.bucket_count(); ++b) {
+    const auto& bucket = p.org.bucket(b);
+    wordnet::TermId shortest = wordnet::kInvalidTermId;
+    wordnet::TermId longest = wordnet::kInvalidTermId;
+    size_t lo = SIZE_MAX, hi = 0;
+    for (auto t : bucket) {
+      size_t len = p.built.index.ListLength(t);
+      if (len == 0) continue;
+      if (len < lo) {
+        lo = len;
+        shortest = t;
+      }
+      if (len > hi) {
+        hi = len;
+        longest = t;
+      }
+    }
+    if (shortest == wordnet::kInvalidTermId || hi <= lo * 3) continue;
+    RetrievalCosts c_short, c_long;
+    ASSERT_TRUE(
+        p.client->RetrieveList(*p.server, shortest, &rng, &c_short).ok());
+    ASSERT_TRUE(
+        p.client->RetrieveList(*p.server, longest, &rng, &c_long).ok());
+    EXPECT_EQ(c_short.downlink_bytes, c_long.downlink_bytes);
+    return;
+  }
+  GTEST_SKIP() << "no bucket with sufficiently skewed lists in fixture";
+}
+
+TEST(PirRetrievalTest, MultipleTermsSameBucketFetchedSeparately) {
+  // "if a query contains multiple genuine terms from the same bucket,
+  // their inverted lists have to be fetched one at a time."
+  PirPipeline p(4);
+  Rng rng(7);
+  // Two indexed terms in the same bucket.
+  wordnet::TermId a = wordnet::kInvalidTermId, b = wordnet::kInvalidTermId;
+  for (size_t bkt = 0; bkt < p.org.bucket_count(); ++bkt) {
+    std::vector<wordnet::TermId> indexed;
+    for (auto t : p.org.bucket(bkt)) {
+      if (p.built.index.postings(t) != nullptr) indexed.push_back(t);
+    }
+    if (indexed.size() >= 2) {
+      a = indexed[0];
+      b = indexed[1];
+      break;
+    }
+  }
+  ASSERT_NE(a, wordnet::kInvalidTermId);
+  RetrievalCosts one, two;
+  ASSERT_TRUE(p.client->RunQuery(*p.server, {a}, 10, &rng, &one).ok());
+  ASSERT_TRUE(p.client->RunQuery(*p.server, {a, b}, 10, &rng, &two).ok());
+  // Two executions -> roughly double the traffic of one.
+  EXPECT_GT(two.downlink_bytes, one.downlink_bytes);
+  EXPECT_GE(two.uplink_bytes, 2 * one.uplink_bytes);
+}
+
+TEST(PirRetrievalTest, ServerRejectsBadBucketIndex) {
+  PirPipeline p(4);
+  crypto::PirQuery bogus;
+  RetrievalCosts costs;
+  EXPECT_FALSE(p.server->Answer(999999, bogus, &costs).ok());
+}
+
+TEST(PirRetrievalTest, CostsArePopulated) {
+  PirPipeline p(4);
+  Rng rng(8);
+  auto terms = p.built.index.IndexedTerms();
+  RetrievalCosts costs;
+  ASSERT_TRUE(
+      p.client->RunQuery(*p.server, {terms[0], terms[9]}, 10, &rng, &costs)
+          .ok());
+  EXPECT_GT(costs.server_io_ms, 0.0);
+  EXPECT_GT(costs.server_cpu_ms, 0.0);
+  EXPECT_GT(costs.uplink_bytes, 0u);
+  EXPECT_GT(costs.downlink_bytes, 0u);
+  EXPECT_GT(costs.user_cpu_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace embellish::core

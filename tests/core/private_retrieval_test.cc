@@ -1,0 +1,272 @@
+// Tests for the PR scheme — including the library's central correctness
+// property, Claim 1: the private pipeline's ranking equals a plaintext
+// engine's ranking over the genuine terms alone.
+
+#include "core/private_retrieval.h"
+
+#include <gtest/gtest.h>
+
+#include "index/builder.h"
+#include "testutil.h"
+
+namespace embellish::core {
+namespace {
+
+struct Pipeline {
+  wordnet::WordNetDatabase lex;
+  corpus::Corpus corp;
+  index::BuildOutput built;
+  BucketOrganization org;
+  storage::StorageLayout layout;
+  std::unique_ptr<crypto::BenalohKeyPair> keys;
+  std::unique_ptr<PrivateRetrievalClient> client;
+  std::unique_ptr<PrivateRetrievalServer> server;
+
+  Pipeline(size_t bucket_size, uint64_t seed,
+           PrivateRetrievalServerOptions server_options = {})
+      : lex(testutil::SmallSyntheticLexicon(2000, seed)),
+        corp(testutil::SmallCorpus(lex, 250, seed + 1)),
+        built(std::move(index::BuildIndex(corp, {})).value()),
+        org(testutil::MakeBuckets(lex, bucket_size, 64)),
+        layout(storage::StorageLayout::Build(
+            built.index, org.buckets(),
+            storage::LayoutPolicy::kBucketColocated, {})) {
+    Rng rng(seed + 2);
+    crypto::BenalohKeyOptions ko;
+    ko.key_bits = 256;
+    ko.r = 59049;
+    keys = std::make_unique<crypto::BenalohKeyPair>(
+        std::move(crypto::BenalohKeyPair::Generate(ko, &rng)).value());
+    client = std::make_unique<PrivateRetrievalClient>(
+        &org, &keys->public_key(), &keys->private_key());
+    server = std::make_unique<PrivateRetrievalServer>(
+        &built.index, &org, &layout, storage::DiskModelOptions{},
+        server_options);
+  }
+
+  std::vector<wordnet::TermId> RandomIndexedQuery(size_t len, Rng* rng) {
+    auto terms = built.index.IndexedTerms();
+    std::vector<wordnet::TermId> q;
+    for (size_t i = 0; i < len; ++i) {
+      q.push_back(terms[rng->Uniform(terms.size())]);
+    }
+    return q;
+  }
+};
+
+// --- Claim 1, the paper's central guarantee -------------------------------
+
+class Claim1Test : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Claim1Test, PrivateRankingEqualsPlaintextRanking) {
+  const size_t bucket_size = GetParam();
+  Pipeline p(bucket_size, 71);
+  Rng rng(99);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto query = p.RandomIndexedQuery(4 + trial, &rng);
+    RetrievalCosts costs;
+    auto ranked = RunPrivateQuery(*p.client, *p.server, p.keys->public_key(),
+                                  query, 50, &rng, &costs);
+    ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+
+    // Plaintext reference over the DISTINCT genuine terms (the embellisher
+    // collapses duplicates).
+    std::vector<wordnet::TermId> distinct = query;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    auto reference = index::EvaluateFull(p.built.index, distinct);
+    if (reference.size() > 50) reference.resize(50);
+
+    ASSERT_EQ(ranked->size(), reference.size());
+    for (size_t i = 0; i < ranked->size(); ++i) {
+      EXPECT_EQ((*ranked)[i].doc, reference[i].doc) << "rank " << i;
+      EXPECT_EQ((*ranked)[i].score, reference[i].score) << "rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketSizes, Claim1Test,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(Claim1NaiveModeTest, PaperFaithfulModexpAgreesToo) {
+  PrivateRetrievalServerOptions so;
+  so.use_power_table = false;
+  Pipeline p(4, 72, so);
+  Rng rng(100);
+  auto query = p.RandomIndexedQuery(5, &rng);
+  RetrievalCosts costs;
+  auto ranked = RunPrivateQuery(*p.client, *p.server, p.keys->public_key(),
+                                query, 30, &rng, &costs);
+  ASSERT_TRUE(ranked.ok());
+  std::vector<wordnet::TermId> distinct = query;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  auto reference = index::EvaluateFull(p.built.index, distinct);
+  if (reference.size() > 30) reference.resize(30);
+  ASSERT_EQ(ranked->size(), reference.size());
+  for (size_t i = 0; i < ranked->size(); ++i) {
+    EXPECT_EQ((*ranked)[i].doc, reference[i].doc);
+    EXPECT_EQ((*ranked)[i].score, reference[i].score);
+  }
+}
+
+// --- Server-side behaviour -------------------------------------------------
+
+TEST(PrivateRetrievalServerTest, DecoysDoNotChangeScoresButWidenCandidates) {
+  Pipeline p(8, 73);
+  Rng rng(101);
+  auto query = p.RandomIndexedQuery(3, &rng);
+  RetrievalCosts costs;
+  auto formulated = p.client->FormulateQuery(query, &rng, &costs);
+  ASSERT_TRUE(formulated.ok());
+  auto encrypted = p.server->Process(*formulated, p.keys->public_key(),
+                                     &costs);
+  ASSERT_TRUE(encrypted.ok());
+
+  // The candidate set is the union over ALL embellished terms' lists —
+  // strictly larger than the genuine-only candidate set in general.
+  std::vector<wordnet::TermId> distinct = query;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  auto genuine_only = index::EvaluateFull(p.built.index, distinct);
+  EXPECT_GE(encrypted->candidates.size(), genuine_only.size());
+
+  // Decoy-reached candidates decrypt to zero and are filtered client-side.
+  auto ranked = p.client->PostFilter(*encrypted, 1000000, &costs);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), genuine_only.size());
+}
+
+TEST(PrivateRetrievalServerTest, EmptyQueryRejected) {
+  Pipeline p(4, 74);
+  EmbellishedQuery empty;
+  RetrievalCosts costs;
+  EXPECT_FALSE(p.server->Process(empty, p.keys->public_key(), &costs).ok());
+}
+
+TEST(PrivateRetrievalServerTest, IoChargedPerDistinctBucket) {
+  Pipeline p(4, 75);
+  Rng rng(102);
+  // One genuine term -> exactly one bucket fetch.
+  auto q1 = p.RandomIndexedQuery(1, &rng);
+  RetrievalCosts c1;
+  auto f1 = p.client->FormulateQuery(q1, &rng, &c1);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(p.server->Process(*f1, p.keys->public_key(), &c1).ok());
+  EXPECT_GT(c1.server_io_ms, 0.0);
+
+  // The same term twice costs the same I/O as once.
+  RetrievalCosts c2;
+  auto f2 = p.client->FormulateQuery({q1[0], q1[0]}, &rng, &c2);
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(p.server->Process(*f2, p.keys->public_key(), &c2).ok());
+  EXPECT_DOUBLE_EQ(c1.server_io_ms, c2.server_io_ms);
+}
+
+TEST(PrivateRetrievalServerTest, NullLayoutSkipsIoAccounting) {
+  Pipeline p(4, 76);
+  PrivateRetrievalServer no_io(&p.built.index, &p.org, nullptr);
+  Rng rng(103);
+  RetrievalCosts costs;
+  auto f = p.client->FormulateQuery(p.RandomIndexedQuery(2, &rng), &rng,
+                                    &costs);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(no_io.Process(*f, p.keys->public_key(), &costs).ok());
+  EXPECT_DOUBLE_EQ(costs.server_io_ms, 0.0);
+  EXPECT_GT(costs.server_cpu_ms, 0.0);
+}
+
+// --- Client-side behaviour --------------------------------------------------
+
+TEST(PrivateRetrievalClientTest, PostFilterDropsZeroScores) {
+  Pipeline p(4, 77);
+  Rng rng(104);
+  // Construct an encrypted result of two candidates: score 7 and score 0.
+  EncryptedResult result;
+  auto c7 = p.keys->public_key().Encrypt(7, &rng);
+  auto c0 = p.keys->public_key().Encrypt(0, &rng);
+  result.candidates.push_back({0, *c7});
+  result.candidates.push_back({1, *c0});
+  RetrievalCosts costs;
+  auto ranked = p.client->PostFilter(result, 10, &costs);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 1u);
+  EXPECT_EQ((*ranked)[0].doc, 0u);
+  EXPECT_EQ((*ranked)[0].score, 7u);
+}
+
+TEST(PrivateRetrievalClientTest, PostFilterRespectsK) {
+  Pipeline p(4, 78);
+  Rng rng(105);
+  EncryptedResult result;
+  for (uint64_t i = 0; i < 10; ++i) {
+    auto c = p.keys->public_key().Encrypt(10 + i, &rng);
+    result.candidates.push_back({static_cast<corpus::DocId>(i), *c});
+  }
+  RetrievalCosts costs;
+  auto ranked = p.client->PostFilter(result, 3, &costs);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 3u);
+  EXPECT_EQ((*ranked)[0].score, 19u);  // highest first
+  EXPECT_EQ((*ranked)[2].score, 17u);
+}
+
+TEST(PrivateRetrievalClientTest, TamperedScoreSurfacesAsError) {
+  Pipeline p(4, 79);
+  EncryptedResult result;
+  // A ciphertext outside Z*_n.
+  result.candidates.push_back(
+      {0, crypto::BenalohCiphertext{p.keys->public_key().n()}});
+  RetrievalCosts costs;
+  EXPECT_FALSE(p.client->PostFilter(result, 10, &costs).ok());
+}
+
+// --- Cost accounting ---------------------------------------------------------
+
+TEST(RetrievalCostsTest, AddAccumulates) {
+  RetrievalCosts a;
+  a.server_io_ms = 1;
+  a.server_cpu_ms = 2;
+  a.uplink_bytes = 3;
+  a.downlink_bytes = 4;
+  a.user_cpu_ms = 5;
+  RetrievalCosts b = a;
+  b.Add(a);
+  EXPECT_DOUBLE_EQ(b.server_io_ms, 2);
+  EXPECT_DOUBLE_EQ(b.server_cpu_ms, 4);
+  EXPECT_EQ(b.uplink_bytes, 6u);
+  EXPECT_EQ(b.downlink_bytes, 8u);
+  EXPECT_DOUBLE_EQ(b.user_cpu_ms, 10);
+}
+
+TEST(PrivateRetrievalCostsTest, WireAccountingConsistent) {
+  Pipeline p(8, 80);
+  Rng rng(106);
+  auto query = p.RandomIndexedQuery(3, &rng);
+  RetrievalCosts costs;
+  auto f = p.client->FormulateQuery(query, &rng, &costs);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(costs.uplink_bytes, f->WireBytes(p.keys->public_key()));
+  auto enc = p.server->Process(*f, p.keys->public_key(), &costs);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(costs.downlink_bytes, enc->WireBytes(p.keys->public_key()));
+  EXPECT_GT(costs.user_cpu_ms, 0.0);
+}
+
+TEST(PrivateRetrievalCostsTest, LargerBucketsCostMoreUplink) {
+  Pipeline small(2, 81);
+  Pipeline large(16, 81);
+  Rng rng(107);
+  auto terms_small = small.built.index.IndexedTerms();
+  wordnet::TermId t = terms_small[17];
+  RetrievalCosts cs, cl;
+  ASSERT_TRUE(small.client->FormulateQuery({t}, &rng, &cs).ok());
+  ASSERT_TRUE(large.client->FormulateQuery({t}, &rng, &cl).ok());
+  EXPECT_GT(cl.uplink_bytes, cs.uplink_bytes);
+}
+
+}  // namespace
+}  // namespace embellish::core

@@ -1,0 +1,119 @@
+#include "core/query_expansion.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/embellisher.h"
+#include "testutil.h"
+#include "wordnet/relation_extraction.h"
+
+namespace embellish::core {
+namespace {
+
+using wordnet::ExtractedRelation;
+
+TEST(QueryExpansionTest, OptionsValidation) {
+  QueryExpansionOptions o;
+  o.terms_per_seed = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = QueryExpansionOptions{};
+  o.min_strength = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = QueryExpansionOptions{};
+  o.min_strength = -0.1;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(QueryExpansionTest, ExpandsWithStrongestFirst) {
+  std::vector<ExtractedRelation> relations{
+      {1, 2, 0.9}, {1, 3, 0.5}, {1, 4, 0.7}, {1, 5, 0.2}};
+  QueryExpansionOptions o;
+  o.terms_per_seed = 2;
+  auto expander = QueryExpander::Create(relations, o);
+  ASSERT_TRUE(expander.ok());
+  auto expanded = expander->Expand({1});
+  // Original term first, then the two strongest neighbors (2 then 4).
+  ASSERT_EQ(expanded.size(), 3u);
+  EXPECT_EQ(expanded[0], 1u);
+  EXPECT_EQ(expanded[1], 2u);
+  EXPECT_EQ(expanded[2], 4u);
+}
+
+TEST(QueryExpansionTest, RelationsAreSymmetric) {
+  std::vector<ExtractedRelation> relations{{1, 2, 0.9}};
+  auto expander = QueryExpander::Create(relations, {});
+  ASSERT_TRUE(expander.ok());
+  EXPECT_EQ(expander->Expand({2}),
+            (std::vector<wordnet::TermId>{2, 1}));
+}
+
+TEST(QueryExpansionTest, DeduplicatesAcrossSeeds) {
+  std::vector<ExtractedRelation> relations{{1, 3, 0.9}, {2, 3, 0.9}};
+  auto expander = QueryExpander::Create(relations, {});
+  ASSERT_TRUE(expander.ok());
+  auto expanded = expander->Expand({1, 2});
+  // 3 appears once even though both seeds relate to it.
+  EXPECT_EQ(expanded, (std::vector<wordnet::TermId>{1, 2, 3}));
+}
+
+TEST(QueryExpansionTest, PreservesQueryOrderAndDedupesQuery) {
+  auto expander = QueryExpander::Create({}, {});
+  ASSERT_TRUE(expander.ok());
+  EXPECT_EQ(expander->Expand({7, 5, 7, 9}),
+            (std::vector<wordnet::TermId>{7, 5, 9}));
+}
+
+TEST(QueryExpansionTest, MinStrengthFiltersRelations) {
+  std::vector<ExtractedRelation> relations{{1, 2, 0.5}, {1, 3, 0.05}};
+  QueryExpansionOptions o;
+  o.min_strength = 0.3;
+  auto expander = QueryExpander::Create(relations, o);
+  ASSERT_TRUE(expander.ok());
+  auto expanded = expander->Expand({1});
+  EXPECT_EQ(expanded, (std::vector<wordnet::TermId>{1, 2}));
+}
+
+TEST(QueryExpansionTest, EndToEndWithExtractionAndEmbellishment) {
+  // Mined relations -> expanded query -> Algorithm 3; the expanded query's
+  // host buckets must cover every expansion term.
+  auto lex = testutil::SmallSyntheticLexicon(1500, 81);
+  auto corp = testutil::SmallCorpus(lex, 250, 82);
+  auto relations = wordnet::ExtractRelationsFromCorpus(corp);
+  ASSERT_TRUE(relations.ok());
+  ASSERT_FALSE(relations->empty());
+  auto expander = QueryExpander::Create(*relations, {});
+  ASSERT_TRUE(expander.ok());
+
+  // Find a term that actually has expansions.
+  wordnet::TermId seed = (*relations)[0].a;
+  auto expanded = expander->Expand({seed});
+  ASSERT_GT(expanded.size(), 1u);
+
+  auto org = testutil::MakeBuckets(lex, 4, 64);
+  Rng rng(1);
+  crypto::BenalohKeyOptions ko;
+  ko.key_bits = 256;
+  ko.r = 729;
+  auto keys = crypto::BenalohKeyPair::Generate(ko, &rng);
+  ASSERT_TRUE(keys.ok());
+  QueryEmbellisher embellisher(&org, &keys->public_key());
+  auto query = embellisher.Embellish(expanded, &rng);
+  ASSERT_TRUE(query.ok());
+  // Every expanded term appears in the embellished query.
+  std::set<wordnet::TermId> sent;
+  for (const auto& e : query->entries) sent.insert(e.term);
+  for (wordnet::TermId t : expanded) {
+    EXPECT_TRUE(sent.count(t));
+  }
+}
+
+TEST(QueryExpansionTest, TableSizeReflectsRelations) {
+  std::vector<ExtractedRelation> relations{{1, 2, 0.9}, {3, 4, 0.8}};
+  auto expander = QueryExpander::Create(relations, {});
+  ASSERT_TRUE(expander.ok());
+  EXPECT_EQ(expander->table_size(), 4u);  // terms 1,2,3,4
+}
+
+}  // namespace
+}  // namespace embellish::core

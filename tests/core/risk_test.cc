@@ -1,0 +1,125 @@
+#include "core/risk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/decoy_random.h"
+#include "testutil.h"
+
+namespace embellish::core {
+namespace {
+
+class RiskTest : public ::testing::Test {
+ protected:
+  RiskTest()
+      : lex_(testutil::SmallSyntheticLexicon(4000, 81)),
+        spec_(SpecificityMap::FromHypernymDepth(lex_)),
+        dist_(&lex_),
+        evaluator_(&lex_, &spec_, &dist_) {}
+
+  std::vector<wordnet::TermId> AllTerms() {
+    std::vector<wordnet::TermId> terms(lex_.term_count());
+    for (wordnet::TermId t = 0; t < lex_.term_count(); ++t) terms[t] = t;
+    return terms;
+  }
+
+  wordnet::WordNetDatabase lex_;
+  SpecificityMap spec_;
+  SemanticDistanceCalculator dist_;
+  RiskEvaluator evaluator_;
+};
+
+TEST_F(RiskTest, SpecificityDifferenceOnHandBuiltBuckets) {
+  // Bucket of equal-specificity terms -> difference 0; mixed -> max - min.
+  std::vector<wordnet::TermId> by_spec[20];
+  for (wordnet::TermId t = 0; t < lex_.term_count(); ++t) {
+    int s = spec_.TermSpecificity(t);
+    if (s < 20) by_spec[s].push_back(t);
+  }
+  ASSERT_GE(by_spec[7].size(), 4u);
+  ASSERT_GE(by_spec[3].size(), 2u);
+  auto uniform = BucketOrganization::Create(
+      {{by_spec[7][0], by_spec[7][1], by_spec[7][2], by_spec[7][3]}});
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_DOUBLE_EQ(
+      evaluator_.AvgIntraBucketSpecificityDifference(*uniform), 0.0);
+
+  auto mixed = BucketOrganization::Create(
+      {{by_spec[7][0], by_spec[3][0]}, {by_spec[7][1], by_spec[3][1]}});
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_DOUBLE_EQ(evaluator_.AvgIntraBucketSpecificityDifference(*mixed),
+                   4.0);
+}
+
+TEST_F(RiskTest, SingletonBucketsContributeNothing) {
+  auto org = BucketOrganization::Create({{1}, {2}, {3}});
+  ASSERT_TRUE(org.ok());
+  EXPECT_DOUBLE_EQ(evaluator_.AvgIntraBucketSpecificityDifference(*org), 0.0);
+}
+
+TEST_F(RiskTest, BucketBeatsRandomOnSpecificity) {
+  // The Figure 5(a)/6(a) qualitative result. SegSz is maximized (N/BktSz),
+  // the paper's configuration for the Figure 6 experiment; the margin is
+  // looser than the paper's full-scale run because this fixture's segments
+  // are three orders of magnitude smaller.
+  auto bucket_org = testutil::MakeBuckets(lex_, 4, SIZE_MAX);
+  Rng rng(1);
+  auto random_org = RandomBucketOrganization(AllTerms(), 4, &rng);
+  ASSERT_TRUE(random_org.ok());
+  double bucket_diff =
+      evaluator_.AvgIntraBucketSpecificityDifference(bucket_org);
+  double random_diff =
+      evaluator_.AvgIntraBucketSpecificityDifference(*random_org);
+  EXPECT_LT(bucket_diff, random_diff * 0.75)
+      << "bucket=" << bucket_diff << " random=" << random_diff;
+}
+
+TEST_F(RiskTest, DistanceDifferenceStatsAreWellFormed) {
+  auto org = testutil::MakeBuckets(lex_, 4, 256);
+  Rng rng(2);
+  auto stats = evaluator_.MeasureDistanceDifference(org, 50, &rng);
+  EXPECT_EQ(stats.trials, 50u);
+  EXPECT_GE(stats.avg_closest, 0.0);
+  EXPECT_GE(stats.avg_farthest, stats.avg_closest);
+  EXPECT_LE(stats.avg_farthest, RiskEvaluator::kDistanceCutoff);
+}
+
+TEST_F(RiskTest, BucketBeatsRandomOnFarthestCover) {
+  // The Figure 5(b)/6(b) qualitative result: the bucket organization's
+  // farthest cover is much closer to the genuine distance than random's.
+  auto bucket_org = testutil::MakeBuckets(lex_, 4, 512);
+  Rng rng(3);
+  auto random_org = RandomBucketOrganization(AllTerms(), 4, &rng);
+  ASSERT_TRUE(random_org.ok());
+  Rng trial_rng_a(4), trial_rng_b(4);
+  auto bucket_stats =
+      evaluator_.MeasureDistanceDifference(bucket_org, 120, &trial_rng_a);
+  auto random_stats =
+      evaluator_.MeasureDistanceDifference(*random_org, 120, &trial_rng_b);
+  EXPECT_LT(bucket_stats.avg_farthest, random_stats.avg_farthest);
+}
+
+TEST_F(RiskTest, DegenerateOrganizations) {
+  // One bucket only: no pair of buckets to measure.
+  auto single = BucketOrganization::Create({{1, 2, 3, 4}});
+  ASSERT_TRUE(single.ok());
+  Rng rng(5);
+  auto stats = evaluator_.MeasureDistanceDifference(*single, 10, &rng);
+  EXPECT_EQ(stats.trials, 0u);
+  // Width-1 buckets: no decoy slots to compare.
+  auto singles = BucketOrganization::Create({{1}, {2}});
+  ASSERT_TRUE(singles.ok());
+  auto stats2 = evaluator_.MeasureDistanceDifference(*singles, 10, &rng);
+  EXPECT_EQ(stats2.trials, 0u);
+}
+
+TEST_F(RiskTest, DeterministicGivenSeed) {
+  auto org = testutil::MakeBuckets(lex_, 4, 128);
+  Rng a(6), b(6);
+  auto s1 = evaluator_.MeasureDistanceDifference(org, 40, &a);
+  auto s2 = evaluator_.MeasureDistanceDifference(org, 40, &b);
+  EXPECT_DOUBLE_EQ(s1.avg_closest, s2.avg_closest);
+  EXPECT_DOUBLE_EQ(s1.avg_farthest, s2.avg_farthest);
+}
+
+}  // namespace
+}  // namespace embellish::core

@@ -1,0 +1,126 @@
+#include "core/semantic_distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "wordnet/mini_wordnet.h"
+
+namespace embellish::core {
+namespace {
+
+class SemanticDistanceTest : public ::testing::Test {
+ protected:
+  SemanticDistanceTest()
+      : lex_(testutil::TinyLexicon()), calc_(&lex_) {}
+
+  double TermDist(const char* a, const char* b, double cutoff = 100.0) {
+    return calc_.TermDistance(lex_.FindTerm(a), lex_.FindTerm(b), cutoff);
+  }
+
+  wordnet::WordNetDatabase lex_;
+  SemanticDistanceCalculator calc_;
+};
+
+TEST_F(SemanticDistanceTest, IdenticalTermsAreAtDistanceZero) {
+  EXPECT_DOUBLE_EQ(TermDist("dog", "dog"), 0.0);
+}
+
+TEST_F(SemanticDistanceTest, SynonymsAreAtDistanceZero) {
+  // 'car' and 'auto' share a synset.
+  EXPECT_DOUBLE_EQ(TermDist("car", "auto"), 0.0);
+}
+
+TEST_F(SemanticDistanceTest, HypernymHopCostsOne) {
+  EXPECT_DOUBLE_EQ(TermDist("puppy", "dog"), 1.0);
+  EXPECT_DOUBLE_EQ(TermDist("dog", "animal"), 1.0);
+  EXPECT_DOUBLE_EQ(TermDist("puppy", "animal"), 2.0);
+}
+
+TEST_F(SemanticDistanceTest, AntonymShortcutCostsHalf) {
+  // dog—cat via antonym: 0.5, cheaper than via 'animal' (2.0).
+  EXPECT_DOUBLE_EQ(TermDist("dog", "cat"), 0.5);
+}
+
+TEST_F(SemanticDistanceTest, MeronymCostsTwo) {
+  // car—engine directly via meronym edge (2.0) vs via artifact (2 hops = 2.0)
+  // -> equal-cost paths are fine; distance is 2.0.
+  EXPECT_DOUBLE_EQ(TermDist("car", "engine"), 2.0);
+}
+
+TEST_F(SemanticDistanceTest, DerivationCostsHalf) {
+  EXPECT_DOUBLE_EQ(TermDist("vehicle", "garage"), 0.5);
+}
+
+TEST_F(SemanticDistanceTest, DomainCostsThree) {
+  // coupe—racing has a direct domain edge (3.0); the hierarchy route is
+  // coupe>car>vehicle>artifact>entity>racing = 5 hops.
+  EXPECT_DOUBLE_EQ(TermDist("coupe", "racing"), 3.0);
+}
+
+TEST_F(SemanticDistanceTest, SymmetricDistances) {
+  for (auto [a, b] : {std::pair<const char*, const char*>{"puppy", "truck"},
+                      {"dog", "engine"},
+                      {"cat", "coupe"}}) {
+    EXPECT_DOUBLE_EQ(TermDist(a, b), TermDist(b, a));
+  }
+}
+
+TEST_F(SemanticDistanceTest, TriangleInequality) {
+  const char* terms[] = {"puppy", "dog", "cat", "car", "engine", "truck"};
+  for (const char* a : terms) {
+    for (const char* b : terms) {
+      for (const char* c : terms) {
+        EXPECT_LE(TermDist(a, c), TermDist(a, b) + TermDist(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(SemanticDistanceTest, CutoffTruncatesSearch) {
+  // puppy—coupe: up to entity (3 hops) down to coupe (4 hops) = 7.0.
+  EXPECT_DOUBLE_EQ(TermDist("puppy", "coupe"), 7.0);
+  EXPECT_TRUE(std::isinf(TermDist("puppy", "coupe", 3.0)));
+  EXPECT_DOUBLE_EQ(TermDist("puppy", "coupe", 7.0), 7.0);
+}
+
+TEST_F(SemanticDistanceTest, CustomWeightsChangeGeometry) {
+  SemanticDistanceWeights w;
+  w.antonym = 10.0;  // make the dog—cat shortcut expensive
+  SemanticDistanceCalculator calc(&lex_, w);
+  EXPECT_DOUBLE_EQ(calc.TermDistance(lex_.FindTerm("dog"),
+                                     lex_.FindTerm("cat"), 100.0),
+                   2.0);  // now routed via 'animal'
+}
+
+TEST(SemanticDistanceWeightsTest, PaperWeightValues) {
+  // Section 5.1's stated weights.
+  SemanticDistanceWeights w;
+  EXPECT_DOUBLE_EQ(w.WeightOf(wordnet::RelationType::kHypernym), 1.0);
+  EXPECT_DOUBLE_EQ(w.WeightOf(wordnet::RelationType::kHyponym), 1.0);
+  EXPECT_DOUBLE_EQ(w.WeightOf(wordnet::RelationType::kAntonym), 0.5);
+  EXPECT_DOUBLE_EQ(w.WeightOf(wordnet::RelationType::kHolonym), 2.0);
+  EXPECT_DOUBLE_EQ(w.WeightOf(wordnet::RelationType::kMeronym), 2.0);
+  EXPECT_DOUBLE_EQ(w.WeightOf(wordnet::RelationType::kDomain), 3.0);
+  EXPECT_DOUBLE_EQ(w.WeightOf(wordnet::RelationType::kDomainMember), 3.0);
+}
+
+TEST(SemanticDistanceMiniTest, PaperClustersAreTight) {
+  auto db = wordnet::BuildMiniWordNet();
+  ASSERT_TRUE(db.ok());
+  SemanticDistanceCalculator calc(&*db);
+  auto dist = [&](const char* a, const char* b) {
+    return calc.TermDistance(db->FindTerm(a), db->FindTerm(b), 64.0);
+  };
+  // Intra-topic pairs are much closer than cross-topic pairs.
+  EXPECT_LT(dist("osteosarcoma", "myosarcoma"),
+            dist("osteosarcoma", "amaranthaceae"));
+  EXPECT_LT(dist("hypercapnia", "hypocapnia"),
+            dist("hypercapnia", "terrorism"));
+  EXPECT_LT(dist("radiation therapy", "therapy"),
+            dist("radiation therapy", "abu sayyaf"));
+}
+
+}  // namespace
+}  // namespace embellish::core

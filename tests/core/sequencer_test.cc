@@ -1,0 +1,133 @@
+#include "core/sequencer.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "wordnet/mini_wordnet.h"
+
+namespace embellish::core {
+namespace {
+
+// Position of each term in the concatenation of all sequences.
+std::unordered_map<wordnet::TermId, size_t> Positions(
+    const SequencerResult& result) {
+  std::unordered_map<wordnet::TermId, size_t> pos;
+  size_t i = 0;
+  for (const auto& seq : result.sequences) {
+    for (wordnet::TermId t : seq) pos[t] = i++;
+  }
+  return pos;
+}
+
+TEST(SequencerTest, EveryTermAppearsExactlyOnce) {
+  auto lex = testutil::SmallSyntheticLexicon(3000, 41);
+  auto result = SequenceDictionary(lex);
+  std::set<wordnet::TermId> seen;
+  for (const auto& seq : result.sequences) {
+    for (wordnet::TermId t : seq) {
+      EXPECT_TRUE(seen.insert(t).second) << "term " << t << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), lex.term_count());
+  EXPECT_EQ(result.TotalTerms(), lex.term_count());
+}
+
+TEST(SequencerTest, SingleSequenceForConnectedLexicon) {
+  // The synthetic lexicon's hypernym tree is rooted at 'entity'; like the
+  // real WordNet run in Section 3.3, everything coalesces into one sequence
+  // ... or a small number when low-connectivity seeds start new runs late.
+  auto lex = testutil::SmallSyntheticLexicon(3000, 42);
+  auto result = SequenceDictionary(lex);
+  EXPECT_LT(result.sequences.size(), lex.term_count() / 8);
+}
+
+TEST(SequencerTest, SynonymsEndUpAdjacent) {
+  // Terms of one synset are appended together (Algorithm 1 line 8), so the
+  // gap between synset-mates is small.
+  auto db = wordnet::BuildMiniWordNet();
+  ASSERT_TRUE(db.ok());
+  auto result = SequenceDictionary(*db);
+  auto pos = Positions(result);
+  auto gap = [&](const char* a, const char* b) {
+    size_t pa = pos.at(db->FindTerm(a));
+    size_t pb = pos.at(db->FindTerm(b));
+    return pa > pb ? pa - pb : pb - pa;
+  };
+  EXPECT_LE(gap("osteosarcoma", "osteogenic sarcoma"), 1u);
+  EXPECT_LE(gap("hypocapnia", "acapnia"), 1u);
+  EXPECT_LE(gap("abu sayyaf", "bearer of the sword"), 1u);
+}
+
+TEST(SequencerTest, RelatedTermsClusterTogether) {
+  // The Section 3.3 snippets: sarcoma varieties sit near each other, far
+  // from the plant families.
+  auto db = wordnet::BuildMiniWordNet();
+  ASSERT_TRUE(db.ok());
+  auto result = SequenceDictionary(*db);
+  auto pos = Positions(result);
+  auto p = [&](const char* t) { return pos.at(db->FindTerm(t)); };
+  auto dist = [&](const char* a, const char* b) {
+    return p(a) > p(b) ? p(a) - p(b) : p(b) - p(a);
+  };
+  // Same cluster: within a handful of slots.
+  EXPECT_LT(dist("osteosarcoma", "myosarcoma"), 12u);
+  EXPECT_LT(dist("osteosarcoma", "rhabdomyosarcoma"), 12u);
+  EXPECT_LT(dist("hypercapnia", "hypocapnia"), 12u);
+  // Cross-cluster: far apart relative to cluster diameter.
+  EXPECT_GT(dist("osteosarcoma", "abu sayyaf"), 12u);
+}
+
+TEST(SequencerTest, DeterministicOutput) {
+  auto lex = testutil::SmallSyntheticLexicon(2000, 43);
+  auto a = SequenceDictionary(lex);
+  auto b = SequenceDictionary(lex);
+  ASSERT_EQ(a.sequences.size(), b.sequences.size());
+  for (size_t i = 0; i < a.sequences.size(); ++i) {
+    EXPECT_EQ(a.sequences[i], b.sequences[i]);
+  }
+}
+
+TEST(SequencerTest, TermFilterRestrictsOutput) {
+  auto lex = testutil::SmallSyntheticLexicon(2000, 44);
+  SequencerOptions options;
+  options.term_filter = [](wordnet::TermId t) { return t % 2 == 0; };
+  auto result = SequenceDictionary(lex, options);
+  for (const auto& seq : result.sequences) {
+    for (wordnet::TermId t : seq) {
+      EXPECT_EQ(t % 2, 0u);
+    }
+  }
+  EXPECT_EQ(result.TotalTerms(), (lex.term_count() + 1) / 2);
+}
+
+TEST(SequencerTest, HighConnectivitySynsetsSeedFirst) {
+  // The seed order is decreasing relation count; the very first sequence
+  // must start with a term of a maximally connected synset.
+  auto lex = testutil::TinyLexicon();
+  auto result = SequenceDictionary(lex);
+  ASSERT_FALSE(result.sequences.empty());
+  ASSERT_FALSE(result.sequences[0].empty());
+  wordnet::TermId first = result.sequences[0][0];
+  size_t max_rel = 0;
+  for (wordnet::SynsetId s = 0; s < lex.synset_count(); ++s) {
+    max_rel = std::max(max_rel, lex.synset(s).RelationCount());
+  }
+  size_t first_rel = 0;
+  for (wordnet::SynsetId s : lex.term(first).synsets) {
+    first_rel = std::max(first_rel, lex.synset(s).RelationCount());
+  }
+  EXPECT_EQ(first_rel, max_rel);
+}
+
+TEST(SequencerTest, TinyLexiconFullCoverage) {
+  auto lex = testutil::TinyLexicon();
+  auto result = SequenceDictionary(lex);
+  EXPECT_EQ(result.TotalTerms(), lex.term_count());
+}
+
+}  // namespace
+}  // namespace embellish::core

@@ -1,0 +1,125 @@
+#include "core/session.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "wordnet/mini_wordnet.h"
+
+namespace embellish::core {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : lex_(std::move(wordnet::BuildMiniWordNet()).value()),
+                  org_(testutil::MakeBuckets(lex_, 4, 16)) {
+    Rng rng(1);
+    crypto::BenalohKeyOptions ko;
+    ko.key_bits = 256;
+    ko.r = 729;
+    keys_ = std::make_unique<crypto::BenalohKeyPair>(
+        std::move(crypto::BenalohKeyPair::Generate(ko, &rng)).value());
+  }
+
+  SearchSession MakeSession(uint64_t seed = 7) {
+    return SearchSession(&lex_, &org_, &keys_->public_key(), seed);
+  }
+
+  wordnet::WordNetDatabase lex_;
+  BucketOrganization org_;
+  std::unique_ptr<crypto::BenalohKeyPair> keys_;
+};
+
+TEST_F(SessionTest, IssueQueryByWords) {
+  auto session = MakeSession();
+  auto q = session.IssueQuery({"osteosarcoma", "therapy"});
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_GE(q->entries.size(), 2u);
+  EXPECT_EQ(session.query_count(), 1u);
+}
+
+TEST_F(SessionTest, UnknownWordRejectedWithoutRecordingHistory) {
+  auto session = MakeSession();
+  auto q = session.IssueQuery({"osteosarcoma", "notaword"});
+  EXPECT_TRUE(q.status().IsNotFound());
+  EXPECT_EQ(session.query_count(), 0u);
+}
+
+TEST_F(SessionTest, ObservedViewMatchesIssuedQuery) {
+  auto session = MakeSession();
+  auto q = session.IssueQuery({"terrorism"});
+  ASSERT_TRUE(q.ok());
+  const AdversaryView& view = session.observed(0);
+  ASSERT_EQ(view.observed_terms.size(), q->entries.size());
+  for (size_t i = 0; i < view.observed_terms.size(); ++i) {
+    EXPECT_EQ(view.observed_terms[i], q->entries[i].term);
+  }
+}
+
+TEST_F(SessionTest, RecurringTermIntersectionYieldsWholeBuckets) {
+  // The paper's osteosarcoma scenario: "osteosarcoma symptoms" followed by
+  // "osteosarcoma therapy". Intersecting the two observed queries must not
+  // isolate 'osteosarcoma' — its whole bucket survives the intersection.
+  auto session = MakeSession();
+  ASSERT_TRUE(session.IssueQuery({"osteosarcoma", "symptom"}).ok());
+  ASSERT_TRUE(session.IssueQuery({"osteosarcoma", "therapy"}).ok());
+  auto common = session.IntersectObservedQueries();
+
+  wordnet::TermId osteo = lex_.FindTerm("osteosarcoma");
+  size_t host = org_.Locate(osteo)->bucket;
+  const auto& bucket = org_.bucket(host);
+  // Every member of osteosarcoma's bucket is in the intersection.
+  std::set<wordnet::TermId> common_set(common.begin(), common.end());
+  for (wordnet::TermId t : bucket) {
+    EXPECT_TRUE(common_set.count(t))
+        << "decoy " << lex_.term(t).text << " missing from intersection";
+  }
+  // And the intersection is exactly a union of whole buckets.
+  std::set<size_t> buckets_seen;
+  for (wordnet::TermId t : common) {
+    buckets_seen.insert(org_.Locate(t)->bucket);
+  }
+  size_t expected = 0;
+  for (size_t b : buckets_seen) expected += org_.bucket(b).size();
+  EXPECT_EQ(common.size(), expected);
+}
+
+TEST_F(SessionTest, DisjointQueriesIntersectEmpty) {
+  auto session = MakeSession();
+  ASSERT_TRUE(session.IssueQuery({"saturn"}).ok());
+  ASSERT_TRUE(session.IssueQuery({"water"}).ok());
+  // Unless the two terms share a bucket, the intersection is empty.
+  wordnet::TermId a = lex_.FindTerm("saturn");
+  wordnet::TermId b = lex_.FindTerm("water");
+  if (org_.Locate(a)->bucket != org_.Locate(b)->bucket) {
+    EXPECT_TRUE(session.IntersectObservedQueries().empty());
+  }
+}
+
+TEST_F(SessionTest, EmptySessionIntersection) {
+  auto session = MakeSession();
+  EXPECT_TRUE(session.IntersectObservedQueries().empty());
+}
+
+TEST_F(SessionTest, SessionsWithDifferentSeedsPermuteDifferently) {
+  auto s1 = MakeSession(100);
+  auto s2 = MakeSession(200);
+  auto q1 = s1.IssueQuery({"osteosarcoma", "radiation", "therapy"});
+  auto q2 = s2.IssueQuery({"osteosarcoma", "radiation", "therapy"});
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  // Same term multiset...
+  std::multiset<wordnet::TermId> m1, m2;
+  for (auto& e : q1->entries) m1.insert(e.term);
+  for (auto& e : q2->entries) m2.insert(e.term);
+  EXPECT_EQ(m1, m2);
+  // ...but (with overwhelming probability) different order.
+  std::vector<wordnet::TermId> o1, o2;
+  for (auto& e : q1->entries) o1.push_back(e.term);
+  for (auto& e : q2->entries) o2.push_back(e.term);
+  EXPECT_NE(o1, o2);
+}
+
+}  // namespace
+}  // namespace embellish::core

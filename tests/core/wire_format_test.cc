@@ -1,0 +1,198 @@
+// Wire-format round trips and failure injection for the PR protocol
+// messages: a server/client pair must interoperate through raw bytes, and
+// every malformed frame must be rejected with Corruption — never decoded
+// into something plausible.
+
+#include "core/wire_format.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/bucket_io.h"
+#include "index/builder.h"
+#include "testutil.h"
+
+namespace embellish::core {
+namespace {
+
+class WireFormatTest : public ::testing::Test {
+ protected:
+  WireFormatTest()
+      : lex_(testutil::SmallSyntheticLexicon(1500, 111)),
+        corp_(testutil::SmallCorpus(lex_, 150, 112)),
+        built_(std::move(index::BuildIndex(corp_, {})).value()),
+        org_(testutil::MakeBuckets(lex_, 4, 64)) {
+    Rng rng(113);
+    crypto::BenalohKeyOptions ko;
+    ko.key_bits = 256;
+    ko.r = 59049;
+    keys_ = std::make_unique<crypto::BenalohKeyPair>(
+        std::move(crypto::BenalohKeyPair::Generate(ko, &rng)).value());
+  }
+
+  EmbellishedQuery MakeQuery(Rng* rng) {
+    QueryEmbellisher embellisher(&org_, &keys_->public_key());
+    auto terms = built_.index.IndexedTerms();
+    std::vector<wordnet::TermId> genuine{terms[3], terms[71]};
+    return std::move(embellisher.Embellish(genuine, rng)).value();
+  }
+
+  wordnet::WordNetDatabase lex_;
+  corpus::Corpus corp_;
+  index::BuildOutput built_;
+  BucketOrganization org_;
+  std::unique_ptr<crypto::BenalohKeyPair> keys_;
+};
+
+TEST_F(WireFormatTest, QueryRoundTrip) {
+  Rng rng(1);
+  EmbellishedQuery query = MakeQuery(&rng);
+  auto bytes = EncodeQuery(query, keys_->public_key());
+  EXPECT_EQ(bytes.size(), 4 + query.WireBytes(keys_->public_key()));
+  auto decoded = DecodeQuery(bytes, keys_->public_key());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->entries.size(), query.entries.size());
+  for (size_t i = 0; i < query.entries.size(); ++i) {
+    EXPECT_EQ(decoded->entries[i].term, query.entries[i].term);
+    EXPECT_EQ(decoded->entries[i].indicator, query.entries[i].indicator);
+  }
+}
+
+TEST_F(WireFormatTest, DecodedQueryProcessesIdentically) {
+  // Full interop: encode on the client, decode on the server, process, and
+  // get byte-identical results to the in-memory path.
+  Rng rng(2);
+  EmbellishedQuery query = MakeQuery(&rng);
+  auto bytes = EncodeQuery(query, keys_->public_key());
+  auto decoded = DecodeQuery(bytes, keys_->public_key());
+  ASSERT_TRUE(decoded.ok());
+
+  PrivateRetrievalServer server(&built_.index, &org_, nullptr);
+  auto direct = server.Process(query, keys_->public_key(), nullptr);
+  auto via_wire = server.Process(*decoded, keys_->public_key(), nullptr);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_wire.ok());
+  ASSERT_EQ(direct->candidates.size(), via_wire->candidates.size());
+  for (size_t i = 0; i < direct->candidates.size(); ++i) {
+    EXPECT_EQ(direct->candidates[i].doc, via_wire->candidates[i].doc);
+    EXPECT_EQ(direct->candidates[i].score, via_wire->candidates[i].score);
+  }
+}
+
+TEST_F(WireFormatTest, ResultRoundTrip) {
+  Rng rng(3);
+  EmbellishedQuery query = MakeQuery(&rng);
+  PrivateRetrievalServer server(&built_.index, &org_, nullptr);
+  auto result = server.Process(query, keys_->public_key(), nullptr);
+  ASSERT_TRUE(result.ok());
+  auto bytes = EncodeResult(*result, keys_->public_key());
+  auto decoded = DecodeResult(bytes, keys_->public_key());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->candidates.size(), result->candidates.size());
+  for (size_t i = 0; i < result->candidates.size(); ++i) {
+    EXPECT_EQ(decoded->candidates[i].doc, result->candidates[i].doc);
+    EXPECT_EQ(decoded->candidates[i].score, result->candidates[i].score);
+  }
+}
+
+TEST_F(WireFormatTest, RejectsTruncatedFrames) {
+  Rng rng(4);
+  auto bytes = EncodeQuery(MakeQuery(&rng), keys_->public_key());
+  for (size_t cut : {0u, 3u, 5u, 37u}) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    auto decoded = DecodeQuery(truncated, keys_->public_key());
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+  std::vector<uint8_t> minus_one(bytes.begin(), bytes.end() - 1);
+  EXPECT_FALSE(DecodeQuery(minus_one, keys_->public_key()).ok());
+}
+
+TEST_F(WireFormatTest, RejectsTrailingGarbage) {
+  Rng rng(5);
+  auto bytes = EncodeQuery(MakeQuery(&rng), keys_->public_key());
+  bytes.push_back(0x00);
+  EXPECT_FALSE(DecodeQuery(bytes, keys_->public_key()).ok());
+}
+
+TEST_F(WireFormatTest, RejectsLyingEntryCount) {
+  Rng rng(6);
+  auto bytes = EncodeQuery(MakeQuery(&rng), keys_->public_key());
+  bytes[3] += 1;  // count + 1 without payload
+  EXPECT_FALSE(DecodeQuery(bytes, keys_->public_key()).ok());
+  // Huge count must not cause a huge allocation before the size check.
+  bytes[0] = 0xFF;
+  EXPECT_FALSE(DecodeQuery(bytes, keys_->public_key()).ok());
+}
+
+TEST_F(WireFormatTest, RejectsCiphertextOutOfRange) {
+  Rng rng(7);
+  EmbellishedQuery query = MakeQuery(&rng);
+  auto bytes = EncodeQuery(query, keys_->public_key());
+  // Overwrite the first ciphertext with 0xFF..FF >= n.
+  for (size_t i = 8; i < 8 + keys_->public_key().CiphertextBytes(); ++i) {
+    bytes[i] = 0xFF;
+  }
+  auto decoded = DecodeQuery(bytes, keys_->public_key());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST_F(WireFormatTest, EmptyFramesRoundTrip) {
+  EncryptedResult empty;
+  auto bytes = EncodeResult(empty, keys_->public_key());
+  auto decoded = DecodeResult(bytes, keys_->public_key());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->candidates.empty());
+}
+
+// --- Bucket organization persistence ---------------------------------------
+
+TEST_F(WireFormatTest, BucketOrganizationRoundTrip) {
+  std::string text = SerializeBuckets(org_);
+  auto parsed = ParseBuckets(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->bucket_count(), org_.bucket_count());
+  for (size_t b = 0; b < org_.bucket_count(); ++b) {
+    EXPECT_EQ(parsed->bucket(b), org_.bucket(b));
+  }
+  // Locate() agrees after the round trip.
+  wordnet::TermId t = org_.bucket(7)[1];
+  EXPECT_EQ(parsed->Locate(t)->bucket, org_.Locate(t)->bucket);
+}
+
+TEST_F(WireFormatTest, BucketFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/buckets_rt.txt";
+  ASSERT_TRUE(SaveBucketsToFile(org_, path).ok());
+  auto loaded = LoadBucketsFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->bucket_count(), org_.bucket_count());
+  std::remove(path.c_str());
+}
+
+TEST_F(WireFormatTest, BucketParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParseBuckets("").ok());
+  EXPECT_FALSE(ParseBuckets("wrong 1\n").ok());
+  EXPECT_FALSE(ParseBuckets("embellish-buckets 1\nbuckets x\n").ok());
+  EXPECT_FALSE(ParseBuckets("embellish-buckets 1\nbuckets 2\nB 1 2\n").ok());
+  // Duplicate term across buckets -> Create() rejects.
+  EXPECT_FALSE(
+      ParseBuckets("embellish-buckets 1\nbuckets 2\nB 1 2\nB 2 3\n").ok());
+  // Empty bucket.
+  EXPECT_FALSE(
+      ParseBuckets("embellish-buckets 1\nbuckets 2\nB 1 2\nB\n").ok());
+  // Valid minimal case.
+  EXPECT_TRUE(
+      ParseBuckets("embellish-buckets 1\nbuckets 2\nB 1 2\nB 3 4\n").ok());
+}
+
+TEST_F(WireFormatTest, LoadBucketsMissingFile) {
+  auto loaded = LoadBucketsFromFile("/nonexistent/buckets.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIoError());
+}
+
+}  // namespace
+}  // namespace embellish::core

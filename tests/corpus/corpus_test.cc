@@ -1,0 +1,58 @@
+#include "corpus/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace embellish::corpus {
+namespace {
+
+Corpus MakeTinyCorpus() {
+  // doc 0: {0, 1, 1}, doc 1: {1, 2}, doc 2: {2, 2, 2}
+  std::vector<Document> docs(3);
+  docs[0].tokens = {0, 1, 1};
+  docs[1].tokens = {1, 2};
+  docs[2].tokens = {2, 2, 2};
+  return Corpus(std::move(docs));
+}
+
+TEST(CorpusTest, AssignsSequentialIds) {
+  Corpus c = MakeTinyCorpus();
+  ASSERT_EQ(c.document_count(), 3u);
+  for (DocId i = 0; i < 3; ++i) EXPECT_EQ(c.document(i).id, i);
+}
+
+TEST(CorpusTest, DocumentFrequencyCountsDocumentsNotOccurrences) {
+  Corpus c = MakeTinyCorpus();
+  EXPECT_EQ(c.DocumentFrequency(0), 1u);
+  EXPECT_EQ(c.DocumentFrequency(1), 2u);  // in docs 0 and 1
+  EXPECT_EQ(c.DocumentFrequency(2), 2u);  // in docs 1 and 2 (not 3!)
+  EXPECT_EQ(c.DocumentFrequency(99), 0u);
+}
+
+TEST(CorpusTest, DistinctTermsSorted) {
+  Corpus c = MakeTinyCorpus();
+  EXPECT_EQ(c.DistinctTerms(), (std::vector<wordnet::TermId>{0, 1, 2}));
+}
+
+TEST(CorpusTest, TotalTokens) {
+  EXPECT_EQ(MakeTinyCorpus().TotalTokens(), 8u);
+}
+
+TEST(CorpusTest, RenderTextUsesLexicon) {
+  auto lex = testutil::TinyLexicon();
+  std::vector<Document> docs(1);
+  docs[0].tokens = {lex.FindTerm("dog"), lex.FindTerm("cat")};
+  Corpus c(std::move(docs));
+  EXPECT_EQ(c.RenderText(0, lex), "dog cat");
+}
+
+TEST(CorpusTest, EmptyCorpus) {
+  Corpus c({});
+  EXPECT_EQ(c.document_count(), 0u);
+  EXPECT_EQ(c.TotalTokens(), 0u);
+  EXPECT_TRUE(c.DistinctTerms().empty());
+}
+
+}  // namespace
+}  // namespace embellish::corpus

@@ -1,0 +1,129 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace embellish::corpus {
+namespace {
+
+TEST(CorpusGeneratorTest, ValidatesOptions) {
+  auto lex = testutil::SmallSyntheticLexicon(1000);
+  SyntheticCorpusOptions o;
+  o.num_docs = 0;
+  EXPECT_FALSE(GenerateSyntheticCorpus(lex, o).ok());
+  o = SyntheticCorpusOptions{};
+  o.mean_doc_tokens = 1;
+  EXPECT_FALSE(GenerateSyntheticCorpus(lex, o).ok());
+  o = SyntheticCorpusOptions{};
+  o.topic_fraction = 1.5;
+  EXPECT_FALSE(GenerateSyntheticCorpus(lex, o).ok());
+  o = SyntheticCorpusOptions{};
+  o.zipf_s = 0.0;
+  EXPECT_FALSE(GenerateSyntheticCorpus(lex, o).ok());
+}
+
+TEST(CorpusGeneratorTest, ProducesRequestedScale) {
+  auto lex = testutil::SmallSyntheticLexicon(2000);
+  SyntheticCorpusOptions o;
+  o.num_docs = 200;
+  o.mean_doc_tokens = 50;
+  o.seed = 1;
+  auto c = GenerateSyntheticCorpus(lex, o);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->document_count(), 200u);
+  double avg = static_cast<double>(c->TotalTokens()) / 200.0;
+  EXPECT_NEAR(avg, 50.0, 10.0);
+  // Doc lengths bounded by [mean/2, 3*mean/2].
+  for (const Document& d : c->documents()) {
+    EXPECT_GE(d.tokens.size(), 25u);
+    EXPECT_LE(d.tokens.size(), 76u);
+  }
+}
+
+TEST(CorpusGeneratorTest, Deterministic) {
+  auto lex = testutil::SmallSyntheticLexicon(1500);
+  SyntheticCorpusOptions o;
+  o.num_docs = 50;
+  o.seed = 9;
+  auto a = GenerateSyntheticCorpus(lex, o);
+  auto b = GenerateSyntheticCorpus(lex, o);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (DocId i = 0; i < 50; ++i) {
+    EXPECT_EQ(a->document(i).tokens, b->document(i).tokens);
+  }
+  o.seed = 10;
+  auto c = GenerateSyntheticCorpus(lex, o);
+  EXPECT_NE(a->document(0).tokens, c->document(0).tokens);
+}
+
+TEST(CorpusGeneratorTest, AllTokensAreValidTermIds) {
+  auto lex = testutil::SmallSyntheticLexicon(1200);
+  auto c = testutil::SmallCorpus(lex, 100);
+  for (const Document& d : c.documents()) {
+    for (wordnet::TermId t : d.tokens) {
+      ASSERT_LT(t, lex.term_count());
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, DocumentFrequencyIsZipfSkewed) {
+  auto lex = testutil::SmallSyntheticLexicon(3000);
+  SyntheticCorpusOptions o;
+  o.num_docs = 400;
+  o.mean_doc_tokens = 120;
+  o.seed = 4;
+  auto c = GenerateSyntheticCorpus(lex, o);
+  ASSERT_TRUE(c.ok());
+  std::vector<uint32_t> dfs;
+  for (wordnet::TermId t : c->DistinctTerms()) {
+    dfs.push_back(c->DocumentFrequency(t));
+  }
+  std::sort(dfs.rbegin(), dfs.rend());
+  ASSERT_GT(dfs.size(), 100u);
+  // Heavy skew: the most frequent term reaches far more documents than the
+  // median one.
+  EXPECT_GT(dfs.front(), 10u * std::max<uint32_t>(1, dfs[dfs.size() / 2]));
+}
+
+TEST(CorpusGeneratorTest, TopicLocalityCreatesCooccurrence) {
+  // With strong topicality, a document's tokens concentrate on a small
+  // dictionary subset compared to a topic-free corpus.
+  auto lex = testutil::SmallSyntheticLexicon(4000);
+  SyntheticCorpusOptions topical;
+  topical.num_docs = 60;
+  topical.mean_doc_tokens = 150;
+  topical.num_topics = 10;
+  topical.terms_per_topic = 200;
+  topical.topic_fraction = 0.9;
+  topical.seed = 11;
+  SyntheticCorpusOptions flat = topical;
+  flat.topic_fraction = 0.0;
+  auto ct = GenerateSyntheticCorpus(lex, topical);
+  auto cf = GenerateSyntheticCorpus(lex, flat);
+  ASSERT_TRUE(ct.ok());
+  ASSERT_TRUE(cf.ok());
+  auto avg_distinct = [](const Corpus& c) {
+    double total = 0;
+    for (const Document& d : c.documents()) {
+      std::vector<wordnet::TermId> v = d.tokens;
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      total += static_cast<double>(v.size());
+    }
+    return total / static_cast<double>(c.document_count());
+  };
+  EXPECT_LT(avg_distinct(*ct), avg_distinct(*cf) * 0.8);
+}
+
+TEST(CorpusGeneratorTest, RejectsTinyLexicon) {
+  auto lex = testutil::TinyLexicon();  // 14 terms, far below minimum
+  SyntheticCorpusOptions o;
+  EXPECT_FALSE(GenerateSyntheticCorpus(lex, o).ok());
+}
+
+}  // namespace
+}  // namespace embellish::corpus

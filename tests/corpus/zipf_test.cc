@@ -1,0 +1,65 @@
+#include "corpus/zipf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace embellish::corpus {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double sum = 0;
+  for (size_t k = 0; k < 100; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsMonotoneDecreasing) {
+  ZipfSampler zipf(50, 1.2);
+  for (size_t k = 1; k < 50; ++k) {
+    EXPECT_LT(zipf.Pmf(k), zipf.Pmf(k - 1));
+  }
+}
+
+TEST(ZipfTest, ClassicRatioBetweenRanks) {
+  // With s = 1, P(0)/P(1) == 2, P(0)/P(9) == 10.
+  ZipfSampler zipf(1000, 1.0);
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(1), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(9), 10.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleStaysInRange) {
+  ZipfSampler zipf(30, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 30u);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesTrackPmf) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(2);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t k = 0; k < 5; ++k) {
+    double expected = zipf.Pmf(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, expected * 0.05 + 50);
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  ZipfSampler flat(100, 0.5);
+  ZipfSampler steep(100, 2.0);
+  EXPECT_LT(flat.Pmf(0), steep.Pmf(0));
+}
+
+}  // namespace
+}  // namespace embellish::corpus

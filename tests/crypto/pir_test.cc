@@ -1,0 +1,214 @@
+#include "crypto/pir.h"
+
+#include <gtest/gtest.h>
+
+#include "bignum/modmath.h"
+
+namespace embellish::crypto {
+namespace {
+
+using bignum::BigInt;
+
+std::shared_ptr<PirDatabase> RandomDatabase(size_t rows, size_t cols,
+                                            uint64_t seed) {
+  auto db = std::make_shared<PirDatabase>(rows, cols);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      db->SetBit(i, j, rng.Bernoulli(0.5));
+    }
+  }
+  return db;
+}
+
+TEST(PirDatabaseTest, BitAccessors) {
+  PirDatabase db(10, 3);
+  EXPECT_FALSE(db.GetBit(4, 1));
+  db.SetBit(4, 1, true);
+  EXPECT_TRUE(db.GetBit(4, 1));
+  db.SetBit(4, 1, false);
+  EXPECT_FALSE(db.GetBit(4, 1));
+  EXPECT_EQ(db.rows(), 10u);
+  EXPECT_EQ(db.cols(), 3u);
+}
+
+TEST(PirDatabaseTest, ColumnFromBytesIsMsbFirst) {
+  PirDatabase db(16, 2);
+  db.SetColumnFromBytes(1, {0x80, 0x01});
+  EXPECT_TRUE(db.GetBit(0, 1));    // MSB of byte 0
+  EXPECT_FALSE(db.GetBit(1, 1));
+  EXPECT_TRUE(db.GetBit(15, 1));   // LSB of byte 1
+  EXPECT_FALSE(db.GetBit(0, 0));   // other column untouched
+}
+
+TEST(PirClientTest, CreateRejectsBadKeyBits) {
+  Rng rng(1);
+  EXPECT_FALSE(PirClient::Create(64, &rng).ok());
+  EXPECT_FALSE(PirClient::Create(8192, &rng).ok());
+}
+
+TEST(PirClientTest, QueryValidation) {
+  Rng rng(2);
+  auto client = PirClient::Create(128, &rng);
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(client->BuildQuery(3, 3, &rng).ok());  // col out of range
+  EXPECT_FALSE(client->BuildQuery(0, 0, &rng).ok());  // empty database
+  EXPECT_TRUE(client->BuildQuery(2, 3, &rng).ok());
+}
+
+TEST(PirClientTest, QueryValuesHaveJacobiOne) {
+  // Security property: every q_j (QR or QNR) has Jacobi symbol +1, so the
+  // server cannot spot the target column via the Jacobi symbol.
+  Rng rng(3);
+  auto client = PirClient::Create(128, &rng);
+  ASSERT_TRUE(client.ok());
+  auto query = client->BuildQuery(2, 6, &rng);
+  ASSERT_TRUE(query.ok());
+  for (const BigInt& q : query->q) {
+    EXPECT_EQ(bignum::Jacobi(q, query->n), 1);
+  }
+}
+
+TEST(PirClientTest, ExactlyTargetColumnIsQnr) {
+  Rng rng(4);
+  auto client = PirClient::Create(128, &rng);
+  ASSERT_TRUE(client.ok());
+  auto query = client->BuildQuery(2, 5, &rng);
+  ASSERT_TRUE(query.ok());
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(client->IsQuadraticResidue(query->q[j]), j != 2) << j;
+  }
+}
+
+TEST(PirEndToEndTest, RetrievesEveryColumnCorrectly) {
+  auto db = RandomDatabase(96, 6, 55);
+  Rng rng(5);
+  auto client = PirClient::Create(128, &rng);
+  ASSERT_TRUE(client.ok());
+  PirServer server(db);
+  for (size_t col = 0; col < 6; ++col) {
+    auto query = client->BuildQuery(col, 6, &rng);
+    ASSERT_TRUE(query.ok());
+    auto response = server.Answer(*query);
+    ASSERT_TRUE(response.ok());
+    auto bits = client->DecodeResponse(*response);
+    ASSERT_TRUE(bits.ok());
+    ASSERT_EQ(bits->size(), 96u);
+    for (size_t row = 0; row < 96; ++row) {
+      EXPECT_EQ((*bits)[row], db->GetBit(row, col))
+          << "col " << col << " row " << row;
+    }
+  }
+}
+
+TEST(PirEndToEndTest, AllZeroAndAllOneColumns) {
+  auto db = std::make_shared<PirDatabase>(32, 2);
+  for (size_t i = 0; i < 32; ++i) db->SetBit(i, 1, true);
+  Rng rng(6);
+  auto client = PirClient::Create(128, &rng);
+  PirServer server(db);
+  for (size_t col = 0; col < 2; ++col) {
+    auto query = client->BuildQuery(col, 2, &rng);
+    auto response = server.Answer(*query);
+    auto bits = client->DecodeResponse(*response);
+    ASSERT_TRUE(bits.ok());
+    for (size_t row = 0; row < 32; ++row) {
+      EXPECT_EQ((*bits)[row], col == 1);
+    }
+  }
+}
+
+TEST(PirServerTest, RejectsWidthMismatch) {
+  auto db = RandomDatabase(8, 4, 7);
+  Rng rng(7);
+  auto client = PirClient::Create(128, &rng);
+  PirServer server(db);
+  auto query = client->BuildQuery(1, 3, &rng);  // 3 != 4 columns
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(server.Answer(*query).ok());
+}
+
+TEST(PirServerTest, ReportsMultiplicationCount) {
+  auto db = RandomDatabase(16, 4, 8);
+  Rng rng(8);
+  auto client = PirClient::Create(128, &rng);
+  PirServer server(db);
+  auto query = client->BuildQuery(0, 4, &rng);
+  uint64_t ops = 0;
+  auto response = server.Answer(*query, &ops);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ops, 16u * 4u);  // rows x cols products
+}
+
+TEST(PirWireTest, QueryAndResponseSizes) {
+  // Appendix A.1: response is KeyLen x max|Li| -> rows x key_bytes bytes.
+  auto db = RandomDatabase(64, 5, 9);
+  Rng rng(9);
+  auto client = PirClient::Create(256, &rng);
+  PirServer server(db);
+  auto query = client->BuildQuery(2, 5, &rng);
+  EXPECT_EQ(query->WireBytes(), (1 + 5) * client->key_bytes());
+  auto response = server.Answer(*query);
+  EXPECT_EQ(response->WireBytes(client->key_bytes()),
+            64 * client->key_bytes());
+}
+
+TEST(PirClientTest, DecodeRejectsCorruptResponse) {
+  Rng rng(10);
+  auto client = PirClient::Create(128, &rng);
+  PirResponse bad;
+  bad.gamma.push_back(BigInt(0));  // zero is not in Z*_n
+  EXPECT_FALSE(client->DecodeResponse(bad).ok());
+  PirResponse big;
+  big.gamma.push_back(client->n() + BigInt(5));
+  EXPECT_FALSE(client->DecodeResponse(big).ok());
+}
+
+TEST(PirEndToEndTest, DistinctClientsInteroperate) {
+  // Two clients with different keys query the same server.
+  auto db = RandomDatabase(40, 3, 11);
+  PirServer server(db);
+  for (uint64_t seed : {20ULL, 21ULL}) {
+    Rng rng(seed);
+    auto client = PirClient::Create(128, &rng);
+    auto query = client->BuildQuery(1, 3, &rng);
+    auto response = server.Answer(*query);
+    auto bits = client->DecodeResponse(*response);
+    ASSERT_TRUE(bits.ok());
+    for (size_t row = 0; row < 40; ++row) {
+      EXPECT_EQ((*bits)[row], db->GetBit(row, 1));
+    }
+  }
+}
+
+class PirMatrixSweepTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(PirMatrixSweepTest, FullMatrixRecovery) {
+  auto [rows, cols] = GetParam();
+  auto db = RandomDatabase(rows, cols, rows * 100 + cols);
+  Rng rng(12);
+  auto client = PirClient::Create(128, &rng);
+  PirServer server(db);
+  // Recover the full matrix one column at a time.
+  for (size_t col = 0; col < cols; ++col) {
+    auto query = client->BuildQuery(col, cols, &rng);
+    auto response = server.Answer(*query);
+    auto bits = client->DecodeResponse(*response);
+    ASSERT_TRUE(bits.ok());
+    for (size_t row = 0; row < rows; ++row) {
+      ASSERT_EQ((*bits)[row], db->GetBit(row, col));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PirMatrixSweepTest,
+    ::testing::Values(std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{8, 1},
+                      std::pair<size_t, size_t>{1, 8},
+                      std::pair<size_t, size_t>{64, 2},
+                      std::pair<size_t, size_t>{33, 7}));
+
+}  // namespace
+}  // namespace embellish::crypto

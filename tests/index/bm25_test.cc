@@ -1,0 +1,157 @@
+// Okapi BM25 scoring (Appendix B: the PR scheme applies to any similarity
+// model that scores from query/document vectors, "including Okapi").
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/private_retrieval.h"
+#include "index/builder.h"
+#include "testutil.h"
+
+namespace embellish::index {
+namespace {
+
+TEST(Bm25ImpactTest, KnownValue) {
+  // N=100, f_t=10, f_dt=3, |d| = avg: norm = k1, so
+  // impact = idf * 3*(k1+1)/(3+k1), idf = ln(1 + 90.5/10.5).
+  Bm25Params p;
+  double idf = std::log(1.0 + (100.0 - 10.0 + 0.5) / (10.0 + 0.5));
+  double expected = idf * 3.0 * (p.k1 + 1.0) / (3.0 + p.k1);
+  EXPECT_NEAR(Bm25Impact(100, 10, 3, 50.0, 50.0), expected, 1e-12);
+}
+
+TEST(Bm25ImpactTest, RareTermsWeighMore) {
+  EXPECT_GT(Bm25Impact(1000, 1, 2, 100, 100),
+            Bm25Impact(1000, 100, 2, 100, 100));
+}
+
+TEST(Bm25ImpactTest, TermFrequencySaturates) {
+  // BM25's hallmark: the gain from f_dt=1 -> 2 exceeds 10 -> 11.
+  double g1 = Bm25Impact(1000, 10, 2, 100, 100) -
+              Bm25Impact(1000, 10, 1, 100, 100);
+  double g10 = Bm25Impact(1000, 10, 11, 100, 100) -
+               Bm25Impact(1000, 10, 10, 100, 100);
+  EXPECT_GT(g1, g10 * 2);
+}
+
+TEST(Bm25ImpactTest, LongDocumentsPenalized) {
+  EXPECT_GT(Bm25Impact(1000, 10, 3, 50, 100),
+            Bm25Impact(1000, 10, 3, 200, 100));
+}
+
+TEST(Bm25ImpactTest, BIsTheLengthKnob) {
+  Bm25Params no_norm;
+  no_norm.b = 0.0;
+  EXPECT_DOUBLE_EQ(Bm25Impact(1000, 10, 3, 50, 100, no_norm),
+                   Bm25Impact(1000, 10, 3, 200, 100, no_norm));
+}
+
+TEST(Bm25BuildTest, OptionsValidation) {
+  auto lex = testutil::SmallSyntheticLexicon(1200, 61);
+  auto corp = testutil::SmallCorpus(lex, 50, 62);
+  IndexBuildOptions o;
+  o.scoring = ScoringModel::kOkapiBM25;
+  o.bm25.k1 = 0.0;
+  EXPECT_FALSE(BuildIndex(corp, o).ok());
+  o = IndexBuildOptions{};
+  o.scoring = ScoringModel::kOkapiBM25;
+  o.bm25.b = 1.5;
+  EXPECT_FALSE(BuildIndex(corp, o).ok());
+}
+
+TEST(Bm25BuildTest, ProducesValidImpactOrderedIndex) {
+  auto lex = testutil::SmallSyntheticLexicon(1500, 63);
+  auto corp = testutil::SmallCorpus(lex, 150, 64);
+  IndexBuildOptions o;
+  o.scoring = ScoringModel::kOkapiBM25;
+  auto out = BuildIndex(corp, o);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->index.term_count(), corp.DistinctTerms().size());
+  for (wordnet::TermId t : out->index.IndexedTerms()) {
+    const auto* list = out->index.postings(t);
+    EXPECT_EQ(list->size(), corp.DocumentFrequency(t));
+    for (size_t i = 1; i < list->size(); ++i) {
+      EXPECT_GE((*list)[i - 1].impact, (*list)[i].impact);
+    }
+  }
+}
+
+TEST(Bm25BuildTest, RankingsDifferFromCosine) {
+  // The two models are genuinely different scorers on a skewed corpus.
+  auto lex = testutil::SmallSyntheticLexicon(1500, 65);
+  auto corp = testutil::SmallCorpus(lex, 200, 66);
+  auto cosine = BuildIndex(corp, {});
+  IndexBuildOptions o;
+  o.scoring = ScoringModel::kOkapiBM25;
+  auto bm25 = BuildIndex(corp, o);
+  ASSERT_TRUE(cosine.ok());
+  ASSERT_TRUE(bm25.ok());
+  Rng rng(1);
+  auto terms = cosine->index.IndexedTerms();
+  bool any_difference = false;
+  for (int trial = 0; trial < 10 && !any_difference; ++trial) {
+    std::vector<wordnet::TermId> q;
+    for (int i = 0; i < 4; ++i) q.push_back(terms[rng.Uniform(terms.size())]);
+    auto rc = EvaluateFull(cosine->index, q);
+    auto rb = EvaluateFull(bm25->index, q);
+    if (rc.size() != rb.size()) {
+      any_difference = true;
+      break;
+    }
+    for (size_t i = 0; i < rc.size(); ++i) {
+      if (rc[i].doc != rb[i].doc) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Bm25PrivateRetrievalTest, Claim1HoldsUnderBm25) {
+  // The generality claim: swap the scoring model, keep the whole private
+  // pipeline, and the PR ranking still equals the plaintext ranking.
+  auto lex = testutil::SmallSyntheticLexicon(1500, 67);
+  auto corp = testutil::SmallCorpus(lex, 200, 68);
+  IndexBuildOptions io;
+  io.scoring = ScoringModel::kOkapiBM25;
+  auto built = BuildIndex(corp, io);
+  ASSERT_TRUE(built.ok());
+  auto org = testutil::MakeBuckets(lex, 4, 64);
+  auto layout = storage::StorageLayout::Build(
+      built->index, org.buckets(), storage::LayoutPolicy::kBucketColocated,
+      {});
+  Rng rng(2);
+  crypto::BenalohKeyOptions ko;
+  ko.key_bits = 256;
+  ko.r = 59049;
+  auto keys = crypto::BenalohKeyPair::Generate(ko, &rng);
+  ASSERT_TRUE(keys.ok());
+  core::PrivateRetrievalClient client(&org, &keys->public_key(),
+                                      &keys->private_key());
+  core::PrivateRetrievalServer server(&built->index, &org, &layout);
+
+  auto terms = built->index.IndexedTerms();
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<wordnet::TermId> q;
+    for (int i = 0; i < 5; ++i) q.push_back(terms[rng.Uniform(terms.size())]);
+    core::RetrievalCosts costs;
+    auto pr = core::RunPrivateQuery(client, server, keys->public_key(), q, 30,
+                                    &rng, &costs);
+    ASSERT_TRUE(pr.ok());
+    std::vector<wordnet::TermId> distinct = q;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    auto reference = EvaluateFull(built->index, distinct);
+    if (reference.size() > 30) reference.resize(30);
+    ASSERT_EQ(pr->size(), reference.size());
+    for (size_t i = 0; i < pr->size(); ++i) {
+      EXPECT_EQ((*pr)[i], reference[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace embellish::index

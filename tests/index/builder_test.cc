@@ -1,0 +1,160 @@
+#include "index/builder.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "index/dictionary.h"
+#include "testutil.h"
+
+namespace embellish::index {
+namespace {
+
+TEST(IndexBuilderTest, ValidatesOptions) {
+  auto lex = testutil::SmallSyntheticLexicon(1000);
+  auto corp = testutil::SmallCorpus(lex, 30);
+  IndexBuildOptions o;
+  o.impact_bits = 1;
+  EXPECT_FALSE(BuildIndex(corp, o).ok());
+  o.impact_bits = 9;
+  EXPECT_FALSE(BuildIndex(corp, o).ok());
+}
+
+TEST(IndexBuilderTest, RejectsEmptyCorpus) {
+  corpus::Corpus empty({});
+  EXPECT_FALSE(BuildIndex(empty, {}).ok());
+}
+
+TEST(IndexBuilderTest, EveryDistinctTermIndexed) {
+  auto lex = testutil::SmallSyntheticLexicon(1500);
+  auto corp = testutil::SmallCorpus(lex, 100);
+  auto out = BuildIndex(corp, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->index.term_count(), corp.DistinctTerms().size());
+  EXPECT_EQ(out->index.document_count(), corp.document_count());
+}
+
+TEST(IndexBuilderTest, ListLengthEqualsDocumentFrequency) {
+  auto lex = testutil::SmallSyntheticLexicon(1500);
+  auto corp = testutil::SmallCorpus(lex, 100);
+  auto out = BuildIndex(corp, {});
+  ASSERT_TRUE(out.ok());
+  for (wordnet::TermId t : corp.DistinctTerms()) {
+    EXPECT_EQ(out->index.ListLength(t), corp.DocumentFrequency(t));
+  }
+}
+
+TEST(IndexBuilderTest, ListsAreImpactOrdered) {
+  auto lex = testutil::SmallSyntheticLexicon(1500);
+  auto corp = testutil::SmallCorpus(lex, 150);
+  auto out = BuildIndex(corp, {});
+  ASSERT_TRUE(out.ok());
+  for (wordnet::TermId t : out->index.IndexedTerms()) {
+    const auto* list = out->index.postings(t);
+    ASSERT_NE(list, nullptr);
+    for (size_t i = 1; i < list->size(); ++i) {
+      EXPECT_GE((*list)[i - 1].impact, (*list)[i].impact);
+    }
+  }
+}
+
+TEST(IndexBuilderTest, EachDocumentAppearsAtMostOncePerList) {
+  auto lex = testutil::SmallSyntheticLexicon(1200);
+  auto corp = testutil::SmallCorpus(lex, 80);
+  auto out = BuildIndex(corp, {});
+  ASSERT_TRUE(out.ok());
+  for (wordnet::TermId t : out->index.IndexedTerms()) {
+    const auto* list = out->index.postings(t);
+    std::set<corpus::DocId> docs;
+    for (const Posting& p : *list) {
+      EXPECT_TRUE(docs.insert(p.doc).second) << "dup doc in list";
+    }
+  }
+}
+
+TEST(IndexBuilderTest, ImpactsMatchFormula4OnHandCorpus) {
+  // Two tiny documents with known term frequencies.
+  // doc0 = {a, a, b}; doc1 = {b}.
+  std::vector<corpus::Document> docs(2);
+  docs[0].tokens = {0, 0, 1};
+  docs[1].tokens = {1};
+  corpus::Corpus corp(std::move(docs));
+  auto out = BuildIndex(corp, {});
+  ASSERT_TRUE(out.ok());
+
+  const double w_a = std::log(1.0 + 2.0 / 1.0);   // f_a = 1
+  const double w_b = std::log(1.0 + 2.0 / 2.0);   // f_b = 2
+  const double wd0_a = 1.0 + std::log(2.0);
+  const double wd0_b = 1.0;
+  const double W0 = std::sqrt(wd0_a * wd0_a + wd0_b * wd0_b);
+  const double p_a0 = wd0_a * w_a / W0;
+  const double p_b0 = wd0_b * w_b / W0;
+  const double p_b1 = 1.0 * w_b / 1.0;
+
+  EXPECT_NEAR(out->max_real_impact, std::max({p_a0, p_b0, p_b1}), 1e-12);
+  // Quantized ordering must respect the real ordering.
+  const auto* list_a = out->index.postings(0);
+  const auto* list_b = out->index.postings(1);
+  ASSERT_EQ(list_a->size(), 1u);
+  ASSERT_EQ(list_b->size(), 2u);
+  EXPECT_EQ(out->index.postings(0)->front().impact,
+            out->quantizer.Quantize(p_a0));
+  // b's list is impact-ordered: doc1 (full weight) before doc0.
+  EXPECT_EQ(list_b->front().doc, 1u);
+  EXPECT_EQ(list_b->front().impact, out->quantizer.Quantize(p_b1));
+}
+
+TEST(IndexBuilderTest, SerializationRoundTrip) {
+  auto lex = testutil::SmallSyntheticLexicon(1200);
+  auto corp = testutil::SmallCorpus(lex, 60);
+  auto out = BuildIndex(corp, {});
+  ASSERT_TRUE(out.ok());
+  wordnet::TermId term = out->index.IndexedTerms()[5];
+  auto bytes = out->index.SerializeList(term);
+  EXPECT_EQ(bytes.size(), out->index.ListBytes(term));
+  auto back = InvertedIndex::DeserializeList(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, *out->index.postings(term));
+}
+
+TEST(IndexBuilderTest, DeserializeRejectsBadLength) {
+  EXPECT_FALSE(InvertedIndex::DeserializeList({1, 2, 3}).ok());
+  EXPECT_TRUE(InvertedIndex::DeserializeList({}).ok());  // empty list is fine
+}
+
+TEST(IndexBuilderTest, UnknownTermHasNoList) {
+  auto lex = testutil::SmallSyntheticLexicon(1200);
+  auto corp = testutil::SmallCorpus(lex, 30);
+  auto out = BuildIndex(corp, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->index.postings(9999999), nullptr);
+  EXPECT_EQ(out->index.ListLength(9999999), 0u);
+  EXPECT_TRUE(out->index.SerializeList(9999999).empty());
+}
+
+TEST(SearchDictionaryTest, IntersectsIndexWithLexicon) {
+  auto lex = testutil::SmallSyntheticLexicon(1200);
+  auto corp = testutil::SmallCorpus(lex, 60);
+  auto out = BuildIndex(corp, {});
+  ASSERT_TRUE(out.ok());
+  auto dict = SearchDictionary::Build(lex, out->index);
+  EXPECT_EQ(dict.size(), out->index.term_count());
+  for (wordnet::TermId t : dict.terms()) {
+    EXPECT_TRUE(dict.Contains(t));
+    EXPECT_LT(t, lex.term_count());
+    EXPECT_GT(out->index.ListLength(t), 0u);
+  }
+  EXPECT_FALSE(dict.Contains(9999999));
+}
+
+TEST(SearchDictionaryTest, AllLexiconTerms) {
+  auto lex = testutil::TinyLexicon();
+  auto dict = SearchDictionary::AllLexiconTerms(lex);
+  EXPECT_EQ(dict.size(), lex.term_count());
+  EXPECT_TRUE(dict.Contains(0));
+}
+
+}  // namespace
+}  // namespace embellish::index

@@ -1,0 +1,76 @@
+#include "index/impact.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace embellish::index {
+namespace {
+
+TEST(WeightTest, TermWeightDecreasesWithDocFrequency) {
+  // Rare terms weigh more: w_t = ln(1 + N/f_t).
+  EXPECT_GT(TermWeight(1000, 1), TermWeight(1000, 10));
+  EXPECT_GT(TermWeight(1000, 10), TermWeight(1000, 1000));
+  EXPECT_NEAR(TermWeight(1000, 1000), std::log(2.0), 1e-12);
+  EXPECT_NEAR(TermWeight(100, 1), std::log(101.0), 1e-12);
+}
+
+TEST(WeightTest, DocTermWeightGrowsLogarithmically) {
+  EXPECT_NEAR(DocTermWeight(1), 1.0, 1e-12);
+  EXPECT_NEAR(DocTermWeight(10), 1.0 + std::log(10.0), 1e-12);
+  EXPECT_GT(DocTermWeight(100), DocTermWeight(10));
+}
+
+TEST(QuantizerTest, Validation) {
+  EXPECT_FALSE(ImpactQuantizer::Create(1, 1.0).ok());
+  EXPECT_FALSE(ImpactQuantizer::Create(20, 1.0).ok());
+  EXPECT_FALSE(ImpactQuantizer::Create(8, 0.0).ok());
+  EXPECT_FALSE(ImpactQuantizer::Create(8, -3.0).ok());
+  EXPECT_TRUE(ImpactQuantizer::Create(8, 1.0).ok());
+}
+
+TEST(QuantizerTest, LevelsSpanFullRange) {
+  auto q = ImpactQuantizer::Create(8, 10.0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->max_level(), 255u);
+  EXPECT_EQ(q->Quantize(10.0), 255u);
+  EXPECT_EQ(q->Quantize(1e-9), 1u);
+  EXPECT_EQ(q->Quantize(0.0), 1u);
+  // Anything above max clamps.
+  EXPECT_EQ(q->Quantize(100.0), 255u);
+}
+
+TEST(QuantizerTest, MonotoneNonDecreasing) {
+  auto q = ImpactQuantizer::Create(6, 5.0);
+  ASSERT_TRUE(q.ok());
+  uint32_t prev = 0;
+  for (double x = 0.01; x <= 5.0; x += 0.01) {
+    uint32_t level = q->Quantize(x);
+    EXPECT_GE(level, prev);
+    EXPECT_GE(level, 1u);
+    EXPECT_LE(level, q->max_level());
+    prev = level;
+  }
+}
+
+TEST(QuantizerTest, ReconstructionErrorBounded) {
+  auto q = ImpactQuantizer::Create(8, 4.0);
+  ASSERT_TRUE(q.ok());
+  const double step = 4.0 / 255.0;
+  for (double x = 0.05; x < 4.0; x += 0.0373) {
+    double back = q->Reconstruct(q->Quantize(x));
+    EXPECT_LE(std::abs(back - x), step / 2 + 1e-9);
+  }
+}
+
+TEST(QuantizerTest, BitsControlResolution) {
+  auto coarse = ImpactQuantizer::Create(2, 1.0);
+  auto fine = ImpactQuantizer::Create(16, 1.0);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_EQ(coarse->max_level(), 3u);
+  EXPECT_EQ(fine->max_level(), 65535u);
+}
+
+}  // namespace
+}  // namespace embellish::index

@@ -1,0 +1,142 @@
+#include "index/topk.h"
+
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/builder.h"
+#include "testutil.h"
+
+namespace embellish::index {
+namespace {
+
+class TopKTest : public ::testing::Test {
+ protected:
+  TopKTest()
+      : lex_(testutil::SmallSyntheticLexicon(1500, 21)),
+        corp_(testutil::SmallCorpus(lex_, 150, 22)),
+        built_(std::move(BuildIndex(corp_, {})).value()) {}
+
+  // Reference scoring straight from the corpus token streams.
+  std::unordered_map<corpus::DocId, uint64_t> BruteForce(
+      const std::vector<wordnet::TermId>& query) {
+    std::unordered_map<corpus::DocId, uint64_t> acc;
+    for (wordnet::TermId term : query) {
+      const auto* list = built_.index.postings(term);
+      if (!list) continue;
+      for (const Posting& p : *list) acc[p.doc] += p.impact;
+    }
+    return acc;
+  }
+
+  wordnet::WordNetDatabase lex_;
+  corpus::Corpus corp_;
+  BuildOutput built_;
+};
+
+TEST_F(TopKTest, FullEvaluationMatchesBruteForce) {
+  Rng rng(1);
+  auto terms = built_.index.IndexedTerms();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<wordnet::TermId> query;
+    for (int i = 0; i < 5; ++i) {
+      query.push_back(terms[rng.Uniform(terms.size())]);
+    }
+    auto result = EvaluateFull(built_.index, query);
+    auto ref = BruteForce(query);
+    ASSERT_EQ(result.size(), ref.size());
+    for (const ScoredDoc& sd : result) {
+      EXPECT_EQ(sd.score, ref.at(sd.doc));
+    }
+  }
+}
+
+TEST_F(TopKTest, ResultsAreCanonicallyOrdered) {
+  Rng rng(2);
+  auto terms = built_.index.IndexedTerms();
+  std::vector<wordnet::TermId> query;
+  for (int i = 0; i < 8; ++i) query.push_back(terms[rng.Uniform(terms.size())]);
+  auto result = EvaluateFull(built_.index, query);
+  for (size_t i = 1; i < result.size(); ++i) {
+    if (result[i - 1].score == result[i].score) {
+      EXPECT_LT(result[i - 1].doc, result[i].doc);
+    } else {
+      EXPECT_GT(result[i - 1].score, result[i].score);
+    }
+  }
+}
+
+TEST_F(TopKTest, TopKIsPrefixOfFullRanking) {
+  Rng rng(3);
+  auto terms = built_.index.IndexedTerms();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<wordnet::TermId> query;
+    for (int i = 0; i < 6; ++i) {
+      query.push_back(terms[rng.Uniform(terms.size())]);
+    }
+    auto full = EvaluateFull(built_.index, query);
+    for (size_t k : {1u, 5u, 20u, 1000u}) {
+      auto topk = EvaluateTopK(built_.index, query, k);
+      ASSERT_EQ(topk.size(), std::min<size_t>(k, full.size()));
+      for (size_t i = 0; i < topk.size(); ++i) {
+        EXPECT_EQ(topk[i], full[i]);
+      }
+    }
+  }
+}
+
+TEST_F(TopKTest, DuplicateQueryTermsDoubleCount) {
+  // Both evaluators treat the query as a bag (Formula 3 sums over t in q).
+  auto terms = built_.index.IndexedTerms();
+  wordnet::TermId t = terms[7];
+  auto once = EvaluateFull(built_.index, {t});
+  auto twice = EvaluateFull(built_.index, {t, t});
+  ASSERT_EQ(once.size(), twice.size());
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(twice[i].score, 2 * once[i].score);
+  }
+}
+
+TEST_F(TopKTest, UnindexedTermsContributeNothing) {
+  auto terms = built_.index.IndexedTerms();
+  std::vector<wordnet::TermId> query{terms[0], 99999999};
+  auto with_unknown = EvaluateFull(built_.index, query);
+  auto without = EvaluateFull(built_.index, {terms[0]});
+  EXPECT_EQ(with_unknown.size(), without.size());
+}
+
+TEST_F(TopKTest, EmptyQueryYieldsEmptyResult) {
+  EXPECT_TRUE(EvaluateFull(built_.index, {}).empty());
+  EXPECT_TRUE(EvaluateTopK(built_.index, {}, 10).empty());
+}
+
+TEST_F(TopKTest, OnlyDocsContainingAQueryTermQualify) {
+  // Candidate docs must appear in at least one query term's list (the
+  // inverted-index property the paper's Section 2.2 describes).
+  auto terms = built_.index.IndexedTerms();
+  std::vector<wordnet::TermId> query{terms[3], terms[11]};
+  auto result = EvaluateFull(built_.index, query);
+  std::set<corpus::DocId> expected;
+  for (auto t : query) {
+    for (const Posting& p : *built_.index.postings(t)) expected.insert(p.doc);
+  }
+  EXPECT_EQ(result.size(), expected.size());
+  for (const ScoredDoc& sd : result) {
+    EXPECT_TRUE(expected.count(sd.doc));
+    EXPECT_GT(sd.score, 0u);
+  }
+}
+
+TEST(SortByScoreTest, OrdersByScoreThenDoc) {
+  std::vector<ScoredDoc> docs{{3, 10}, {1, 20}, {2, 10}, {0, 5}};
+  SortByScore(&docs);
+  EXPECT_EQ(docs[0], (ScoredDoc{1, 20}));
+  EXPECT_EQ(docs[1], (ScoredDoc{2, 10}));
+  EXPECT_EQ(docs[2], (ScoredDoc{3, 10}));
+  EXPECT_EQ(docs[3], (ScoredDoc{0, 5}));
+}
+
+}  // namespace
+}  // namespace embellish::index

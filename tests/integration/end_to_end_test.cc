@@ -1,0 +1,166 @@
+// Full-pipeline integration tests: lexicon -> sequencing -> buckets ->
+// corpus -> index -> embellished query -> PR/PIR retrieval -> ranking,
+// exactly as a deployment would wire the library together.
+
+#include <gtest/gtest.h>
+
+#include "embellish.h"
+#include "testutil.h"
+
+namespace embellish {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kBucketSize = 8;
+
+  EndToEndTest()
+      : lex_(testutil::SmallSyntheticLexicon(2500, 201)),
+        corp_(testutil::SmallCorpus(lex_, 300, 202)),
+        built_(std::move(index::BuildIndex(corp_, {})).value()),
+        org_(testutil::MakeBuckets(lex_, kBucketSize, 64)),
+        layout_(storage::StorageLayout::Build(
+            built_.index, org_.buckets(),
+            storage::LayoutPolicy::kBucketColocated, {})) {
+    Rng rng(203);
+    crypto::BenalohKeyOptions ko;
+    ko.key_bits = 256;
+    ko.r = 59049;
+    keys_ = std::make_unique<crypto::BenalohKeyPair>(
+        std::move(crypto::BenalohKeyPair::Generate(ko, &rng)).value());
+    client_ = std::make_unique<core::PrivateRetrievalClient>(
+        &org_, &keys_->public_key(), &keys_->private_key());
+    server_ = std::make_unique<core::PrivateRetrievalServer>(
+        &built_.index, &org_, &layout_);
+  }
+
+  wordnet::WordNetDatabase lex_;
+  corpus::Corpus corp_;
+  index::BuildOutput built_;
+  core::BucketOrganization org_;
+  storage::StorageLayout layout_;
+  std::unique_ptr<crypto::BenalohKeyPair> keys_;
+  std::unique_ptr<core::PrivateRetrievalClient> client_;
+  std::unique_ptr<core::PrivateRetrievalServer> server_;
+};
+
+TEST_F(EndToEndTest, PrAndPirAgreeWithPlaintextAcrossQuerySizes) {
+  Rng rng(1);
+  auto pir_server = core::PirRetrievalServer(&built_.index, &org_, &layout_);
+  auto pir_client = core::PirRetrievalClient::Create(&org_, 128, &rng);
+  ASSERT_TRUE(pir_client.ok());
+  auto terms = built_.index.IndexedTerms();
+
+  for (size_t qsize : {1u, 2u, 6u, 12u}) {
+    std::vector<wordnet::TermId> query;
+    for (size_t i = 0; i < qsize; ++i) {
+      query.push_back(terms[rng.Uniform(terms.size())]);
+    }
+    std::vector<wordnet::TermId> distinct = query;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    auto reference = index::EvaluateFull(built_.index, distinct);
+    if (reference.size() > 20) reference.resize(20);
+
+    core::RetrievalCosts pr_costs;
+    auto pr = core::RunPrivateQuery(*client_, *server_, keys_->public_key(),
+                                    query, 20, &rng, &pr_costs);
+    ASSERT_TRUE(pr.ok());
+    ASSERT_EQ(pr->size(), reference.size()) << "qsize " << qsize;
+    for (size_t i = 0; i < pr->size(); ++i) {
+      EXPECT_EQ((*pr)[i], reference[i]);
+    }
+
+    core::RetrievalCosts pir_costs;
+    auto pir = pir_client->RunQuery(pir_server, query, 20, &rng, &pir_costs);
+    ASSERT_TRUE(pir.ok());
+    ASSERT_EQ(pir->size(), reference.size());
+    for (size_t i = 0; i < pir->size(); ++i) {
+      EXPECT_EQ((*pir)[i], reference[i]);
+    }
+
+    // The headline cost relation of Figure 7(c)/8(c): PR transfers an
+    // order of magnitude less than PIR.
+    EXPECT_LT(pr_costs.downlink_bytes, pir_costs.downlink_bytes);
+  }
+}
+
+TEST_F(EndToEndTest, TopKEvaluatorAgreesWithPrivatePipeline) {
+  Rng rng(2);
+  auto terms = built_.index.IndexedTerms();
+  std::vector<wordnet::TermId> query{terms[1], terms[33], terms[77]};
+  core::RetrievalCosts costs;
+  auto pr = core::RunPrivateQuery(*client_, *server_, keys_->public_key(),
+                                  query, 10, &rng, &costs);
+  ASSERT_TRUE(pr.ok());
+  auto topk = index::EvaluateTopK(built_.index, query, 10);
+  ASSERT_EQ(pr->size(), topk.size());
+  for (size_t i = 0; i < pr->size(); ++i) {
+    EXPECT_EQ((*pr)[i], topk[i]);
+  }
+}
+
+TEST_F(EndToEndTest, SessionOverRealPipeline) {
+  core::SearchSession session(&lex_, &org_, &keys_->public_key(), 99);
+  auto terms = built_.index.IndexedTerms();
+  // Three queries sharing one recurring term.
+  wordnet::TermId recurring = terms[11];
+  for (int i = 0; i < 3; ++i) {
+    auto q = session.IssueQueryByIds({recurring, terms[20 + i]});
+    ASSERT_TRUE(q.ok());
+    core::RetrievalCosts costs;
+    auto result = server_->Process(*q, keys_->public_key(), &costs);
+    ASSERT_TRUE(result.ok());
+  }
+  // Intersection contains the recurring term's whole bucket.
+  auto common = session.IntersectObservedQueries();
+  size_t host = org_.Locate(recurring)->bucket;
+  for (wordnet::TermId t : org_.bucket(host)) {
+    EXPECT_NE(std::find(common.begin(), common.end(), t), common.end());
+  }
+}
+
+TEST_F(EndToEndTest, TextAnalysisPathIndexesSingleWordTerms) {
+  // Render documents to text, re-analyze, and check that single-word
+  // dictionary terms survive the round trip.
+  corpus::DocId doc = 5;
+  std::string text = corp_.RenderText(doc, lex_);
+  auto tokens = text::Analyze(text);
+  EXPECT_FALSE(tokens.empty());
+  size_t found = 0;
+  for (const std::string& tok : tokens) {
+    if (lex_.FindTerm(tok) != wordnet::kInvalidTermId) ++found;
+  }
+  // Multi-word collocations split under re-analysis; single words survive.
+  EXPECT_GT(found, tokens.size() / 2);
+}
+
+TEST_F(EndToEndTest, WordNetRoundTripPreservesPipeline) {
+  // Serialize the lexicon, reload it, rebuild buckets: same organization.
+  auto text = wordnet::SerializeDatabase(lex_);
+  auto reloaded = wordnet::ParseDatabase(text);
+  ASSERT_TRUE(reloaded.ok());
+  auto org2 = testutil::MakeBuckets(*reloaded, kBucketSize, 64);
+  ASSERT_EQ(org2.bucket_count(), org_.bucket_count());
+  for (size_t b = 0; b < org_.bucket_count(); b += 13) {
+    EXPECT_EQ(org2.bucket(b), org_.bucket(b));
+  }
+}
+
+TEST_F(EndToEndTest, AdversaryRiskDropsWithBucketWidth) {
+  core::SemanticDistanceCalculator dist(&lex_);
+  auto terms = built_.index.IndexedTerms();
+  std::vector<std::vector<wordnet::TermId>> sequence{{terms[5]},
+                                                     {terms[5], terms[9]}};
+  auto wide = core::ComputeAdversaryRisk(org_, dist, sequence);
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  // Narrow organization: same pipeline with BktSz 2.
+  auto narrow_org = testutil::MakeBuckets(lex_, 2, 64);
+  auto narrow = core::ComputeAdversaryRisk(narrow_org, dist, sequence);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_LT(wide->posterior_on_truth, narrow->posterior_on_truth);
+}
+
+}  // namespace
+}  // namespace embellish

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "index/builder.h"
+#include "storage/block_device.h"
+#include "storage/layout.h"
+#include "testutil.h"
+
+namespace embellish::storage {
+namespace {
+
+TEST(DiskModelTest, OptionsValidation) {
+  DiskModelOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.block_bytes = 1000;  // not a power of two
+  EXPECT_FALSE(o.Validate().ok());
+  o = DiskModelOptions{};
+  o.transfer_mb_per_s = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = DiskModelOptions{};
+  o.avg_seek_ms = -1;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(DiskModelTest, BlocksForBytes) {
+  SimulatedDisk disk;
+  EXPECT_EQ(disk.BlocksForBytes(0), 0u);
+  EXPECT_EQ(disk.BlocksForBytes(1), 1u);
+  EXPECT_EQ(disk.BlocksForBytes(1024), 1u);
+  EXPECT_EQ(disk.BlocksForBytes(1025), 2u);
+}
+
+TEST(DiskModelTest, ExtentCostDecomposition) {
+  DiskModelOptions o;
+  o.avg_seek_ms = 5.0;
+  o.avg_rotational_ms = 3.0;
+  o.transfer_mb_per_s = 64.0;  // 64e6 bytes/s -> 1 KiB block = 0.016 ms
+  SimulatedDisk disk(o);
+  EXPECT_DOUBLE_EQ(disk.ExtentReadMs(0), 0.0);
+  double one = disk.ExtentReadMs(1);
+  EXPECT_NEAR(one, 8.0 + 1024.0 / 64e6 * 1e3, 1e-9);
+  // Doubling blocks adds only transfer time, not positioning.
+  double two = disk.ExtentReadMs(2);
+  EXPECT_NEAR(two - one, 1024.0 / 64e6 * 1e3, 1e-9);
+}
+
+TEST(DiskModelTest, AccountingAccumulatesAndResets) {
+  SimulatedDisk disk;
+  disk.ChargeExtent(2);
+  disk.ChargeExtent(3);
+  disk.ChargeExtent(0);  // no-op
+  EXPECT_EQ(disk.accumulated_extents(), 2u);
+  EXPECT_EQ(disk.accumulated_blocks(), 5u);
+  EXPECT_NEAR(disk.accumulated_ms(),
+              disk.ExtentReadMs(2) + disk.ExtentReadMs(3), 1e-9);
+  disk.ResetAccounting();
+  EXPECT_EQ(disk.accumulated_extents(), 0u);
+  EXPECT_DOUBLE_EQ(disk.accumulated_ms(), 0.0);
+}
+
+class LayoutTest : public ::testing::Test {
+ protected:
+  LayoutTest()
+      : lex_(testutil::SmallSyntheticLexicon(1500, 31)),
+        corp_(testutil::SmallCorpus(lex_, 120, 32)),
+        built_(std::move(index::BuildIndex(corp_, {})).value()) {
+    // Three groups of four indexed terms each.
+    auto terms = built_.index.IndexedTerms();
+    for (int g = 0; g < 3; ++g) {
+      groups_.push_back({terms[g * 4], terms[g * 4 + 1], terms[g * 4 + 2],
+                         terms[g * 4 + 3]});
+    }
+  }
+
+  wordnet::WordNetDatabase lex_;
+  corpus::Corpus corp_;
+  index::BuildOutput built_;
+  std::vector<std::vector<wordnet::TermId>> groups_;
+};
+
+TEST_F(LayoutTest, ColocatedGroupsUseOneExtent) {
+  auto layout = StorageLayout::Build(built_.index, groups_,
+                                     LayoutPolicy::kBucketColocated, {});
+  EXPECT_EQ(layout.group_count(), 3u);
+  for (size_t g = 0; g < 3; ++g) {
+    EXPECT_EQ(layout.GroupExtentCount(g), 1u);
+  }
+}
+
+TEST_F(LayoutTest, ScatteredGroupsUseOneExtentPerTerm) {
+  auto layout = StorageLayout::Build(built_.index, groups_,
+                                     LayoutPolicy::kScattered, {});
+  for (size_t g = 0; g < 3; ++g) {
+    EXPECT_EQ(layout.GroupExtentCount(g), groups_[g].size());
+  }
+}
+
+TEST_F(LayoutTest, ColocationReducesReadCost) {
+  // Section 4's stated motivation for bucket-colocated storage.
+  auto colocated = StorageLayout::Build(built_.index, groups_,
+                                        LayoutPolicy::kBucketColocated, {});
+  auto scattered = StorageLayout::Build(built_.index, groups_,
+                                        LayoutPolicy::kScattered, {});
+  SimulatedDisk d1, d2;
+  colocated.ChargeGroupRead(0, &d1);
+  scattered.ChargeGroupRead(0, &d2);
+  EXPECT_LT(d1.accumulated_ms(), d2.accumulated_ms());
+  // Same data volume modulo block rounding.
+  EXPECT_LE(d1.accumulated_blocks(), d2.accumulated_blocks() + 4);
+}
+
+TEST_F(LayoutTest, CapacityCoversAllLists) {
+  auto layout = StorageLayout::Build(built_.index, groups_,
+                                     LayoutPolicy::kBucketColocated, {});
+  uint64_t bytes = 0;
+  for (const auto& g : groups_) {
+    for (auto t : g) bytes += built_.index.ListBytes(t);
+  }
+  EXPECT_GE(layout.total_blocks() * 1024, bytes);
+}
+
+TEST_F(LayoutTest, EmptyTermsStillAddressable) {
+  std::vector<std::vector<wordnet::TermId>> groups{{9999999, 9999998}};
+  auto layout = StorageLayout::Build(built_.index, groups,
+                                     LayoutPolicy::kBucketColocated, {});
+  SimulatedDisk disk;
+  layout.ChargeGroupRead(0, &disk);
+  EXPECT_GT(disk.accumulated_ms(), 0.0);  // minimum one block
+}
+
+}  // namespace
+}  // namespace embellish::storage

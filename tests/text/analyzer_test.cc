@@ -1,0 +1,60 @@
+#include "text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+
+namespace embellish::text {
+namespace {
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  for (const char* w : {"the", "a", "and", "of", "is", "to"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ContentWordsAreNot) {
+  for (const char* w :
+       {"osteosarcoma", "radiation", "therapy", "privacy", "wordnet"}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ListIsSubstantial) {
+  EXPECT_GT(StopwordCount(), 100u);
+}
+
+TEST(AnalyzerTest, RemovesStopwordsByDefault) {
+  auto tokens = Analyze("the accelerated radiation therapy of a cancer");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"accelerated", "radiation",
+                                              "therapy", "cancer"}));
+}
+
+TEST(AnalyzerTest, PaperPipelineHasNoStemming) {
+  // Section 5.2: stopword removal but NOT stemming — 'keeps' stays 'keeps'.
+  auto tokens = Analyze("the keeper keeps sleeping dogs");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"keeper", "keeps", "sleeping",
+                                              "dogs"}));
+}
+
+TEST(AnalyzerTest, StopwordRemovalCanBeDisabled) {
+  AnalyzerOptions options;
+  options.remove_stopwords = false;
+  auto tokens = Analyze("the dog", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "dog"}));
+}
+
+TEST(AnalyzerTest, MinTokenLengthFilter) {
+  AnalyzerOptions options;
+  options.min_token_length = 3;
+  auto tokens = Analyze("an ox ate hay", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ate", "hay"}));
+}
+
+TEST(AnalyzerTest, EmptyInput) {
+  EXPECT_TRUE(Analyze("").empty());
+  EXPECT_TRUE(Analyze("the of a is").empty());
+}
+
+}  // namespace
+}  // namespace embellish::text

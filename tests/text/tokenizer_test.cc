@@ -1,0 +1,48 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace embellish::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndPunctuation) {
+  auto tokens = Tokenize("Hello, world! foo;bar");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"hello", "world", "foo", "bar"}));
+}
+
+TEST(TokenizerTest, LowercasesTokens) {
+  EXPECT_EQ(Tokenize("OsteoSARCOMA Therapy"),
+            (std::vector<std::string>{"osteosarcoma", "therapy"}));
+}
+
+TEST(TokenizerTest, KeepsInternalApostrophesAndHyphens) {
+  EXPECT_EQ(Tokenize("fool's gold"),
+            (std::vector<std::string>{"fool's", "gold"}));
+  EXPECT_EQ(Tokenize("yellow-breasted bunting"),
+            (std::vector<std::string>{"yellow-breasted", "bunting"}));
+}
+
+TEST(TokenizerTest, DropsLeadingTrailingJoiners) {
+  EXPECT_EQ(Tokenize("-dash 'quote' trail- end'"),
+            (std::vector<std::string>{"dash", "quote", "trail", "end"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("trec-2 and trec3"),
+            (std::vector<std::string>{"trec-2", "and", "trec3"}));
+}
+
+TEST(TokenizerTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  \t\n ...!!! ").empty());
+  EXPECT_EQ(Tokenize("x").size(), 1u);
+}
+
+TEST(TokenizerTest, NewlinesAndTabsSeparate) {
+  EXPECT_EQ(Tokenize("a\nb\tc"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace embellish::text

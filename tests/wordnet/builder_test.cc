@@ -1,0 +1,120 @@
+#include "wordnet/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace embellish::wordnet {
+namespace {
+
+TEST(BuilderTest, InternsTermsByText) {
+  WordNetBuilder b;
+  SynsetId s1 = b.AddSynset({"dog", "canine"});
+  SynsetId s2 = b.AddSynset({"dog"});  // same text -> same term, new sense
+  EXPECT_EQ(b.term_count(), 2u);
+  EXPECT_EQ(b.synset_count(), 2u);
+  (void)b.AddHypernym(s2, s1);
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  TermId dog = db->FindTerm("dog");
+  ASSERT_NE(dog, kInvalidTermId);
+  EXPECT_EQ(db->term(dog).synsets.size(), 2u);  // polysemous
+}
+
+TEST(BuilderTest, DuplicateTermWithinSynsetCollapsed) {
+  WordNetBuilder b;
+  SynsetId s = b.AddSynset({"x", "x", "y"});
+  SynsetId root = b.AddSynset({"entity"});
+  (void)b.AddHypernym(s, root);
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->synset(s).terms.size(), 2u);
+}
+
+TEST(BuilderTest, AddRelationInsertsInverse) {
+  WordNetBuilder b;
+  SynsetId parent = b.AddSynset({"animal"});
+  SynsetId child = b.AddSynset({"dog"});
+  ASSERT_TRUE(b.AddHypernym(child, parent).ok());
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  auto hypernyms = db->RelatedSynsets(child, RelationType::kHypernym);
+  ASSERT_EQ(hypernyms.size(), 1u);
+  EXPECT_EQ(hypernyms[0], parent);
+  auto hyponyms = db->RelatedSynsets(parent, RelationType::kHyponym);
+  ASSERT_EQ(hyponyms.size(), 1u);
+  EXPECT_EQ(hyponyms[0], child);
+}
+
+TEST(BuilderTest, SymmetricRelationsGetSymmetricInverse) {
+  WordNetBuilder b;
+  SynsetId root = b.AddSynset({"entity"});
+  SynsetId a = b.AddSynset({"hot"});
+  SynsetId c = b.AddSynset({"cold"});
+  (void)b.AddHypernym(a, root);
+  (void)b.AddHypernym(c, root);
+  ASSERT_TRUE(b.AddRelation(a, RelationType::kAntonym, c).ok());
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->RelatedSynsets(a, RelationType::kAntonym).size(), 1u);
+  EXPECT_EQ(db->RelatedSynsets(c, RelationType::kAntonym).size(), 1u);
+}
+
+TEST(BuilderTest, RejectsSelfLoopAndDuplicates) {
+  WordNetBuilder b;
+  SynsetId a = b.AddSynset({"a"});
+  SynsetId c = b.AddSynset({"b"});
+  EXPECT_TRUE(b.AddRelation(a, RelationType::kAntonym, a).IsInvalidArgument());
+  ASSERT_TRUE(b.AddRelation(a, RelationType::kAntonym, c).ok());
+  EXPECT_TRUE(b.AddRelation(a, RelationType::kAntonym, c).IsInvalidArgument());
+  EXPECT_TRUE(b.AddRelation(a, RelationType::kHypernym, 99).IsOutOfRange());
+}
+
+TEST(BuilderTest, BuildRejectsHypernymCycle) {
+  WordNetBuilder b;
+  SynsetId a = b.AddSynset({"a"});
+  SynsetId c = b.AddSynset({"b"});
+  (void)b.AddHypernym(a, c);
+  (void)b.AddHypernym(c, a);
+  auto db = std::move(b).Build();
+  EXPECT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption());
+}
+
+TEST(BuilderTest, EmptyBuildRejected) {
+  WordNetBuilder b;
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(InverseRelationTest, PairsAreMutuallyInverse) {
+  for (int i = 0; i < kNumRelationTypes; ++i) {
+    RelationType t = static_cast<RelationType>(i);
+    EXPECT_EQ(InverseRelation(InverseRelation(t)), t);
+  }
+  EXPECT_EQ(InverseRelation(RelationType::kHypernym), RelationType::kHyponym);
+  EXPECT_EQ(InverseRelation(RelationType::kHolonym), RelationType::kMeronym);
+  EXPECT_EQ(InverseRelation(RelationType::kAntonym), RelationType::kAntonym);
+  EXPECT_EQ(InverseRelation(RelationType::kDomain),
+            RelationType::kDomainMember);
+}
+
+TEST(DatabaseTest, FindTermAndRoots) {
+  WordNetBuilder b;
+  SynsetId root = b.AddSynset({"entity"});
+  SynsetId leaf = b.AddSynset({"dog"});
+  (void)b.AddHypernym(leaf, root);
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  EXPECT_NE(db->FindTerm("dog"), kInvalidTermId);
+  EXPECT_EQ(db->FindTerm("nonexistent"), kInvalidTermId);
+  EXPECT_TRUE(db->IsHypernymRoot(root));
+  EXPECT_FALSE(db->IsHypernymRoot(leaf));
+}
+
+TEST(RelationTypeNameTest, AllNamed) {
+  for (int i = 0; i < kNumRelationTypes; ++i) {
+    RelationType t = static_cast<RelationType>(i);
+    EXPECT_STRNE(RelationTypeName(t), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace embellish::wordnet

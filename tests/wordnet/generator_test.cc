@@ -1,0 +1,149 @@
+#include "wordnet/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/specificity.h"
+#include "wordnet/database.h"
+
+namespace embellish::wordnet {
+namespace {
+
+WordNetDatabase Generate(size_t terms, uint64_t seed) {
+  SyntheticWordNetOptions options;
+  options.target_term_count = terms;
+  options.seed = seed;
+  auto db = GenerateSyntheticWordNet(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+TEST(GeneratorTest, ValidatesOptions) {
+  SyntheticWordNetOptions o;
+  o.target_term_count = 10;
+  EXPECT_FALSE(GenerateSyntheticWordNet(o).ok());
+  o = SyntheticWordNetOptions{};
+  o.max_depth = 1;
+  EXPECT_FALSE(GenerateSyntheticWordNet(o).ok());
+  o = SyntheticWordNetOptions{};
+  o.antonym_prob = 1.5;
+  EXPECT_FALSE(GenerateSyntheticWordNet(o).ok());
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  auto a = Generate(2000, 5);
+  auto b = Generate(2000, 5);
+  ASSERT_EQ(a.term_count(), b.term_count());
+  ASSERT_EQ(a.synset_count(), b.synset_count());
+  for (TermId t = 0; t < a.term_count(); t += 97) {
+    EXPECT_EQ(a.term(t).text, b.term(t).text);
+  }
+  auto c = Generate(2000, 6);
+  EXPECT_NE(a.term(100).text, c.term(100).text);
+}
+
+TEST(GeneratorTest, HitsTargetScaleApproximately) {
+  auto db = Generate(20000, 1);
+  EXPECT_NEAR(static_cast<double>(db.term_count()), 20000.0, 20000.0 * 0.08);
+  // WordNet's distinct-terms / synsets ratio is ~1.43.
+  double ratio = static_cast<double>(db.term_count()) /
+                 static_cast<double>(db.synset_count());
+  EXPECT_NEAR(ratio, 1.43, 0.12);
+}
+
+TEST(GeneratorTest, PassesStructuralValidation) {
+  auto db = Generate(5000, 2);
+  EXPECT_TRUE(ValidateDatabase(db).ok());
+}
+
+TEST(GeneratorTest, SingleRootNamedEntity) {
+  auto db = Generate(3000, 3);
+  size_t roots = 0;
+  for (SynsetId s = 0; s < db.synset_count(); ++s) {
+    if (db.IsHypernymRoot(s)) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+  TermId entity = db.FindTerm("entity");
+  ASSERT_NE(entity, kInvalidTermId);
+  EXPECT_TRUE(db.IsHypernymRoot(db.term(entity).synsets[0]));
+}
+
+TEST(GeneratorTest, DepthDistributionMatchesFigure2Shape) {
+  auto db = Generate(30000, 4);
+  auto spec = core::SpecificityMap::FromHypernymDepth(db);
+  auto hist = spec.TermHistogram();
+  ASSERT_GE(hist.size(), 15u);
+  // Mode at 7 with roughly a third of the terms (Figure 2).
+  size_t mode = 0;
+  for (size_t d = 1; d < hist.size(); ++d) {
+    if (hist[d] > hist[mode]) mode = d;
+  }
+  EXPECT_EQ(mode, 7u);
+  double mode_frac = static_cast<double>(hist[7]) /
+                     static_cast<double>(db.term_count());
+  EXPECT_GT(mode_frac, 0.22);
+  EXPECT_LT(mode_frac, 0.42);
+  // Head of the distribution is nearly empty, like the paper's.
+  EXPECT_LE(hist[0], 2u);
+  EXPECT_LE(hist[1], 8u);
+  // Specificity range tops out at 18.
+  EXPECT_LE(spec.max_specificity(), 18);
+  EXPECT_GE(spec.max_specificity(), 14);
+}
+
+TEST(GeneratorTest, PolysemyExists) {
+  auto db = Generate(10000, 5);
+  size_t polysemous = 0;
+  for (TermId t = 0; t < db.term_count(); ++t) {
+    if (db.term(t).synsets.size() > 1) ++polysemous;
+  }
+  // A noticeable fraction of terms carry multiple senses.
+  EXPECT_GT(polysemous, db.term_count() / 50);
+}
+
+TEST(GeneratorTest, SynonymyExists) {
+  auto db = Generate(10000, 6);
+  size_t multi_word_synsets = 0;
+  for (SynsetId s = 0; s < db.synset_count(); ++s) {
+    if (db.synset(s).terms.size() > 1) ++multi_word_synsets;
+  }
+  EXPECT_GT(multi_word_synsets, db.synset_count() / 4);
+}
+
+TEST(GeneratorTest, AllRelationTypesPresent) {
+  auto db = Generate(10000, 7);
+  size_t counts[kNumRelationTypes] = {};
+  for (SynsetId s = 0; s < db.synset_count(); ++s) {
+    for (const Relation& r : db.synset(s).relations) {
+      ++counts[static_cast<int>(r.type)];
+    }
+  }
+  for (int i = 0; i < kNumRelationTypes; ++i) {
+    EXPECT_GT(counts[i], 0u) << RelationTypeName(static_cast<RelationType>(i));
+  }
+  // Hierarchy edges dominate, as in WordNet.
+  EXPECT_GT(counts[static_cast<int>(RelationType::kHypernym)],
+            counts[static_cast<int>(RelationType::kAntonym)]);
+}
+
+TEST(GeneratorTest, CollocationsMintedForSomeSynsets) {
+  auto db = Generate(10000, 8);
+  size_t compounds = 0;
+  for (TermId t = 0; t < db.term_count(); ++t) {
+    if (db.term(t).text.find(' ') != std::string::npos) ++compounds;
+  }
+  EXPECT_GT(compounds, db.term_count() / 50);
+}
+
+TEST(Figure2WeightsTest, ProfileShape) {
+  const double* w = Figure2DepthWeights();
+  // Mode at depth 7.
+  for (size_t d = 0; d < kFigure2DepthCount; ++d) {
+    if (d != 7) EXPECT_LT(w[d], w[7]) << d;
+  }
+  // Monotone rise to the mode, monotone fall after.
+  for (size_t d = 1; d <= 7; ++d) EXPECT_GE(w[d], w[d - 1]);
+  for (size_t d = 8; d < kFigure2DepthCount; ++d) EXPECT_LE(w[d], w[d - 1]);
+}
+
+}  // namespace
+}  // namespace embellish::wordnet

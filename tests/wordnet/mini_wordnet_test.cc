@@ -1,0 +1,123 @@
+#include "wordnet/mini_wordnet.h"
+
+#include <gtest/gtest.h>
+
+#include "core/specificity.h"
+
+namespace embellish::wordnet {
+namespace {
+
+class MiniWordNetTest : public ::testing::Test {
+ protected:
+  MiniWordNetTest() : db_(std::move(BuildMiniWordNet()).value()) {}
+
+  int Spec(const std::string& term) {
+    auto spec = core::SpecificityMap::FromHypernymDepth(db_);
+    TermId id = db_.FindTerm(term);
+    EXPECT_NE(id, kInvalidTermId) << term;
+    return spec.TermSpecificity(id);
+  }
+
+  WordNetDatabase db_;
+};
+
+TEST_F(MiniWordNetTest, ValidStructure) {
+  EXPECT_TRUE(ValidateDatabase(db_).ok());
+  EXPECT_GT(db_.term_count(), 150u);
+  EXPECT_GT(db_.synset_count(), 140u);
+}
+
+TEST_F(MiniWordNetTest, ContainsThePapersRunningExamples) {
+  for (const char* term :
+       {"osteosarcoma", "amaranthaceae", "hypocapnia", "moustille",
+        "terrorism", "abu sayyaf", "water", "soaked", "tissues", "radiation",
+        "therapy", "yeast", "nitrogen", "accelerated", "saturn", "flooding",
+        "threadmill"}) {
+    EXPECT_NE(db_.FindTerm(term), kInvalidTermId) << term;
+  }
+}
+
+// The paper's Section 3.4 bucket snippets quote these exact specificity
+// values in parentheses; the mini lexicon reproduces every one of them.
+TEST_F(MiniWordNetTest, SpecificityValuesMatchPaperSection34) {
+  EXPECT_EQ(Spec("sir thomas wyatt"), 7);
+  EXPECT_EQ(Spec("hypocapnia"), 6);
+  EXPECT_EQ(Spec("ectozoon"), 7);
+  EXPECT_EQ(Spec("fool's gold"), 6);
+  EXPECT_EQ(Spec("love knot"), 10);
+  EXPECT_EQ(Spec("mainspring"), 9);
+  EXPECT_EQ(Spec("osteosarcoma"), 14);
+  EXPECT_EQ(Spec("yellow-breasted bunting"), 14);
+  EXPECT_EQ(Spec("huntsville"), 9);
+  EXPECT_EQ(Spec("pigeon loft"), 7);
+  EXPECT_EQ(Spec("brama"), 7);
+  EXPECT_EQ(Spec("terrorism"), 9);
+  EXPECT_EQ(Spec("smyrna"), 7);
+  EXPECT_EQ(Spec("lut desert"), 6);
+  EXPECT_EQ(Spec("acipenser"), 7);
+  EXPECT_EQ(Spec("abu sayyaf"), 7);
+  EXPECT_EQ(Spec("sign of the zodiac"), 5);
+  EXPECT_EQ(Spec("amaranthaceae"), 8);
+  EXPECT_EQ(Spec("american chestnut"), 11);
+  EXPECT_EQ(Spec("family eschrichtiidae"), 7);
+}
+
+TEST_F(MiniWordNetTest, SynonymsShareSynsets) {
+  TermId a = db_.FindTerm("osteosarcoma");
+  TermId b = db_.FindTerm("osteogenic sarcoma");
+  ASSERT_NE(a, kInvalidTermId);
+  ASSERT_NE(b, kInvalidTermId);
+  EXPECT_EQ(db_.term(a).synsets, db_.term(b).synsets);
+  TermId c = db_.FindTerm("amaranthaceae");
+  TermId d = db_.FindTerm("family amaranthaceae");
+  TermId e = db_.FindTerm("amaranth family");
+  EXPECT_EQ(db_.term(c).synsets, db_.term(d).synsets);
+  EXPECT_EQ(db_.term(c).synsets, db_.term(e).synsets);
+}
+
+TEST_F(MiniWordNetTest, SectionOneSemanticClustersAreClose) {
+  // 'hypercapnia' and 'hypocapnia' are antonym siblings.
+  TermId hyper = db_.FindTerm("hypercapnia");
+  TermId hypo = db_.FindTerm("hypocapnia");
+  ASSERT_NE(hyper, kInvalidTermId);
+  ASSERT_NE(hypo, kInvalidTermId);
+  SynsetId hyper_s = db_.term(hyper).synsets[0];
+  bool antonym_found = false;
+  for (const Relation& r : db_.synset(hyper_s).relations) {
+    if (r.type == RelationType::kAntonym &&
+        r.target == db_.term(hypo).synsets[0]) {
+      antonym_found = true;
+    }
+  }
+  EXPECT_TRUE(antonym_found);
+}
+
+TEST_F(MiniWordNetTest, SarcomaSiblingsFromSection33Snippet) {
+  // ...'myosarcoma', 'neurosarcoma', 'osteosarcoma', 'rhabdomyosarcoma'...
+  TermId sarcoma = db_.FindTerm("sarcoma");
+  ASSERT_NE(sarcoma, kInvalidTermId);
+  SynsetId sarcoma_s = db_.term(sarcoma).synsets[0];
+  auto hyponyms = db_.RelatedSynsets(sarcoma_s, RelationType::kHyponym);
+  EXPECT_GE(hyponyms.size(), 4u);
+}
+
+TEST_F(MiniWordNetTest, DomainRelationsPresent) {
+  TermId abu = db_.FindTerm("abu sayyaf");
+  ASSERT_NE(abu, kInvalidTermId);
+  auto domains = db_.RelatedSynsets(db_.term(abu).synsets[0],
+                                    RelationType::kDomain);
+  EXPECT_FALSE(domains.empty());
+}
+
+TEST_F(MiniWordNetTest, Deterministic) {
+  auto again = BuildMiniWordNet();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->term_count(), db_.term_count());
+  EXPECT_EQ(again->synset_count(), db_.synset_count());
+  for (TermId t = 0; t < db_.term_count(); ++t) {
+    EXPECT_EQ(again->term(t).text, db_.term(t).text);
+  }
+}
+
+}  // namespace
+}  // namespace embellish::wordnet

@@ -1,0 +1,135 @@
+#include "wordnet/relation_extraction.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace embellish::wordnet {
+namespace {
+
+// A corpus where terms 0/1 always co-occur and 2/3 never do.
+corpus::Corpus CooccurrenceCorpus() {
+  std::vector<corpus::Document> docs;
+  for (int i = 0; i < 40; ++i) {
+    corpus::Document d1;
+    d1.tokens = {0, 1, 4, 5, 0, 1};  // 0-1 together, with filler
+    docs.push_back(d1);
+    corpus::Document d2;
+    d2.tokens = {2, 6, 7, 8};  // 2 without 3
+    docs.push_back(d2);
+    corpus::Document d3;
+    d3.tokens = {3, 9, 10, 11};  // 3 without 2
+    docs.push_back(d3);
+  }
+  return corpus::Corpus(std::move(docs));
+}
+
+TEST(RelationExtractionTest, OptionsValidation) {
+  RelationExtractionOptions o;
+  o.window = 1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = RelationExtractionOptions{};
+  o.min_strength = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = RelationExtractionOptions{};
+  o.min_strength = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = RelationExtractionOptions{};
+  o.min_cooccurrences = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = RelationExtractionOptions{};
+  o.max_relations_per_term = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(RelationExtractionTest, RejectsEmptyCorpus) {
+  corpus::Corpus empty({});
+  EXPECT_FALSE(ExtractRelationsFromCorpus(empty).ok());
+}
+
+TEST(RelationExtractionTest, FindsStrongPairMissesAbsentPair) {
+  auto corp = CooccurrenceCorpus();
+  auto relations = ExtractRelationsFromCorpus(corp);
+  ASSERT_TRUE(relations.ok()) << relations.status().ToString();
+  bool found_01 = false;
+  bool found_23 = false;
+  for (const ExtractedRelation& rel : *relations) {
+    if ((rel.a == 0 && rel.b == 1)) found_01 = true;
+    if ((rel.a == 2 && rel.b == 3)) found_23 = true;
+  }
+  EXPECT_TRUE(found_01) << "systematic co-occurrence must be extracted";
+  EXPECT_FALSE(found_23) << "never co-occurring terms must not relate";
+}
+
+TEST(RelationExtractionTest, StrengthsAreValidAndSorted) {
+  auto corp = CooccurrenceCorpus();
+  auto relations = ExtractRelationsFromCorpus(corp);
+  ASSERT_TRUE(relations.ok());
+  ASSERT_FALSE(relations->empty());
+  for (size_t i = 0; i < relations->size(); ++i) {
+    const ExtractedRelation& rel = (*relations)[i];
+    EXPECT_GT(rel.strength, 0.0);
+    EXPECT_LE(rel.strength, 1.0);
+    EXPECT_LT(rel.a, rel.b) << "pairs must be canonical (a < b)";
+    if (i > 0) {
+      EXPECT_GE((*relations)[i - 1].strength, rel.strength);
+    }
+  }
+}
+
+TEST(RelationExtractionTest, PerTermDegreeCapHolds) {
+  auto lex = testutil::SmallSyntheticLexicon(1500, 71);
+  auto corp = testutil::SmallCorpus(lex, 200, 72);
+  RelationExtractionOptions o;
+  o.max_relations_per_term = 2;
+  o.min_strength = 0.05;
+  auto relations = ExtractRelationsFromCorpus(corp, o);
+  ASSERT_TRUE(relations.ok());
+  std::unordered_map<TermId, size_t> degree;
+  for (const ExtractedRelation& rel : *relations) {
+    ++degree[rel.a];
+    ++degree[rel.b];
+  }
+  for (const auto& [term, d] : degree) {
+    EXPECT_LE(d, 2u);
+  }
+}
+
+TEST(RelationExtractionTest, MinStrengthFilters) {
+  auto corp = CooccurrenceCorpus();
+  RelationExtractionOptions strict;
+  strict.min_strength = 0.9;
+  RelationExtractionOptions loose;
+  loose.min_strength = 0.05;
+  auto strict_rels = ExtractRelationsFromCorpus(corp, strict);
+  auto loose_rels = ExtractRelationsFromCorpus(corp, loose);
+  ASSERT_TRUE(strict_rels.ok());
+  ASSERT_TRUE(loose_rels.ok());
+  EXPECT_LE(strict_rels->size(), loose_rels->size());
+  for (const ExtractedRelation& rel : *strict_rels) {
+    EXPECT_GE(rel.strength, 0.9);
+  }
+}
+
+TEST(RelationExtractionTest, DeterministicOutput) {
+  auto lex = testutil::SmallSyntheticLexicon(1200, 73);
+  auto corp = testutil::SmallCorpus(lex, 150, 74);
+  auto a = ExtractRelationsFromCorpus(corp);
+  auto b = ExtractRelationsFromCorpus(corp);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(RelationExtractionTest, TopicalCorpusYieldsRelations) {
+  // The synthetic corpus's topic structure creates real co-occurrence;
+  // extraction should find a healthy number of associations.
+  auto lex = testutil::SmallSyntheticLexicon(1500, 75);
+  auto corp = testutil::SmallCorpus(lex, 300, 76);
+  auto relations = ExtractRelationsFromCorpus(corp);
+  ASSERT_TRUE(relations.ok());
+  EXPECT_GT(relations->size(), 20u);
+}
+
+}  // namespace
+}  // namespace embellish::wordnet

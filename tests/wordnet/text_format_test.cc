@@ -1,0 +1,96 @@
+#include "wordnet/text_format.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "wordnet/generator.h"
+#include "wordnet/mini_wordnet.h"
+
+namespace embellish::wordnet {
+namespace {
+
+TEST(TextFormatTest, MiniWordNetRoundTrip) {
+  auto db = BuildMiniWordNet();
+  ASSERT_TRUE(db.ok());
+  std::string text = SerializeDatabase(*db);
+  auto parsed = ParseDatabase(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->term_count(), db->term_count());
+  EXPECT_EQ(parsed->synset_count(), db->synset_count());
+  for (TermId t = 0; t < db->term_count(); ++t) {
+    EXPECT_EQ(parsed->term(t).text, db->term(t).text);
+    EXPECT_EQ(parsed->term(t).synsets, db->term(t).synsets);
+  }
+  for (SynsetId s = 0; s < db->synset_count(); ++s) {
+    EXPECT_EQ(parsed->synset(s).terms, db->synset(s).terms);
+    EXPECT_EQ(parsed->synset(s).relations.size(),
+              db->synset(s).relations.size());
+  }
+}
+
+TEST(TextFormatTest, SyntheticRoundTrip) {
+  SyntheticWordNetOptions options;
+  options.target_term_count = 1500;
+  options.seed = 3;
+  auto db = GenerateSyntheticWordNet(options);
+  ASSERT_TRUE(db.ok());
+  auto parsed = ParseDatabase(SerializeDatabase(*db));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->term_count(), db->term_count());
+  // Serialization is canonical: round-tripping twice is a fixed point.
+  EXPECT_EQ(SerializeDatabase(*parsed), SerializeDatabase(*db));
+}
+
+TEST(TextFormatTest, RejectsBadHeader) {
+  EXPECT_FALSE(ParseDatabase("").ok());
+  EXPECT_FALSE(ParseDatabase("wrong-header 1\nterms 0\n").ok());
+  EXPECT_FALSE(ParseDatabase("embellish-wordnet 1\nnonsense\n").ok());
+}
+
+TEST(TextFormatTest, RejectsTruncatedTermList) {
+  EXPECT_FALSE(
+      ParseDatabase("embellish-wordnet 1\nterms 3\nonlyone\n").ok());
+}
+
+TEST(TextFormatTest, RejectsBadSynsetReferences) {
+  // Synset references term 9 but only 1 term exists.
+  std::string text =
+      "embellish-wordnet 1\nterms 1\nword\nsynsets 1\nS 9\n";
+  auto parsed = ParseDatabase(text);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption());
+}
+
+TEST(TextFormatTest, RejectsBadRelations) {
+  std::string base =
+      "embellish-wordnet 1\nterms 2\na\nb\nsynsets 2\nS 0\nS 1\n";
+  EXPECT_FALSE(ParseDatabase(base + "R 0 bogus 1\n").ok());
+  EXPECT_FALSE(ParseDatabase(base + "R 0 hypernym 9\n").ok());
+  EXPECT_FALSE(ParseDatabase(base + "X 0 hypernym 1\n").ok());
+  // Missing inverse edge: validation must reject.
+  EXPECT_FALSE(ParseDatabase(base + "R 0 hypernym 1\n").ok());
+  // With both directions present it parses.
+  EXPECT_TRUE(
+      ParseDatabase(base + "R 0 hypernym 1\nR 1 hyponym 0\n").ok());
+}
+
+TEST(TextFormatTest, FileRoundTrip) {
+  auto db = BuildMiniWordNet();
+  ASSERT_TRUE(db.ok());
+  std::string path = ::testing::TempDir() + "/mini_wordnet_rt.txt";
+  ASSERT_TRUE(SaveDatabaseToFile(*db, path).ok());
+  auto loaded = LoadDatabaseFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->term_count(), db->term_count());
+  std::remove(path.c_str());
+}
+
+TEST(TextFormatTest, LoadRejectsMissingFile) {
+  auto loaded = LoadDatabaseFromFile("/nonexistent/path/db.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIoError());
+}
+
+}  // namespace
+}  // namespace embellish::wordnet
