@@ -78,6 +78,41 @@ void BM_MontMulSingle(benchmark::State& state) {
 }
 BENCHMARK(BM_MontMulSingle)->Arg(128)->Arg(256)->Arg(512);
 
+void BM_MontMulScratch(benchmark::State& state) {
+  // The zero-allocation kernel the PIR row loop runs on; compare against
+  // BM_MontMulSingle to see what the per-op heap traffic used to cost.
+  Rng rng(4);
+  size_t bits = static_cast<size_t>(state.range(0));
+  BigInt m = bignum::RandomPrime(bits, &rng);
+  auto ctx = bignum::MontgomeryContext::Create(m);
+  auto a = ctx->ToMontgomery(bignum::RandomBelow(m, &rng));
+  auto b = ctx->ToMontgomery(bignum::RandomBelow(m, &rng));
+  bignum::MontgomeryContext::Scratch scratch(*ctx);
+  std::vector<uint64_t> acc = ctx->One();
+  for (auto _ : state) {
+    ctx->MontMulInto(acc.data(), (acc[0] & 1) ? a.data() : b.data(),
+                     acc.data(), &scratch);
+    benchmark::DoNotOptimize(acc.data());
+  }
+}
+BENCHMARK(BM_MontMulScratch)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_ModExpScratch(benchmark::State& state) {
+  Rng rng(4);
+  size_t bits = static_cast<size_t>(state.range(0));
+  BigInt m = bignum::RandomPrime(bits, &rng);
+  auto ctx = bignum::MontgomeryContext::Create(m);
+  auto base = ctx->ToMontgomery(bignum::RandomBelow(m, &rng));
+  BigInt e = bignum::RandomBits(bits, &rng);
+  bignum::MontgomeryContext::Scratch scratch(*ctx);
+  std::vector<uint64_t> out(ctx->limb_count());
+  for (auto _ : state) {
+    ctx->ModExpInto(base.data(), e, out.data(), &scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ModExpScratch)->Arg(256)->Arg(512);
+
 void BM_BenalohEncrypt(benchmark::State& state) {
   auto* kp = BenalohKeys(static_cast<size_t>(state.range(0)));
   Rng rng(5);
@@ -148,6 +183,41 @@ void BM_PirServerAnswer(benchmark::State& state) {
                           static_cast<int64_t>(rows * cols));
 }
 BENCHMARK(BM_PirServerAnswer)->Arg(512)->Arg(4096)->Arg(16384);
+
+void BM_PirServerAnswerPooled(benchmark::State& state) {
+  const size_t rows = 4096;
+  const size_t cols = 8;
+  auto db = std::make_shared<crypto::PirDatabase>(rows, cols);
+  Rng rng(11);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) db->SetBit(i, j, rng.Bernoulli(0.5));
+  }
+  auto client = crypto::PirClient::Create(256, &rng);
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  crypto::PirServer server(db, &pool);
+  auto query = client->BuildQuery(3, cols, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.Answer(*query));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows * cols));
+}
+BENCHMARK(BM_PirServerAnswerPooled)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BenalohEncryptBatch(benchmark::State& state) {
+  auto* kp = BenalohKeys(256);
+  Rng rng(14);
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  std::vector<uint64_t> ms(64);
+  for (size_t i = 0; i < ms.size(); ++i) ms[i] = i % 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kp->public_key().EncryptBatch(ms, &rng, &pool));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ms.size()));
+}
+BENCHMARK(BM_BenalohEncryptBatch)->Arg(1)->Arg(4);
 
 void BM_PirDecode(benchmark::State& state) {
   const size_t rows = 4096;

@@ -6,19 +6,46 @@
 
 namespace embellish::bignum {
 
+namespace {
+
+// Reduces `v` only when needed; already-reduced values (the common case for
+// chained modular arithmetic) cost one comparison instead of a division.
+const BigInt& ReduceInto(const BigInt& v, const BigInt& m, BigInt* storage) {
+  if (v < m) return v;
+  *storage = v % m;
+  return *storage;
+}
+
+}  // namespace
+
 BigInt ModAdd(const BigInt& a, const BigInt& b, const BigInt& m) {
-  return (a % m + b % m) % m;
+  BigInt sa, sb;
+  const BigInt& ra = ReduceInto(a, m, &sa);
+  const BigInt& rb = ReduceInto(b, m, &sb);
+  BigInt sum = ra + rb;
+  // ra, rb < m, so sum < 2m: one subtraction replaces the final division.
+  if (sum >= m) sum -= m;
+  return sum;
 }
 
 BigInt ModSub(const BigInt& a, const BigInt& b, const BigInt& m) {
-  BigInt ra = a % m;
-  BigInt rb = b % m;
+  BigInt sa, sb;
+  const BigInt& ra = ReduceInto(a, m, &sa);
+  const BigInt& rb = ReduceInto(b, m, &sb);
   if (ra >= rb) return ra - rb;
   return ra + m - rb;
 }
 
 BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
-  return (a % m) * (b % m) % m;
+  BigInt sa, sb;
+  const BigInt& ra = ReduceInto(a, m, &sa);
+  const BigInt& rb = ReduceInto(b, m, &sb);
+  return ra * rb % m;
+}
+
+BigInt ModMulReduced(const BigInt& a, const BigInt& b, const BigInt& m) {
+  assert(a < m && b < m);
+  return a * b % m;
 }
 
 BigInt ModExp(const BigInt& a, const BigInt& e, const BigInt& m) {

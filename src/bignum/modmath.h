@@ -11,14 +11,22 @@
 
 namespace embellish::bignum {
 
-/// \brief (a + b) mod m. Operands need not be reduced.
+/// \brief (a + b) mod m. Operands need not be reduced; operands that already
+///        are skip their division entirely (the sum needs at most one
+///        subtraction of m, never a full reduction).
 BigInt ModAdd(const BigInt& a, const BigInt& b, const BigInt& m);
 
 /// \brief (a - b) mod m, with the usual wrap into [0, m).
 BigInt ModSub(const BigInt& a, const BigInt& b, const BigInt& m);
 
-/// \brief (a * b) mod m.
+/// \brief (a * b) mod m. Operands need not be reduced; operands that already
+///        are skip the pre-reduction division.
 BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m);
+
+/// \brief (a * b) mod m for operands known to be reduced (a, b < m): the
+///        fast path for hot callers, skipping both pre-reduction compares.
+///        Asserts reducedness in debug builds.
+BigInt ModMulReduced(const BigInt& a, const BigInt& b, const BigInt& m);
 
 /// \brief a^e mod m via left-to-right square-and-multiply. For odd m of two
 ///        or more limbs, dispatches to the Montgomery path (montgomery.h),

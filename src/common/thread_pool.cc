@@ -1,0 +1,164 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+
+namespace embellish {
+
+// One in-flight parallel region. Workers claim contiguous chunks from `next`;
+// the participant that completes the final index signals `done`. The job
+// lives on the caller's stack, so lifetime is guarded twice: `done` proves
+// every index ran, and `active` proves every registered worker has left
+// Participate() before the caller may return.
+struct ThreadPool::ParallelJob {
+  size_t end = 0;
+  size_t chunk = 1;
+  uint64_t generation = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> remaining{0};
+  std::atomic<int> active{0};
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  std::atomic<int64_t> cpu_micros{0};
+
+  // Drains chunks until the index space is exhausted. Returns whether this
+  // thread completed the job's final index. After a true return (or after
+  // `remaining` reaches zero) the job may be torn down by the caller, so all
+  // bookkeeping for a chunk happens before that chunk's decrement.
+  bool Participate() {
+    while (true) {
+      const size_t start = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (start >= end) return false;
+      const size_t stop = std::min(end, start + chunk);
+      CpuStopwatch cpu;
+      (*fn)(start, stop);
+      cpu_micros.fetch_add(cpu.ElapsedMicros(), std::memory_order_relaxed);
+      const size_t len = stop - start;
+      if (remaining.fetch_sub(len, std::memory_order_acq_rel) == len) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done = true;
+        done_cv.notify_all();
+        return true;
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t last_generation = 0;
+  while (true) {
+    ParallelJob* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ ||
+               (job_ != nullptr && job_->generation != last_generation);
+      });
+      if (shutdown_) return;
+      job = job_;
+      last_generation = job->generation;
+      // Registered under mu_: once the caller clears job_ under mu_, no
+      // further worker can enter, and `active` covers those that did.
+      job->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    job->Participate();
+    job->active.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+double ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
+                               const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return 0.0;
+  if (min_grain == 0) min_grain = 1;
+  const size_t n = end - begin;
+
+  if (workers_.empty() || n <= min_grain) {
+    CpuStopwatch cpu;
+    fn(begin, end);
+    return cpu.ElapsedMillis();
+  }
+
+  static std::atomic<uint64_t> generation_counter{0};
+  ParallelJob job;
+  job.end = end;
+  // ~4 chunks per participant balances tail latency against chunk overhead
+  // while keeping each chunk a contiguous, cache-friendly index range. When
+  // the pool is wider than the machine (oversubscribed), more chunks only
+  // buy context switches, so chunking follows the hardware width instead.
+  size_t participants = workers_.size() + 1;
+  const size_t hw = std::thread::hardware_concurrency();
+  if (hw != 0 && participants > hw) participants = hw;
+  job.chunk =
+      std::max(min_grain, (n + 4 * participants - 1) / (4 * participants));
+  job.generation = ++generation_counter;
+  job.fn = &fn;
+  job.next.store(begin, std::memory_order_relaxed);
+  job.remaining.store(n, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+  }
+  work_ready_.notify_all();
+
+  if (!job.Participate()) {
+    std::unique_lock<std::mutex> lock(job.done_mu);
+    job.done_cv.wait(lock, [&] { return job.done; });
+  }
+
+  // Close the job to new entrants, then wait out any worker still inside
+  // Participate() (its remaining work is at most one exhausted-cursor check).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = nullptr;
+  }
+  while (job.active.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  return static_cast<double>(job.cpu_micros.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool* pool = [] {
+    size_t threads = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("EMBELLISH_THREADS");
+        env != nullptr && *env != '\0') {
+      char* endp = nullptr;
+      const unsigned long parsed = std::strtoul(env, &endp, 10);
+      if (endp != nullptr && *endp == '\0' && parsed > 0) {
+        threads = static_cast<size_t>(parsed);
+      }
+    }
+    if (threads == 0) threads = 1;
+    return new ThreadPool(threads);
+  }();
+  return pool;
+}
+
+}  // namespace embellish

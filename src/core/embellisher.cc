@@ -7,8 +7,8 @@ namespace embellish::core {
 
 QueryEmbellisher::QueryEmbellisher(
     const BucketOrganization* buckets,
-    const crypto::BenalohPublicKey* public_key)
-    : buckets_(buckets), public_key_(public_key) {}
+    const crypto::BenalohPublicKey* public_key, ThreadPool* pool)
+    : buckets_(buckets), public_key_(public_key), pool_(pool) {}
 
 Result<EmbellishedQuery> QueryEmbellisher::Embellish(
     const std::vector<wordnet::TermId>& genuine_terms, Rng* rng) const {
@@ -30,15 +30,24 @@ Result<EmbellishedQuery> QueryEmbellisher::Embellish(
                      host_buckets.end());
 
   // Lines 2-8: from each host bucket take every member; genuine terms get
-  // E(1), the rest E(0).
-  EmbellishedQuery query;
+  // E(1), the rest E(0). The indicators are encrypted as one batch so the
+  // per-term modexps can fan out over the pool.
+  std::vector<wordnet::TermId> terms;
+  std::vector<uint64_t> indicators;
   for (size_t b : host_buckets) {
     for (wordnet::TermId t : buckets_->bucket(b)) {
-      uint64_t u = genuine.count(t) ? 1 : 0;
-      EMB_ASSIGN_OR_RETURN(crypto::BenalohCiphertext c,
-                           public_key_->Encrypt(u, rng));
-      query.entries.push_back(EmbellishedTerm{t, std::move(c)});
+      terms.push_back(t);
+      indicators.push_back(genuine.count(t) ? 1 : 0);
     }
+  }
+  EMB_ASSIGN_OR_RETURN(std::vector<crypto::BenalohCiphertext> ciphertexts,
+                       public_key_->EncryptBatch(indicators, rng, pool_));
+
+  EmbellishedQuery query;
+  query.entries.reserve(terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    query.entries.push_back(
+        EmbellishedTerm{terms[i], std::move(ciphertexts[i])});
   }
 
   // Final permutation: deny the server any positional grouping signal.

@@ -39,9 +39,11 @@ struct EmbellishedQuery {
 /// \brief Client-side query masking (Algorithm 3).
 class QueryEmbellisher {
  public:
-  /// \brief Both pointers must outlive the embellisher.
+  /// \brief All pointers must outlive the embellisher. `pool` may be null
+  ///        (serial); it parallelizes the per-entry indicator encryptions.
   QueryEmbellisher(const BucketOrganization* buckets,
-                   const crypto::BenalohPublicKey* public_key);
+                   const crypto::BenalohPublicKey* public_key,
+                   ThreadPool* pool = nullptr);
 
   /// \brief Produces the embellished query for `genuine_terms`.
   ///
@@ -56,6 +58,7 @@ class QueryEmbellisher {
  private:
   const BucketOrganization* buckets_;
   const crypto::BenalohPublicKey* public_key_;
+  ThreadPool* pool_;  // not owned; null => serial
 };
 
 }  // namespace embellish::core

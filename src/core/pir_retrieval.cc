@@ -30,11 +30,12 @@ std::vector<uint8_t> EncodeColumn(const std::vector<uint8_t>& list_bytes,
 PirRetrievalServer::PirRetrievalServer(
     const index::InvertedIndex* index, const BucketOrganization* buckets,
     const storage::StorageLayout* layout,
-    const storage::DiskModelOptions& disk_options)
+    const storage::DiskModelOptions& disk_options, ThreadPool* pool)
     : index_(index),
       buckets_(buckets),
       layout_(layout),
-      disk_options_(disk_options) {}
+      disk_options_(disk_options),
+      pool_(pool) {}
 
 Result<const crypto::PirDatabase*> PirRetrievalServer::BucketMatrix(
     size_t bucket) const {
@@ -76,13 +77,16 @@ Result<crypto::PirResponse> PirRetrievalServer::Answer(
     costs->server_io_ms += disk.accumulated_ms();
   }
 
-  CpuStopwatch cpu;
+  // CPU is accounted inside Answer (summed across pool workers when the
+  // evaluation is parallel), not with a caller-side stopwatch, which would
+  // miss the cycles worker threads burn.
   crypto::PirServer server_impl(
-      std::shared_ptr<const crypto::PirDatabase>(matrix, [](auto*) {}));
+      std::shared_ptr<const crypto::PirDatabase>(matrix, [](auto*) {}), pool_);
+  double cpu_ms = 0.0;
   EMB_ASSIGN_OR_RETURN(crypto::PirResponse response,
-                       server_impl.Answer(query));
+                       server_impl.Answer(query, nullptr, &cpu_ms));
   if (costs != nullptr) {
-    costs->server_cpu_ms += cpu.ElapsedMillis();
+    costs->server_cpu_ms += cpu_ms;
   }
   return response;
 }

@@ -30,14 +30,18 @@ namespace embellish::core {
 
 /// \brief Search-engine side: answers per-bucket PIR executions.
 ///
-/// Bucket matrices are materialized lazily and cached (not thread-safe; the
-/// benches are single-threaded).
+/// Bucket matrices are materialized lazily and cached (the cache itself is
+/// not thread-safe — callers issue queries from one thread; the protocol
+/// evaluation inside one query fans out over `pool` when supplied).
 class PirRetrievalServer {
  public:
+  /// \brief `pool` may be null (serial evaluation) and must outlive the
+  ///        server; it parallelizes each query's row products.
   PirRetrievalServer(const index::InvertedIndex* index,
                      const BucketOrganization* buckets,
                      const storage::StorageLayout* layout,
-                     const storage::DiskModelOptions& disk_options = {});
+                     const storage::DiskModelOptions& disk_options = {},
+                     ThreadPool* pool = nullptr);
 
   /// \brief Runs one PIR execution against bucket `bucket`. Charges one
   ///        bucket fetch of I/O plus the protocol CPU to `costs`.
@@ -53,6 +57,7 @@ class PirRetrievalServer {
   const BucketOrganization* buckets_;
   const storage::StorageLayout* layout_;
   storage::DiskModelOptions disk_options_;
+  ThreadPool* pool_;  // not owned; null => serial
   mutable std::unordered_map<size_t, std::unique_ptr<crypto::PirDatabase>>
       matrix_cache_;
 };

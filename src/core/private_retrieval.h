@@ -64,16 +64,23 @@ struct PrivateRetrievalServerOptions {
 };
 
 /// \brief Search-engine side of the PR scheme (Algorithm 4).
+///
+/// Entries of the embellished query are processed in parallel over `pool`
+/// when one is supplied: each worker accumulates per-document products into
+/// a private map on its own Montgomery scratch, and the maps are merged
+/// under a lock. Modular multiplication is commutative, so the merged
+/// residues are bit-identical to the serial evaluation.
 class PrivateRetrievalServer {
  public:
   /// \brief `layout` maps bucket ids to disk extents; pass nullptr to skip
   ///        I/O accounting (unit tests). All pointers must outlive the
-  ///        server.
+  ///        server. `pool` may be null (serial evaluation).
   PrivateRetrievalServer(
       const index::InvertedIndex* index, const BucketOrganization* buckets,
       const storage::StorageLayout* layout,
       const storage::DiskModelOptions& disk_options = {},
-      const PrivateRetrievalServerOptions& options = {});
+      const PrivateRetrievalServerOptions& options = {},
+      ThreadPool* pool = nullptr);
 
   /// \brief Processes an embellished query; charges I/O and CPU to `costs`
   ///        (which may be null).
@@ -87,15 +94,19 @@ class PrivateRetrievalServer {
   const storage::StorageLayout* layout_;
   storage::DiskModelOptions disk_options_;
   PrivateRetrievalServerOptions options_;
+  ThreadPool* pool_;  // not owned; null => serial
 };
 
 /// \brief User side of the PR scheme: query formulation (Algorithm 3, via
 ///        QueryEmbellisher) and post filtering (Algorithm 5).
 class PrivateRetrievalClient {
  public:
+  /// \brief `pool` may be null (serial); it parallelizes the Algorithm 3
+  ///        indicator encryptions.
   PrivateRetrievalClient(const BucketOrganization* buckets,
                          const crypto::BenalohPublicKey* public_key,
-                         const crypto::BenalohPrivateKey* private_key);
+                         const crypto::BenalohPrivateKey* private_key,
+                         ThreadPool* pool = nullptr);
 
   /// \brief Algorithm 3; charges encryption time and uplink to `costs`.
   Result<EmbellishedQuery> FormulateQuery(

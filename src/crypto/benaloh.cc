@@ -80,6 +80,52 @@ Result<BenalohCiphertext> BenalohPublicKey::Encrypt(uint64_t m,
   return BenalohCiphertext{mont_->Mul(gm, ur)};
 }
 
+Result<std::vector<BenalohCiphertext>> BenalohPublicKey::EncryptBatch(
+    const std::vector<uint64_t>& ms, Rng* rng, ThreadPool* pool) const {
+  for (uint64_t m : ms) {
+    if (m >= r_) {
+      return Status::InvalidArgument(
+          StringPrintf("message %llu outside Z_%llu",
+                       static_cast<unsigned long long>(m),
+                       static_cast<unsigned long long>(r_)));
+    }
+  }
+  // Nonces come out of the (non-thread-safe) rng up front, in message order.
+  std::vector<BigInt> nonces;
+  nonces.reserve(ms.size());
+  for (size_t i = 0; i < ms.size(); ++i) {
+    nonces.push_back(bignum::RandomUnit(n_, rng));
+  }
+
+  std::vector<BenalohCiphertext> out(ms.size());
+  const bignum::MontgomeryContext& mont = *mont_;
+  const size_t k = mont.limb_count();
+  const std::vector<uint64_t> g_mont = mont.ToMontgomery(g_);
+  const BigInt r_exp(r_);
+
+  auto encrypt_range = [&](size_t begin, size_t end) {
+    bignum::MontgomeryContext::Scratch scratch(mont);
+    std::vector<uint64_t> gm(k);
+    std::vector<uint64_t> u_mont(k);
+    std::vector<uint64_t> ur(k);
+    for (size_t i = begin; i < end; ++i) {
+      mont.ModExpInto(g_mont.data(), BigInt(ms[i]), gm.data(), &scratch);
+      mont.ToMontgomeryInto(nonces[i], u_mont.data(), &scratch);
+      mont.ModExpInto(u_mont.data(), r_exp, ur.data(), &scratch);
+      mont.MontMulInto(gm.data(), ur.data(), gm.data(), &scratch);
+      mont.FromMontgomeryInto(gm.data(), ur.data(), &scratch);
+      out[i].value = BigInt::FromLimbs(ur);
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(0, ms.size(), /*min_grain=*/1, encrypt_range);
+  } else {
+    encrypt_range(0, ms.size());
+  }
+  return out;
+}
+
 BenalohCiphertext BenalohPublicKey::Add(const BenalohCiphertext& a,
                                         const BenalohCiphertext& b) const {
   return BenalohCiphertext{mont_->Mul(a.value, b.value)};

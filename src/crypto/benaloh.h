@@ -32,6 +32,7 @@
 #include "bignum/montgomery.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace embellish::crypto {
 
@@ -70,6 +71,14 @@ class BenalohPublicKey {
 
   /// \brief E(m) = g^m u^r mod n. `m` must be < r.
   Result<BenalohCiphertext> Encrypt(uint64_t m, Rng* rng) const;
+
+  /// \brief Encrypts every message in `ms`, fanning the modexps out over
+  ///        `pool` (null => serial). Nonces are drawn from `rng` serially in
+  ///        message order, so the output is identical to calling Encrypt in
+  ///        a loop — threading changes only the wall clock.
+  Result<std::vector<BenalohCiphertext>> EncryptBatch(
+      const std::vector<uint64_t>& ms, Rng* rng,
+      ThreadPool* pool = nullptr) const;
 
   /// \brief Homomorphic addition: E(m1)*E(m2) = E(m1+m2 mod r).
   BenalohCiphertext Add(const BenalohCiphertext& a,

@@ -28,6 +28,48 @@ Result<PaillierCiphertext> PaillierPublicKey::Encrypt(const BigInt& m,
   return PaillierCiphertext{mont_->Mul(gm, un)};
 }
 
+Result<std::vector<PaillierCiphertext>> PaillierPublicKey::EncryptBatch(
+    const std::vector<BigInt>& ms, Rng* rng, ThreadPool* pool) const {
+  for (const BigInt& m : ms) {
+    if (m >= n_) {
+      return Status::InvalidArgument("Paillier message must be < n");
+    }
+  }
+  std::vector<BigInt> nonces;
+  nonces.reserve(ms.size());
+  for (size_t i = 0; i < ms.size(); ++i) {
+    nonces.push_back(bignum::RandomUnit(n_, rng));
+  }
+
+  std::vector<PaillierCiphertext> out(ms.size());
+  const bignum::MontgomeryContext& mont = *mont_;
+  const size_t k = mont.limb_count();
+
+  auto encrypt_range = [&](size_t begin, size_t end) {
+    bignum::MontgomeryContext::Scratch scratch(mont);
+    std::vector<uint64_t> gm_mont(k);
+    std::vector<uint64_t> u_mont(k);
+    std::vector<uint64_t> un(k);
+    for (size_t i = begin; i < end; ++i) {
+      // g = n+1 => g^m = 1 + m*n (mod n^2); avoids one modexp.
+      const BigInt gm = (BigInt(1) + ms[i] * n_) % n2_;
+      mont.ToMontgomeryInto(gm, gm_mont.data(), &scratch);
+      mont.ToMontgomeryInto(nonces[i], u_mont.data(), &scratch);
+      mont.ModExpInto(u_mont.data(), n_, un.data(), &scratch);
+      mont.MontMulInto(gm_mont.data(), un.data(), un.data(), &scratch);
+      mont.FromMontgomeryInto(un.data(), un.data(), &scratch);
+      out[i].value = BigInt::FromLimbs(un);
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(0, ms.size(), /*min_grain=*/1, encrypt_range);
+  } else {
+    encrypt_range(0, ms.size());
+  }
+  return out;
+}
+
 PaillierCiphertext PaillierPublicKey::Add(const PaillierCiphertext& a,
                                           const PaillierCiphertext& b) const {
   return PaillierCiphertext{mont_->Mul(a.value, b.value)};

@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "bignum/bigint.h"
 #include "bignum/montgomery.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace embellish::crypto {
 
@@ -40,6 +42,14 @@ class PaillierPublicKey {
 
   /// \brief E(m) for m < n.
   Result<PaillierCiphertext> Encrypt(const bignum::BigInt& m, Rng* rng) const;
+
+  /// \brief Encrypts every message in `ms`, fanning the u^n modexps out over
+  ///        `pool` (null => serial). Nonces are drawn from `rng` serially in
+  ///        message order, so the output is identical to calling Encrypt in
+  ///        a loop — threading changes only the wall clock.
+  Result<std::vector<PaillierCiphertext>> EncryptBatch(
+      const std::vector<bignum::BigInt>& ms, Rng* rng,
+      ThreadPool* pool = nullptr) const;
 
   /// \brief Homomorphic addition.
   PaillierCiphertext Add(const PaillierCiphertext& a,

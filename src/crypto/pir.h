@@ -22,6 +22,7 @@
 #include "bignum/montgomery.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace embellish::crypto {
 
@@ -39,6 +40,16 @@ class PirDatabase {
 
   void SetBit(size_t row, size_t col, bool value);
   bool GetBit(size_t row, size_t col) const;
+
+  /// \brief Number of 64-bit words ExtractRow writes per row.
+  size_t RowWords() const { return (cols_ + 63) / 64; }
+
+  /// \brief Copies row `row` into `words` (little-endian bit order: column j
+  ///        of the row is `(words[j / 64] >> (j % 64)) & 1`). `words` must
+  ///        hold RowWords() entries. This is the hot-path accessor: the PIR
+  ///        answer kernel reads whole words instead of calling GetBit per
+  ///        (row, column) pair.
+  void ExtractRow(size_t row, uint64_t* words) const;
 
   /// \brief Loads column `col` from bytes (MSB-first within each byte).
   void SetColumnFromBytes(size_t col, const std::vector<uint8_t>& bytes);
@@ -100,18 +111,31 @@ class PirClient {
 };
 
 /// \brief Server side: evaluates queries against a PirDatabase.
+///
+/// Each row's gamma is an independent product, so Answer parallelizes across
+/// rows when a thread pool is supplied: every worker owns a Montgomery
+/// scratch, a row-word buffer and an accumulator, and the inner column loop
+/// performs zero heap allocations per modular multiplication.
 class PirServer {
  public:
-  explicit PirServer(std::shared_ptr<const PirDatabase> database);
+  /// \brief `pool` may be null (serial) and must outlive the server.
+  explicit PirServer(std::shared_ptr<const PirDatabase> database,
+                     ThreadPool* pool = nullptr);
 
   /// \brief Computes gamma_i for every row (the whole-column answer).
   ///        `ops_out`, if non-null, receives the number of modular
-  ///        multiplications performed (CPU cost accounting).
+  ///        multiplications actually performed by the row-product evaluation
+  ///        (the subset-product tables need far fewer than the naive
+  ///        rows*cols; conversions are not counted), and `cpu_ms_out`, if
+  ///        non-null, the thread-CPU milliseconds consumed summed across all
+  ///        participating workers.
   Result<PirResponse> Answer(const PirQuery& query,
-                             uint64_t* ops_out = nullptr) const;
+                             uint64_t* ops_out = nullptr,
+                             double* cpu_ms_out = nullptr) const;
 
  private:
   std::shared_ptr<const PirDatabase> database_;
+  ThreadPool* pool_;  // not owned; null => serial
 };
 
 }  // namespace embellish::crypto

@@ -31,6 +31,7 @@
 #include "common/status.h"       // IWYU pragma: export
 #include "common/stopwatch.h"    // IWYU pragma: export
 #include "common/strings.h"      // IWYU pragma: export
+#include "common/thread_pool.h"  // IWYU pragma: export
 
 #include "bignum/bigint.h"       // IWYU pragma: export
 #include "bignum/modmath.h"      // IWYU pragma: export

@@ -181,6 +181,54 @@ TEST(PrivateRetrievalServerTest, NullLayoutSkipsIoAccounting) {
 
 // --- Client-side behaviour --------------------------------------------------
 
+TEST(PrivateRetrievalServerTest, PooledProcessMatchesSerialBitExactly) {
+  // Algorithm 4's per-document merge is commutative modular multiplication,
+  // so the pooled evaluation must produce byte-identical ciphertexts.
+  Pipeline p(4, 909);
+  ThreadPool pool(4);
+  PrivateRetrievalServer pooled_server(&p.built.index, &p.org, &p.layout,
+                                       storage::DiskModelOptions{}, {},
+                                       &pool);
+  Rng rng(11);
+  for (int trial = 0; trial < 3; ++trial) {
+    auto query = p.RandomIndexedQuery(6, &rng);
+    RetrievalCosts costs;
+    auto formulated = p.client->FormulateQuery(query, &rng, &costs);
+    ASSERT_TRUE(formulated.ok());
+    auto serial = p.server->Process(*formulated, p.keys->public_key(), &costs);
+    ASSERT_TRUE(serial.ok());
+    auto pooled =
+        pooled_server.Process(*formulated, p.keys->public_key(), &costs);
+    ASSERT_TRUE(pooled.ok());
+    ASSERT_EQ(serial->candidates.size(), pooled->candidates.size());
+    for (size_t i = 0; i < serial->candidates.size(); ++i) {
+      EXPECT_EQ(serial->candidates[i].doc, pooled->candidates[i].doc);
+      EXPECT_EQ(serial->candidates[i].score, pooled->candidates[i].score);
+    }
+  }
+}
+
+TEST(PrivateRetrievalClientTest, PooledClientMatchesSerialClient) {
+  // The pooled client batches its indicator encryptions; nonces are drawn
+  // serially, so queries from equal rng states are identical.
+  Pipeline p(4, 910);
+  ThreadPool pool(4);
+  PrivateRetrievalClient pooled_client(&p.org, &p.keys->public_key(),
+                                       &p.keys->private_key(), &pool);
+  Rng rng(12);
+  auto query = p.RandomIndexedQuery(5, &rng);
+  Rng rng_a(77), rng_b(77);
+  auto serial_q = p.client->FormulateQuery(query, &rng_a, nullptr);
+  auto pooled_q = pooled_client.FormulateQuery(query, &rng_b, nullptr);
+  ASSERT_TRUE(serial_q.ok());
+  ASSERT_TRUE(pooled_q.ok());
+  ASSERT_EQ(serial_q->entries.size(), pooled_q->entries.size());
+  for (size_t i = 0; i < serial_q->entries.size(); ++i) {
+    EXPECT_EQ(serial_q->entries[i].term, pooled_q->entries[i].term);
+    EXPECT_EQ(serial_q->entries[i].indicator, pooled_q->entries[i].indicator);
+  }
+}
+
 TEST(PrivateRetrievalClientTest, PostFilterDropsZeroScores) {
   Pipeline p(4, 77);
   Rng rng(104);
