@@ -118,6 +118,12 @@ std::vector<uint8_t> BigInt::ToBigEndianBytes() const {
 std::vector<uint8_t> BigInt::ToBigEndianBytesPadded(size_t n) const {
   std::vector<uint8_t> raw = ToBigEndianBytes();
   assert(raw.size() <= n && "value does not fit in requested width");
+  if (raw.size() > n) {
+    // Defined Release-build fallback: keep the low-order n bytes (the value
+    // mod 2^(8n)) instead of computing an out-of-range iterator below.
+    raw.erase(raw.begin(), raw.begin() + static_cast<long>(raw.size() - n));
+    return raw;
+  }
   std::vector<uint8_t> out(n, 0);
   std::copy(raw.begin(), raw.end(), out.begin() + (n - raw.size()));
   return out;

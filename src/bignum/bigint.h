@@ -70,8 +70,9 @@ class BigInt {
   /// \brief Big-endian byte serialization, no leading zero bytes (zero => {}).
   std::vector<uint8_t> ToBigEndianBytes() const;
 
-  /// \brief Big-endian serialization padded/truncated to exactly `n` bytes.
-  ///        Requires the value to fit in `n` bytes.
+  /// \brief Big-endian serialization padded to exactly `n` bytes. The value
+  ///        is expected to fit in `n` bytes (asserted in Debug); a wider
+  ///        value is reduced mod 2^(8n) so the result width always holds.
   std::vector<uint8_t> ToBigEndianBytesPadded(size_t n) const;
 
   // -- Arithmetic (value-returning; all operands unsigned) --

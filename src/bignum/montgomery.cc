@@ -85,7 +85,19 @@ void MontMulFixed(const uint64_t* a, const uint64_t* b, const uint64_t* n,
   }
 }
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+// ASan's instrumentation raises register pressure enough that the 14-operand
+// asm constraints below become unsatisfiable, so sanitizer builds fall back
+// to the portable fixed-width kernels (the dispatch sites check the macro).
+#if defined(__SANITIZE_ADDRESS__)
+#define EMBELLISH_ASAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EMBELLISH_ASAN_BUILD 1
+#endif
+#endif
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(EMBELLISH_ASAN_BUILD)
 #define EMBELLISH_HAVE_X86_ADX_KERNEL 1
 
 // True when the CPU has the MULX (BMI2) and ADCX/ADOX (ADX) instructions the
@@ -384,16 +396,21 @@ void MontgomeryContext::MontMulSelectInto(const uint64_t* factors,
 
 void MontgomeryContext::ToMontgomeryInto(const BigInt& a, uint64_t* out,
                                          Scratch* scratch) const {
-  const std::vector<uint64_t>& limbs = a.limbs();
-  if (limbs.size() <= k_) {
-    std::memcpy(out, limbs.data(), limbs.size() * sizeof(uint64_t));
+  // A zero BigInt has no limbs and a null data(); memcpy from a null
+  // pointer is UB even for zero bytes, so guard the empty case.
+  const auto copy_limbs = [this, out](const std::vector<uint64_t>& limbs) {
+    if (!limbs.empty()) {
+      std::memcpy(out, limbs.data(), limbs.size() * sizeof(uint64_t));
+    }
     std::memset(out + limbs.size(), 0,
                 (k_ - limbs.size()) * sizeof(uint64_t));
+  };
+  const std::vector<uint64_t>& limbs = a.limbs();
+  if (limbs.size() <= k_) {
+    copy_limbs(limbs);
   } else {
     const BigInt reduced = a % modulus_;  // slow path: wider than the modulus
-    const std::vector<uint64_t>& r = reduced.limbs();
-    std::memcpy(out, r.data(), r.size() * sizeof(uint64_t));
-    std::memset(out + r.size(), 0, (k_ - r.size()) * sizeof(uint64_t));
+    copy_limbs(reduced.limbs());
   }
   MontMulInto(out, r2_limbs_.data(), out, scratch);
 }

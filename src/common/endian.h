@@ -1,0 +1,36 @@
+// Big-endian integer packing shared by the wire codecs (core/wire_format,
+// server/framing). All protocol integers are big-endian on the wire.
+
+#ifndef EMBELLISH_COMMON_ENDIAN_H_
+#define EMBELLISH_COMMON_ENDIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace embellish {
+
+inline void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+inline void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+inline uint64_t GetU64(const uint8_t* p) {
+  return (static_cast<uint64_t>(GetU32(p)) << 32) | GetU32(p + 4);
+}
+
+}  // namespace embellish
+
+#endif  // EMBELLISH_COMMON_ENDIAN_H_

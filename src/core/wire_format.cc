@@ -1,23 +1,13 @@
 #include "core/wire_format.h"
 
+#include <cassert>
+
+#include "common/endian.h"
 #include "common/strings.h"
 
 namespace embellish::core {
 
 namespace {
-
-void PutU32(std::vector<uint8_t>* out, uint32_t v) {
-  out->push_back(static_cast<uint8_t>(v >> 24));
-  out->push_back(static_cast<uint8_t>(v >> 16));
-  out->push_back(static_cast<uint8_t>(v >> 8));
-  out->push_back(static_cast<uint8_t>(v));
-}
-
-uint32_t GetU32(const uint8_t* p) {
-  return (static_cast<uint32_t>(p[0]) << 24) |
-         (static_cast<uint32_t>(p[1]) << 16) |
-         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
-}
 
 // Shared frame: [u32 count] + count x ([u32 id][key_bytes ciphertext]).
 template <typename Entry, typename GetId, typename GetCipher>
@@ -31,6 +21,14 @@ std::vector<uint8_t> EncodeFrame(const std::vector<Entry>& entries,
   for (const Entry& e : entries) {
     PutU32(&out, get_id(e));
     std::vector<uint8_t> c = pk.Serialize(get_cipher(e));
+    // Every entry must occupy exactly key_bytes on the wire — a short
+    // serialization would silently shift every later entry, so pad with
+    // leading zeros (big-endian). Oversize cannot occur: Serialize's
+    // ToBigEndianBytesPadded clamps to the requested width.
+    assert(c.size() == key_bytes && "Serialize must emit CiphertextBytes()");
+    if (c.size() < key_bytes) {
+      out.insert(out.end(), key_bytes - c.size(), 0);
+    }
     out.insert(out.end(), c.begin(), c.end());
   }
   return out;
@@ -49,6 +47,15 @@ Result<std::vector<FrameEntry>> DecodeFrame(
   }
   const uint32_t count = GetU32(bytes.data());
   const size_t entry_size = 4 + key_bytes;
+  // Bound the attacker-controlled count by the bytes actually present before
+  // any multiplication: on a 32-bit size_t, 4 + count * entry_size can wrap
+  // and a hostile header would otherwise slip past the size check and force
+  // a huge reserve below.
+  if (count > (bytes.size() - 4) / entry_size) {
+    return Status::Corruption(
+        StringPrintf("frame declares %u entries but holds %zu payload bytes",
+                     count, bytes.size() - 4));
+  }
   const size_t expected = 4 + static_cast<size_t>(count) * entry_size;
   if (bytes.size() != expected) {
     return Status::Corruption(

@@ -8,14 +8,25 @@ namespace embellish::corpus {
 
 ZipfSampler::ZipfSampler(size_t n, double s) {
   assert(n >= 1);
-  cdf_.resize(n);
+  pmf_.resize(n);
   double total = 0;
   for (size_t k = 0; k < n; ++k) {
-    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
-    cdf_[k] = total;
+    pmf_[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+    total += pmf_[k];
   }
-  for (double& c : cdf_) c /= total;
-  cdf_.back() = 1.0;  // guard against rounding
+  // Renormalize the masses themselves rather than clamping the CDF tail:
+  // forcing cdf_.back() to 1.0 would silently fold any accumulated rounding
+  // error into Pmf(n-1), over-weighting the rarest rank.
+  cdf_.resize(n);
+  double running = 0;
+  for (size_t k = 0; k < n; ++k) {
+    pmf_[k] /= total;
+    running += pmf_[k];
+    cdf_[k] = running;
+  }
+  // Sample() must never run past the end on u ~ 1; the true mass lives in
+  // pmf_, so this cannot distort Pmf.
+  cdf_.back() = 1.0;
 }
 
 size_t ZipfSampler::Sample(Rng* rng) const {
@@ -26,8 +37,8 @@ size_t ZipfSampler::Sample(Rng* rng) const {
 }
 
 double ZipfSampler::Pmf(size_t k) const {
-  assert(k < cdf_.size());
-  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  assert(k < pmf_.size());
+  return pmf_[k];
 }
 
 }  // namespace embellish::corpus

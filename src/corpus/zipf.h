@@ -30,6 +30,7 @@ class ZipfSampler {
   size_t size() const { return cdf_.size(); }
 
  private:
+  std::vector<double> pmf_;  // normalized masses; sums to 1 (up to rounding)
   std::vector<double> cdf_;  // cumulative masses, cdf_.back() == 1.0
 };
 

@@ -83,4 +83,9 @@
 #include "core/specificity.h"        // IWYU pragma: export
 #include "core/wire_format.h"        // IWYU pragma: export
 
+#include "server/embellish_server.h" // IWYU pragma: export
+#include "server/framing.h"          // IWYU pragma: export
+#include "server/response_cache.h"   // IWYU pragma: export
+#include "server/session_client.h"   // IWYU pragma: export
+
 #endif  // EMBELLISH_EMBELLISH_H_

@@ -1,0 +1,217 @@
+#include "server/embellish_server.h"
+
+#include <utility>
+
+#include "core/wire_format.h"
+
+namespace embellish::server {
+
+EmbellishServer::EmbellishServer(const index::InvertedIndex* index,
+                                 const core::BucketOrganization* buckets,
+                                 const storage::StorageLayout* layout,
+                                 const EmbellishServerOptions& options,
+                                 ThreadPool* pool)
+    : options_(options),
+      pr_server_(index, buckets, layout, options.disk, options.pr,
+                 /*pool=*/nullptr),
+      pir_server_(index, buckets, layout, options.disk, /*pool=*/nullptr),
+      pool_(pool),
+      cache_(options.cache_capacity, options.cache_max_bytes) {}
+
+std::vector<uint8_t> EmbellishServer::HandleFrame(
+    const std::vector<uint8_t>& request) {
+  RequestOutcome outcome = ProcessOne(request);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ServerStats& t = totals_;
+    const ServerStats& d = outcome.delta;
+    t.frames += d.frames;
+    t.hellos += d.hellos;
+    t.queries += d.queries;
+    t.pir_queries += d.pir_queries;
+    t.errors += d.errors;
+    // cache_hits/cache_misses are not per-request deltas; stats() snapshots
+    // them straight from the ResponseCache's own counters.
+    t.uplink_bytes += d.uplink_bytes;
+    t.downlink_bytes += d.downlink_bytes;
+    t.server_cpu_ms += d.server_cpu_ms;
+    t.server_io_ms += d.server_io_ms;
+  }
+  return std::move(outcome.response);
+}
+
+std::vector<std::vector<uint8_t>> EmbellishServer::HandleBatch(
+    const std::vector<std::vector<uint8_t>>& requests) {
+  std::vector<std::vector<uint8_t>> responses(requests.size());
+  auto handle_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      responses[i] = HandleFrame(requests[i]);
+    }
+  };
+  if (pool_ != nullptr && requests.size() > 1) {
+    pool_->ParallelFor(0, requests.size(), /*min_grain=*/1, handle_range);
+  } else {
+    handle_range(0, requests.size());
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++totals_.batches;
+  return responses;
+}
+
+size_t EmbellishServer::session_count() const {
+  std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+ServerStats EmbellishServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServerStats snapshot = totals_;
+  snapshot.cache_hits = cache_.hits();
+  snapshot.cache_misses = cache_.misses();
+  return snapshot;
+}
+
+EmbellishServer::RequestOutcome EmbellishServer::ErrorOutcome(
+    uint64_t session_id, const Status& status) {
+  RequestOutcome outcome;
+  outcome.response =
+      EncodeFrame(FrameKind::kError, session_id, EncodeError(status));
+  outcome.delta.errors = 1;
+  return outcome;
+}
+
+EmbellishServer::SessionEntry EmbellishServer::FindSession(
+    uint64_t session_id) const {
+  std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? SessionEntry{} : it->second;
+}
+
+EmbellishServer::RequestOutcome EmbellishServer::ProcessOne(
+    const std::vector<uint8_t>& request) {
+  RequestOutcome outcome;
+  auto frame = DecodeFrame(request);
+  if (!frame.ok()) {
+    outcome = ErrorOutcome(0, frame.status());
+  } else {
+    switch (frame->kind) {
+      case FrameKind::kHello:
+        outcome = HandleHello(*frame);
+        break;
+      case FrameKind::kQuery:
+        outcome = HandleQuery(*frame);
+        break;
+      case FrameKind::kPirQuery:
+        outcome = HandlePirQuery(*frame);
+        break;
+      default:
+        outcome = ErrorOutcome(
+            frame->session_id,
+            Status::InvalidArgument("frame kind is not a request"));
+        break;
+    }
+  }
+  outcome.delta.frames += 1;
+  outcome.delta.uplink_bytes += request.size();
+  outcome.delta.downlink_bytes += outcome.response.size();
+  return outcome;
+}
+
+EmbellishServer::RequestOutcome EmbellishServer::HandleHello(
+    const Frame& frame) {
+  auto pk = DecodeHello(frame.payload);
+  if (!pk.ok()) return ErrorOutcome(frame.session_id, pk.status());
+  {
+    std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+    auto it = sessions_.find(frame.session_id);
+    if (it == sessions_.end() && sessions_.size() >= options_.max_sessions) {
+      lock.unlock();
+      return ErrorOutcome(frame.session_id,
+                          Status::FailedPrecondition(
+                              "session table full; hello refused"));
+    }
+    sessions_[frame.session_id] = SessionEntry{
+        std::make_shared<const crypto::BenalohPublicKey>(std::move(*pk)),
+        next_epoch_++};
+  }
+  RequestOutcome outcome;
+  outcome.response = EncodeFrame(FrameKind::kHelloOk, frame.session_id, {});
+  outcome.delta.hellos = 1;
+  return outcome;
+}
+
+EmbellishServer::RequestOutcome EmbellishServer::HandleQuery(
+    const Frame& frame) {
+  SessionEntry session = FindSession(frame.session_id);
+  if (session.pk == nullptr) {
+    return ErrorOutcome(frame.session_id,
+                        Status::FailedPrecondition(
+                            "session has not sent a hello frame"));
+  }
+  const crypto::BenalohPublicKey& pk = *session.pk;
+  RequestOutcome outcome;
+  std::string key;
+  if (cache_.enabled()) {  // key building copies the payload; skip when off
+    key = ResponseCache::MakeKey(static_cast<uint8_t>(frame.kind),
+                                 frame.session_id, session.epoch,
+                                 frame.payload);
+    if (cache_.Get(key, &outcome.response)) {
+      outcome.delta.queries = 1;
+      return outcome;
+    }
+  }
+
+  auto query = core::DecodeQuery(frame.payload, pk);
+  if (!query.ok()) return ErrorOutcome(frame.session_id, query.status());
+
+  core::RetrievalCosts costs;
+  auto result = pr_server_.Process(*query, pk, &costs);
+  if (!result.ok()) return ErrorOutcome(frame.session_id, result.status());
+
+  outcome.response = EncodeFrame(FrameKind::kResult, frame.session_id,
+                                 core::EncodeResult(*result, pk));
+  if (cache_.enabled()) cache_.Put(key, outcome.response);
+  outcome.delta.queries = 1;
+  outcome.delta.server_cpu_ms = costs.server_cpu_ms;
+  outcome.delta.server_io_ms = costs.server_io_ms;
+  return outcome;
+}
+
+EmbellishServer::RequestOutcome EmbellishServer::HandlePirQuery(
+    const Frame& frame) {
+  auto payload = DecodePirQuery(frame.payload);
+  if (!payload.ok()) return ErrorOutcome(frame.session_id, payload.status());
+
+  RequestOutcome outcome;
+  // PIR answers depend only on the payload (the modulus travels inside it),
+  // not on any registered key, so the epoch component is constant.
+  std::string key;
+  if (cache_.enabled()) {
+    key = ResponseCache::MakeKey(static_cast<uint8_t>(frame.kind),
+                                 frame.session_id, /*epoch=*/0, frame.payload);
+    if (cache_.Get(key, &outcome.response)) {
+      outcome.delta.pir_queries = 1;
+      return outcome;
+    }
+  }
+
+  core::RetrievalCosts costs;
+  Result<crypto::PirResponse> response = [&]() {
+    // The lazy bucket-matrix cache inside PirRetrievalServer is not
+    // thread-safe; serialize the whole execution.
+    std::lock_guard<std::mutex> lock(pir_mu_);
+    return pir_server_.Answer(payload->bucket, payload->query, &costs);
+  }();
+  if (!response.ok()) return ErrorOutcome(frame.session_id, response.status());
+
+  const size_t value_size = (payload->query.n.BitLength() + 7) / 8;
+  outcome.response = EncodeFrame(FrameKind::kPirResult, frame.session_id,
+                                 EncodePirResponse(*response, value_size));
+  if (cache_.enabled()) cache_.Put(key, outcome.response);
+  outcome.delta.pir_queries = 1;
+  outcome.delta.server_cpu_ms = costs.server_cpu_ms;
+  outcome.delta.server_io_ms = costs.server_io_ms;
+  return outcome;
+}
+
+}  // namespace embellish::server

@@ -1,0 +1,151 @@
+// The EmbellishServer: a request loop tying SearchSession-style clients,
+// the framed wire protocol, the inverted index, and the PR/PIR answer
+// engines together.
+//
+// The paper's §5.2 evaluation measures per-query server cost; this subsystem
+// is the piece that serves those queries as real traffic. Frames from many
+// concurrent sessions are accepted, decoded, dispatched, and answered:
+//
+//   kHello     registers the session's Benaloh public key,
+//   kQuery     runs Algorithm 4 over the inverted index (PR scheme),
+//   kPirQuery  runs one Kushilevitz–Ostrovsky execution against one bucket.
+//
+// HandleBatch fans a batch of request frames out over the shared ThreadPool
+// — parallelism comes from concurrent *requests*, so the per-request answer
+// engines run serially (the pool must not be entered twice). A bucket-set
+// keyed response cache (see response_cache.h) short-circuits the recurring
+// co-bucket decoy sets that session-consistent embellishment produces.
+//
+// Every request produces a response frame; malformed or failing requests are
+// answered with a kError frame carrying the transported Status, so one
+// hostile client cannot take the loop down.
+
+#ifndef EMBELLISH_SERVER_EMBELLISH_SERVER_H_
+#define EMBELLISH_SERVER_EMBELLISH_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/pir_retrieval.h"
+#include "core/private_retrieval.h"
+#include "server/framing.h"
+#include "server/response_cache.h"
+
+namespace embellish::server {
+
+/// \brief Server construction knobs.
+struct EmbellishServerOptions {
+  /// Response-cache capacity in entries; 0 disables caching.
+  size_t cache_capacity = 1024;
+
+  /// Response-cache budget in bytes (keys embed request payloads, so entry
+  /// sizes are attacker-controlled; this is the bound that holds).
+  size_t cache_max_bytes = 64u << 20;
+
+  /// Maximum registered sessions. Hellos for fresh session ids beyond this
+  /// are refused (existing sessions may always re-register), bounding the
+  /// memory a hostile client can pin with throwaway registrations.
+  size_t max_sessions = 65536;
+
+  /// Disk model charged per touched bucket (see storage/block_device.h).
+  storage::DiskModelOptions disk;
+
+  /// Algorithm 4 execution options.
+  core::PrivateRetrievalServerOptions pr;
+};
+
+/// \brief Aggregate counters; a consistent snapshot is returned by stats().
+struct ServerStats {
+  uint64_t frames = 0;        ///< requests handled (including malformed)
+  uint64_t hellos = 0;        ///< sessions (re-)registered
+  uint64_t queries = 0;       ///< PR queries answered (cache hits included)
+  uint64_t pir_queries = 0;   ///< PIR executions answered
+  uint64_t errors = 0;        ///< kError responses produced
+  uint64_t batches = 0;       ///< HandleBatch calls
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t uplink_bytes = 0;    ///< request frame bytes accepted
+  uint64_t downlink_bytes = 0;  ///< response frame bytes produced
+  double server_cpu_ms = 0;     ///< answer-engine CPU (cache hits cost none)
+  double server_io_ms = 0;      ///< simulated disk model
+};
+
+/// \brief Multi-session batched answer server.
+class EmbellishServer {
+ public:
+  /// \brief `layout` may be null (skips I/O accounting); `pool` may be null
+  ///        (HandleBatch degrades to a serial loop). All pointers must
+  ///        outlive the server.
+  EmbellishServer(const index::InvertedIndex* index,
+                  const core::BucketOrganization* buckets,
+                  const storage::StorageLayout* layout,
+                  const EmbellishServerOptions& options = {},
+                  ThreadPool* pool = nullptr);
+
+  /// \brief Handles one request frame; always returns a response frame
+  ///        (kError on any failure, echoing the request's session id when it
+  ///        was decodable).
+  std::vector<uint8_t> HandleFrame(const std::vector<uint8_t>& request);
+
+  /// \brief Handles a batch of request frames over the thread pool;
+  ///        `response[i]` answers `requests[i]`. Responses are bit-identical
+  ///        to handling each frame alone — batching changes only the clock.
+  std::vector<std::vector<uint8_t>> HandleBatch(
+      const std::vector<std::vector<uint8_t>>& requests);
+
+  /// \brief Number of registered sessions.
+  size_t session_count() const;
+
+  ServerStats stats() const;
+
+ private:
+  // Per-request counters merged into totals_ under stats_mu_.
+  struct RequestOutcome {
+    std::vector<uint8_t> response;
+    ServerStats delta;
+  };
+
+  // A registered session: the key plus a monotonically increasing
+  // registration epoch. The epoch is folded into cache keys so a re-hello
+  // (new public key, same session id) can never be answered with a cached
+  // response encrypted under the superseded key.
+  struct SessionEntry {
+    std::shared_ptr<const crypto::BenalohPublicKey> pk;
+    uint64_t epoch = 0;
+  };
+
+  RequestOutcome ProcessOne(const std::vector<uint8_t>& request);
+  RequestOutcome HandleHello(const Frame& frame);
+  RequestOutcome HandleQuery(const Frame& frame);
+  RequestOutcome HandlePirQuery(const Frame& frame);
+  static RequestOutcome ErrorOutcome(uint64_t session_id,
+                                     const Status& status);
+
+  SessionEntry FindSession(uint64_t session_id) const;
+
+  const EmbellishServerOptions options_;
+  const core::PrivateRetrievalServer pr_server_;  // built with a null pool
+  const core::PirRetrievalServer pir_server_;     // built with a null pool
+  ThreadPool* pool_;  // not owned; null => serial batches
+
+  mutable std::shared_mutex sessions_mu_;
+  std::unordered_map<uint64_t, SessionEntry> sessions_;
+  uint64_t next_epoch_ = 1;  // guarded by sessions_mu_
+
+  // PirRetrievalServer's lazy matrix cache is not thread-safe; batch workers
+  // serialize PIR answers through this mutex (PR queries run concurrently).
+  mutable std::mutex pir_mu_;
+
+  ResponseCache cache_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats totals_;
+};
+
+}  // namespace embellish::server
+
+#endif  // EMBELLISH_SERVER_EMBELLISH_SERVER_H_

@@ -1,0 +1,330 @@
+#include "server/framing.h"
+
+#include "common/endian.h"
+#include "common/strings.h"
+
+namespace embellish::server {
+
+namespace {
+
+// Bounds-checked sequential reader over an untrusted payload. Every length
+// is validated against the bytes actually remaining before it is used, so
+// no attacker-controlled value ever reaches an allocation or a pointer
+// computation unchecked.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  Result<uint32_t> ReadU32() {
+    if (remaining() < 4) {
+      return Status::Corruption("payload truncated inside a u32 field");
+    }
+    uint32_t v = GetU32(data_ + pos_);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (remaining() < 8) {
+      return Status::Corruption("payload truncated inside a u64 field");
+    }
+    uint64_t v = GetU64(data_ + pos_);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::vector<uint8_t>> ReadBytes(size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption(StringPrintf(
+          "payload field wants %zu bytes but only %zu remain", n,
+          remaining()));
+    }
+    std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  Result<bignum::BigInt> ReadBigInt(size_t n) {
+    EMB_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadBytes(n));
+    return bignum::BigInt::FromBigEndianBytes(bytes);
+  }
+
+  Status ExpectDone() const {
+    if (pos_ != size_) {
+      return Status::Corruption(
+          StringPrintf("%zu trailing bytes after payload", size_ - pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void PutPaddedBigInt(std::vector<uint8_t>* out, const bignum::BigInt& v,
+                     size_t width) {
+  std::vector<uint8_t> bytes = v.ToBigEndianBytesPadded(width);
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+bool IsKnownFrameKind(uint8_t kind) {
+  return kind >= static_cast<uint8_t>(FrameKind::kHello) &&
+         kind <= static_cast<uint8_t>(FrameKind::kError);
+}
+
+uint32_t Fnv1a32(const uint8_t* data, size_t size, uint32_t seed) {
+  uint32_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::vector<uint8_t> EncodeFrame(FrameKind kind, uint64_t session_id,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, kFrameMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<uint8_t>(kind));
+  out.push_back(0);  // flags
+  out.push_back(0);
+  PutU64(&out, session_id);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  uint32_t checksum = Fnv1a32(out.data(), out.size());
+  checksum = Fnv1a32(payload.data(), payload.size(), checksum);
+  PutU32(&out, checksum);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<Frame> DecodeFrame(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::Corruption(StringPrintf(
+        "frame shorter than its %zu-byte header", kFrameHeaderBytes));
+  }
+  // The declared payload size is compared against the bytes present, never
+  // multiplied or used to size an allocation, so a hostile value is inert.
+  const size_t payload_size = GetU32(bytes.data() + 16);
+  if (bytes.size() - kFrameHeaderBytes != payload_size) {
+    return Status::Corruption(StringPrintf(
+        "frame declares %zu payload bytes but carries %zu", payload_size,
+        bytes.size() - kFrameHeaderBytes));
+  }
+  // Checksum covers the header (minus the checksum field) and the payload;
+  // verify before interpreting any field so a corrupted frame is rejected
+  // no matter which bit flipped.
+  uint32_t checksum = Fnv1a32(bytes.data(), 20);
+  checksum = Fnv1a32(bytes.data() + kFrameHeaderBytes, payload_size, checksum);
+  if (checksum != GetU32(bytes.data() + 20)) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  if (GetU32(bytes.data()) != kFrameMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  if (bytes[4] != kProtocolVersion) {
+    return Status::Corruption(
+        StringPrintf("unsupported protocol version %u", bytes[4]));
+  }
+  if (!IsKnownFrameKind(bytes[5])) {
+    return Status::Corruption(StringPrintf("unknown frame kind %u", bytes[5]));
+  }
+  if (bytes[6] != 0 || bytes[7] != 0) {
+    return Status::Corruption("reserved frame flags must be zero");
+  }
+  Frame frame;
+  frame.version = bytes[4];
+  frame.kind = static_cast<FrameKind>(bytes[5]);
+  frame.session_id = GetU64(bytes.data() + 8);
+  frame.payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
+  return frame;
+}
+
+// --- Hello ------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeHello(const crypto::BenalohPublicKey& pk) {
+  std::vector<uint8_t> out;
+  std::vector<uint8_t> n_bytes = pk.n().ToBigEndianBytesPadded(
+      pk.CiphertextBytes());
+  std::vector<uint8_t> g_bytes = pk.g().ToBigEndianBytesPadded(
+      pk.CiphertextBytes());
+  PutU32(&out, static_cast<uint32_t>(n_bytes.size()));
+  out.insert(out.end(), n_bytes.begin(), n_bytes.end());
+  PutU32(&out, static_cast<uint32_t>(g_bytes.size()));
+  out.insert(out.end(), g_bytes.begin(), g_bytes.end());
+  PutU64(&out, pk.r());
+  return out;
+}
+
+Result<crypto::BenalohPublicKey> DecodeHello(
+    const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  EMB_ASSIGN_OR_RETURN(uint32_t n_size, reader.ReadU32());
+  if (n_size == 0 || n_size > kMaxHelloValueBytes) {
+    return Status::Corruption(
+        StringPrintf("hello modulus size %u outside (0, %zu]", n_size,
+                     kMaxHelloValueBytes));
+  }
+  EMB_ASSIGN_OR_RETURN(bignum::BigInt n, reader.ReadBigInt(n_size));
+  EMB_ASSIGN_OR_RETURN(uint32_t g_size, reader.ReadU32());
+  if (g_size == 0 || g_size > kMaxHelloValueBytes) {
+    return Status::Corruption(
+        StringPrintf("hello generator size %u outside (0, %zu]", g_size,
+                     kMaxHelloValueBytes));
+  }
+  EMB_ASSIGN_OR_RETURN(bignum::BigInt g, reader.ReadBigInt(g_size));
+  EMB_ASSIGN_OR_RETURN(uint64_t r, reader.ReadU64());
+  EMB_RETURN_NOT_OK(reader.ExpectDone());
+  // BenalohPublicKey's constructor builds a Montgomery context and requires
+  // an odd modulus > 1; a hostile hello must not be able to trip that
+  // precondition, so validate the arithmetic shape here.
+  if (n.IsZero() || n.IsOne() || !n.IsOdd()) {
+    return Status::Corruption("hello modulus must be odd and > 1");
+  }
+  if (g.IsZero() || !(g < n)) {
+    return Status::Corruption("hello generator must lie in [1, n)");
+  }
+  if (r < 2) {
+    return Status::Corruption("hello message space must be >= 2");
+  }
+  return crypto::BenalohPublicKey(std::move(n), std::move(g), r);
+}
+
+// --- Error ------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeError(const Status& status) {
+  const std::string& msg = status.message();
+  std::vector<uint8_t> out;
+  out.reserve(1 + msg.size());
+  out.push_back(static_cast<uint8_t>(status.code()));
+  out.insert(out.end(), msg.data(), msg.data() + msg.size());
+  return out;
+}
+
+Status DecodeError(const std::vector<uint8_t>& payload, Status* out) {
+  if (payload.empty()) {
+    return Status::Corruption("error payload missing its status code");
+  }
+  std::string msg(payload.begin() + 1, payload.end());
+  switch (static_cast<StatusCode>(payload[0])) {
+    case StatusCode::kInvalidArgument:
+      *out = Status::InvalidArgument(std::move(msg));
+      return Status::OK();
+    case StatusCode::kNotFound:
+      *out = Status::NotFound(std::move(msg));
+      return Status::OK();
+    case StatusCode::kOutOfRange:
+      *out = Status::OutOfRange(std::move(msg));
+      return Status::OK();
+    case StatusCode::kFailedPrecondition:
+      *out = Status::FailedPrecondition(std::move(msg));
+      return Status::OK();
+    case StatusCode::kCorruption:
+      *out = Status::Corruption(std::move(msg));
+      return Status::OK();
+    case StatusCode::kNotSupported:
+      *out = Status::NotSupported(std::move(msg));
+      return Status::OK();
+    case StatusCode::kInternal:
+      *out = Status::Internal(std::move(msg));
+      return Status::OK();
+    case StatusCode::kCryptoError:
+      *out = Status::CryptoError(std::move(msg));
+      return Status::OK();
+    case StatusCode::kIoError:
+      *out = Status::IoError(std::move(msg));
+      return Status::OK();
+    case StatusCode::kOk:
+      break;  // an OK code in an error frame is itself corruption
+  }
+  return Status::Corruption("error payload carries an invalid status code");
+}
+
+// --- PIR --------------------------------------------------------------------
+
+std::vector<uint8_t> EncodePirQuery(size_t bucket,
+                                    const crypto::PirQuery& query) {
+  const size_t value_size = (query.n.BitLength() + 7) / 8;
+  std::vector<uint8_t> out;
+  out.reserve(12 + (1 + query.q.size()) * value_size);
+  PutU32(&out, static_cast<uint32_t>(bucket));
+  PutU32(&out, static_cast<uint32_t>(value_size));
+  PutU32(&out, static_cast<uint32_t>(query.q.size()));
+  PutPaddedBigInt(&out, query.n, value_size);
+  for (const bignum::BigInt& q : query.q) {
+    PutPaddedBigInt(&out, q, value_size);
+  }
+  return out;
+}
+
+Result<PirQueryPayload> DecodePirQuery(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  EMB_ASSIGN_OR_RETURN(uint32_t bucket, reader.ReadU32());
+  EMB_ASSIGN_OR_RETURN(uint32_t value_size, reader.ReadU32());
+  EMB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  if (value_size == 0) {
+    return Status::Corruption("PIR value size must be positive");
+  }
+  // Bound count by the bytes present before any size arithmetic (the
+  // divisions cannot overflow; a product could).
+  if (count > reader.remaining() / value_size) {
+    return Status::Corruption(StringPrintf(
+        "PIR query declares %u residues but holds %zu payload bytes", count,
+        reader.remaining()));
+  }
+  PirQueryPayload out;
+  out.bucket = bucket;
+  EMB_ASSIGN_OR_RETURN(out.query.n, reader.ReadBigInt(value_size));
+  out.query.q.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    EMB_ASSIGN_OR_RETURN(bignum::BigInt q, reader.ReadBigInt(value_size));
+    out.query.q.push_back(std::move(q));
+  }
+  EMB_RETURN_NOT_OK(reader.ExpectDone());
+  return out;
+}
+
+std::vector<uint8_t> EncodePirResponse(const crypto::PirResponse& response,
+                                       size_t value_size) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + response.gamma.size() * value_size);
+  PutU32(&out, static_cast<uint32_t>(value_size));
+  PutU32(&out, static_cast<uint32_t>(response.gamma.size()));
+  for (const bignum::BigInt& g : response.gamma) {
+    PutPaddedBigInt(&out, g, value_size);
+  }
+  return out;
+}
+
+Result<crypto::PirResponse> DecodePirResponse(
+    const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  EMB_ASSIGN_OR_RETURN(uint32_t value_size, reader.ReadU32());
+  EMB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  if (value_size == 0) {
+    return Status::Corruption("PIR value size must be positive");
+  }
+  if (count > reader.remaining() / value_size) {
+    return Status::Corruption(StringPrintf(
+        "PIR response declares %u residues but holds %zu payload bytes",
+        count, reader.remaining()));
+  }
+  crypto::PirResponse out;
+  out.gamma.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    EMB_ASSIGN_OR_RETURN(bignum::BigInt g, reader.ReadBigInt(value_size));
+    out.gamma.push_back(std::move(g));
+  }
+  EMB_RETURN_NOT_OK(reader.ExpectDone());
+  return out;
+}
+
+}  // namespace embellish::server

@@ -1,0 +1,88 @@
+#include "server/response_cache.h"
+
+namespace embellish::server {
+
+ResponseCache::ResponseCache(size_t capacity, size_t max_total_bytes)
+    : capacity_(capacity), max_total_bytes_(max_total_bytes) {}
+
+std::string ResponseCache::MakeKey(uint8_t kind, uint64_t session_id,
+                                   uint64_t epoch,
+                                   const std::vector<uint8_t>& payload) {
+  std::string key;
+  key.reserve(17 + payload.size());
+  key.push_back(static_cast<char>(kind));
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    key.push_back(static_cast<char>(session_id >> shift));
+  }
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    key.push_back(static_cast<char>(epoch >> shift));
+  }
+  if (!payload.empty()) {  // data() may be null when empty; append needs non-null
+    key.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+  }
+  return key;
+}
+
+bool ResponseCache::Get(const std::string& key, std::vector<uint8_t>* out) {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->second;
+  ++hits_;
+  return true;
+}
+
+void ResponseCache::Put(const std::string& key, std::vector<uint8_t> response) {
+  if (capacity_ == 0) return;
+  if (2 * key.size() + response.size() > max_total_bytes_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    total_bytes_ -= EntryBytes(*it->second);
+    it->second->second = std::move(response);
+    total_bytes_ += EntryBytes(*it->second);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    EvictOverBudget();
+    return;
+  }
+  lru_.emplace_front(key, std::move(response));
+  index_[key] = lru_.begin();
+  total_bytes_ += EntryBytes(lru_.front());
+  EvictOverBudget();
+}
+
+void ResponseCache::EvictOverBudget() {
+  while (lru_.size() > capacity_ ||
+         (total_bytes_ > max_total_bytes_ && !lru_.empty())) {
+    total_bytes_ -= EntryBytes(lru_.back());
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t ResponseCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t ResponseCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+uint64_t ResponseCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResponseCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace embellish::server

@@ -1,0 +1,82 @@
+// Client-side counterpart of the EmbellishServer: owns one session's keypair
+// and embellishment state, speaks the framed wire protocol, and reuses
+// encoded uplink bytes for recurring genuine-term sets.
+//
+// Reuse rationale (the session-consistency property, core/session.h): a
+// genuine term's decoys are a deterministic function of the bucket
+// organization, so re-issuing a genuine-term set reproduces the same term
+// multiset — which is everything the adversary observes. Re-encrypting the
+// indicators would spend user CPU to refresh randomness the threat model
+// gains nothing from, so the client caches the encoded query payload per
+// sorted genuine-term set and re-sends it verbatim. This is also what makes
+// the server's response cache effective: identical uplink bytes let the
+// server skip decode + Algorithm 4 + encode entirely.
+
+#ifndef EMBELLISH_SERVER_SESSION_CLIENT_H_
+#define EMBELLISH_SERVER_SESSION_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/private_retrieval.h"
+#include "server/framing.h"
+
+namespace embellish::server {
+
+/// \brief One user session speaking the framed protocol.
+class SessionClient {
+ public:
+  /// \brief Generates the session keypair (deterministic given `seed`).
+  ///        `buckets` must outlive the client.
+  static Result<SessionClient> Create(
+      uint64_t session_id, const core::BucketOrganization* buckets,
+      const crypto::BenalohKeyOptions& key_options, uint64_t seed);
+
+  uint64_t session_id() const { return session_id_; }
+  const crypto::BenalohPublicKey& public_key() const {
+    return keys_->public_key();
+  }
+
+  /// \brief The registration frame; send once before any query.
+  std::vector<uint8_t> HelloFrame() const;
+
+  /// \brief The framed embellished query for `genuine_terms`. Encoded
+  ///        payloads are cached per sorted genuine-term set and reused.
+  Result<std::vector<uint8_t>> QueryFrame(
+      const std::vector<wordnet::TermId>& genuine_terms);
+
+  /// \brief Decodes a server response frame and runs Algorithm 5 post
+  ///        filtering; kError frames surface as their transported Status.
+  Result<std::vector<index::ScoredDoc>> DecodeResultFrame(
+      const std::vector<uint8_t>& response, size_t k);
+
+  /// \brief Cumulative client-side cost accounting (uplink/downlink count
+  ///        whole frames; user CPU covers formulation and post filtering).
+  const core::RetrievalCosts& costs() const { return costs_; }
+
+  /// \brief Distinct genuine-term sets with a cached uplink encoding.
+  size_t encoded_query_cache_size() const { return uplink_cache_.size(); }
+
+ private:
+  SessionClient(uint64_t session_id, const core::BucketOrganization* buckets,
+                std::unique_ptr<crypto::BenalohKeyPair> keys, uint64_t seed);
+
+  // Bound on distinct cached uplink encodings; when reached the cache is
+  // reset (a long-lived session re-encodes rarely-repeated sets rather than
+  // growing without limit).
+  static constexpr size_t kMaxCachedEncodings = 256;
+
+  uint64_t session_id_;
+  // keys_ lives behind a unique_ptr so the pointers handed to client_ stay
+  // stable when the SessionClient itself is moved.
+  std::unique_ptr<crypto::BenalohKeyPair> keys_;
+  core::PrivateRetrievalClient client_;
+  Rng rng_;
+  core::RetrievalCosts costs_;
+  std::map<std::vector<wordnet::TermId>, std::vector<uint8_t>> uplink_cache_;
+};
+
+}  // namespace embellish::server
+
+#endif  // EMBELLISH_SERVER_SESSION_CLIENT_H_

@@ -127,6 +127,73 @@ TEST_F(WireFormatTest, RejectsLyingEntryCount) {
   EXPECT_FALSE(DecodeQuery(bytes, keys_->public_key()).ok());
 }
 
+TEST_F(WireFormatTest, RejectsOverflowingEntryCount) {
+  // The count field is attacker-controlled; 4 + count * entry_size can wrap
+  // on a 32-bit size_t, so the decoder must bound count by the bytes present
+  // before any multiplication. With entry_size = 36 (4 + 256/8), a count of
+  // 0x0E38E38F makes the product overflow 32 bits to a tiny value.
+  const size_t entry_size = 4 + keys_->public_key().CiphertextBytes();
+  ASSERT_EQ(entry_size, 36u);
+  for (uint32_t hostile : {0x0E38E38Fu, 0xFFFFFFFFu, 0x80000000u}) {
+    std::vector<uint8_t> bytes{
+        static_cast<uint8_t>(hostile >> 24), static_cast<uint8_t>(hostile >> 16),
+        static_cast<uint8_t>(hostile >> 8), static_cast<uint8_t>(hostile)};
+    bytes.resize(bytes.size() + 2 * entry_size, 0);  // far fewer than claimed
+    auto decoded = DecodeQuery(bytes, keys_->public_key());
+    ASSERT_FALSE(decoded.ok()) << "count=" << hostile;
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
+
+TEST_F(WireFormatTest, BitFlipFuzzNeverCrashes) {
+  // Unframed payload encodings carry no checksum, so a flipped ciphertext
+  // bit may still decode into another valid residue — but a flip must never
+  // crash, and flips in the structural fields must be rejected cleanly.
+  Rng rng(8);
+  auto bytes = EncodeQuery(MakeQuery(&rng), keys_->public_key());
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> flipped = bytes;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      auto decoded = DecodeQuery(flipped, keys_->public_key());
+      if (byte < 4) {
+        // Any count flip changes the expected size -> Corruption.
+        ASSERT_FALSE(decoded.ok()) << "byte=" << byte << " bit=" << bit;
+        EXPECT_TRUE(decoded.status().IsCorruption());
+      } else if (!decoded.ok()) {
+        EXPECT_TRUE(decoded.status().IsCorruption())
+            << "byte=" << byte << " bit=" << bit;
+      }
+    }
+  }
+}
+
+TEST_F(WireFormatTest, ResultDecoderRejectsMalformedInput) {
+  Rng rng(9);
+  EmbellishedQuery query = MakeQuery(&rng);
+  PrivateRetrievalServer server(&built_.index, &org_, nullptr);
+  auto result = server.Process(query, keys_->public_key(), nullptr);
+  ASSERT_TRUE(result.ok());
+  auto bytes = EncodeResult(*result, keys_->public_key());
+
+  for (size_t cut : {0u, 2u, 7u, 41u}) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    auto decoded = DecodeResult(truncated, keys_->public_key());
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+  std::vector<uint8_t> oversized = bytes;
+  oversized.insert(oversized.end(), 17, 0xEE);
+  EXPECT_TRUE(
+      DecodeResult(oversized, keys_->public_key()).status().IsCorruption());
+  std::vector<uint8_t> hostile_count = bytes;
+  hostile_count[0] = 0xFF;
+  EXPECT_TRUE(DecodeResult(hostile_count, keys_->public_key())
+                  .status()
+                  .IsCorruption());
+}
+
 TEST_F(WireFormatTest, RejectsCiphertextOutOfRange) {
   Rng rng(7);
   EmbellishedQuery query = MakeQuery(&rng);

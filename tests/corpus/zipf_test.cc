@@ -55,6 +55,26 @@ TEST(ZipfTest, SingleElementAlwaysZero) {
   EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
 }
 
+TEST(ZipfTest, LastRankIsNotOverWeighted) {
+  // Regression: the old constructor clamped cdf_.back() to 1.0, silently
+  // folding all accumulated rounding error into Pmf(n-1). The tail mass must
+  // match its analytic value and stay strictly below its neighbour even for
+  // large n where the rounding error used to be largest.
+  for (size_t n : {100u, 10000u, 250000u}) {
+    ZipfSampler zipf(n, 1.0);
+    double total = 0;
+    for (size_t k = 0; k < n; ++k) total += 1.0 / static_cast<double>(k + 1);
+    EXPECT_NEAR(zipf.Pmf(n - 1), (1.0 / static_cast<double>(n)) / total,
+                1e-15)
+        << "n=" << n;
+    EXPECT_LT(zipf.Pmf(n - 1), zipf.Pmf(n - 2)) << "n=" << n;
+    // And the mass still sums to 1.
+    double sum = 0;
+    for (size_t k = 0; k < n; ++k) sum += zipf.Pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "n=" << n;
+  }
+}
+
 TEST(ZipfTest, HigherSkewConcentratesMass) {
   ZipfSampler flat(100, 0.5);
   ZipfSampler steep(100, 2.0);

@@ -1,0 +1,314 @@
+// End-to-end request loop: SessionClients speaking the framed protocol to an
+// EmbellishServer must get byte-identical answers to driving the layers by
+// hand, across many concurrent sessions, batched or not, cached or not —
+// and a hostile frame must produce a kError response, never take the loop
+// down.
+
+#include "server/embellish_server.h"
+
+#include <gtest/gtest.h>
+
+#include "core/wire_format.h"
+#include "index/builder.h"
+#include "server/session_client.h"
+#include "testutil.h"
+
+namespace embellish::server {
+namespace {
+
+class EmbellishServerTest : public ::testing::Test {
+ protected:
+  EmbellishServerTest()
+      : lex_(testutil::SmallSyntheticLexicon(1500, 211)),
+        corp_(testutil::SmallCorpus(lex_, 150, 212)),
+        built_(std::move(index::BuildIndex(corp_, {})).value()),
+        org_(testutil::MakeBuckets(lex_, 4, 64)) {}
+
+  SessionClient MakeClient(uint64_t session_id, uint64_t seed) {
+    crypto::BenalohKeyOptions ko;
+    ko.key_bits = 256;
+    ko.r = 59049;
+    return std::move(SessionClient::Create(session_id, &org_, ko, seed))
+        .value();
+  }
+
+  std::vector<wordnet::TermId> SomeTerms(size_t a, size_t b) {
+    auto terms = built_.index.IndexedTerms();
+    return {terms[a % terms.size()], terms[b % terms.size()]};
+  }
+
+  wordnet::WordNetDatabase lex_;
+  corpus::Corpus corp_;
+  index::BuildOutput built_;
+  core::BucketOrganization org_;
+};
+
+TEST_F(EmbellishServerTest, HelloThenQueryMatchesDirectPipeline) {
+  EmbellishServer server(&built_.index, &org_, nullptr);
+  SessionClient client = MakeClient(1, 301);
+
+  auto hello_resp = server.HandleFrame(client.HelloFrame());
+  auto hello_frame = DecodeFrame(hello_resp);
+  ASSERT_TRUE(hello_frame.ok());
+  EXPECT_EQ(hello_frame->kind, FrameKind::kHelloOk);
+  EXPECT_EQ(server.session_count(), 1u);
+
+  auto genuine = SomeTerms(3, 71);
+  auto request = client.QueryFrame(genuine);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  auto response = server.HandleFrame(*request);
+  auto top = client.DecodeResultFrame(response, 10);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+
+  // The same query payload answered by a bare PrivateRetrievalServer must
+  // produce the same encrypted result the server framed.
+  auto req_frame = DecodeFrame(*request);
+  ASSERT_TRUE(req_frame.ok());
+  auto query = core::DecodeQuery(req_frame->payload, client.public_key());
+  ASSERT_TRUE(query.ok());
+  core::PrivateRetrievalServer direct(&built_.index, &org_, nullptr);
+  auto direct_result = direct.Process(*query, client.public_key(), nullptr);
+  ASSERT_TRUE(direct_result.ok());
+  auto resp_frame = DecodeFrame(response);
+  ASSERT_TRUE(resp_frame.ok());
+  EXPECT_EQ(resp_frame->kind, FrameKind::kResult);
+  EXPECT_EQ(resp_frame->payload,
+            core::EncodeResult(*direct_result, client.public_key()));
+}
+
+TEST_F(EmbellishServerTest, QueryBeforeHelloIsRejectedNotFatal) {
+  EmbellishServer server(&built_.index, &org_, nullptr);
+  SessionClient client = MakeClient(2, 302);
+  auto request = client.QueryFrame(SomeTerms(5, 9));
+  ASSERT_TRUE(request.ok());
+  auto response = server.HandleFrame(*request);
+  auto top = client.DecodeResultFrame(response, 10);
+  ASSERT_FALSE(top.ok());
+  EXPECT_TRUE(top.status().IsFailedPrecondition());
+  // The loop survives: hello then retry succeeds.
+  server.HandleFrame(client.HelloFrame());
+  auto retry = server.HandleFrame(*request);
+  EXPECT_TRUE(client.DecodeResultFrame(retry, 10).ok());
+}
+
+TEST_F(EmbellishServerTest, MalformedFramesGetErrorResponses) {
+  EmbellishServer server(&built_.index, &org_, nullptr);
+  SessionClient client = MakeClient(3, 303);
+  server.HandleFrame(client.HelloFrame());
+  auto request = client.QueryFrame(SomeTerms(2, 4));
+  ASSERT_TRUE(request.ok());
+
+  std::vector<std::vector<uint8_t>> hostile;
+  hostile.push_back({});                                    // empty
+  hostile.push_back({1, 2, 3});                             // short
+  hostile.push_back(std::vector<uint8_t>(4096, 0xFF));      // junk
+  auto flipped = *request;
+  flipped[kFrameHeaderBytes + 2] ^= 0x40;                   // payload flip
+  hostile.push_back(flipped);
+  auto truncated = *request;
+  truncated.resize(truncated.size() - 5);                   // truncation
+  hostile.push_back(truncated);
+
+  for (const auto& bytes : hostile) {
+    auto response = server.HandleFrame(bytes);
+    auto frame = DecodeFrame(response);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->kind, FrameKind::kError);
+  }
+  EXPECT_EQ(server.stats().errors, hostile.size());
+  // A well-formed query still works afterwards.
+  auto response = server.HandleFrame(*request);
+  EXPECT_TRUE(client.DecodeResultFrame(response, 10).ok());
+}
+
+TEST_F(EmbellishServerTest, ResponseCacheHitsOnRecurringQueries) {
+  EmbellishServerOptions options;
+  options.cache_capacity = 64;
+  EmbellishServer server(&built_.index, &org_, nullptr, options);
+  SessionClient client = MakeClient(4, 304);
+  server.HandleFrame(client.HelloFrame());
+
+  auto genuine = SomeTerms(7, 13);
+  auto first_req = client.QueryFrame(genuine);
+  ASSERT_TRUE(first_req.ok());
+  auto first_resp = server.HandleFrame(*first_req);
+
+  // Session consistency: the client reuses the encoded uplink bytes, so the
+  // recurring term set is a cache hit and the response is bit-identical.
+  auto second_req = client.QueryFrame(genuine);
+  ASSERT_TRUE(second_req.ok());
+  EXPECT_EQ(*first_req, *second_req);
+  EXPECT_EQ(client.encoded_query_cache_size(), 1u);
+  auto second_resp = server.HandleFrame(*second_req);
+  EXPECT_EQ(first_resp, second_resp);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.queries, 2u);
+
+  // A different session sending byte-different ciphertexts must miss.
+  SessionClient other = MakeClient(5, 305);
+  server.HandleFrame(other.HelloFrame());
+  auto other_req = other.QueryFrame(genuine);
+  ASSERT_TRUE(other_req.ok());
+  server.HandleFrame(*other_req);
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+}
+
+TEST_F(EmbellishServerTest, ReHelloInvalidatesCachedResponses) {
+  // A session may re-register with a fresh public key. Replaying the same
+  // query bytes afterwards must NOT be served from the cache: the cached
+  // response's ciphertexts are under the superseded key.
+  EmbellishServerOptions options;
+  options.cache_capacity = 64;
+  EmbellishServer server(&built_.index, &org_, nullptr, options);
+
+  SessionClient old_client = MakeClient(6, 306);
+  server.HandleFrame(old_client.HelloFrame());
+  auto request = old_client.QueryFrame(SomeTerms(11, 19));
+  ASSERT_TRUE(request.ok());
+  auto first_resp = server.HandleFrame(*request);
+  ASSERT_TRUE(old_client.DecodeResultFrame(first_resp, 10).ok());
+
+  // Same session id, different keypair.
+  SessionClient new_client = MakeClient(6, 307);
+  server.HandleFrame(new_client.HelloFrame());
+  auto replayed = server.HandleFrame(*request);
+  EXPECT_NE(replayed, first_resp);
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+  // The old ciphertexts are not valid under the new key, so the replay is
+  // either rejected or re-processed — never the stale cached bytes.
+}
+
+TEST_F(EmbellishServerTest, SessionTableIsBounded) {
+  EmbellishServerOptions options;
+  options.max_sessions = 2;
+  EmbellishServer server(&built_.index, &org_, nullptr, options);
+  SessionClient a = MakeClient(21, 321);
+  SessionClient b = MakeClient(22, 322);
+  SessionClient c = MakeClient(23, 323);
+
+  auto kind_of = [](const std::vector<uint8_t>& resp) {
+    auto frame = DecodeFrame(resp);
+    return frame.ok() ? frame->kind : FrameKind::kError;
+  };
+  EXPECT_EQ(kind_of(server.HandleFrame(a.HelloFrame())), FrameKind::kHelloOk);
+  EXPECT_EQ(kind_of(server.HandleFrame(b.HelloFrame())), FrameKind::kHelloOk);
+  // A third distinct session is refused...
+  EXPECT_EQ(kind_of(server.HandleFrame(c.HelloFrame())), FrameKind::kError);
+  EXPECT_EQ(server.session_count(), 2u);
+  // ...but an existing session may always re-register.
+  EXPECT_EQ(kind_of(server.HandleFrame(a.HelloFrame())), FrameKind::kHelloOk);
+}
+
+TEST_F(EmbellishServerTest, BatchedDispatchMatchesSerial) {
+  EmbellishServerOptions options;
+  options.cache_capacity = 0;  // isolate batching from caching
+  ThreadPool pool(4);
+  EmbellishServer batched(&built_.index, &org_, nullptr, options, &pool);
+  EmbellishServer serial(&built_.index, &org_, nullptr, options);
+
+  constexpr size_t kSessions = 6;
+  std::vector<SessionClient> clients;
+  std::vector<std::vector<uint8_t>> requests;
+  for (size_t s = 0; s < kSessions; ++s) {
+    clients.push_back(MakeClient(100 + s, 400 + s));
+    batched.HandleFrame(clients.back().HelloFrame());
+    serial.HandleFrame(clients.back().HelloFrame());
+    auto req = clients.back().QueryFrame(SomeTerms(s, 3 * s + 1));
+    ASSERT_TRUE(req.ok());
+    requests.push_back(std::move(*req));
+  }
+
+  auto batched_responses = batched.HandleBatch(requests);
+  ASSERT_EQ(batched_responses.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(batched_responses[i], serial.HandleFrame(requests[i]))
+        << "request " << i;
+    auto top = clients[i].DecodeResultFrame(batched_responses[i], 10);
+    EXPECT_TRUE(top.ok()) << top.status().ToString();
+  }
+  EXPECT_EQ(batched.stats().batches, 1u);
+  EXPECT_EQ(batched.stats().queries, kSessions);
+}
+
+TEST_F(EmbellishServerTest, PirQueriesThroughTheLoop) {
+  EmbellishServer server(&built_.index, &org_, nullptr);
+
+  // Pick an indexed term and retrieve its bucket column through the server
+  // loop; compare against the direct PirRetrievalServer answer.
+  auto terms = built_.index.IndexedTerms();
+  wordnet::TermId term = terms[17];
+  auto slot = org_.Locate(term);
+  ASSERT_TRUE(slot.ok());
+
+  core::PirRetrievalServer direct(&built_.index, &org_, nullptr);
+  auto matrix = direct.BucketMatrix(slot->bucket);
+  ASSERT_TRUE(matrix.ok());
+
+  Rng query_rng(318);
+  crypto::PirClient pir_client =
+      std::move(crypto::PirClient::Create(256, &query_rng)).value();
+  auto query = pir_client.BuildQuery(slot->slot, (*matrix)->cols(),
+                                     &query_rng);
+  ASSERT_TRUE(query.ok());
+
+  auto request = EncodeFrame(FrameKind::kPirQuery, 9,
+                             EncodePirQuery(slot->bucket, *query));
+  auto response = server.HandleFrame(request);
+  auto frame = DecodeFrame(response);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->kind, FrameKind::kPirResult);
+  auto decoded = DecodePirResponse(frame->payload);
+  ASSERT_TRUE(decoded.ok());
+
+  auto direct_answer = direct.Answer(slot->bucket, *query, nullptr);
+  ASSERT_TRUE(direct_answer.ok());
+  ASSERT_EQ(decoded->gamma.size(), direct_answer->gamma.size());
+  for (size_t i = 0; i < decoded->gamma.size(); ++i) {
+    EXPECT_EQ(decoded->gamma[i], direct_answer->gamma[i]);
+  }
+  EXPECT_EQ(server.stats().pir_queries, 1u);
+}
+
+TEST_F(EmbellishServerTest, ByteBudgetBoundsTheCache) {
+  // Keys embed attacker-controlled request payloads, so the byte budget —
+  // not the entry count — is what bounds pinned memory.
+  ResponseCache cache(/*capacity=*/1024, /*max_total_bytes=*/100);
+  std::vector<uint8_t> out;
+
+  // One entry bigger than the whole budget is never cached.
+  cache.Put(std::string(80, 'k'), std::vector<uint8_t>(80, 9));
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Entries within budget accumulate until the budget forces eviction
+  // (keys count twice: they are resident in both the LRU list and the
+  // index map, so each entry below charges 2*10 + 20 = 40 bytes).
+  cache.Put(std::string(10, 'a'), std::vector<uint8_t>(20, 1));  // 40 B
+  cache.Put(std::string(10, 'b'), std::vector<uint8_t>(20, 2));  // 80 B
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Put(std::string(10, 'c'), std::vector<uint8_t>(20, 3));  // 120 -> evict
+  EXPECT_LE(cache.total_bytes(), 100u);
+  EXPECT_FALSE(cache.Get(std::string(10, 'a'), &out));  // LRU victim
+  EXPECT_TRUE(cache.Get(std::string(10, 'b'), &out));
+  EXPECT_TRUE(cache.Get(std::string(10, 'c'), &out));
+}
+
+TEST_F(EmbellishServerTest, LruEvictionBoundsTheCache) {
+  ResponseCache cache(2);
+  cache.Put("a", {1});
+  cache.Put("b", {2});
+  cache.Put("c", {3});  // evicts "a"
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(cache.Get("a", &out));
+  EXPECT_TRUE(cache.Get("b", &out));
+  EXPECT_EQ(out, std::vector<uint8_t>{2});
+  cache.Put("d", {4});  // "c" is now least recent -> evicted
+  EXPECT_FALSE(cache.Get("c", &out));
+  EXPECT_TRUE(cache.Get("b", &out));
+  EXPECT_TRUE(cache.Get("d", &out));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace embellish::server
