@@ -160,9 +160,9 @@ int main() {
         fixture.built.index, org.buckets(), storage::LayoutPolicy::kScattered,
         {});
     storage::SimulatedDisk d1, d2;
-    for (size_t b = 0; b < 200; ++b) {
-      colocated.ChargeGroupRead(b, &d1);
-      scattered.ChargeGroupRead(b, &d2);
+    for (size_t b = 0; b < std::min<size_t>(200, org.bucket_count()); ++b) {
+      (void)colocated.ChargeGroupRead(b, &d1);
+      (void)scattered.ChargeGroupRead(b, &d2);
     }
     std::printf("[5] bucket storage layout (200 bucket reads, BktSz=8)\n");
     bench::PrintTable(

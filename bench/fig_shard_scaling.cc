@@ -1,0 +1,202 @@
+// Sharded retrieval engine scaling: Algorithm 4 (PR) query processing over
+// a document-partitioned index at 1/2/4/8 shards, serial vs thread-pooled
+// shard fan-out.
+//
+// Every configuration processes byte-identical embellished queries and must
+// produce byte-identical encrypted results to the monolithic engine —
+// checked every run; sharding is allowed to change only the clock. Emits
+// BENCH_shards.json for the perf trajectory.
+//
+// Environment variables (all optional):
+//   EMBELLISH_BENCH_TERMS    lexicon size                  (default 2000)
+//   EMBELLISH_BENCH_DOCS     corpus documents              (default 300)
+//   EMBELLISH_BENCH_KEYLEN   Benaloh modulus bits          (default 256)
+//   EMBELLISH_BENCH_QUERIES  queries per configuration     (default 12)
+//   EMBELLISH_BENCH_THREADS  shard fan-out pool width      (default 4)
+//   EMBELLISH_BENCH_JSON     output path       (default BENCH_shards.json)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace embellish;
+
+struct ConfigResult {
+  size_t shards = 1;
+  std::string mode;
+  double ms = 0;
+  double qps = 0;
+  double speedup = 1.0;
+};
+
+}  // namespace
+
+int main() {
+  const size_t terms = bench::EnvSize("EMBELLISH_BENCH_TERMS", 2000);
+  const size_t docs = bench::EnvSize("EMBELLISH_BENCH_DOCS", 300);
+  const size_t key_bits = bench::EnvSize("EMBELLISH_BENCH_KEYLEN", 256);
+  const size_t num_queries = bench::EnvSize("EMBELLISH_BENCH_QUERIES", 12);
+  const size_t threads = bench::EnvSize("EMBELLISH_BENCH_THREADS", 4);
+  const char* json_path_env = std::getenv("EMBELLISH_BENCH_JSON");
+  const std::string json_path =
+      (json_path_env != nullptr && *json_path_env != '\0')
+          ? json_path_env
+          : "BENCH_shards.json";
+
+  std::printf("== Sharded PR engine scaling: %zu queries, KeyLen %zu, "
+              "fan-out pool %zu ==\n\n",
+              num_queries, key_bits, threads);
+
+  bench::RetrievalFixture fixture = bench::RetrievalFixture::Build(terms, docs);
+  core::BucketOrganization org = fixture.Buckets(/*bktsz=*/4);
+  storage::StorageLayout layout = storage::StorageLayout::Build(
+      fixture.built.index, org.buckets(),
+      storage::LayoutPolicy::kBucketColocated, {});
+
+  Rng rng(2027);
+  crypto::BenalohKeyOptions ko;
+  ko.key_bits = key_bits;
+  ko.r = 59049;
+  auto keys = crypto::BenalohKeyPair::Generate(ko, &rng);
+  if (!keys.ok()) {
+    std::fprintf(stderr, "keygen failed: %s\n",
+                 keys.status().ToString().c_str());
+    return 1;
+  }
+  core::PrivateRetrievalClient client(&org, &keys->public_key(),
+                                      &keys->private_key());
+
+  // Embellished queries formulated once; every configuration replays the
+  // identical inputs.
+  std::vector<core::EmbellishedQuery> queries;
+  for (auto& q : fixture.RandomQueries(num_queries, /*query_size=*/2, &rng)) {
+    auto formulated = client.FormulateQuery(q, &rng, nullptr);
+    if (!formulated.ok()) {
+      std::fprintf(stderr, "formulation failed: %s\n",
+                   formulated.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(std::move(*formulated));
+  }
+
+  // Monolithic reference results (encoded bytes).
+  core::PrivateRetrievalServer mono(&fixture.built.index, &org, &layout);
+  std::vector<std::vector<uint8_t>> reference;
+  double mono_ms = 0;
+  {
+    Stopwatch sw;
+    for (const auto& q : queries) {
+      auto result = mono.Process(q, keys->public_key(), nullptr);
+      if (!result.ok()) {
+        std::fprintf(stderr, "monolithic processing failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      reference.push_back(core::EncodeResult(*result, keys->public_key()));
+    }
+    mono_ms = sw.ElapsedMillis();
+  }
+
+  ThreadPool pool(threads);
+  std::vector<ConfigResult> results;
+  bool identical = true;
+  double serial_1shard_ms = 0;
+
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    index::ShardingOptions so;
+    so.shard_count = shards;
+    auto sharded = index::ShardedIndex::Build(fixture.built.index, so);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "sharding failed: %s\n",
+                   sharded.status().ToString().c_str());
+      return 1;
+    }
+    auto shard_layouts = core::BuildShardLayouts(
+        *sharded, org, storage::LayoutPolicy::kBucketColocated, {});
+
+    for (bool pooled : {false, true}) {
+      core::ShardedPrivateRetrievalServer server(
+          &*sharded, &org, &shard_layouts, {}, {},
+          pooled ? &pool : nullptr);
+      ConfigResult r;
+      r.shards = shards;
+      r.mode = pooled ? "pooled" : "serial";
+      Stopwatch sw;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto result = server.Process(queries[i], keys->public_key(), nullptr);
+        if (!result.ok()) {
+          std::fprintf(stderr, "sharded processing failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        if (core::EncodeResult(*result, keys->public_key()) != reference[i]) {
+          identical = false;
+        }
+      }
+      r.ms = sw.ElapsedMillis();
+      r.qps = 1000.0 * static_cast<double>(queries.size()) / r.ms;
+      if (shards == 1 && !pooled) serial_1shard_ms = r.ms;
+      results.push_back(std::move(r));
+    }
+  }
+
+  std::vector<std::vector<std::string>> table;
+  for (ConfigResult& r : results) {
+    r.speedup = serial_1shard_ms / r.ms;
+    table.push_back({std::to_string(r.shards), r.mode,
+                     StringPrintf("%.1f", r.ms), StringPrintf("%.1f", r.qps),
+                     StringPrintf("%.2fx", r.speedup)});
+  }
+  bench::PrintTable({"shards", "mode", "total ms", "queries/s", "vs 1-shard"},
+                    table);
+  std::printf("\nmonolithic engine: %.1f ms (%zu queries)\n", mono_ms,
+              queries.size());
+
+  bench::ShapeCheck(identical,
+                    "every shard configuration produces bit-identical "
+                    "encrypted results to the monolithic engine");
+  double best_multi = 0;
+  for (const ConfigResult& r : results) {
+    if (r.shards > 1) best_multi = std::max(best_multi, r.speedup);
+  }
+  bench::ShapeCheck(
+      best_multi >= 0.9,
+      "best multi-shard configuration within 10% of the 1-shard baseline "
+      "(fan-out overhead amortized; pooled scaling needs real cores)");
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fig_shard_scaling\",\n"
+               "  \"queries\": %zu,\n"
+               "  \"key_bits\": %zu,\n"
+               "  \"pool_threads\": %zu,\n"
+               "  \"monolithic_ms\": %.2f,\n"
+               "  \"configs\": [\n",
+               queries.size(), key_bits, threads, mono_ms);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"mode\": \"%s\", \"ms\": %.2f, "
+                 "\"qps\": %.2f, \"speedup_vs_serial_1shard\": %.3f}%s\n",
+                 r.shards, r.mode.c_str(), r.ms, r.qps, r.speedup,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // Exit status reflects correctness only (bit-identical results); the
+  // speedup shape-checks are informational so a noisy or 1-core runner
+  // cannot fail CI on wall clock.
+  return identical ? 0 : 1;
+}

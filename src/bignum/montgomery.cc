@@ -85,19 +85,20 @@ void MontMulFixed(const uint64_t* a, const uint64_t* b, const uint64_t* n,
   }
 }
 
-// ASan's instrumentation raises register pressure enough that the 14-operand
-// asm constraints below become unsatisfiable, so sanitizer builds fall back
-// to the portable fixed-width kernels (the dispatch sites check the macro).
-#if defined(__SANITIZE_ADDRESS__)
-#define EMBELLISH_ASAN_BUILD 1
+// ASan's/TSan's instrumentation raises register pressure enough that the
+// 14-operand asm constraints below become unsatisfiable, so sanitizer builds
+// fall back to the portable fixed-width kernels (the dispatch sites check
+// the macro).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define EMBELLISH_SANITIZER_BUILD 1
 #elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
-#define EMBELLISH_ASAN_BUILD 1
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define EMBELLISH_SANITIZER_BUILD 1
 #endif
 #endif
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
-    !defined(EMBELLISH_ASAN_BUILD)
+    !defined(EMBELLISH_SANITIZER_BUILD)
 #define EMBELLISH_HAVE_X86_ADX_KERNEL 1
 
 // True when the CPU has the MULX (BMI2) and ADCX/ADOX (ADX) instructions the

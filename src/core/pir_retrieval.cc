@@ -73,7 +73,7 @@ Result<crypto::PirResponse> PirRetrievalServer::Answer(
   // the output involves all the terms in the bucket"), one extent fetch.
   if (layout_ != nullptr && costs != nullptr) {
     storage::SimulatedDisk disk(disk_options_);
-    layout_->ChargeGroupRead(bucket, &disk);
+    EMB_RETURN_NOT_OK(layout_->ChargeGroupRead(bucket, &disk));
     costs->server_io_ms += disk.accumulated_ms();
   }
 
@@ -102,6 +102,26 @@ Result<PirRetrievalClient> PirRetrievalClient::Create(
   return PirRetrievalClient(buckets, std::move(pir_client));
 }
 
+Result<std::vector<index::Posting>> PostingsFromColumnBits(
+    const std::vector<bool>& bits) {
+  if (bits.size() < 32 || bits.size() % 8 != 0) {
+    return Status::Corruption("PIR response has invalid bit count");
+  }
+  std::vector<uint8_t> bytes(bits.size() / 8, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) bytes[i / 8] |= static_cast<uint8_t>(1u << (7 - i % 8));
+  }
+  const uint32_t len = (static_cast<uint32_t>(bytes[0]) << 24) |
+                       (static_cast<uint32_t>(bytes[1]) << 16) |
+                       (static_cast<uint32_t>(bytes[2]) << 8) |
+                       static_cast<uint32_t>(bytes[3]);
+  if (len > bytes.size() - 4) {
+    return Status::Corruption("PIR column length prefix exceeds payload");
+  }
+  std::vector<uint8_t> list_bytes(bytes.begin() + 4, bytes.begin() + 4 + len);
+  return index::InvertedIndex::DeserializeList(list_bytes);
+}
+
 Result<std::vector<index::Posting>> PirRetrievalClient::RetrieveList(
     const PirRetrievalServer& server, wordnet::TermId term, Rng* rng,
     RetrievalCosts* costs) const {
@@ -126,32 +146,18 @@ Result<std::vector<index::Posting>> PirRetrievalClient::RetrieveList(
   cpu.Restart();
   EMB_ASSIGN_OR_RETURN(std::vector<bool> bits,
                        pir_client_.DecodeResponse(response));
-  if (bits.size() < 32 || bits.size() % 8 != 0) {
-    return Status::Corruption("PIR response has invalid bit count");
-  }
-  std::vector<uint8_t> bytes(bits.size() / 8, 0);
-  for (size_t i = 0; i < bits.size(); ++i) {
-    if (bits[i]) bytes[i / 8] |= static_cast<uint8_t>(1u << (7 - i % 8));
-  }
-  const uint32_t len = (static_cast<uint32_t>(bytes[0]) << 24) |
-                       (static_cast<uint32_t>(bytes[1]) << 16) |
-                       (static_cast<uint32_t>(bytes[2]) << 8) |
-                       static_cast<uint32_t>(bytes[3]);
-  if (len > bytes.size() - 4) {
-    return Status::Corruption("PIR column length prefix exceeds payload");
-  }
-  std::vector<uint8_t> list_bytes(bytes.begin() + 4, bytes.begin() + 4 + len);
-  auto postings = index::InvertedIndex::DeserializeList(list_bytes);
+  auto postings = PostingsFromColumnBits(bits);
   if (costs != nullptr) {
     costs->user_cpu_ms += cpu.ElapsedMillis();
   }
   return postings;
 }
 
-Result<std::vector<index::ScoredDoc>> PirRetrievalClient::RunQuery(
-    const PirRetrievalServer& server,
-    const std::vector<wordnet::TermId>& genuine_terms, size_t k, Rng* rng,
-    RetrievalCosts* costs) const {
+Result<std::vector<index::ScoredDoc>> RankRetrievedLists(
+    const std::vector<wordnet::TermId>& genuine_terms, size_t k,
+    RetrievalCosts* costs,
+    const std::function<Result<std::vector<index::Posting>>(wordnet::TermId)>&
+        retrieve) {
   if (genuine_terms.empty()) {
     return Status::InvalidArgument("query has no terms");
   }
@@ -164,8 +170,7 @@ Result<std::vector<index::ScoredDoc>> PirRetrievalClient::RunQuery(
 
   std::unordered_map<corpus::DocId, uint64_t> acc;
   for (wordnet::TermId term : distinct) {
-    EMB_ASSIGN_OR_RETURN(std::vector<index::Posting> list,
-                         RetrieveList(server, term, rng, costs));
+    EMB_ASSIGN_OR_RETURN(std::vector<index::Posting> list, retrieve(term));
     CpuStopwatch cpu;
     for (const index::Posting& p : list) acc[p.doc] += p.impact;
     if (costs != nullptr) costs->user_cpu_ms += cpu.ElapsedMillis();
@@ -179,6 +184,16 @@ Result<std::vector<index::ScoredDoc>> PirRetrievalClient::RunQuery(
   index::SortByScore(&scored);
   if (scored.size() > k) scored.resize(k);
   return scored;
+}
+
+Result<std::vector<index::ScoredDoc>> PirRetrievalClient::RunQuery(
+    const PirRetrievalServer& server,
+    const std::vector<wordnet::TermId>& genuine_terms, size_t k, Rng* rng,
+    RetrievalCosts* costs) const {
+  return RankRetrievedLists(
+      genuine_terms, k, costs, [&](wordnet::TermId term) {
+        return RetrieveList(server, term, rng, costs);
+      });
 }
 
 }  // namespace embellish::core

@@ -14,6 +14,7 @@
 #ifndef EMBELLISH_CORE_PIR_RETRIEVAL_H_
 #define EMBELLISH_CORE_PIR_RETRIEVAL_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -81,6 +82,12 @@ class PirRetrievalClient {
       const PirRetrievalServer& server, wordnet::TermId term, Rng* rng,
       RetrievalCosts* costs) const;
 
+  /// \brief The underlying KO-PIR client (the sharded retrieval path reuses
+  ///        its query builder and response decoder per shard).
+  const crypto::PirClient& pir_client() const { return pir_client_; }
+
+  const BucketOrganization& buckets() const { return *buckets_; }
+
  private:
   PirRetrievalClient(const BucketOrganization* buckets,
                      crypto::PirClient pir_client);
@@ -88,6 +95,24 @@ class PirRetrievalClient {
   const BucketOrganization* buckets_;
   crypto::PirClient pir_client_;
 };
+
+/// \brief Parses one decoded PIR column (the bit vector a protocol execution
+///        retrieves) into postings: [u32 BE length][serialized list][zero
+///        padding]. Corruption on malformed layout. Shared by the monolithic
+///        and sharded retrieval paths.
+Result<std::vector<index::Posting>> PostingsFromColumnBits(
+    const std::vector<bool>& bits);
+
+/// \brief Client-side scoring shared by the monolithic and sharded PIR
+///        query paths: deduplicates `genuine_terms`, retrieves each term's
+///        list via `retrieve`, accumulates impacts per document, and
+///        returns the canonical top `k`. Scoring CPU is charged to `costs`;
+///        `retrieve` charges its own protocol costs.
+Result<std::vector<index::ScoredDoc>> RankRetrievedLists(
+    const std::vector<wordnet::TermId>& genuine_terms, size_t k,
+    RetrievalCosts* costs,
+    const std::function<Result<std::vector<index::Posting>>(wordnet::TermId)>&
+        retrieve);
 
 }  // namespace embellish::core
 

@@ -47,7 +47,9 @@ Result<EncryptedResult> PrivateRetrievalServer::Process(
       if (where.ok()) touched.insert(where->bucket);
     }
     storage::SimulatedDisk disk(disk_options_);
-    for (size_t b : touched) layout_->ChargeGroupRead(b, &disk);
+    for (size_t b : touched) {
+      EMB_RETURN_NOT_OK(layout_->ChargeGroupRead(b, &disk));
+    }
     if (costs != nullptr) costs->server_io_ms += disk.accumulated_ms();
   }
 

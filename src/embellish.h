@@ -61,6 +61,7 @@
 #include "index/dictionary.h"    // IWYU pragma: export
 #include "index/impact.h"        // IWYU pragma: export
 #include "index/inverted_index.h"// IWYU pragma: export
+#include "index/sharding.h"      // IWYU pragma: export
 #include "index/topk.h"          // IWYU pragma: export
 
 #include "storage/block_device.h"// IWYU pragma: export
@@ -79,6 +80,7 @@
 #include "core/risk.h"               // IWYU pragma: export
 #include "core/semantic_distance.h"  // IWYU pragma: export
 #include "core/sequencer.h"          // IWYU pragma: export
+#include "core/sharded_retrieval.h"  // IWYU pragma: export
 #include "core/session.h"            // IWYU pragma: export
 #include "core/specificity.h"        // IWYU pragma: export
 #include "core/wire_format.h"        // IWYU pragma: export

@@ -89,10 +89,7 @@ Result<BuildOutput> BuildIndex(const corpus::Corpus& corpus,
     for (const RealPosting& rp : rl) {
       list.push_back(Posting{rp.doc, quantizer.Quantize(rp.impact)});
     }
-    std::sort(list.begin(), list.end(), [](const Posting& a, const Posting& b) {
-      if (a.impact != b.impact) return a.impact > b.impact;
-      return a.doc < b.doc;
-    });
+    std::sort(list.begin(), list.end(), PostingOrder);
     lists.emplace(term, std::move(list));
   }
 

@@ -29,6 +29,15 @@ struct Posting {
 /// \brief Serialized size of one posting: 4-byte doc id + 1-byte impact.
 inline constexpr size_t kPostingWireBytes = 5;
 
+/// \brief The canonical inverted-list ordering: impact desc, doc id asc.
+///        Every list the builder emits is sorted by this, and the sharding
+///        split/merge round-trip depends on it — use this one comparator
+///        everywhere instead of restating it.
+inline bool PostingOrder(const Posting& a, const Posting& b) {
+  if (a.impact != b.impact) return a.impact > b.impact;
+  return a.doc < b.doc;
+}
+
 /// \brief Immutable impact-ordered inverted index. Build via IndexBuilder.
 class InvertedIndex {
  public:

@@ -1,0 +1,102 @@
+// Document-partitioned sharding of the inverted index.
+//
+// The ROADMAP's scale axis after fast kernels (PR 1) and batched serving
+// (PR 2): split the corpus into N disjoint document shards so one query can
+// be evaluated on all shards concurrently (one thread-pool task per shard)
+// and the per-shard partial results merged. Because every posting of a
+// document lands in exactly one shard, plaintext scores, Algorithm 4
+// ciphertext accumulators, and PIR-retrieved inverted lists all merge
+// losslessly: the sharded engine is bit-identical to the monolithic one,
+// which the shard equivalence tests assert.
+//
+// Partitioning is by document id — contiguous ranges (locality: a shard is
+// a corpus segment) or a splitmix64 hash (balance under skewed id
+// clustering). Both are deterministic, so shard placement is reproducible
+// across server restarts.
+
+#ifndef EMBELLISH_INDEX_SHARDING_H_
+#define EMBELLISH_INDEX_SHARDING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "index/inverted_index.h"
+#include "index/topk.h"
+
+namespace embellish::index {
+
+/// \brief Runs `fn(shard)` for every shard in [0, shard_count) — fanned out
+///        over `pool` (one task per shard) when one is supplied and more
+///        than one shard exists, inline on the calling thread otherwise.
+///        The single dispatch point every shard fan-out in the codebase
+///        goes through. Blocks until all shards complete; `fn` must be safe
+///        to invoke concurrently for distinct shards.
+void ForEachShard(ThreadPool* pool, size_t shard_count,
+                  const std::function<void(size_t)>& fn);
+
+/// \brief How documents map to shards.
+enum class ShardPartition {
+  kDocRange,  ///< contiguous doc-id ranges of ~num_docs/shards documents
+  kDocHash,   ///< splitmix64(doc) % shards
+};
+
+/// \brief Shard layout knobs.
+struct ShardingOptions {
+  size_t shard_count = 1;
+  ShardPartition partition = ShardPartition::kDocRange;
+
+  Status Validate() const;
+};
+
+/// \brief The shard owning `doc` under `options` for a `num_docs` corpus.
+size_t ShardOfDoc(corpus::DocId doc, size_t num_docs,
+                  const ShardingOptions& options);
+
+/// \brief Merges per-shard fragments of one term's inverted list back into
+///        the canonical (impact desc, doc asc) order. Exact inverse of the
+///        Build-time split: merging every shard's fragment reproduces the
+///        monolithic list bit-for-bit.
+std::vector<Posting> MergeShardPostings(
+    const std::vector<std::vector<Posting>>& per_shard);
+
+/// \brief A monolithic index split into per-shard sub-indexes.
+///
+/// Each shard is a complete InvertedIndex over the same term space whose
+/// lists contain only the shard's documents, in the same impact ordering.
+class ShardedIndex {
+ public:
+  /// \brief Partitions `index` into options.shard_count sub-indexes.
+  static Result<ShardedIndex> Build(const InvertedIndex& index,
+                                    const ShardingOptions& options);
+
+  const ShardingOptions& options() const { return options_; }
+  size_t shard_count() const { return shards_.size(); }
+  size_t document_count() const { return num_docs_; }
+
+  const InvertedIndex& shard(size_t s) const { return shards_[s]; }
+
+ private:
+  ShardedIndex(ShardingOptions options, size_t num_docs,
+               std::vector<InvertedIndex> shards);
+
+  ShardingOptions options_;
+  size_t num_docs_ = 0;
+  std::vector<InvertedIndex> shards_;
+};
+
+/// \brief Cross-shard top-k: evaluates the query on every shard (fanned out
+///        over `pool` when supplied, one task per shard) and merges the
+///        per-shard top-k lists. Documents are disjoint across shards, so
+///        per-shard scores are final and the merged prefix is bit-identical
+///        to EvaluateFull on the monolithic index truncated to `k`.
+///        `stats`, if non-null, accumulates postings scanned across shards.
+std::vector<ScoredDoc> EvaluateTopKSharded(
+    const ShardedIndex& sharded, const std::vector<wordnet::TermId>& query,
+    size_t k, ThreadPool* pool = nullptr, EvalStats* stats = nullptr);
+
+}  // namespace embellish::index
+
+#endif  // EMBELLISH_INDEX_SHARDING_H_

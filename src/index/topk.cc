@@ -1,10 +1,46 @@
 #include "index/topk.h"
 
 #include <algorithm>
+#include <functional>
 #include <queue>
 #include <unordered_map>
 
 namespace embellish::index {
+
+namespace {
+
+// Minimum pops between termination checks. A check costs a selection over
+// the accumulator table (O(candidates)), so the gap to the next check grows
+// with the table: the aggregate check cost stays linear in the postings
+// popped even on flat-impact workloads where termination never fires.
+constexpr uint64_t kMinTerminationCheckInterval = 16;
+
+// True when no document outside the current top k — including documents not
+// yet seen at all — can reach the k-th best accumulated score even if every
+// remaining posting went its way. `head_sum` bounds any single document's
+// remaining gain: a document appears at most once per inverted list and the
+// lists are impact-ordered, so it can collect at most the current head
+// impact of every active cursor. Strict inequality keeps the decision
+// immune to score ties at the k boundary (a tied outsider could still win
+// the canonical doc-id tie-break).
+bool TopKIsSettled(const std::unordered_map<corpus::DocId, uint64_t>& acc,
+                   size_t k, uint64_t head_sum,
+                   std::vector<uint64_t>* scratch) {
+  if (acc.size() < k) return false;
+  scratch->clear();
+  scratch->reserve(acc.size());
+  for (const auto& [doc, score] : acc) scratch->push_back(score);
+  std::nth_element(scratch->begin(), scratch->begin() + (k - 1),
+                   scratch->end(), std::greater<uint64_t>());
+  const uint64_t kth_best = (*scratch)[k - 1];
+  uint64_t best_outside = 0;  // also covers documents never seen (score 0)
+  if (scratch->size() > k) {
+    best_outside = *std::max_element(scratch->begin() + k, scratch->end());
+  }
+  return kth_best > best_outside + head_sum;
+}
+
+}  // namespace
 
 void SortByScore(std::vector<ScoredDoc>* docs) {
   std::sort(docs->begin(), docs->end(),
@@ -14,14 +50,18 @@ void SortByScore(std::vector<ScoredDoc>* docs) {
             });
 }
 
-std::vector<ScoredDoc> EvaluateFull(
-    const InvertedIndex& index, const std::vector<wordnet::TermId>& query) {
+std::vector<ScoredDoc> EvaluateFull(const InvertedIndex& index,
+                                    const std::vector<wordnet::TermId>& query,
+                                    EvalStats* stats) {
   std::unordered_map<corpus::DocId, uint64_t> acc;
+  uint64_t scanned = 0;
   for (wordnet::TermId term : query) {
     const std::vector<Posting>* list = index.postings(term);
     if (list == nullptr) continue;
     for (const Posting& p : *list) acc[p.doc] += p.impact;
+    scanned += list->size();
   }
+  if (stats != nullptr) stats->postings_scanned += scanned;
   std::vector<ScoredDoc> out;
   out.reserve(acc.size());
   for (const auto& [doc, score] : acc) out.push_back(ScoredDoc{doc, score});
@@ -31,7 +71,9 @@ std::vector<ScoredDoc> EvaluateFull(
 
 std::vector<ScoredDoc> EvaluateTopK(const InvertedIndex& index,
                                     const std::vector<wordnet::TermId>& query,
-                                    size_t k) {
+                                    size_t k, EvalStats* stats) {
+  if (k == 0) return {};
+
   // Cursor per query-term list; a max-heap keyed by the cursor's current
   // impact pops the globally highest remaining entry (Figure 10 step 2a).
   struct Cursor {
@@ -49,16 +91,46 @@ std::vector<ScoredDoc> EvaluateTopK(const InvertedIndex& index,
            (*cursors[b].list)[cursors[b].pos].impact;
   };
   std::priority_queue<size_t, std::vector<size_t>, decltype(cmp)> heap(cmp);
-  for (size_t i = 0; i < cursors.size(); ++i) heap.push(i);
+  uint64_t head_sum = 0;  // sum of the active cursors' head impacts
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    heap.push(i);
+    head_sum += (*cursors[i].list)[0].impact;
+  }
 
   std::unordered_map<corpus::DocId, uint64_t> acc;
+  std::vector<uint64_t> scratch;
+  uint64_t scanned = 0;
+  uint64_t pops_since_check = 0;
+  uint64_t check_interval = kMinTerminationCheckInterval;
+  bool early = false;
   while (!heap.empty()) {
     size_t ci = heap.top();
     heap.pop();
     Cursor& cur = cursors[ci];
     const Posting& p = (*cur.list)[cur.pos];
+    ++scanned;
     acc[p.doc] += p.impact;  // steps 2b-2c
-    if (++cur.pos < cur.list->size()) heap.push(ci);  // step 2d
+    head_sum -= p.impact;
+    if (++cur.pos < cur.list->size()) {  // step 2d
+      head_sum += (*cur.list)[cur.pos].impact;
+      heap.push(ci);
+    }
+    // Step 2e, the termination test this implementation used to skip: once
+    // the k-th best accumulated score is out of reach for everyone else,
+    // the remaining postings cannot change the top-k set.
+    if (!heap.empty() && ++pops_since_check >= check_interval) {
+      pops_since_check = 0;
+      check_interval = std::max<uint64_t>(kMinTerminationCheckInterval,
+                                          acc.size() / 4);
+      if (TopKIsSettled(acc, k, head_sum, &scratch)) {
+        early = true;
+        break;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->postings_scanned += scanned;
+    stats->early_terminated |= early;  // accumulate, like postings_scanned
   }
 
   std::vector<ScoredDoc> out;

@@ -2,9 +2,10 @@
 //
 // EvaluateTopK implements the Figure 10 algorithm (repeatedly pop the
 // highest remaining impact across the query terms' lists, accumulate into
-// per-document accumulators). EvaluateFull performs complete accumulation —
-// the same quantity Algorithm 4 computes under encryption — and is the
-// reference the Claim-1 equivalence tests compare the private pipeline to.
+// per-document accumulators, stop once the top-k can no longer change).
+// EvaluateFull performs complete accumulation — the same quantity
+// Algorithm 4 computes under encryption — and is the reference the Claim-1
+// equivalence tests compare the private pipeline to.
 
 #ifndef EMBELLISH_INDEX_TOPK_H_
 #define EMBELLISH_INDEX_TOPK_H_
@@ -24,19 +25,41 @@ struct ScoredDoc {
   bool operator==(const ScoredDoc&) const = default;
 };
 
+/// \brief Work accounting for one evaluation (the Figure 10 regression tests
+///        assert EvaluateTopK touches strictly fewer postings than
+///        EvaluateFull on skewed lists).
+struct EvalStats {
+  uint64_t postings_scanned = 0;  ///< postings read from inverted lists
+  bool early_terminated = false;  ///< top-k stopped before draining the lists
+};
+
 /// \brief Canonical result ordering: score desc, then doc id asc.
 void SortByScore(std::vector<ScoredDoc>* docs);
 
 /// \brief Full accumulation over the query terms' lists; returns every
 ///        candidate document, canonically ordered.
 std::vector<ScoredDoc> EvaluateFull(const InvertedIndex& index,
-                                    const std::vector<wordnet::TermId>& query);
+                                    const std::vector<wordnet::TermId>& query,
+                                    EvalStats* stats = nullptr);
 
-/// \brief Figure 10: impact-ordered top-k evaluation. Returns up to `k`
-///        documents, canonically ordered.
+/// \brief Figure 10: impact-ordered top-k evaluation with early termination.
+///
+/// Pops the globally highest remaining impact across the query terms' lists
+/// and stops as soon as the k-th best accumulated score can no longer be
+/// overtaken — even in the best case — by any document outside the current
+/// top k (their accumulated scores plus an upper bound derived from the
+/// remaining cursor heads).
+///
+/// Returns exactly the documents a full evaluation would rank in its top k.
+/// When the evaluation terminated early (`stats->early_terminated`), the
+/// reported scores are the accumulated lower bounds at the stopping point —
+/// the termination condition guarantees the *set* is exact, strictly ahead of
+/// every other candidate, but the unread postings could still have raised the
+/// winners' totals. When the lists drained completely the scores (and thus
+/// the ordering) equal the full evaluation's prefix exactly.
 std::vector<ScoredDoc> EvaluateTopK(const InvertedIndex& index,
                                     const std::vector<wordnet::TermId>& query,
-                                    size_t k);
+                                    size_t k, EvalStats* stats = nullptr);
 
 }  // namespace embellish::index
 

@@ -16,7 +16,36 @@ EmbellishServer::EmbellishServer(const index::InvertedIndex* index,
                  /*pool=*/nullptr),
       pir_server_(index, buckets, layout, options.disk, /*pool=*/nullptr),
       pool_(pool),
-      cache_(options.cache_capacity, options.cache_max_bytes) {}
+      bucket_count_(buckets->bucket_count()),
+      cache_(options.cache_capacity, options.cache_max_bytes) {
+  if (options.shard_count <= 1) return;
+
+  index::ShardingOptions sharding;
+  sharding.shard_count = options.shard_count;
+  sharding.partition = options.shard_partition;
+  auto sharded = index::ShardedIndex::Build(*index, sharding);
+  if (!sharded.ok()) return;  // unreachable for shard_count > 1; stay monolithic
+  sharded_index_ = std::make_unique<index::ShardedIndex>(std::move(*sharded));
+
+  const std::vector<storage::StorageLayout>* layouts = nullptr;
+  if (layout != nullptr) {
+    shard_layouts_ = core::BuildShardLayouts(*sharded_index_, *buckets,
+                                             layout->policy(), options.disk);
+    layouts = &shard_layouts_;
+  }
+  if (options.shard_threads > 1) {
+    shard_pool_ = std::make_unique<ThreadPool>(options.shard_threads);
+  }
+  sharded_pr_ = std::make_unique<core::ShardedPrivateRetrievalServer>(
+      sharded_index_.get(), buckets, layouts, options.disk, options.pr,
+      shard_pool_.get());
+  sharded_pir_ = std::make_unique<core::ShardedPirRetrievalServer>(
+      sharded_index_.get(), buckets, layouts, options.disk, shard_pool_.get());
+  shard_pir_mu_.reserve(sharded_index_->shard_count());
+  for (size_t s = 0; s < sharded_index_->shard_count(); ++s) {
+    shard_pir_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
 
 std::vector<uint8_t> EmbellishServer::HandleFrame(
     const std::vector<uint8_t>& request) {
@@ -135,7 +164,12 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleHello(
         next_epoch_++};
   }
   RequestOutcome outcome;
-  outcome.response = EncodeFrame(FrameKind::kHelloOk, frame.session_id, {});
+  // The hello-ok advertises the retrieval topology: a client on a sharded
+  // server must know shard_count and bucket_count to address PIR
+  // executions (and to know it has to query every shard).
+  outcome.response =
+      EncodeFrame(FrameKind::kHelloOk, frame.session_id,
+                  EncodeHelloOk(shard_count(), bucket_count_));
   outcome.delta.hellos = 1;
   return outcome;
 }
@@ -165,7 +199,12 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleQuery(
   if (!query.ok()) return ErrorOutcome(frame.session_id, query.status());
 
   core::RetrievalCosts costs;
-  auto result = pr_server_.Process(*query, pk, &costs);
+  // The sharded engine's merged candidate set is bit-identical to the
+  // monolithic server's, so the encoded response frame (and any cached
+  // copy) does not depend on the shard configuration.
+  auto result = sharded_pr_ != nullptr
+                    ? sharded_pr_->Process(*query, pk, &costs)
+                    : pr_server_.Process(*query, pk, &costs);
   if (!result.ok()) return ErrorOutcome(frame.session_id, result.status());
 
   outcome.response = EncodeFrame(FrameKind::kResult, frame.session_id,
@@ -182,9 +221,30 @@ EmbellishServer::RequestOutcome EmbellishServer::HandlePirQuery(
   auto payload = DecodePirQuery(frame.payload);
   if (!payload.ok()) return ErrorOutcome(frame.session_id, payload.status());
 
+  // When sharded, the frame's bucket field is shard-qualified:
+  // shard * bucket_count + bucket (see PirBucketField).
+  const bool sharded = sharded_pir_ != nullptr;
+  if (sharded && bucket_count_ == 0) {
+    return ErrorOutcome(frame.session_id,
+                        Status::OutOfRange("server has no buckets"));
+  }
+  // UINT32_MAX is the encoder's saturation sentinel for a shard-qualified
+  // field that overflowed the u32 wire width; reject it even when it would
+  // decode to an in-range pair, so an overflowed address can never alias.
+  if (sharded && payload->bucket == UINT32_MAX) {
+    return ErrorOutcome(
+        frame.session_id,
+        Status::OutOfRange("shard-qualified bucket field saturated"));
+  }
+  const size_t shard = sharded ? payload->bucket / bucket_count_ : 0;
+  const size_t bucket = sharded ? payload->bucket % bucket_count_
+                                : payload->bucket;
+
   RequestOutcome outcome;
   // PIR answers depend only on the payload (the modulus travels inside it),
-  // not on any registered key, so the epoch component is constant.
+  // not on any registered key, so the epoch component is constant. Per-shard
+  // answers occupy distinct entries because the payload embeds the
+  // shard-qualified bucket field.
   std::string key;
   if (cache_.enabled()) {
     key = ResponseCache::MakeKey(static_cast<uint8_t>(frame.kind),
@@ -196,11 +256,20 @@ EmbellishServer::RequestOutcome EmbellishServer::HandlePirQuery(
   }
 
   core::RetrievalCosts costs;
-  Result<crypto::PirResponse> response = [&]() {
+  Result<crypto::PirResponse> response = [&]() -> Result<crypto::PirResponse> {
+    if (sharded) {
+      if (shard >= sharded_pir_->shard_count()) {
+        return Status::OutOfRange("shard-qualified bucket out of range");
+      }
+      // Per-shard lock: requests addressing different shards build and
+      // consult their lazy bucket matrices concurrently.
+      std::lock_guard<std::mutex> lock(*shard_pir_mu_[shard]);
+      return sharded_pir_->Answer(shard, bucket, payload->query, &costs);
+    }
     // The lazy bucket-matrix cache inside PirRetrievalServer is not
     // thread-safe; serialize the whole execution.
     std::lock_guard<std::mutex> lock(pir_mu_);
-    return pir_server_.Answer(payload->bucket, payload->query, &costs);
+    return pir_server_.Answer(bucket, payload->query, &costs);
   }();
   if (!response.ok()) return ErrorOutcome(frame.session_id, response.status());
 

@@ -16,6 +16,16 @@
 // keyed response cache (see response_cache.h) short-circuits the recurring
 // co-bucket decoy sets that session-consistent embellishment produces.
 //
+// Sharding (options.shard_count > 1): the index is document-partitioned
+// into N shards (index/sharding.h) and queries are answered by the sharded
+// engines (core/sharded_retrieval.h). PR queries fan out across all shards
+// — over a dedicated shard pool when options.shard_threads > 1, so batch
+// workers and shard workers never contend for the same non-reentrant pool —
+// and the merged response frame is bit-identical to the monolithic server's.
+// PIR requests address one (shard, bucket) pair: the frame's bucket field
+// carries shard * bucket_count + bucket, each shard answers independently
+// behind its own mutex, and cache entries are keyed per shard.
+//
 // Every request produces a response frame; malformed or failing requests are
 // answered with a kError frame carrying the transported Status, so one
 // hostile client cannot take the loop down.
@@ -32,6 +42,8 @@
 #include "common/thread_pool.h"
 #include "core/pir_retrieval.h"
 #include "core/private_retrieval.h"
+#include "core/sharded_retrieval.h"
+#include "index/sharding.h"
 #include "server/framing.h"
 #include "server/response_cache.h"
 
@@ -56,6 +68,27 @@ struct EmbellishServerOptions {
 
   /// Algorithm 4 execution options.
   core::PrivateRetrievalServerOptions pr;
+
+  /// Document shards. 1 (default) serves the monolithic index unchanged;
+  /// N > 1 partitions it per `shard_partition` and answers every query
+  /// through the sharded engines. Results stay bit-identical either way.
+  size_t shard_count = 1;
+
+  /// How documents map to shards when shard_count > 1.
+  index::ShardPartition shard_partition = index::ShardPartition::kDocRange;
+
+  /// Width of the dedicated shard fan-out pool. 0 or 1 evaluates a query's
+  /// shards serially within the handling thread (batch-level parallelism
+  /// still touches different shards concurrently); > 1 spawns an internal
+  /// pool so a single query's shards run in parallel. Kept separate from
+  /// the batch pool because ParallelFor regions must not nest on one pool.
+  /// Caveat: the pool runs one ParallelFor region at a time, so when many
+  /// batch workers fan out simultaneously the losers degrade to evaluating
+  /// their own shards inline (results are unchanged; only the intra-query
+  /// parallelism is lost — see the ROADMAP item on per-caller job queues).
+  /// The knob therefore helps most for low-concurrency / latency-sensitive
+  /// traffic.
+  size_t shard_threads = 0;
 };
 
 /// \brief Aggregate counters; a consistent snapshot is returned by stats().
@@ -100,6 +133,22 @@ class EmbellishServer {
   /// \brief Number of registered sessions.
   size_t session_count() const;
 
+  /// \brief Configured shard count (1 = monolithic).
+  size_t shard_count() const {
+    return sharded_index_ != nullptr ? sharded_index_->shard_count() : 1;
+  }
+
+  /// \brief The shard-qualified bucket field a kPirQuery frame must carry
+  ///        to address `bucket` on `shard` of this server. The wire field
+  ///        is 32 bits; EncodePirQuery saturates larger values to
+  ///        UINT32_MAX, which a sharded server rejects as a reserved
+  ///        sentinel — an overflowed address errors instead of aliasing
+  ///        another pair (relevant only past 2^32 shard*bucket
+  ///        combinations).
+  size_t PirBucketField(size_t shard, size_t bucket) const {
+    return shard * bucket_count_ + bucket;
+  }
+
   ServerStats stats() const;
 
  private:
@@ -131,6 +180,14 @@ class EmbellishServer {
   const core::PrivateRetrievalServer pr_server_;  // built with a null pool
   const core::PirRetrievalServer pir_server_;     // built with a null pool
   ThreadPool* pool_;  // not owned; null => serial batches
+  const size_t bucket_count_;
+
+  // Sharded engines; null when shard_count <= 1 (monolithic dispatch).
+  std::unique_ptr<index::ShardedIndex> sharded_index_;
+  std::vector<storage::StorageLayout> shard_layouts_;
+  std::unique_ptr<ThreadPool> shard_pool_;  // owned; see shard_threads
+  std::unique_ptr<core::ShardedPrivateRetrievalServer> sharded_pr_;
+  std::unique_ptr<core::ShardedPirRetrievalServer> sharded_pir_;
 
   mutable std::shared_mutex sessions_mu_;
   std::unordered_map<uint64_t, SessionEntry> sessions_;
@@ -138,7 +195,10 @@ class EmbellishServer {
 
   // PirRetrievalServer's lazy matrix cache is not thread-safe; batch workers
   // serialize PIR answers through this mutex (PR queries run concurrently).
+  // When sharded, shard_pir_mu_[shard] replaces it: requests addressing
+  // different shards answer concurrently.
   mutable std::mutex pir_mu_;
+  mutable std::vector<std::unique_ptr<std::mutex>> shard_pir_mu_;
 
   ResponseCache cache_;
 

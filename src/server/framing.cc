@@ -198,6 +198,29 @@ Result<crypto::BenalohPublicKey> DecodeHello(
   return crypto::BenalohPublicKey(std::move(n), std::move(g), r);
 }
 
+std::vector<uint8_t> EncodeHelloOk(size_t shard_count, size_t bucket_count) {
+  std::vector<uint8_t> out;
+  out.reserve(8);
+  PutU32(&out, static_cast<uint32_t>(shard_count));
+  PutU32(&out, static_cast<uint32_t>(bucket_count));
+  return out;
+}
+
+Result<HelloOkPayload> DecodeHelloOk(const std::vector<uint8_t>& payload) {
+  HelloOkPayload topology;
+  if (payload.empty()) return topology;  // legacy monolithic server
+  PayloadReader reader(payload);
+  EMB_ASSIGN_OR_RETURN(uint32_t shard_count, reader.ReadU32());
+  EMB_ASSIGN_OR_RETURN(uint32_t bucket_count, reader.ReadU32());
+  EMB_RETURN_NOT_OK(reader.ExpectDone());
+  if (shard_count == 0) {
+    return Status::Corruption("hello-ok advertises zero shards");
+  }
+  topology.shard_count = shard_count;
+  topology.bucket_count = bucket_count;
+  return topology;
+}
+
 // --- Error ------------------------------------------------------------------
 
 std::vector<uint8_t> EncodeError(const Status& status) {
@@ -255,7 +278,11 @@ std::vector<uint8_t> EncodePirQuery(size_t bucket,
   const size_t value_size = (query.n.BitLength() + 7) / 8;
   std::vector<uint8_t> out;
   out.reserve(12 + (1 + query.q.size()) * value_size);
-  PutU32(&out, static_cast<uint32_t>(bucket));
+  // Saturate rather than wrap: a shard-qualified bucket beyond the u32
+  // field must decode to an out-of-range value the server rejects, never
+  // silently address a different (shard, bucket) pair.
+  PutU32(&out, bucket > UINT32_MAX ? UINT32_MAX
+                                   : static_cast<uint32_t>(bucket));
   PutU32(&out, static_cast<uint32_t>(value_size));
   PutU32(&out, static_cast<uint32_t>(query.q.size()));
   PutPaddedBigInt(&out, query.n, value_size);

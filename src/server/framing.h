@@ -90,6 +90,21 @@ std::vector<uint8_t> EncodeHello(const crypto::BenalohPublicKey& pk);
 Result<crypto::BenalohPublicKey> DecodeHello(
     const std::vector<uint8_t>& payload);
 
+/// \brief HelloOk payload: the server's retrieval topology
+///        ([u32 shard_count][u32 bucket_count], big-endian). A client needs
+///        both to address PIR executions on a sharded server (the bucket
+///        field of kPirQuery carries shard * bucket_count + bucket) — and a
+///        client that skips this discovery would otherwise silently score
+///        only shard 0's fragment of every list. A legacy empty payload
+///        decodes as a monolithic server (shard_count 1, bucket_count 0 =
+///        unknown).
+std::vector<uint8_t> EncodeHelloOk(size_t shard_count, size_t bucket_count);
+struct HelloOkPayload {
+  size_t shard_count = 1;
+  size_t bucket_count = 0;  ///< 0 when the server did not advertise it
+};
+Result<HelloOkPayload> DecodeHelloOk(const std::vector<uint8_t>& payload);
+
 /// \brief Error payload: [u8 status_code][message bytes].
 std::vector<uint8_t> EncodeError(const Status& status);
 

@@ -1,7 +1,5 @@
 #include "storage/block_device.h"
 
-#include <cassert>
-
 namespace embellish::storage {
 
 Status DiskModelOptions::Validate() const {
@@ -17,9 +15,16 @@ Status DiskModelOptions::Validate() const {
   return Status::OK();
 }
 
+Result<SimulatedDisk> SimulatedDisk::Create(const DiskModelOptions& options) {
+  EMB_RETURN_NOT_OK(options.Validate());
+  return SimulatedDisk(options);
+}
+
 SimulatedDisk::SimulatedDisk(const DiskModelOptions& options)
     : options_(options) {
-  assert(options.Validate().ok());
+  // Release-safe clamp: the old assert() vanished under NDEBUG and let a
+  // zero block size reach the BlocksForBytes division.
+  if (!options_.Validate().ok()) options_ = DiskModelOptions{};
 }
 
 uint64_t SimulatedDisk::BlocksForBytes(uint64_t bytes) const {

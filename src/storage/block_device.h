@@ -30,6 +30,15 @@ struct DiskModelOptions {
 /// \brief Pure cost model plus a per-query accumulator.
 class SimulatedDisk {
  public:
+  /// \brief Validating factory: InvalidArgument when `options` fails
+  ///        Validate(). Prefer this on untrusted/config-derived options.
+  static Result<SimulatedDisk> Create(const DiskModelOptions& options);
+
+  /// \brief Direct construction clamps invalid options to the defaults
+  ///        (documented ST973401KC geometry) instead of relying on an
+  ///        assert that compiles out under NDEBUG — an invalid
+  ///        `block_bytes == 0` must never reach the BlocksForBytes
+  ///        division in a Release build.
   explicit SimulatedDisk(const DiskModelOptions& options = {});
 
   const DiskModelOptions& options() const { return options_; }

@@ -1,5 +1,7 @@
 #include "storage/layout.h"
 
+#include "common/strings.h"
+
 namespace embellish::storage {
 
 StorageLayout StorageLayout::Build(
@@ -39,14 +41,26 @@ StorageLayout StorageLayout::Build(
   return layout;
 }
 
-size_t StorageLayout::GroupExtentCount(size_t group) const {
+Result<size_t> StorageLayout::GroupExtentCount(size_t group) const {
+  if (group >= group_extents_.size()) {
+    return Status::OutOfRange(
+        StringPrintf("group %zu out of range (layout has %zu groups)", group,
+                     group_extents_.size()));
+  }
   return group_extents_[group].size();
 }
 
-void StorageLayout::ChargeGroupRead(size_t group, SimulatedDisk* disk) const {
+Status StorageLayout::ChargeGroupRead(size_t group,
+                                      SimulatedDisk* disk) const {
+  if (group >= group_extents_.size()) {
+    return Status::OutOfRange(
+        StringPrintf("group %zu out of range (layout has %zu groups)", group,
+                     group_extents_.size()));
+  }
   for (const Extent& e : group_extents_[group]) {
     disk->ChargeExtent(e.block_count);
   }
+  return Status::OK();
 }
 
 }  // namespace embellish::storage

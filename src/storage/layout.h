@@ -45,11 +45,13 @@ class StorageLayout {
 
   LayoutPolicy policy() const { return policy_; }
 
-  /// \brief Number of extents a read of group `g` touches (1 if colocated).
-  size_t GroupExtentCount(size_t group) const;
+  /// \brief Number of extents a read of group `g` touches (1 if colocated);
+  ///        OutOfRange when `group` does not exist in the layout.
+  Result<size_t> GroupExtentCount(size_t group) const;
 
-  /// \brief Charges the read of all of group `g`'s lists to `disk`.
-  void ChargeGroupRead(size_t group, SimulatedDisk* disk) const;
+  /// \brief Charges the read of all of group `g`'s lists to `disk`;
+  ///        OutOfRange when `group` does not exist (charges nothing).
+  Status ChargeGroupRead(size_t group, SimulatedDisk* disk) const;
 
   /// \brief Total blocks occupied.
   uint64_t total_blocks() const { return total_blocks_; }

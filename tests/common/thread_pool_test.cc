@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace embellish {
@@ -102,6 +103,37 @@ TEST(ThreadPoolTest, ReportsCpuTime) {
       });
   EXPECT_GT(cpu_ms, 0.0);
   EXPECT_NE(sink.load(), 0u);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersFromDistinctThreadsAllComplete) {
+  // The sharded server lets several batch workers fan their own query's
+  // shards out over one shared shard pool. Concurrent ParallelFor calls may
+  // degrade to caller-thread execution when the single job slot is taken,
+  // but every caller must still complete its full index range exactly once.
+  ThreadPool pool(3);
+  constexpr size_t kCallers = 6;
+  constexpr size_t kRange = 512;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& v : hits) {
+    v = std::vector<std::atomic<int>>(kRange);
+    for (auto& h : v) h.store(0);
+  }
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(0, kRange, 1, [&, c](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hits[c][i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kRange; ++i) {
+      ASSERT_EQ(hits[c][i].load(), 1) << "caller " << c << " index " << i;
+    }
+  }
 }
 
 TEST(ThreadPoolTest, DefaultPoolIsSingleton) {

@@ -1,5 +1,6 @@
 #include "index/topk.h"
 
+#include <algorithm>
 #include <set>
 #include <unordered_map>
 
@@ -68,7 +69,12 @@ TEST_F(TopKTest, ResultsAreCanonicallyOrdered) {
   }
 }
 
-TEST_F(TopKTest, TopKIsPrefixOfFullRanking) {
+TEST_F(TopKTest, TopKSelectsTheFullRankingsPrefixSet) {
+  // Figure 10 semantics after the early-termination fix: the returned *set*
+  // is exactly the full ranking's top-k set. When the evaluation drained
+  // the lists (no early termination) scores and order match the full prefix
+  // exactly; when it stopped early, each reported score is a lower bound on
+  // the document's full score.
   Rng rng(3);
   auto terms = built_.index.IndexedTerms();
   for (int trial = 0; trial < 10; ++trial) {
@@ -77,11 +83,27 @@ TEST_F(TopKTest, TopKIsPrefixOfFullRanking) {
       query.push_back(terms[rng.Uniform(terms.size())]);
     }
     auto full = EvaluateFull(built_.index, query);
+    std::unordered_map<corpus::DocId, uint64_t> full_scores;
+    for (const ScoredDoc& sd : full) full_scores[sd.doc] = sd.score;
     for (size_t k : {1u, 5u, 20u, 1000u}) {
-      auto topk = EvaluateTopK(built_.index, query, k);
+      EvalStats stats;
+      auto topk = EvaluateTopK(built_.index, query, k, &stats);
       ASSERT_EQ(topk.size(), std::min<size_t>(k, full.size()));
-      for (size_t i = 0; i < topk.size(); ++i) {
-        EXPECT_EQ(topk[i], full[i]);
+      if (!stats.early_terminated) {
+        for (size_t i = 0; i < topk.size(); ++i) {
+          EXPECT_EQ(topk[i], full[i]);
+        }
+      } else {
+        std::set<corpus::DocId> expected, got;
+        for (size_t i = 0; i < topk.size(); ++i) {
+          expected.insert(full[i].doc);
+          got.insert(topk[i].doc);
+        }
+        EXPECT_EQ(got, expected);
+        for (const ScoredDoc& sd : topk) {
+          EXPECT_LE(sd.score, full_scores.at(sd.doc));
+          EXPECT_GT(sd.score, 0u);
+        }
       }
     }
   }
@@ -126,6 +148,88 @@ TEST_F(TopKTest, OnlyDocsContainingAQueryTermQualify) {
   for (const ScoredDoc& sd : result) {
     EXPECT_TRUE(expected.count(sd.doc));
     EXPECT_GT(sd.score, 0u);
+  }
+}
+
+TEST(TopKEarlyTerminationTest, SkewedListsTerminateBeforeDraining) {
+  // Regression for the Figure 10 bug: EvaluateTopK used to drain every
+  // posting list to exhaustion — strictly more work than EvaluateFull, with
+  // heap overhead on top. On an impact-skewed corpus the early-termination
+  // condition must stop the evaluation after a small prefix.
+  //
+  // One dominant term list: two docs with near-maximal impacts followed by
+  // a long tail of impact-1 docs. After the heads are popped, the remaining
+  // cursor head bounds any outsider's reachable score at 1, so the top-2 is
+  // settled almost immediately.
+  std::unordered_map<wordnet::TermId, std::vector<Posting>> lists;
+  std::vector<Posting> skewed;
+  skewed.push_back(Posting{0, 255});
+  skewed.push_back(Posting{1, 254});
+  for (corpus::DocId d = 2; d < 1500; ++d) skewed.push_back(Posting{d, 1});
+  lists.emplace(7, std::move(skewed));
+  InvertedIndex index(/*num_docs=*/1500, std::move(lists), /*impact_bits=*/8);
+
+  EvalStats full_stats;
+  auto full = EvaluateFull(index, {7}, &full_stats);
+  EvalStats topk_stats;
+  auto topk = EvaluateTopK(index, {7}, 2, &topk_stats);
+
+  EXPECT_TRUE(topk_stats.early_terminated);
+  EXPECT_LT(topk_stats.postings_scanned, full_stats.postings_scanned);
+  EXPECT_EQ(full_stats.postings_scanned, 1500u);
+  // Identical top-k set (and here identical scores: both winners' lists
+  // were exhausted before the stop).
+  ASSERT_EQ(topk.size(), 2u);
+  EXPECT_EQ(topk[0], full[0]);
+  EXPECT_EQ(topk[1], full[1]);
+}
+
+TEST(TopKEarlyTerminationTest, MultiTermSkewAgreesWithFullOnTheSet) {
+  // Several lists, termination mid-list: the selected set must still match
+  // the full evaluation's prefix exactly. The heavy impacts are spaced so
+  // every boundary gap exceeds the worst-case remaining upper bound (four
+  // tail cursors at impact <= 3 each), which lets the evaluator stop at its
+  // first termination check.
+  constexpr uint32_t kHeavy1[] = {255, 240, 225, 210};
+  constexpr uint32_t kHeavy2[] = {120, 110, 100, 90};
+  Rng rng(17);
+  std::unordered_map<wordnet::TermId, std::vector<Posting>> lists;
+  for (wordnet::TermId t = 0; t < 4; ++t) {
+    std::vector<Posting> list;
+    list.push_back(Posting{static_cast<corpus::DocId>(t), kHeavy1[t]});
+    list.push_back(Posting{static_cast<corpus::DocId>(t + 10), kHeavy2[t]});
+    for (corpus::DocId d = 0; d < 800; ++d) {
+      list.push_back(Posting{100 + static_cast<corpus::DocId>(
+                                 rng.Uniform(2000)),
+                             static_cast<uint32_t>(1 + rng.Uniform(3))});
+    }
+    // Restore the builder's canonical (impact desc, doc asc) ordering and
+    // de-duplicate docs within the list (a doc appears once per list).
+    std::sort(list.begin(), list.end(), PostingOrder);
+    std::vector<Posting> unique;
+    std::set<corpus::DocId> seen;
+    for (const Posting& p : list) {
+      if (seen.insert(p.doc).second) unique.push_back(p);
+    }
+    lists.emplace(t, std::move(unique));
+  }
+  InvertedIndex index(/*num_docs=*/3000, std::move(lists), /*impact_bits=*/8);
+
+  const std::vector<wordnet::TermId> query{0, 1, 2, 3};
+  EvalStats full_stats;
+  auto full = EvaluateFull(index, query, &full_stats);
+  for (size_t k : {1u, 3u, 8u}) {
+    EvalStats stats;
+    auto topk = EvaluateTopK(index, query, k, &stats);
+    ASSERT_EQ(topk.size(), std::min<size_t>(k, full.size()));
+    EXPECT_TRUE(stats.early_terminated) << "k=" << k;
+    EXPECT_LT(stats.postings_scanned, full_stats.postings_scanned);
+    std::set<corpus::DocId> expected, got;
+    for (size_t i = 0; i < topk.size(); ++i) {
+      expected.insert(full[i].doc);
+      got.insert(topk[i].doc);
+    }
+    EXPECT_EQ(got, expected) << "k=" << k;
   }
 }
 

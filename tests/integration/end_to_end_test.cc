@@ -2,6 +2,8 @@
 // corpus -> index -> embellished query -> PR/PIR retrieval -> ranking,
 // exactly as a deployment would wire the library together.
 
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "embellish.h"
@@ -94,11 +96,23 @@ TEST_F(EndToEndTest, TopKEvaluatorAgreesWithPrivatePipeline) {
   auto pr = core::RunPrivateQuery(*client_, *server_, keys_->public_key(),
                                   query, 10, &rng, &costs);
   ASSERT_TRUE(pr.ok());
-  auto topk = index::EvaluateTopK(built_.index, query, 10);
-  ASSERT_EQ(pr->size(), topk.size());
+  // Claim 1: the private pipeline ranks like a plaintext engine. The exact
+  // scores come from the full evaluation; the early-terminating Figure 10
+  // evaluator must select the same document set.
+  auto full = index::EvaluateFull(built_.index, query);
+  if (full.size() > 10) full.resize(10);
+  ASSERT_EQ(pr->size(), full.size());
   for (size_t i = 0; i < pr->size(); ++i) {
-    EXPECT_EQ((*pr)[i], topk[i]);
+    EXPECT_EQ((*pr)[i], full[i]);
   }
+  auto topk = index::EvaluateTopK(built_.index, query, 10);
+  ASSERT_EQ(topk.size(), full.size());
+  std::set<corpus::DocId> expected, got;
+  for (size_t i = 0; i < full.size(); ++i) {
+    expected.insert(full[i].doc);
+    got.insert(topk[i].doc);
+  }
+  EXPECT_EQ(got, expected);
 }
 
 TEST_F(EndToEndTest, SessionOverRealPipeline) {

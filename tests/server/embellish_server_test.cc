@@ -52,6 +52,11 @@ TEST_F(EmbellishServerTest, HelloThenQueryMatchesDirectPipeline) {
   ASSERT_TRUE(hello_frame.ok());
   EXPECT_EQ(hello_frame->kind, FrameKind::kHelloOk);
   EXPECT_EQ(server.session_count(), 1u);
+  // The hello-ok advertises the retrieval topology.
+  auto topology = DecodeHelloOk(hello_frame->payload);
+  ASSERT_TRUE(topology.ok());
+  EXPECT_EQ(topology->shard_count, 1u);
+  EXPECT_EQ(topology->bucket_count, org_.bucket_count());
 
   auto genuine = SomeTerms(3, 71);
   auto request = client.QueryFrame(genuine);
@@ -269,6 +274,160 @@ TEST_F(EmbellishServerTest, PirQueriesThroughTheLoop) {
     EXPECT_EQ(decoded->gamma[i], direct_answer->gamma[i]);
   }
   EXPECT_EQ(server.stats().pir_queries, 1u);
+}
+
+TEST_F(EmbellishServerTest, ShardedServerAnswersBitIdenticalToMonolithic) {
+  // The shard configuration is a server-side implementation detail: the
+  // same request frames must produce byte-identical response frames
+  // whether the index is monolithic or document-partitioned, serial or
+  // shard-pooled, cached or not.
+  EmbellishServerOptions mono_options;
+  EmbellishServer mono(&built_.index, &org_, nullptr, mono_options);
+
+  EmbellishServerOptions shard_options;
+  shard_options.shard_count = 3;
+  shard_options.shard_threads = 2;
+  EmbellishServer sharded(&built_.index, &org_, nullptr, shard_options);
+  EXPECT_EQ(sharded.shard_count(), 3u);
+
+  std::vector<SessionClient> clients;
+  std::vector<std::vector<uint8_t>> requests;
+  for (size_t s = 0; s < 4; ++s) {
+    clients.push_back(MakeClient(500 + s, 600 + s));
+    mono.HandleFrame(clients.back().HelloFrame());
+    auto hello_resp = sharded.HandleFrame(clients.back().HelloFrame());
+    // A sharded server advertises its topology so clients can address
+    // (shard, bucket) pairs and know to query every shard.
+    auto hello_frame = DecodeFrame(hello_resp);
+    ASSERT_TRUE(hello_frame.ok());
+    auto topology = DecodeHelloOk(hello_frame->payload);
+    ASSERT_TRUE(topology.ok());
+    EXPECT_EQ(topology->shard_count, 3u);
+    EXPECT_EQ(topology->bucket_count, org_.bucket_count());
+    auto req = clients.back().QueryFrame(SomeTerms(2 * s + 1, 5 * s + 3));
+    ASSERT_TRUE(req.ok());
+    requests.push_back(std::move(*req));
+  }
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto mono_resp = mono.HandleFrame(requests[i]);
+    auto shard_resp = sharded.HandleFrame(requests[i]);
+    EXPECT_EQ(mono_resp, shard_resp) << "request " << i;
+    EXPECT_TRUE(clients[i].DecodeResultFrame(shard_resp, 10).ok());
+  }
+}
+
+TEST_F(EmbellishServerTest, ShardedBatchMatchesMonolithicSerial) {
+  // Batched sessions hit shards concurrently: batch fan-out runs on the
+  // caller-supplied pool while each query's shards run on the server's own
+  // shard pool — and the bytes still cannot differ.
+  ThreadPool batch_pool(4);
+  EmbellishServerOptions shard_options;
+  shard_options.shard_count = 4;
+  shard_options.shard_threads = 2;
+  EmbellishServer sharded(&built_.index, &org_, nullptr, shard_options,
+                          &batch_pool);
+  EmbellishServer mono(&built_.index, &org_, nullptr);
+
+  std::vector<SessionClient> clients;
+  std::vector<std::vector<uint8_t>> requests;
+  for (size_t s = 0; s < 6; ++s) {
+    clients.push_back(MakeClient(700 + s, 800 + s));
+    sharded.HandleFrame(clients.back().HelloFrame());
+    mono.HandleFrame(clients.back().HelloFrame());
+    auto req = clients.back().QueryFrame(SomeTerms(s + 2, 7 * s + 1));
+    ASSERT_TRUE(req.ok());
+    requests.push_back(std::move(*req));
+  }
+
+  auto batched = sharded.HandleBatch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(batched[i], mono.HandleFrame(requests[i])) << "request " << i;
+  }
+}
+
+TEST_F(EmbellishServerTest, ShardedPirThroughTheLoopReassemblesTheList) {
+  // A sharded server's kPirQuery addresses one (shard, bucket) pair via the
+  // shard-qualified bucket field; decoding every shard's kPirResult and
+  // merging the fragments must reproduce the term's monolithic list.
+  EmbellishServerOptions options;
+  options.shard_count = 3;
+  EmbellishServer server(&built_.index, &org_, nullptr, options);
+
+  auto terms = built_.index.IndexedTerms();
+  wordnet::TermId term = terms[29];
+  auto slot = org_.Locate(term);
+  ASSERT_TRUE(slot.ok());
+  const size_t cols = org_.bucket(slot->bucket).size();
+
+  Rng rng(911);
+  crypto::PirClient pir_client =
+      std::move(crypto::PirClient::Create(256, &rng)).value();
+  auto query = pir_client.BuildQuery(slot->slot, cols, &rng);
+  ASSERT_TRUE(query.ok());
+
+  std::vector<std::vector<index::Posting>> fragments;
+  for (size_t shard = 0; shard < server.shard_count(); ++shard) {
+    auto request = EncodeFrame(
+        FrameKind::kPirQuery, 12,
+        EncodePirQuery(server.PirBucketField(shard, slot->bucket), *query));
+    auto response = server.HandleFrame(request);
+    auto frame = DecodeFrame(response);
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(frame->kind, FrameKind::kPirResult) << "shard " << shard;
+    auto decoded = DecodePirResponse(frame->payload);
+    ASSERT_TRUE(decoded.ok());
+    auto bits = pir_client.DecodeResponse(*decoded);
+    ASSERT_TRUE(bits.ok());
+    auto fragment = core::PostingsFromColumnBits(*bits);
+    ASSERT_TRUE(fragment.ok());
+    fragments.push_back(std::move(*fragment));
+  }
+  EXPECT_EQ(index::MergeShardPostings(fragments),
+            *built_.index.postings(term));
+  EXPECT_EQ(server.stats().pir_queries, server.shard_count());
+
+  // A shard index beyond the configured count is answered with an error
+  // frame, not a crash.
+  auto bad = EncodeFrame(
+      FrameKind::kPirQuery, 12,
+      EncodePirQuery(server.PirBucketField(9, slot->bucket), *query));
+  auto bad_resp = server.HandleFrame(bad);
+  auto bad_frame = DecodeFrame(bad_resp);
+  ASSERT_TRUE(bad_frame.ok());
+  EXPECT_EQ(bad_frame->kind, FrameKind::kError);
+}
+
+TEST_F(EmbellishServerTest, ShardedPirResponsesAreCachedPerShard) {
+  EmbellishServerOptions options;
+  options.shard_count = 2;
+  options.cache_capacity = 64;
+  EmbellishServer server(&built_.index, &org_, nullptr, options);
+
+  auto terms = built_.index.IndexedTerms();
+  auto slot = org_.Locate(terms[7]);
+  ASSERT_TRUE(slot.ok());
+  Rng rng(912);
+  crypto::PirClient pir_client =
+      std::move(crypto::PirClient::Create(256, &rng)).value();
+  auto query =
+      pir_client.BuildQuery(slot->slot, org_.bucket(slot->bucket).size(), &rng);
+  ASSERT_TRUE(query.ok());
+
+  // Same query against the two shards: distinct cache entries (the
+  // responses differ — per-shard matrices have different row counts), then
+  // a replay of each hits.
+  std::vector<std::vector<uint8_t>> responses;
+  for (size_t shard = 0; shard < 2; ++shard) {
+    auto request = EncodeFrame(
+        FrameKind::kPirQuery, 13,
+        EncodePirQuery(server.PirBucketField(shard, slot->bucket), *query));
+    responses.push_back(server.HandleFrame(request));
+    EXPECT_EQ(server.HandleFrame(request), responses.back());
+  }
+  EXPECT_NE(responses[0], responses[1]);
+  EXPECT_EQ(server.stats().cache_hits, 2u);
 }
 
 TEST_F(EmbellishServerTest, ByteBudgetBoundsTheCache) {

@@ -21,6 +21,25 @@ TEST(DiskModelTest, OptionsValidation) {
   EXPECT_FALSE(o.Validate().ok());
 }
 
+TEST(DiskModelTest, CreateRejectsInvalidOptions) {
+  DiskModelOptions o;
+  EXPECT_TRUE(SimulatedDisk::Create(o).ok());
+  o.block_bytes = 0;
+  auto disk = SimulatedDisk::Create(o);
+  EXPECT_FALSE(disk.ok());
+  EXPECT_TRUE(disk.status().IsInvalidArgument());
+}
+
+TEST(DiskModelTest, DirectConstructionClampsInvalidOptions) {
+  // Regression: the old assert() compiled out under NDEBUG, so
+  // block_bytes == 0 reached the BlocksForBytes division in Release builds.
+  DiskModelOptions o;
+  o.block_bytes = 0;
+  SimulatedDisk disk(o);
+  EXPECT_EQ(disk.options().block_bytes, DiskModelOptions{}.block_bytes);
+  EXPECT_EQ(disk.BlocksForBytes(1), 1u);  // no divide-by-zero
+}
+
 TEST(DiskModelTest, BlocksForBytes) {
   SimulatedDisk disk;
   EXPECT_EQ(disk.BlocksForBytes(0), 0u);
@@ -82,7 +101,8 @@ TEST_F(LayoutTest, ColocatedGroupsUseOneExtent) {
                                      LayoutPolicy::kBucketColocated, {});
   EXPECT_EQ(layout.group_count(), 3u);
   for (size_t g = 0; g < 3; ++g) {
-    EXPECT_EQ(layout.GroupExtentCount(g), 1u);
+    ASSERT_TRUE(layout.GroupExtentCount(g).ok());
+    EXPECT_EQ(*layout.GroupExtentCount(g), 1u);
   }
 }
 
@@ -90,8 +110,22 @@ TEST_F(LayoutTest, ScatteredGroupsUseOneExtentPerTerm) {
   auto layout = StorageLayout::Build(built_.index, groups_,
                                      LayoutPolicy::kScattered, {});
   for (size_t g = 0; g < 3; ++g) {
-    EXPECT_EQ(layout.GroupExtentCount(g), groups_[g].size());
+    ASSERT_TRUE(layout.GroupExtentCount(g).ok());
+    EXPECT_EQ(*layout.GroupExtentCount(g), groups_[g].size());
   }
+}
+
+TEST_F(LayoutTest, OutOfRangeGroupSurfacesAnError) {
+  // Regression: out-of-range group indexing was UB on group_extents_.
+  auto layout = StorageLayout::Build(built_.index, groups_,
+                                     LayoutPolicy::kBucketColocated, {});
+  auto count = layout.GroupExtentCount(layout.group_count());
+  EXPECT_FALSE(count.ok());
+  EXPECT_TRUE(count.status().IsOutOfRange());
+  SimulatedDisk disk;
+  Status charged = layout.ChargeGroupRead(999999, &disk);
+  EXPECT_TRUE(charged.IsOutOfRange());
+  EXPECT_EQ(disk.accumulated_extents(), 0u);  // nothing charged
 }
 
 TEST_F(LayoutTest, ColocationReducesReadCost) {
@@ -101,8 +135,8 @@ TEST_F(LayoutTest, ColocationReducesReadCost) {
   auto scattered = StorageLayout::Build(built_.index, groups_,
                                         LayoutPolicy::kScattered, {});
   SimulatedDisk d1, d2;
-  colocated.ChargeGroupRead(0, &d1);
-  scattered.ChargeGroupRead(0, &d2);
+  ASSERT_TRUE(colocated.ChargeGroupRead(0, &d1).ok());
+  ASSERT_TRUE(scattered.ChargeGroupRead(0, &d2).ok());
   EXPECT_LT(d1.accumulated_ms(), d2.accumulated_ms());
   // Same data volume modulo block rounding.
   EXPECT_LE(d1.accumulated_blocks(), d2.accumulated_blocks() + 4);
@@ -123,7 +157,7 @@ TEST_F(LayoutTest, EmptyTermsStillAddressable) {
   auto layout = StorageLayout::Build(built_.index, groups,
                                      LayoutPolicy::kBucketColocated, {});
   SimulatedDisk disk;
-  layout.ChargeGroupRead(0, &disk);
+  ASSERT_TRUE(layout.ChargeGroupRead(0, &disk).ok());
   EXPECT_GT(disk.accumulated_ms(), 0.0);  // minimum one block
 }
 
