@@ -1,0 +1,226 @@
+// Remote-shard coordinator throughput: the same framed request stream
+// answered by (a) the monolithic EmbellishServer, (b) the in-process
+// sharded EmbellishServer, and (c) a ShardCoordinator fanning out to slice
+// servers over InProcessTransports, at 1/2/4/8 shards.
+//
+// Bit-identity is asserted every run (like fig_shard_scaling): every
+// response frame from (b) and (c) must equal (a)'s bytes for the PR,
+// PIR and plaintext top-k paths — the coordinator is allowed to change
+// only the clock. Emits BENCH_coordinator.json.
+//
+// Environment variables (all optional):
+//   EMBELLISH_BENCH_TERMS    lexicon size                  (default 2000)
+//   EMBELLISH_BENCH_DOCS     corpus documents              (default 300)
+//   EMBELLISH_BENCH_KEYLEN   Benaloh modulus bits          (default 256)
+//   EMBELLISH_BENCH_QUERIES  queries per configuration     (default 12)
+//   EMBELLISH_BENCH_JSON     output path  (default BENCH_coordinator.json)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/session_client.h"
+#include "server/shard_coordinator.h"
+
+namespace {
+
+using namespace embellish;
+
+struct ConfigResult {
+  size_t shards = 1;
+  std::string mode;  // "sharded" (in-process) or "coordinator"
+  double ms = 0;
+  double qps = 0;
+};
+
+}  // namespace
+
+int main() {
+  const size_t terms = bench::EnvSize("EMBELLISH_BENCH_TERMS", 2000);
+  const size_t docs = bench::EnvSize("EMBELLISH_BENCH_DOCS", 300);
+  const size_t key_bits = bench::EnvSize("EMBELLISH_BENCH_KEYLEN", 256);
+  const size_t num_queries = bench::EnvSize("EMBELLISH_BENCH_QUERIES", 12);
+  const char* json_path_env = std::getenv("EMBELLISH_BENCH_JSON");
+  const std::string json_path =
+      (json_path_env != nullptr && *json_path_env != '\0')
+          ? json_path_env
+          : "BENCH_coordinator.json";
+
+  std::printf("== Remote-shard coordinator: %zu queries per path, KeyLen %zu "
+              "==\n\n", num_queries, key_bits);
+
+  bench::RetrievalFixture fixture = bench::RetrievalFixture::Build(terms, docs);
+  core::BucketOrganization org = fixture.Buckets(/*bktsz=*/4);
+
+  // One session speaking the framed protocol; its uplink bytes are reused
+  // verbatim against every server configuration.
+  crypto::BenalohKeyOptions ko;
+  ko.key_bits = key_bits;
+  ko.r = 59049;
+  auto client = server::SessionClient::Create(1, &org, ko, /*seed=*/2028);
+  if (!client.ok()) {
+    std::fprintf(stderr, "client: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(2029);
+  std::vector<std::vector<uint8_t>> requests;
+  requests.push_back(client->HelloFrame());
+  for (auto& q : fixture.RandomQueries(num_queries, /*query_size=*/2, &rng)) {
+    auto pr = client->QueryFrame(q);
+    if (!pr.ok()) {
+      std::fprintf(stderr, "query: %s\n", pr.status().ToString().c_str());
+      return 1;
+    }
+    requests.push_back(std::move(*pr));
+    requests.push_back(server::EncodeFrame(server::FrameKind::kTopKQuery, 1,
+                                           server::EncodeTopKQuery(10, q)));
+  }
+  // One PIR execution per run, addressed to shard 0 so the same bytes are
+  // valid on every configuration (shard 0's field == the plain bucket).
+  auto pir_slot = org.Locate(fixture.built.index.IndexedTerms()[11]);
+  if (!pir_slot.ok()) return 1;
+  auto pir_client = crypto::PirClient::Create(key_bits, &rng);
+  if (!pir_client.ok()) return 1;
+  auto pir_query = pir_client->BuildQuery(
+      pir_slot->slot, org.bucket(pir_slot->bucket).size(), &rng);
+  if (!pir_query.ok()) return 1;
+  requests.push_back(server::EncodeFrame(
+      server::FrameKind::kPirQuery, 1,
+      server::EncodePirQuery(pir_slot->bucket, *pir_query)));
+
+  // Monolithic reference responses. Caches off everywhere: this measures
+  // the answer path, not the cache.
+  server::EmbellishServerOptions base;
+  base.cache_capacity = 0;
+  server::EmbellishServer mono(&fixture.built.index, &org, nullptr, base);
+  std::vector<std::vector<uint8_t>> reference;
+  double mono_ms = 0;
+  {
+    Stopwatch sw;
+    for (const auto& request : requests) {
+      reference.push_back(mono.HandleFrame(request));
+    }
+    mono_ms = sw.ElapsedMillis();
+  }
+
+  std::vector<ConfigResult> results;
+  bool identical = true;
+
+  // The PIR request addresses (shard 0, bucket): its answer is shard 0's
+  // fragment, which legitimately depends on the shard count — so the PIR
+  // frame is compared coordinator-vs-sharded per configuration, while the
+  // PR and top-k frames must match the monolithic bytes everywhere.
+  const size_t pir_index = requests.size() - 1;
+
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    // (b) In-process sharded server: the per-configuration reference.
+    std::vector<std::vector<uint8_t>> shard_reference(requests.size());
+    {
+      server::EmbellishServerOptions options = base;
+      options.shard_count = shards;
+      server::EmbellishServer sharded(&fixture.built.index, &org, nullptr,
+                                      options);
+      ConfigResult r{shards, "sharded", 0, 0};
+      Stopwatch sw;
+      for (size_t i = 0; i < requests.size(); ++i) {
+        shard_reference[i] = sharded.HandleFrame(requests[i]);
+        // The hello-ok advertises the configuration's own topology; every
+        // other frame except the shard-scoped PIR answer must match the
+        // monolithic bytes.
+        if (i > 0 && i != pir_index && shard_reference[i] != reference[i]) {
+          identical = false;
+        }
+      }
+      r.ms = sw.ElapsedMillis();
+      r.qps = 1000.0 * static_cast<double>(requests.size() - 1) / r.ms;
+      results.push_back(std::move(r));
+    }
+
+    // (c) Coordinator over slice servers behind in-process transports.
+    {
+      std::vector<std::unique_ptr<server::EmbellishServer>> slices;
+      std::vector<std::unique_ptr<server::ShardEndpoint>> endpoints;
+      std::vector<std::unique_ptr<server::InProcessTransport>> transports;
+      std::vector<server::ShardTransport*> raw;
+      for (size_t s = 0; s < shards; ++s) {
+        server::EmbellishServerOptions options = base;
+        options.shard_slice = s;
+        options.shard_slice_count = shards;
+        slices.push_back(std::make_unique<server::EmbellishServer>(
+            &fixture.built.index, &org, nullptr, options));
+        endpoints.push_back(std::make_unique<server::ShardEndpoint>(
+            slices.back().get(), s));
+        transports.push_back(std::make_unique<server::InProcessTransport>(
+            endpoints.back().get()));
+        raw.push_back(transports.back().get());
+      }
+      server::ShardCoordinator coordinator(raw);
+      if (!coordinator.Handshake().ok()) {
+        std::fprintf(stderr, "handshake failed at %zu shards\n", shards);
+        return 1;
+      }
+      ConfigResult r{shards, "coordinator", 0, 0};
+      Stopwatch sw;
+      for (size_t i = 0; i < requests.size(); ++i) {
+        auto response = coordinator.HandleFrame(requests[i]);
+        // Including the hello-ok and the PIR frame: the coordinator must be
+        // byte-for-byte indistinguishable from the in-process sharded
+        // server at the same shard count.
+        if (response != shard_reference[i]) identical = false;
+      }
+      r.ms = sw.ElapsedMillis();
+      r.qps = 1000.0 * static_cast<double>(requests.size() - 1) / r.ms;
+      results.push_back(std::move(r));
+    }
+  }
+
+  std::vector<std::vector<std::string>> table;
+  for (const ConfigResult& r : results) {
+    table.push_back({std::to_string(r.shards), r.mode,
+                     StringPrintf("%.1f", r.ms),
+                     StringPrintf("%.1f", r.qps),
+                     StringPrintf("%.2fx", mono_ms / r.ms)});
+  }
+  bench::PrintTable({"shards", "mode", "total ms", "frames/s", "vs mono"},
+                    table);
+  std::printf("\nmonolithic server: %.1f ms (%zu frames)\n", mono_ms,
+              requests.size());
+
+  bench::ShapeCheck(identical,
+                    "every sharded and coordinator response frame is "
+                    "bit-identical to the monolithic server's (PR, PIR and "
+                    "top-k paths)");
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fig_coordinator\",\n"
+               "  \"queries\": %zu,\n"
+               "  \"key_bits\": %zu,\n"
+               "  \"monolithic_ms\": %.2f,\n"
+               "  \"bit_identical\": %s,\n"
+               "  \"configs\": [\n",
+               num_queries, key_bits, mono_ms, identical ? "true" : "false");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"mode\": \"%s\", \"ms\": %.2f, "
+                 "\"fps\": %.2f}%s\n",
+                 r.shards, r.mode.c_str(), r.ms, r.qps,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // Exit status reflects correctness only (bit-identity); wall-clock shape
+  // is informational so a noisy 1-core runner cannot fail CI.
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,205 @@
+// Remote shards walkthrough: one coordinator process, N shard processes,
+// loopback TCP — the deployment the ShardCoordinator exists for.
+//
+//   1. build the shared substrate (lexicon, buckets, corpus, index);
+//   2. bind one loopback listener per shard, then fork N children; each
+//      child stands up an EmbellishServer in slice mode (shard_slice = s)
+//      and serves frames on its inherited listener;
+//   3. the parent connects a TcpTransport per shard, handshakes a
+//      ShardCoordinator (liveness + topology discovery + epoch fencing);
+//   4. a session registers and runs PR, plaintext top-k and PIR queries
+//      through the coordinator — and the response bytes are compared
+//      against a local monolithic server (they must be identical);
+//   5. one shard is killed to show the failure semantics: the PR fan-out
+//      answers with a typed Unavailable error, a PIR request addressed to a
+//      surviving shard still answers;
+//   6. the children are reaped and the accounting printed.
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "embellish.h"
+
+using namespace embellish;
+
+namespace {
+
+constexpr size_t kShards = 3;
+
+int RunShardProcess(int listen_fd, size_t shard,
+                    const index::InvertedIndex& index,
+                    const core::BucketOrganization& buckets) {
+  server::EmbellishServerOptions options;
+  options.shard_slice = shard;
+  options.shard_slice_count = kShards;
+  server::EmbellishServer slice(&index, &buckets, nullptr, options);
+  server::ShardEndpoint endpoint(&slice, shard);
+  (void)server::ServeShardConnections(listen_fd, &endpoint);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  // ---- 1. Shared substrate (deterministic, so every process agrees) ----
+  wordnet::SyntheticWordNetOptions wo;
+  wo.target_term_count = 2000;
+  wo.seed = 42;
+  auto lexicon = wordnet::GenerateSyntheticWordNet(wo);
+  if (!lexicon.ok()) return 1;
+  auto specificity = core::SpecificityMap::FromHypernymDepth(*lexicon);
+  auto sequences = core::SequenceDictionary(*lexicon);
+  core::BucketizerOptions bo;
+  bo.bucket_size = 4;
+  bo.segment_size = 64;
+  auto buckets = core::FormBuckets(sequences, specificity, bo);
+  if (!buckets.ok()) return 1;
+  corpus::SyntheticCorpusOptions co;
+  co.num_docs = 300;
+  co.seed = 43;
+  auto corp = corpus::GenerateSyntheticCorpus(*lexicon, co);
+  if (!corp.ok()) return 1;
+  auto built = index::BuildIndex(*corp, {});
+  if (!built.ok()) return 1;
+  std::printf("substrate: %zu terms, %zu buckets, %zu docs\n",
+              lexicon->term_count(), buckets->bucket_count(),
+              corp->document_count());
+
+  // ---- 2. One listener + one forked shard process per slice ----
+  std::vector<pid_t> children;
+  std::vector<uint16_t> ports;
+  for (size_t s = 0; s < kShards; ++s) {
+    uint16_t port = 0;
+    auto listen_fd = server::ListenOnLoopback(&port);
+    if (!listen_fd.ok()) {
+      std::fprintf(stderr, "listen: %s\n",
+                   listen_fd.status().ToString().c_str());
+      return 1;
+    }
+    pid_t pid = fork();
+    if (pid < 0) return 1;
+    if (pid == 0) {
+      // Child: serve this slice until killed.
+      _exit(RunShardProcess(*listen_fd, s, built->index, *buckets));
+    }
+    close(*listen_fd);  // the child owns its listener now
+    children.push_back(pid);
+    ports.push_back(port);
+    std::printf("shard %zu: pid %d serving 127.0.0.1:%u\n", s, pid, port);
+  }
+
+  // ---- 3. Coordinator over TCP transports ----
+  std::vector<std::unique_ptr<server::TcpTransport>> transports;
+  std::vector<server::ShardTransport*> raw;
+  for (size_t s = 0; s < kShards; ++s) {
+    auto transport = server::TcpTransport::Connect("127.0.0.1", ports[s]);
+    if (!transport.ok()) {
+      std::fprintf(stderr, "connect shard %zu: %s\n", s,
+                   transport.status().ToString().c_str());
+      return 1;
+    }
+    transports.push_back(std::move(*transport));
+    raw.push_back(transports.back().get());
+  }
+  server::ShardCoordinator coordinator(raw);
+  Status handshake = coordinator.Handshake();
+  if (!handshake.ok()) {
+    std::fprintf(stderr, "handshake: %s\n", handshake.ToString().c_str());
+    return 1;
+  }
+  std::printf("coordinator: %zu shards handshaken, %zu buckets advertised\n",
+              coordinator.shard_count(), coordinator.bucket_count());
+
+  // ---- 4. Queries through the coordinator, checked against a local
+  //         monolithic server ----
+  server::EmbellishServer mono(&built->index, &*buckets, nullptr);
+  crypto::BenalohKeyOptions ko;
+  ko.key_bits = 256;
+  auto session = server::SessionClient::Create(7, &*buckets, ko, /*seed=*/9);
+  if (!session.ok()) return 1;
+  mono.HandleFrame(session->HelloFrame());
+  auto hello_resp = coordinator.HandleFrame(session->HelloFrame());
+  auto hello_frame = server::DecodeFrame(hello_resp);
+  if (!hello_frame.ok() ||
+      hello_frame->kind != server::FrameKind::kHelloOk) {
+    std::fprintf(stderr, "hello failed\n");
+    return 1;
+  }
+
+  auto terms = built->index.IndexedTerms();
+  std::vector<wordnet::TermId> genuine{terms[10], terms[25]};
+  bool identical = true;
+
+  auto pr_request = session->QueryFrame(genuine);
+  if (!pr_request.ok()) return 1;
+  auto pr_remote = coordinator.HandleFrame(*pr_request);
+  identical = identical && pr_remote == mono.HandleFrame(*pr_request);
+  auto top = session->DecodeResultFrame(pr_remote, /*k=*/5);
+  if (top.ok() && !top->empty()) {
+    std::printf("PR over %zu processes: top doc %u (score %llu)\n", kShards,
+                (*top)[0].doc,
+                static_cast<unsigned long long>((*top)[0].score));
+  }
+
+  auto topk_request = server::EncodeFrame(
+      server::FrameKind::kTopKQuery, 7, server::EncodeTopKQuery(5, genuine));
+  auto topk_remote = coordinator.HandleFrame(topk_request);
+  identical = identical && topk_remote == mono.HandleFrame(topk_request);
+
+  Rng rng(11);
+  auto slot = buckets->Locate(terms[10]);
+  auto pir_client = crypto::PirClient::Create(256, &rng);
+  if (!slot.ok() || !pir_client.ok()) return 1;
+  auto pir_query = pir_client->BuildQuery(
+      slot->slot, buckets->bucket(slot->bucket).size(), &rng);
+  if (!pir_query.ok()) return 1;
+  auto pir_request = [&](size_t shard) {
+    return server::EncodeFrame(
+        server::FrameKind::kPirQuery, 7,
+        server::EncodePirQuery(coordinator.PirBucketField(shard, slot->bucket),
+                               *pir_query));
+  };
+  auto pir_resp = server::DecodeFrame(coordinator.HandleFrame(pir_request(0)));
+  std::printf("byte-identity vs local monolithic server: %s; PIR(shard 0): "
+              "%s\n", identical ? "PASS" : "FAIL",
+              pir_resp.ok() && pir_resp->kind == server::FrameKind::kPirResult
+                  ? "answered" : "failed");
+
+  // ---- 5. Kill one shard: typed errors, surviving shards unaffected ----
+  kill(children[1], SIGKILL);
+  waitpid(children[1], nullptr, 0);
+  auto degraded = coordinator.HandleFrame(*pr_request);
+  auto degraded_frame = server::DecodeFrame(degraded);
+  if (degraded_frame.ok() &&
+      degraded_frame->kind == server::FrameKind::kError) {
+    Status transported;
+    if (server::DecodeError(degraded_frame->payload, &transported).ok()) {
+      std::printf("shard 1 killed -> PR fan-out answers: %s\n",
+                  transported.ToString().c_str());
+    }
+  }
+  auto survivor = server::DecodeFrame(coordinator.HandleFrame(pir_request(2)));
+  std::printf("PIR to surviving shard 2: %s\n",
+              survivor.ok() && survivor->kind == server::FrameKind::kPirResult
+                  ? "still answered" : "failed");
+
+  // ---- 6. Teardown + accounting ----
+  transports.clear();  // closes connections so children's serve loops idle
+  for (size_t s = 0; s < kShards; ++s) {
+    if (s == 1) continue;  // already reaped
+    kill(children[s], SIGKILL);
+    waitpid(children[s], nullptr, 0);
+  }
+  auto stats = coordinator.stats();
+  std::printf("coordinator: %llu frames, %llu shard trips, %llu shard "
+              "failures, %llu errors\n",
+              static_cast<unsigned long long>(stats.frames),
+              static_cast<unsigned long long>(stats.shard_trips),
+              static_cast<unsigned long long>(stats.shard_failures),
+              static_cast<unsigned long long>(stats.errors));
+  return identical ? 0 : 1;
+}

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "CryptoError";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kInternal = 7,
   kCryptoError = 8,
   kIoError = 9,
+  kUnavailable = 10,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -68,6 +69,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +88,7 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsCryptoError() const { return code_ == StatusCode::kCryptoError; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;

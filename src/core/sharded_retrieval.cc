@@ -35,6 +35,25 @@ ShardedPrivateRetrievalServer::ShardedPrivateRetrievalServer(
   }
 }
 
+EncryptedResult MergeShardResults(std::vector<EncryptedResult> per_shard) {
+  EncryptedResult merged;
+  size_t total = 0;
+  for (const EncryptedResult& p : per_shard) total += p.candidates.size();
+  merged.candidates.reserve(total);
+  for (EncryptedResult& p : per_shard) {
+    merged.candidates.insert(merged.candidates.end(),
+                             std::make_move_iterator(p.candidates.begin()),
+                             std::make_move_iterator(p.candidates.end()));
+  }
+  // Documents are shard-disjoint, so re-sorting by doc id restores exactly
+  // the canonical order the monolithic server emits.
+  std::sort(merged.candidates.begin(), merged.candidates.end(),
+            [](const EncryptedCandidate& a, const EncryptedCandidate& b) {
+              return a.doc < b.doc;
+            });
+  return merged;
+}
+
 Result<EncryptedResult> ShardedPrivateRetrievalServer::Process(
     const EmbellishedQuery& query, const crypto::BenalohPublicKey& pk,
     RetrievalCosts* costs) const {
@@ -47,28 +66,16 @@ Result<EncryptedResult> ShardedPrivateRetrievalServer::Process(
     partial[s] = servers_[s].Process(query, pk, &shard_costs[s]);
   });
 
-  EncryptedResult merged;
-  size_t total = 0;
+  std::vector<EncryptedResult> results;
+  results.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
     EMB_RETURN_NOT_OK(partial[s].status());
-    total += partial[s]->candidates.size();
+    results.push_back(std::move(*partial[s]));
   }
-  merged.candidates.reserve(total);
-  for (size_t s = 0; s < shards; ++s) {
-    merged.candidates.insert(merged.candidates.end(),
-                             partial[s]->candidates.begin(),
-                             partial[s]->candidates.end());
-  }
-  // Documents are shard-disjoint, so re-sorting by doc id restores exactly
-  // the canonical order the monolithic server emits.
-  std::sort(merged.candidates.begin(), merged.candidates.end(),
-            [](const EncryptedCandidate& a, const EncryptedCandidate& b) {
-              return a.doc < b.doc;
-            });
   if (costs != nullptr) {
     for (const RetrievalCosts& c : shard_costs) costs->Add(c);
   }
-  return merged;
+  return MergeShardResults(std::move(results));
 }
 
 ShardedPirRetrievalServer::ShardedPirRetrievalServer(

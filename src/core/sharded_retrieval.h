@@ -39,6 +39,14 @@ std::vector<storage::StorageLayout> BuildShardLayouts(
     storage::LayoutPolicy policy,
     const storage::DiskModelOptions& disk_options = {});
 
+/// \brief Merges per-shard Algorithm 4 partial results into the monolithic
+///        encrypted result: concatenate and re-sort by doc id (documents are
+///        shard-disjoint, so the canonical order is restored exactly and the
+///        merged candidate set is bit-identical to the monolithic
+///        evaluation). Shared by ShardedPrivateRetrievalServer and the
+///        remote-shard coordinator. `per_shard` must be in shard order.
+EncryptedResult MergeShardResults(std::vector<EncryptedResult> per_shard);
+
 /// \brief Search-engine side of the PR scheme over shards.
 class ShardedPrivateRetrievalServer {
  public:

@@ -89,5 +89,7 @@
 #include "server/framing.h"          // IWYU pragma: export
 #include "server/response_cache.h"   // IWYU pragma: export
 #include "server/session_client.h"   // IWYU pragma: export
+#include "server/shard_coordinator.h"// IWYU pragma: export
+#include "server/shard_transport.h"  // IWYU pragma: export
 
 #endif  // EMBELLISH_EMBELLISH_H_

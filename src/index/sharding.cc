@@ -91,6 +91,23 @@ Result<ShardedIndex> ShardedIndex::Build(const InvertedIndex& index,
   return ShardedIndex(options, num_docs, std::move(sub));
 }
 
+std::vector<ScoredDoc> MergeShardTopK(
+    const std::vector<std::vector<ScoredDoc>>& per_shard, size_t k) {
+  // Cross-shard merge: any global top-k document is in its own shard's top
+  // k, so merging the (at most shards*k) survivors and truncating yields
+  // the exact global prefix.
+  std::vector<ScoredDoc> merged;
+  size_t total = 0;
+  for (const auto& p : per_shard) total += p.size();
+  merged.reserve(total);
+  for (const auto& p : per_shard) {
+    merged.insert(merged.end(), p.begin(), p.end());
+  }
+  SortByScore(&merged);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
 std::vector<ScoredDoc> EvaluateTopKSharded(
     const ShardedIndex& sharded, const std::vector<wordnet::TermId>& query,
     size_t k, ThreadPool* pool, EvalStats* stats) {
@@ -106,15 +123,7 @@ std::vector<ScoredDoc> EvaluateTopKSharded(
     if (partial[s].size() > k) partial[s].resize(k);
   });
 
-  // Cross-shard merge: any global top-k document is in its own shard's top
-  // k, so merging the (at most shards*k) survivors and truncating yields
-  // the exact global prefix.
-  std::vector<ScoredDoc> merged;
-  for (auto& p : partial) {
-    merged.insert(merged.end(), p.begin(), p.end());
-  }
-  SortByScore(&merged);
-  if (merged.size() > k) merged.resize(k);
+  std::vector<ScoredDoc> merged = MergeShardTopK(partial, k);
 
   if (stats != nullptr) {
     for (const EvalStats& s : shard_stats) {

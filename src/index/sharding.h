@@ -87,6 +87,15 @@ class ShardedIndex {
   std::vector<InvertedIndex> shards_;
 };
 
+/// \brief Merges per-shard top-k lists (each the shard's exact, final-score
+///        top k — documents are shard-disjoint so per-shard scores are
+///        final) into the exact global prefix: concatenate, sort
+///        canonically, truncate to `k`. Shared by EvaluateTopKSharded and
+///        the remote-shard coordinator, whose merged response must be
+///        bit-identical to the in-process evaluation.
+std::vector<ScoredDoc> MergeShardTopK(
+    const std::vector<std::vector<ScoredDoc>>& per_shard, size_t k);
+
 /// \brief Cross-shard top-k: evaluates the query on every shard (fanned out
 ///        over `pool` when supplied, one task per shard) and merges the
 ///        per-shard top-k lists. Documents are disjoint across shards, so

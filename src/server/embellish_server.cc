@@ -2,9 +2,30 @@
 
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "core/wire_format.h"
+#include "index/topk.h"
 
 namespace embellish::server {
+
+std::unique_ptr<index::InvertedIndex> EmbellishServer::BuildSliceIndex(
+    const index::InvertedIndex& index, const EmbellishServerOptions& options) {
+  if (options.shard_slice == SIZE_MAX) return nullptr;
+  // Slice mode composes with a ShardCoordinator, not with in-process
+  // sharding; an invalid configuration serves the full index instead.
+  if (options.shard_count > 1) return nullptr;
+  if (options.shard_slice_count == 0 ||
+      options.shard_slice >= options.shard_slice_count) {
+    return nullptr;
+  }
+  index::ShardingOptions sharding;
+  sharding.shard_count = options.shard_slice_count;
+  sharding.partition = options.shard_partition;
+  auto sharded = index::ShardedIndex::Build(index, sharding);
+  if (!sharded.ok()) return nullptr;
+  return std::make_unique<index::InvertedIndex>(
+      sharded->shard(options.shard_slice));
+}
 
 EmbellishServer::EmbellishServer(const index::InvertedIndex* index,
                                  const core::BucketOrganization* buckets,
@@ -12,13 +33,25 @@ EmbellishServer::EmbellishServer(const index::InvertedIndex* index,
                                  const EmbellishServerOptions& options,
                                  ThreadPool* pool)
     : options_(options),
-      pr_server_(index, buckets, layout, options.disk, options.pr,
-                 /*pool=*/nullptr),
-      pir_server_(index, buckets, layout, options.disk, /*pool=*/nullptr),
+      slice_index_(BuildSliceIndex(*index, options)),
+      slice_layout_(slice_index_ != nullptr && layout != nullptr
+                        ? std::make_unique<storage::StorageLayout>(
+                              storage::StorageLayout::Build(
+                                  *slice_index_, buckets->buckets(),
+                                  layout->policy(), options.disk))
+                        : nullptr),
+      serve_index_(slice_index_ != nullptr ? slice_index_.get() : index),
+      pr_server_(serve_index_, buckets,
+                 slice_layout_ != nullptr ? slice_layout_.get() : layout,
+                 options.disk, options.pr, /*pool=*/nullptr),
+      pir_server_(serve_index_, buckets,
+                  slice_layout_ != nullptr ? slice_layout_.get() : layout,
+                  options.disk, /*pool=*/nullptr),
       pool_(pool),
       bucket_count_(buckets->bucket_count()),
+      sessions_(options.max_sessions, options.session_idle_frames),
       cache_(options.cache_capacity, options.cache_max_bytes) {
-  if (options.shard_count <= 1) return;
+  if (slice_index_ != nullptr || options.shard_count <= 1) return;
 
   index::ShardingOptions sharding;
   sharding.shard_count = options.shard_count;
@@ -58,6 +91,7 @@ std::vector<uint8_t> EmbellishServer::HandleFrame(
     t.hellos += d.hellos;
     t.queries += d.queries;
     t.pir_queries += d.pir_queries;
+    t.topk_queries += d.topk_queries;
     t.errors += d.errors;
     // cache_hits/cache_misses are not per-request deltas; stats() snapshots
     // them straight from the ResponseCache's own counters.
@@ -87,16 +121,14 @@ std::vector<std::vector<uint8_t>> EmbellishServer::HandleBatch(
   return responses;
 }
 
-size_t EmbellishServer::session_count() const {
-  std::shared_lock<std::shared_mutex> lock(sessions_mu_);
-  return sessions_.size();
-}
+size_t EmbellishServer::session_count() const { return sessions_.size(); }
 
 ServerStats EmbellishServer::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   ServerStats snapshot = totals_;
   snapshot.cache_hits = cache_.hits();
   snapshot.cache_misses = cache_.misses();
+  snapshot.sessions_expired = sessions_.expired_total();
   return snapshot;
 }
 
@@ -109,20 +141,20 @@ EmbellishServer::RequestOutcome EmbellishServer::ErrorOutcome(
   return outcome;
 }
 
-EmbellishServer::SessionEntry EmbellishServer::FindSession(
-    uint64_t session_id) const {
-  std::shared_lock<std::shared_mutex> lock(sessions_mu_);
-  auto it = sessions_.find(session_id);
-  return it == sessions_.end() ? SessionEntry{} : it->second;
-}
 
 EmbellishServer::RequestOutcome EmbellishServer::ProcessOne(
     const std::vector<uint8_t>& request) {
+  frame_clock_.fetch_add(1, std::memory_order_relaxed);
   RequestOutcome outcome;
   auto frame = DecodeFrame(request);
   if (!frame.ok()) {
     outcome = ErrorOutcome(0, frame.status());
   } else {
+    // Any decodable frame naming a registered session counts as activity
+    // for the idle-expiry sweep, whatever its kind: PIR- or top-k-only
+    // sessions must not lose their registered key mid-stream.
+    sessions_.Touch(frame->session_id,
+                    frame_clock_.load(std::memory_order_relaxed));
     switch (frame->kind) {
       case FrameKind::kHello:
         outcome = HandleHello(*frame);
@@ -132,6 +164,9 @@ EmbellishServer::RequestOutcome EmbellishServer::ProcessOne(
         break;
       case FrameKind::kPirQuery:
         outcome = HandlePirQuery(*frame);
+        break;
+      case FrameKind::kTopKQuery:
+        outcome = HandleTopK(*frame);
         break;
       default:
         outcome = ErrorOutcome(
@@ -150,18 +185,13 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleHello(
     const Frame& frame) {
   auto pk = DecodeHello(frame.payload);
   if (!pk.ok()) return ErrorOutcome(frame.session_id, pk.status());
-  {
-    std::unique_lock<std::shared_mutex> lock(sessions_mu_);
-    auto it = sessions_.find(frame.session_id);
-    if (it == sessions_.end() && sessions_.size() >= options_.max_sessions) {
-      lock.unlock();
-      return ErrorOutcome(frame.session_id,
-                          Status::FailedPrecondition(
-                              "session table full; hello refused"));
-    }
-    sessions_[frame.session_id] = SessionEntry{
-        std::make_shared<const crypto::BenalohPublicKey>(std::move(*pk)),
-        next_epoch_++};
+  if (!sessions_.Register(
+          frame.session_id,
+          std::make_shared<const crypto::BenalohPublicKey>(std::move(*pk)),
+          frame_clock_.load(std::memory_order_relaxed))) {
+    return ErrorOutcome(frame.session_id,
+                        Status::FailedPrecondition(
+                            "session table full; hello refused"));
   }
   RequestOutcome outcome;
   // The hello-ok advertises the retrieval topology: a client on a sharded
@@ -176,7 +206,7 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleHello(
 
 EmbellishServer::RequestOutcome EmbellishServer::HandleQuery(
     const Frame& frame) {
-  SessionEntry session = FindSession(frame.session_id);
+  SessionTable::Entry session = sessions_.Find(frame.session_id);
   if (session.pk == nullptr) {
     return ErrorOutcome(frame.session_id,
                         Status::FailedPrecondition(
@@ -242,14 +272,24 @@ EmbellishServer::RequestOutcome EmbellishServer::HandlePirQuery(
 
   RequestOutcome outcome;
   // PIR answers depend only on the payload (the modulus travels inside it),
-  // not on any registered key, so the epoch component is constant. Per-shard
-  // answers occupy distinct entries because the payload embeds the
-  // shard-qualified bucket field.
+  // never on any registered key, so entries are keyed *globally* — session
+  // and epoch components pinned to zero — and one session's answer serves
+  // every session that replays the same payload. Because the response frame
+  // header embeds the requester's session id, the cache stores the response
+  // payload and the frame is rebuilt per request: bit-identical bytes for
+  // the same session, correctly addressed for every other. Per-shard
+  // answers still occupy distinct entries because the payload embeds the
+  // shard-qualified bucket field. (PR entries, by contrast, stay keyed by
+  // session *and* registration epoch — their ciphertexts are bound to the
+  // session's key.)
   std::string key;
   if (cache_.enabled()) {
     key = ResponseCache::MakeKey(static_cast<uint8_t>(frame.kind),
-                                 frame.session_id, /*epoch=*/0, frame.payload);
-    if (cache_.Get(key, &outcome.response)) {
+                                 /*session_id=*/0, /*epoch=*/0, frame.payload);
+    std::vector<uint8_t> cached_payload;
+    if (cache_.Get(key, &cached_payload)) {
+      outcome.response = EncodeFrame(FrameKind::kPirResult, frame.session_id,
+                                     cached_payload);
       outcome.delta.pir_queries = 1;
       return outcome;
     }
@@ -274,12 +314,57 @@ EmbellishServer::RequestOutcome EmbellishServer::HandlePirQuery(
   if (!response.ok()) return ErrorOutcome(frame.session_id, response.status());
 
   const size_t value_size = (payload->query.n.BitLength() + 7) / 8;
+  std::vector<uint8_t> response_payload =
+      EncodePirResponse(*response, value_size);
   outcome.response = EncodeFrame(FrameKind::kPirResult, frame.session_id,
-                                 EncodePirResponse(*response, value_size));
-  if (cache_.enabled()) cache_.Put(key, outcome.response);
+                                 response_payload);
+  if (cache_.enabled()) cache_.Put(key, std::move(response_payload));
   outcome.delta.pir_queries = 1;
   outcome.delta.server_cpu_ms = costs.server_cpu_ms;
   outcome.delta.server_io_ms = costs.server_io_ms;
+  return outcome;
+}
+
+EmbellishServer::RequestOutcome EmbellishServer::HandleTopK(
+    const Frame& frame) {
+  auto query = DecodeTopKQuery(frame.payload);
+  if (!query.ok()) return ErrorOutcome(frame.session_id, query.status());
+
+  RequestOutcome outcome;
+  // Plaintext top-k is session-independent, so it shares the global keying
+  // (and per-request re-framing) the PIR path uses.
+  std::string key;
+  if (cache_.enabled()) {
+    key = ResponseCache::MakeKey(static_cast<uint8_t>(frame.kind),
+                                 /*session_id=*/0, /*epoch=*/0, frame.payload);
+    std::vector<uint8_t> cached_payload;
+    if (cache_.Get(key, &cached_payload)) {
+      outcome.response = EncodeFrame(FrameKind::kTopKResult, frame.session_id,
+                                     cached_payload);
+      outcome.delta.topk_queries = 1;
+      return outcome;
+    }
+  }
+
+  CpuStopwatch cpu;
+  std::vector<index::ScoredDoc> top;
+  if (sharded_index_ != nullptr) {
+    top = index::EvaluateTopKSharded(*sharded_index_, query->terms, query->k,
+                                     shard_pool_.get());
+  } else {
+    // Full accumulation, not Figure 10 early termination: wire responses
+    // must be configuration-independent so a coordinator merge over slice
+    // servers is bit-identical to any monolithic answer, and the
+    // early-terminated scores are order-dependent lower bounds.
+    top = index::EvaluateFull(*serve_index_, query->terms);
+    if (top.size() > query->k) top.resize(query->k);
+  }
+  std::vector<uint8_t> response_payload = EncodeTopKResult(top);
+  outcome.response = EncodeFrame(FrameKind::kTopKResult, frame.session_id,
+                                 response_payload);
+  if (cache_.enabled()) cache_.Put(key, std::move(response_payload));
+  outcome.delta.topk_queries = 1;
+  outcome.delta.server_cpu_ms = cpu.ElapsedMillis();
   return outcome;
 }
 

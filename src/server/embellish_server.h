@@ -6,9 +6,11 @@
 // is the piece that serves those queries as real traffic. Frames from many
 // concurrent sessions are accepted, decoded, dispatched, and answered:
 //
-//   kHello     registers the session's Benaloh public key,
-//   kQuery     runs Algorithm 4 over the inverted index (PR scheme),
-//   kPirQuery  runs one Kushilevitz–Ostrovsky execution against one bucket.
+//   kHello      registers the session's Benaloh public key,
+//   kQuery      runs Algorithm 4 over the inverted index (PR scheme),
+//   kPirQuery   runs one Kushilevitz–Ostrovsky execution against one bucket,
+//   kTopKQuery  runs a plaintext top-k evaluation (the full-accumulation
+//               prefix, so the answer bytes are sharding-independent).
 //
 // HandleBatch fans a batch of request frames out over the shared ThreadPool
 // — parallelism comes from concurrent *requests*, so the per-request answer
@@ -26,6 +28,12 @@
 // carries shard * bucket_count + bucket, each shard answers independently
 // behind its own mutex, and cache entries are keyed per shard.
 //
+// Slice mode (options.shard_slice set): the server owns one slice of an
+// N-way document partition and behaves as a monolithic server over it —
+// the remote-shard deployment, one process per slice behind a
+// ShardCoordinator (server/shard_coordinator.h) that merges the slices'
+// answers back into the monolithic bytes.
+//
 // Every request produces a response frame; malformed or failing requests are
 // answered with a kError frame carrying the transported Status, so one
 // hostile client cannot take the loop down.
@@ -33,6 +41,7 @@
 #ifndef EMBELLISH_SERVER_EMBELLISH_SERVER_H_
 #define EMBELLISH_SERVER_EMBELLISH_SERVER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -46,6 +55,7 @@
 #include "index/sharding.h"
 #include "server/framing.h"
 #include "server/response_cache.h"
+#include "server/session_table.h"
 
 namespace embellish::server {
 
@@ -62,6 +72,18 @@ struct EmbellishServerOptions {
   /// are refused (existing sessions may always re-register), bounding the
   /// memory a hostile client can pin with throwaway registrations.
   size_t max_sessions = 65536;
+
+  /// Idle-session expiry horizon, in handled frames (a logical clock — the
+  /// server has no wall clock of its own). A session whose key has not been
+  /// touched for this many frames is swept: superseded and abandoned Benaloh
+  /// keys are released instead of staying resident until the id happens to
+  /// re-hello, so a registration storm of throwaway ids cannot pin
+  /// max_sessions keys forever (and, once the table fills, cannot lock
+  /// genuine new sessions out permanently). Sweeps run amortized — on a
+  /// hello every kSessionSweepStride hellos, and always before refusing a
+  /// fresh id for capacity. 0 disables expiry (sessions live until
+  /// overwritten or the server dies).
+  uint64_t session_idle_frames = 1u << 20;
 
   /// Disk model charged per touched bucket (see storage/block_device.h).
   storage::DiskModelOptions disk;
@@ -89,6 +111,23 @@ struct EmbellishServerOptions {
   /// The knob therefore helps most for low-concurrency / latency-sensitive
   /// traffic.
   size_t shard_threads = 0;
+
+  /// Slice mode: serve exactly shard `shard_slice` of a
+  /// `shard_slice_count`-way document partition of the index — the
+  /// remote-shard deployment, one process per slice behind a
+  /// ShardCoordinator (server/shard_coordinator.h). The server behaves as a
+  /// monolithic server over the slice's sub-index: PR queries answer only
+  /// the slice's documents, kPirQuery bucket fields are slice-local, and
+  /// the hello-ok advertises shard_count 1 (the *coordinator* owns the
+  /// global topology). SIZE_MAX (the default) disables slice mode. Mutually
+  /// exclusive with shard_count > 1; an invalid slice configuration
+  /// (slice >= count, or combined with in-process sharding) falls back to
+  /// serving the full index and is flagged by slice_config_invalid() — a
+  /// ShardEndpoint refuses to serve such a server.
+  size_t shard_slice = SIZE_MAX;
+
+  /// Total slices of the partition `shard_slice` addresses.
+  size_t shard_slice_count = 1;
 };
 
 /// \brief Aggregate counters; a consistent snapshot is returned by stats().
@@ -97,8 +136,10 @@ struct ServerStats {
   uint64_t hellos = 0;        ///< sessions (re-)registered
   uint64_t queries = 0;       ///< PR queries answered (cache hits included)
   uint64_t pir_queries = 0;   ///< PIR executions answered
+  uint64_t topk_queries = 0;  ///< plaintext top-k queries answered
   uint64_t errors = 0;        ///< kError responses produced
   uint64_t batches = 0;       ///< HandleBatch calls
+  uint64_t sessions_expired = 0;  ///< idle sessions swept (keys released)
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t uplink_bytes = 0;    ///< request frame bytes accepted
@@ -133,9 +174,28 @@ class EmbellishServer {
   /// \brief Number of registered sessions.
   size_t session_count() const;
 
-  /// \brief Configured shard count (1 = monolithic).
+  /// \brief Configured shard count (1 = monolithic; a slice server is
+  ///        monolithic over its slice).
   size_t shard_count() const {
     return sharded_index_ != nullptr ? sharded_index_->shard_count() : 1;
+  }
+
+  /// \brief Buckets in the organization this server answers against.
+  size_t bucket_count() const { return bucket_count_; }
+
+  /// \brief True when this server serves one slice of a document partition
+  ///        (see EmbellishServerOptions::shard_slice).
+  bool serves_slice() const { return slice_index_ != nullptr; }
+
+  /// \brief True when slice mode was requested but the configuration was
+  ///        invalid (slice >= count, zero count, or combined with
+  ///        in-process sharding), so the server fell back to the full
+  ///        index. A ShardEndpoint refuses to serve such a server: a
+  ///        misconfigured slice behind a coordinator would merge
+  ///        overlapping document sets and silently diverge from the
+  ///        monolithic answer, which must fail loudly instead.
+  bool slice_config_invalid() const {
+    return options_.shard_slice != SIZE_MAX && slice_index_ == nullptr;
   }
 
   /// \brief The shard-qualified bucket field a kPirQuery frame must carry
@@ -158,25 +218,24 @@ class EmbellishServer {
     ServerStats delta;
   };
 
-  // A registered session: the key plus a monotonically increasing
-  // registration epoch. The epoch is folded into cache keys so a re-hello
-  // (new public key, same session id) can never be answered with a cached
-  // response encrypted under the superseded key.
-  struct SessionEntry {
-    std::shared_ptr<const crypto::BenalohPublicKey> pk;
-    uint64_t epoch = 0;
-  };
-
   RequestOutcome ProcessOne(const std::vector<uint8_t>& request);
   RequestOutcome HandleHello(const Frame& frame);
   RequestOutcome HandleQuery(const Frame& frame);
   RequestOutcome HandlePirQuery(const Frame& frame);
+  RequestOutcome HandleTopK(const Frame& frame);
   static RequestOutcome ErrorOutcome(uint64_t session_id,
                                      const Status& status);
 
-  SessionEntry FindSession(uint64_t session_id) const;
+  // Slice mode: the owned sub-index (and its layout) this server answers
+  // from; null when serving the caller's full index. Built before the
+  // answer engines so their construction can point at the slice.
+  static std::unique_ptr<index::InvertedIndex> BuildSliceIndex(
+      const index::InvertedIndex& index, const EmbellishServerOptions& options);
 
   const EmbellishServerOptions options_;
+  std::unique_ptr<index::InvertedIndex> slice_index_;
+  std::unique_ptr<storage::StorageLayout> slice_layout_;
+  const index::InvertedIndex* serve_index_;  // slice or caller's index
   const core::PrivateRetrievalServer pr_server_;  // built with a null pool
   const core::PirRetrievalServer pir_server_;     // built with a null pool
   ThreadPool* pool_;  // not owned; null => serial batches
@@ -189,9 +248,14 @@ class EmbellishServer {
   std::unique_ptr<core::ShardedPrivateRetrievalServer> sharded_pr_;
   std::unique_ptr<core::ShardedPirRetrievalServer> sharded_pir_;
 
-  mutable std::shared_mutex sessions_mu_;
-  std::unordered_map<uint64_t, SessionEntry> sessions_;
-  uint64_t next_epoch_ = 1;  // guarded by sessions_mu_
+  // Registered sessions: the key plus a registration epoch folded into
+  // cache keys so a re-hello can never be answered with a cached response
+  // encrypted under a superseded key; idle entries expire (see
+  // session_idle_frames and server/session_table.h).
+  SessionTable sessions_;
+
+  // Logical clock for session idle tracking: handled frames.
+  std::atomic<uint64_t> frame_clock_{0};
 
   // PirRetrievalServer's lazy matrix cache is not thread-safe; batch workers
   // serialize PIR answers through this mutex (PR queries run concurrently).

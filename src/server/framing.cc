@@ -76,7 +76,7 @@ void PutPaddedBigInt(std::vector<uint8_t>* out, const bignum::BigInt& v,
 
 bool IsKnownFrameKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(FrameKind::kHello) &&
-         kind <= static_cast<uint8_t>(FrameKind::kError);
+         kind <= static_cast<uint8_t>(FrameKind::kShardResponse);
 }
 
 uint32_t Fnv1a32(const uint8_t* data, size_t size, uint32_t seed) {
@@ -265,6 +265,9 @@ Status DecodeError(const std::vector<uint8_t>& payload, Status* out) {
     case StatusCode::kIoError:
       *out = Status::IoError(std::move(msg));
       return Status::OK();
+    case StatusCode::kUnavailable:
+      *out = Status::Unavailable(std::move(msg));
+      return Status::OK();
     case StatusCode::kOk:
       break;  // an OK code in an error frame is itself corruption
   }
@@ -350,6 +353,115 @@ Result<crypto::PirResponse> DecodePirResponse(
     EMB_ASSIGN_OR_RETURN(bignum::BigInt g, reader.ReadBigInt(value_size));
     out.gamma.push_back(std::move(g));
   }
+  EMB_RETURN_NOT_OK(reader.ExpectDone());
+  return out;
+}
+
+// --- Top-k ------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeTopKQuery(
+    size_t k, const std::vector<wordnet::TermId>& terms) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + terms.size() * 4);
+  PutU32(&out, k > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(k));
+  PutU32(&out, static_cast<uint32_t>(terms.size()));
+  for (wordnet::TermId t : terms) PutU32(&out, t);
+  return out;
+}
+
+Result<TopKQueryPayload> DecodeTopKQuery(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  EMB_ASSIGN_OR_RETURN(uint32_t k, reader.ReadU32());
+  EMB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  // Bound the attacker-controlled count by the bytes present before any
+  // size arithmetic, like every other count field in this protocol.
+  if (count > reader.remaining() / 4) {
+    return Status::Corruption(StringPrintf(
+        "top-k query declares %u terms but holds %zu payload bytes", count,
+        reader.remaining()));
+  }
+  TopKQueryPayload out;
+  out.k = k;
+  out.terms.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    EMB_ASSIGN_OR_RETURN(uint32_t term, reader.ReadU32());
+    out.terms.push_back(term);
+  }
+  EMB_RETURN_NOT_OK(reader.ExpectDone());
+  return out;
+}
+
+std::vector<uint8_t> EncodeTopKResult(
+    const std::vector<index::ScoredDoc>& docs) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + docs.size() * 12);
+  PutU32(&out, static_cast<uint32_t>(docs.size()));
+  for (const index::ScoredDoc& d : docs) {
+    PutU32(&out, d.doc);
+    PutU64(&out, d.score);
+  }
+  return out;
+}
+
+Result<std::vector<index::ScoredDoc>> DecodeTopKResult(
+    const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  EMB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  if (count > reader.remaining() / 12) {
+    return Status::Corruption(StringPrintf(
+        "top-k result declares %u docs but holds %zu payload bytes", count,
+        reader.remaining()));
+  }
+  std::vector<index::ScoredDoc> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    index::ScoredDoc d;
+    EMB_ASSIGN_OR_RETURN(d.doc, reader.ReadU32());
+    EMB_ASSIGN_OR_RETURN(d.score, reader.ReadU64());
+    out.push_back(d);
+  }
+  EMB_RETURN_NOT_OK(reader.ExpectDone());
+  return out;
+}
+
+// --- Shard envelope ---------------------------------------------------------
+
+std::vector<uint8_t> EncodeShardEnvelope(size_t shard_id, uint64_t epoch,
+                                         uint64_t seq,
+                                         const std::vector<uint8_t>& inner) {
+  std::vector<uint8_t> out;
+  out.reserve(24 + inner.size());
+  // Saturate rather than wrap, mirroring EncodePirQuery's bucket field: an
+  // oversized shard id must decode to the reserved sentinel the decoder
+  // rejects, never alias shard (id mod 2^32).
+  PutU32(&out, shard_id > UINT32_MAX ? UINT32_MAX
+                                     : static_cast<uint32_t>(shard_id));
+  PutU64(&out, epoch);
+  PutU64(&out, seq);
+  PutU32(&out, static_cast<uint32_t>(inner.size()));
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+Result<ShardEnvelope> DecodeShardEnvelope(
+    const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  EMB_ASSIGN_OR_RETURN(uint32_t shard_id, reader.ReadU32());
+  if (shard_id == UINT32_MAX) {
+    return Status::Corruption(
+        "shard id is the reserved saturation sentinel");
+  }
+  ShardEnvelope out;
+  out.shard_id = shard_id;
+  EMB_ASSIGN_OR_RETURN(out.epoch, reader.ReadU64());
+  EMB_ASSIGN_OR_RETURN(out.seq, reader.ReadU64());
+  EMB_ASSIGN_OR_RETURN(uint32_t inner_size, reader.ReadU32());
+  if (inner_size != reader.remaining()) {
+    return Status::Corruption(StringPrintf(
+        "shard envelope declares %u inner bytes but carries %zu", inner_size,
+        reader.remaining()));
+  }
+  EMB_ASSIGN_OR_RETURN(out.inner, reader.ReadBytes(inner_size));
   EMB_RETURN_NOT_OK(reader.ExpectDone());
   return out;
 }

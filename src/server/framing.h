@@ -34,6 +34,7 @@
 #include "common/status.h"
 #include "crypto/benaloh.h"
 #include "crypto/pir.h"
+#include "index/topk.h"
 
 namespace embellish::server {
 
@@ -50,13 +51,17 @@ inline constexpr size_t kMaxHelloValueBytes = 8192;
 /// \brief What a frame carries. Requests flow client -> server, responses
 ///        server -> client.
 enum class FrameKind : uint8_t {
-  kHello = 1,      ///< request: register the session's Benaloh public key
-  kHelloOk = 2,    ///< response: registration acknowledged (empty payload)
-  kQuery = 3,      ///< request: core::EncodeQuery bytes (PR scheme)
-  kResult = 4,     ///< response: core::EncodeResult bytes
-  kPirQuery = 5,   ///< request: one PIR execution against one bucket
-  kPirResult = 6,  ///< response: the PIR gamma vector
-  kError = 7,      ///< response: transported Status
+  kHello = 1,          ///< request: register the session's Benaloh public key
+  kHelloOk = 2,        ///< response: registration acknowledged (empty payload)
+  kQuery = 3,          ///< request: core::EncodeQuery bytes (PR scheme)
+  kResult = 4,         ///< response: core::EncodeResult bytes
+  kPirQuery = 5,       ///< request: one PIR execution against one bucket
+  kPirResult = 6,      ///< response: the PIR gamma vector
+  kError = 7,          ///< response: transported Status
+  kTopKQuery = 8,      ///< request: plaintext top-k over the inverted index
+  kTopKResult = 9,     ///< response: the ranked (doc, score) prefix
+  kShardRequest = 10,  ///< coordinator -> shard: shard-scoped envelope
+  kShardResponse = 11, ///< shard -> coordinator: envelope echo + inner frame
 };
 
 /// \brief True for the kinds this protocol version defines.
@@ -128,6 +133,63 @@ std::vector<uint8_t> EncodePirResponse(const crypto::PirResponse& response,
                                        size_t value_size);
 Result<crypto::PirResponse> DecodePirResponse(
     const std::vector<uint8_t>& payload);
+
+/// \brief Plaintext top-k query payload:
+///        [u32 k][u32 term_count][u32 term_id]... The answer is the full
+///        accumulation prefix (EvaluateFull truncated to k) on every server
+///        configuration, so the response bytes are independent of sharding —
+///        the coordinator merge and the monolithic evaluation cannot differ.
+std::vector<uint8_t> EncodeTopKQuery(size_t k,
+                                     const std::vector<wordnet::TermId>& terms);
+struct TopKQueryPayload {
+  size_t k = 0;
+  std::vector<wordnet::TermId> terms;
+};
+Result<TopKQueryPayload> DecodeTopKQuery(const std::vector<uint8_t>& payload);
+
+/// \brief Top-k response payload: [u32 count]([u32 doc][u64 score])..., in
+///        canonical (score desc, doc asc) order.
+std::vector<uint8_t> EncodeTopKResult(const std::vector<index::ScoredDoc>& docs);
+Result<std::vector<index::ScoredDoc>> DecodeTopKResult(
+    const std::vector<uint8_t>& payload);
+
+// --- Shard envelope ---------------------------------------------------------
+
+/// \brief The shard-scoped envelope a coordinator wraps downstream requests
+///        in (kShardRequest) and a shard echoes on its responses
+///        (kShardResponse):
+///
+///          [u32 shard_id][u64 coordinator_epoch][u64 seq][u32 inner_size]
+///          [inner frame bytes]
+///
+///        The envelope rides inside a checksummed frame, so every single-bit
+///        flip anywhere in it is detected at the frame layer; the explicit
+///        inner_size additionally pins the inner frame's extent against
+///        truncation that forges a shorter-but-valid outer payload. The
+///        epoch fences out stale coordinators after a takeover, and the seq
+///        echo lets the coordinator detect reordered or replayed responses
+///        on a transport. An empty inner frame (inner_size 0) is a ping: the
+///        shard answers with a kHelloOk advertising its topology, which is
+///        how the coordinator discovers bucket_count and verifies liveness.
+struct ShardEnvelope {
+  size_t shard_id = 0;
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+  std::vector<uint8_t> inner;  ///< a complete frame, or empty for a ping
+};
+
+/// \brief Encodes the envelope. A shard id beyond the u32 wire width
+///        saturates to UINT32_MAX (like EncodePirQuery's bucket field),
+///        which DecodeShardEnvelope rejects as a reserved sentinel — an
+///        overflowed id errors out instead of aliasing another shard.
+std::vector<uint8_t> EncodeShardEnvelope(size_t shard_id, uint64_t epoch,
+                                         uint64_t seq,
+                                         const std::vector<uint8_t>& inner);
+
+/// \brief Parses and validates an envelope payload; Corruption on any
+///        malformed input (truncation, inner_size disagreeing with the bytes
+///        present, trailing garbage, or the UINT32_MAX shard-id sentinel).
+Result<ShardEnvelope> DecodeShardEnvelope(const std::vector<uint8_t>& payload);
 
 }  // namespace embellish::server
 

@@ -51,10 +51,16 @@ class ResponseCache {
   ///        cache generations that identical request bytes must not cross —
   ///        the server passes the session's registration epoch so responses
   ///        encrypted under a superseded public key are never replayed after
-  ///        a re-hello. On a sharded server the entries are keyed per shard
-  ///        through the payload itself: a kPirQuery payload embeds the
-  ///        shard-qualified bucket field, so per-shard answers occupy
-  ///        distinct entries without any extra key component.
+  ///        a re-hello. Session-independent answers (PIR executions and
+  ///        plaintext top-k, which never touch a registered key) pin both
+  ///        `session_id` and `epoch` to zero so one session's entry serves
+  ///        every session replaying the same payload; those paths cache the
+  ///        response payload and rebuild the frame per request, because the
+  ///        frame header embeds the requester's session id. On a sharded
+  ///        server the entries are keyed per shard through the payload
+  ///        itself: a kPirQuery payload embeds the shard-qualified bucket
+  ///        field, so per-shard answers occupy distinct entries without any
+  ///        extra key component.
   static std::string MakeKey(uint8_t kind, uint64_t session_id, uint64_t epoch,
                              const std::vector<uint8_t>& payload);
 

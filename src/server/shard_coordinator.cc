@@ -1,0 +1,483 @@
+#include "server/shard_coordinator.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "core/sharded_retrieval.h"
+#include "core/wire_format.h"
+#include "index/sharding.h"
+
+namespace embellish::server {
+
+ShardCoordinator::ShardCoordinator(std::vector<ShardTransport*> transports,
+                                   const ShardCoordinatorOptions& options,
+                                   ThreadPool* pool)
+    : transports_(std::move(transports)),
+      options_(options),
+      pool_(pool),
+      sessions_(options.max_sessions, options.session_idle_frames) {
+  if (options.fanout_threads > 1) {
+    fanout_pool_ = std::make_unique<ThreadPool>(options.fanout_threads);
+  }
+  transport_mu_.reserve(transports_.size());
+  for (size_t s = 0; s < transports_.size(); ++s) {
+    transport_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+size_t ShardCoordinator::session_count() const { return sessions_.size(); }
+
+CoordinatorStats ShardCoordinator::stats() const {
+  CoordinatorStats snapshot;
+  snapshot.frames = counters_.frames.load(std::memory_order_relaxed);
+  snapshot.hellos = counters_.hellos.load(std::memory_order_relaxed);
+  snapshot.queries = counters_.queries.load(std::memory_order_relaxed);
+  snapshot.pir_queries =
+      counters_.pir_queries.load(std::memory_order_relaxed);
+  snapshot.topk_queries =
+      counters_.topk_queries.load(std::memory_order_relaxed);
+  snapshot.errors = counters_.errors.load(std::memory_order_relaxed);
+  snapshot.shard_trips =
+      counters_.shard_trips.load(std::memory_order_relaxed);
+  snapshot.shard_failures =
+      counters_.shard_failures.load(std::memory_order_relaxed);
+  snapshot.sessions_expired = sessions_.expired_total();
+  return snapshot;
+}
+
+std::vector<uint8_t> ShardCoordinator::ErrorFrame(uint64_t session_id,
+                                                  const Status& status) {
+  Count(&AtomicStats::errors);
+  return EncodeFrame(FrameKind::kError, session_id, EncodeError(status));
+}
+
+std::vector<uint8_t> ShardCoordinator::PassThroughError(
+    uint64_t session_id, const std::vector<uint8_t>& payload) {
+  Count(&AtomicStats::errors);
+  return EncodeFrame(FrameKind::kError, session_id, payload);
+}
+
+Result<Frame> ShardCoordinator::ShardRoundTrip(
+    size_t shard, const std::vector<uint8_t>& inner) {
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint8_t> request =
+      EncodeFrame(FrameKind::kShardRequest, 0,
+                  EncodeShardEnvelope(shard, options_.epoch, seq, inner));
+  Count(&AtomicStats::shard_trips);
+  auto fail = [&](Status status) -> Result<Frame> {
+    Count(&AtomicStats::shard_failures);
+    return status;
+  };
+
+  Result<std::vector<uint8_t>> response = [&] {
+    // Transports are plain blocking channels; one round trip at a time.
+    std::lock_guard<std::mutex> lock(*transport_mu_[shard]);
+    return transports_[shard]->RoundTrip(request);
+  }();
+  if (!response.ok()) {
+    return fail(Status::Unavailable(StringPrintf(
+        "shard %zu transport: %s", shard,
+        response.status().ToString().c_str())));
+  }
+  auto outer = DecodeFrame(*response);
+  if (!outer.ok()) {
+    return fail(Status::Unavailable(StringPrintf(
+        "shard %zu returned a corrupt frame: %s", shard,
+        outer.status().ToString().c_str())));
+  }
+  if (outer->kind == FrameKind::kError) {
+    // An error outside any envelope: the endpoint rejected the envelope
+    // itself (fencing, misrouting, corruption on its side of the wire).
+    Status transported;
+    if (!DecodeError(outer->payload, &transported).ok()) {
+      transported = Status::Corruption("undecodable shard error payload");
+    }
+    return fail(Status::Unavailable(StringPrintf(
+        "shard %zu refused the request: %s", shard,
+        transported.ToString().c_str())));
+  }
+  if (outer->kind != FrameKind::kShardResponse) {
+    return fail(Status::Unavailable(StringPrintf(
+        "shard %zu answered with frame kind %u, not a shard response", shard,
+        static_cast<unsigned>(outer->kind))));
+  }
+  auto envelope = DecodeShardEnvelope(outer->payload);
+  if (!envelope.ok()) {
+    return fail(Status::Unavailable(StringPrintf(
+        "shard %zu response envelope: %s", shard,
+        envelope.status().ToString().c_str())));
+  }
+  // The echo is what catches misrouted, stale-coordinator and reordered
+  // responses before any bytes reach a merge.
+  if (envelope->shard_id != shard || envelope->epoch != options_.epoch ||
+      envelope->seq != seq) {
+    return fail(Status::Unavailable(StringPrintf(
+        "shard %zu response envelope mismatch (shard %zu epoch %llu seq "
+        "%llu; expected %zu/%llu/%llu)",
+        shard, envelope->shard_id,
+        static_cast<unsigned long long>(envelope->epoch),
+        static_cast<unsigned long long>(envelope->seq), shard,
+        static_cast<unsigned long long>(options_.epoch),
+        static_cast<unsigned long long>(seq))));
+  }
+  auto inner_frame = DecodeFrame(envelope->inner);
+  if (!inner_frame.ok()) {
+    return fail(Status::Unavailable(StringPrintf(
+        "shard %zu inner frame: %s", shard,
+        inner_frame.status().ToString().c_str())));
+  }
+  return inner_frame;
+}
+
+std::vector<Result<Frame>> ShardCoordinator::FanOut(
+    const std::vector<uint8_t>& inner) {
+  const size_t shards = transports_.size();
+  std::vector<Result<Frame>> out(
+      shards, Result<Frame>(Status::Internal("shard not contacted")));
+  index::ForEachShard(fanout_pool_.get(), shards, [&](size_t s) {
+    out[s] = ShardRoundTrip(s, inner);
+  });
+  return out;
+}
+
+Status ShardCoordinator::Handshake() {
+  // Lock-free fast path: once handshaken, per-request checks cost one
+  // acquire load instead of contending a mutex across batch workers.
+  if (handshaken_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(handshake_mu_);
+  if (handshaken_.load(std::memory_order_relaxed)) return Status::OK();
+  if (transports_.empty()) {
+    return Status::InvalidArgument("coordinator has no shard transports");
+  }
+  size_t bucket_count = 0;
+  for (size_t s = 0; s < transports_.size(); ++s) {
+    EMB_ASSIGN_OR_RETURN(Frame inner, ShardRoundTrip(s, {}));
+    if (inner.kind != FrameKind::kHelloOk) {
+      return Status::Unavailable(StringPrintf(
+          "shard %zu answered the ping with frame kind %u", s,
+          static_cast<unsigned>(inner.kind)));
+    }
+    EMB_ASSIGN_OR_RETURN(HelloOkPayload topology,
+                         DecodeHelloOk(inner.payload));
+    // A coordinator shard must serve exactly one slice: PIR bucket fields
+    // are rewritten to shard-local addresses, which an internally-sharded
+    // server would misinterpret as shard-qualified.
+    if (topology.shard_count != 1) {
+      return Status::FailedPrecondition(StringPrintf(
+          "shard %zu serves %zu shards; coordinator shards must each serve "
+          "one slice", s, topology.shard_count));
+    }
+    if (s == 0) {
+      bucket_count = topology.bucket_count;
+    } else if (topology.bucket_count != bucket_count) {
+      return Status::FailedPrecondition(StringPrintf(
+          "shard %zu advertises %zu buckets but shard 0 advertises %zu — "
+          "shards must share one bucket organization",
+          s, topology.bucket_count, bucket_count));
+    }
+  }
+  bucket_count_.store(bucket_count, std::memory_order_release);
+  handshaken_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+std::vector<uint8_t> ShardCoordinator::HandleFrame(
+    const std::vector<uint8_t>& request) {
+  std::vector<uint8_t> response = ProcessOne(request);
+  Count(&AtomicStats::frames);
+  return response;
+}
+
+std::vector<std::vector<uint8_t>> ShardCoordinator::HandleBatch(
+    const std::vector<std::vector<uint8_t>>& requests) {
+  std::vector<std::vector<uint8_t>> responses(requests.size());
+  auto handle_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      responses[i] = HandleFrame(requests[i]);
+    }
+  };
+  if (pool_ != nullptr && requests.size() > 1) {
+    pool_->ParallelFor(0, requests.size(), /*min_grain=*/1, handle_range);
+  } else {
+    handle_range(0, requests.size());
+  }
+  return responses;
+}
+
+std::vector<uint8_t> ShardCoordinator::ProcessOne(
+    const std::vector<uint8_t>& request) {
+  frame_clock_.fetch_add(1, std::memory_order_relaxed);
+  auto frame = DecodeFrame(request);
+  if (!frame.ok()) return ErrorFrame(0, frame.status());
+  // Any decodable frame naming a registered session counts as activity for
+  // the idle-expiry sweep, whatever its kind.
+  sessions_.Touch(frame->session_id,
+                  frame_clock_.load(std::memory_order_relaxed));
+  // Lazy handshake: a coordinator that cannot reach its shards answers
+  // every request with a typed error rather than wedging.
+  Status handshake = Handshake();
+  if (!handshake.ok()) return ErrorFrame(frame->session_id, handshake);
+  switch (frame->kind) {
+    case FrameKind::kHello:
+      return HandleHello(*frame, request);
+    case FrameKind::kQuery:
+      return HandleQuery(*frame, request);
+    case FrameKind::kPirQuery:
+      return HandlePirQuery(*frame);
+    case FrameKind::kTopKQuery:
+      return HandleTopK(*frame, request);
+    default:
+      return ErrorFrame(frame->session_id,
+                        Status::InvalidArgument(
+                            "frame kind is not a request"));
+  }
+}
+
+namespace {
+
+// First failed round trip in shard order, for deterministic error frames.
+const Status* FirstFailure(const std::vector<Result<Frame>>& responses) {
+  for (const Result<Frame>& r : responses) {
+    if (!r.ok()) return &r.status();
+  }
+  return nullptr;
+}
+
+// First inner kError in shard order (application-level shard errors pass
+// through to the client unchanged).
+const Frame* FirstInnerError(const std::vector<Result<Frame>>& responses) {
+  for (const Result<Frame>& r : responses) {
+    if (r.ok() && r->kind == FrameKind::kError) return &*r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ShardCoordinator::HandleHello(
+    const Frame& frame, const std::vector<uint8_t>& request) {
+  auto pk = DecodeHello(frame.payload);
+  if (!pk.ok()) return ErrorFrame(frame.session_id, pk.status());
+  // Register at the coordinator first (bounded + idle-expiring, same
+  // semantics as the server's table). If the downstream fan-out then
+  // fails, the registration stays: the self-healing path re-registers the
+  // session on any shard that missed it when the next query arrives.
+  if (!sessions_.Register(
+          frame.session_id,
+          std::make_shared<const crypto::BenalohPublicKey>(std::move(*pk)),
+          frame_clock_.load(std::memory_order_relaxed))) {
+    return ErrorFrame(frame.session_id,
+                      Status::FailedPrecondition(
+                          "session table full; hello refused"));
+  }
+
+  // Forward the hello verbatim so every shard registers the session key
+  // (their per-shard epochs may differ; each shard's cache scoping is its
+  // own business).
+  std::vector<Result<Frame>> responses = FanOut(request);
+  if (const Status* failure = FirstFailure(responses)) {
+    return ErrorFrame(frame.session_id, *failure);
+  }
+  if (const Frame* inner_error = FirstInnerError(responses)) {
+    return PassThroughError(frame.session_id, inner_error->payload);
+  }
+  for (size_t s = 0; s < responses.size(); ++s) {
+    if (responses[s]->kind != FrameKind::kHelloOk ||
+        responses[s]->session_id != frame.session_id) {
+      return ErrorFrame(frame.session_id,
+                        Status::Unavailable(StringPrintf(
+                            "shard %zu answered the hello with an unexpected "
+                            "frame", s)));
+    }
+  }
+  Count(&AtomicStats::hellos);
+  // Advertise the *global* topology: the client addresses PIR executions
+  // via shard-qualified bucket fields exactly as against the in-process
+  // sharded server, and these bytes match that server's hello-ok.
+  return EncodeFrame(FrameKind::kHelloOk, frame.session_id,
+                     EncodeHelloOk(shard_count(), bucket_count()));
+}
+
+bool ShardCoordinator::ReRegisterOnShards(
+    uint64_t session_id, const crypto::BenalohPublicKey& pk) {
+  // EncodeHello reproduces the registration payload deterministically from
+  // the coordinator's copy of the key, so a shard that lost the session —
+  // restart, idle expiry on its side, or a raced re-hello that left it
+  // holding a superseded key — converges back to the coordinator's view.
+  std::vector<uint8_t> hello =
+      EncodeFrame(FrameKind::kHello, session_id, EncodeHello(pk));
+  std::vector<Result<Frame>> responses = FanOut(hello);
+  for (size_t s = 0; s < responses.size(); ++s) {
+    if (!responses[s].ok() ||
+        responses[s]->kind != FrameKind::kHelloOk ||
+        responses[s]->session_id != session_id) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<uint8_t> ShardCoordinator::HandleQuery(
+    const Frame& frame, const std::vector<uint8_t>& request) {
+  std::shared_ptr<const crypto::BenalohPublicKey> pk =
+      sessions_.Find(frame.session_id).pk;
+  if (pk == nullptr) {
+    return ErrorFrame(frame.session_id,
+                      Status::FailedPrecondition(
+                          "session has not sent a hello frame"));
+  }
+
+  // Up to two passes: if a shard turns out to have lost (or to hold a
+  // superseded copy of) this session's registration — it answers
+  // FailedPrecondition, or its partial result fails to decode under the
+  // coordinator's key — the session is re-registered from the
+  // coordinator's table and the query retried once. One stale shard must
+  // not fail the session's queries forever.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool can_repair = attempt == 0;
+    std::vector<Result<Frame>> responses = FanOut(request);
+    if (const Status* failure = FirstFailure(responses)) {
+      return ErrorFrame(frame.session_id, *failure);
+    }
+    if (const Frame* inner_error = FirstInnerError(responses)) {
+      Status transported;
+      const bool lost_session =
+          DecodeError(inner_error->payload, &transported).ok() &&
+          transported.IsFailedPrecondition();
+      if (lost_session && can_repair &&
+          ReRegisterOnShards(frame.session_id, *pk)) {
+        continue;
+      }
+      return PassThroughError(frame.session_id, inner_error->payload);
+    }
+
+    std::vector<core::EncryptedResult> partial;
+    partial.reserve(responses.size());
+    Status decode_failure;
+    for (size_t s = 0; s < responses.size() && decode_failure.ok(); ++s) {
+      const Frame& inner = *responses[s];
+      if (inner.kind != FrameKind::kResult ||
+          inner.session_id != frame.session_id) {
+        return ErrorFrame(frame.session_id,
+                          Status::Unavailable(StringPrintf(
+                              "shard %zu answered the query with an "
+                              "unexpected frame", s)));
+      }
+      auto result = core::DecodeResult(inner.payload, *pk);
+      if (!result.ok()) {
+        decode_failure = Status::Unavailable(StringPrintf(
+            "shard %zu result: %s", s, result.status().ToString().c_str()));
+        break;
+      }
+      partial.push_back(std::move(*result));
+    }
+    if (!decode_failure.ok()) {
+      if (can_repair && ReRegisterOnShards(frame.session_id, *pk)) continue;
+      return ErrorFrame(frame.session_id, decode_failure);
+    }
+
+    // The PR 3 merge: shard-disjoint documents re-sorted into canonical
+    // order, bit-identical to the in-process sharded server's response.
+    core::EncryptedResult merged =
+        core::MergeShardResults(std::move(partial));
+    Count(&AtomicStats::queries);
+    return EncodeFrame(FrameKind::kResult, frame.session_id,
+                       core::EncodeResult(merged, *pk));
+  }
+  return ErrorFrame(frame.session_id,
+                    Status::Internal("unreachable query retry exit"));
+}
+
+std::vector<uint8_t> ShardCoordinator::HandlePirQuery(const Frame& frame) {
+  auto payload = DecodePirQuery(frame.payload);
+  if (!payload.ok()) return ErrorFrame(frame.session_id, payload.status());
+
+  const size_t buckets = bucket_count();
+  if (buckets == 0) {
+    return ErrorFrame(frame.session_id,
+                      Status::OutOfRange("server has no buckets"));
+  }
+  // Identical address validation (and messages) to the sharded
+  // EmbellishServer: the saturation sentinel is rejected, oversized shard
+  // indexes are rejected.
+  if (payload->bucket == UINT32_MAX) {
+    return ErrorFrame(
+        frame.session_id,
+        Status::OutOfRange("shard-qualified bucket field saturated"));
+  }
+  const size_t shard = payload->bucket / buckets;
+  const size_t bucket = payload->bucket % buckets;
+  if (shard >= shard_count()) {
+    return ErrorFrame(frame.session_id,
+                      Status::OutOfRange(
+                          "shard-qualified bucket out of range"));
+  }
+
+  // Rewrite the bucket field to the shard-local address: the slice server
+  // is monolithic over its slice.
+  std::vector<uint8_t> inner = EncodeFrame(
+      FrameKind::kPirQuery, frame.session_id,
+      EncodePirQuery(bucket, payload->query));
+  auto response = ShardRoundTrip(shard, inner);
+  if (!response.ok()) {
+    return ErrorFrame(frame.session_id, response.status());
+  }
+  if (response->kind == FrameKind::kError) {
+    return PassThroughError(frame.session_id, response->payload);
+  }
+  if (response->kind != FrameKind::kPirResult ||
+      response->session_id != frame.session_id) {
+    return ErrorFrame(frame.session_id,
+                      Status::Unavailable(StringPrintf(
+                          "shard %zu answered the PIR query with an "
+                          "unexpected frame", shard)));
+  }
+  Count(&AtomicStats::pir_queries);
+  // The shard's response payload is already exactly what the in-process
+  // sharded server would emit; re-frame it under the client's session id.
+  return EncodeFrame(FrameKind::kPirResult, frame.session_id,
+                     response->payload);
+}
+
+std::vector<uint8_t> ShardCoordinator::HandleTopK(
+    const Frame& frame, const std::vector<uint8_t>& request) {
+  auto query = DecodeTopKQuery(frame.payload);
+  if (!query.ok()) return ErrorFrame(frame.session_id, query.status());
+
+  std::vector<Result<Frame>> responses = FanOut(request);
+  if (const Status* failure = FirstFailure(responses)) {
+    return ErrorFrame(frame.session_id, *failure);
+  }
+  if (const Frame* inner_error = FirstInnerError(responses)) {
+    return PassThroughError(frame.session_id, inner_error->payload);
+  }
+
+  std::vector<std::vector<index::ScoredDoc>> partial;
+  partial.reserve(responses.size());
+  for (size_t s = 0; s < responses.size(); ++s) {
+    const Frame& inner = *responses[s];
+    if (inner.kind != FrameKind::kTopKResult ||
+        inner.session_id != frame.session_id) {
+      return ErrorFrame(frame.session_id,
+                        Status::Unavailable(StringPrintf(
+                            "shard %zu answered the top-k query with an "
+                            "unexpected frame", s)));
+    }
+    auto docs = DecodeTopKResult(inner.payload);
+    if (!docs.ok()) {
+      return ErrorFrame(frame.session_id,
+                        Status::Unavailable(StringPrintf(
+                            "shard %zu top-k result: %s", s,
+                            docs.status().ToString().c_str())));
+    }
+    partial.push_back(std::move(*docs));
+  }
+
+  std::vector<index::ScoredDoc> merged =
+      index::MergeShardTopK(partial, query->k);
+  Count(&AtomicStats::topk_queries);
+  return EncodeFrame(FrameKind::kTopKResult, frame.session_id,
+                     EncodeTopKResult(merged));
+}
+
+}  // namespace embellish::server

@@ -1,0 +1,210 @@
+// The coordinator that lifts document-partitioned shards out of the server
+// process: it speaks the same client-facing framed protocol as an
+// EmbellishServer, but answers by fanning requests out to remote shard
+// servers over ShardTransports and merging with the exact PR 3 merge logic,
+// so its response frames are byte-identical to both the in-process sharded
+// server and the monolithic server.
+//
+// Downstream protocol (per shard):
+//   - every request is wrapped in a kShardRequest envelope carrying the
+//     shard id, the coordinator's fencing epoch, and a per-request seq;
+//     the shard echoes all three on its kShardResponse, so misrouted,
+//     stale-coordinator, reordered or replayed responses are detected
+//     instead of silently merged;
+//   - an empty inner frame is a ping: Handshake() uses it to verify
+//     liveness and learn the shared bucket_count from each shard;
+//   - client hellos are forwarded to every shard (each shard registers the
+//     session key under its own table; the PR 2 session/epoch semantics
+//     apply per shard).
+//
+// Request routing:
+//   kQuery      fan out to all shards; merge with core::MergeShardResults.
+//   kTopKQuery  fan out to all shards; merge with index::MergeShardTopK.
+//   kPirQuery   route to the one shard the shard-qualified bucket field
+//               addresses (shard * bucket_count + bucket), rewriting the
+//               field to the shard-local bucket.
+//
+// Failure semantics: any transport failure, corrupt frame, or envelope
+// mismatch on a shard round trip yields a typed kError response (usually
+// StatusCode::kUnavailable) for the affected request — never a hang, crash,
+// or a merge over partial results. Application-level errors a shard returns
+// (inner kError frames) pass through to the client unchanged. Requests that
+// do not touch a faulted shard are unaffected.
+
+#ifndef EMBELLISH_SERVER_SHARD_COORDINATOR_H_
+#define EMBELLISH_SERVER_SHARD_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "server/framing.h"
+#include "server/session_table.h"
+#include "server/shard_transport.h"
+
+namespace embellish::server {
+
+/// \brief Coordinator construction knobs.
+struct ShardCoordinatorOptions {
+  /// Fencing token stamped into every downstream envelope. A replacement
+  /// coordinator should start with a higher epoch; shards then refuse the
+  /// superseded one.
+  uint64_t epoch = 1;
+
+  /// Maximum registered client sessions (the coordinator keeps each
+  /// session's public key to decode and re-merge PR results).
+  size_t max_sessions = 65536;
+
+  /// Idle-session expiry horizon in handled frames, mirroring
+  /// EmbellishServerOptions::session_idle_frames: a registration storm of
+  /// throwaway ids must not pin keys (or lock genuine new sessions out)
+  /// forever at the coordinator either. 0 disables expiry.
+  uint64_t session_idle_frames = 1u << 20;
+
+  /// Width of the internal pool fanning one request's shard round trips out
+  /// in parallel. 0 or 1 = serial fan-out. Kept separate from the batch
+  /// pool handed to the constructor because ParallelFor regions must not
+  /// nest on one pool.
+  size_t fanout_threads = 0;
+};
+
+/// \brief Aggregate counters; a consistent snapshot via stats().
+struct CoordinatorStats {
+  uint64_t frames = 0;
+  uint64_t hellos = 0;
+  uint64_t queries = 0;
+  uint64_t pir_queries = 0;
+  uint64_t topk_queries = 0;
+  uint64_t errors = 0;
+  uint64_t shard_trips = 0;     ///< downstream round trips attempted
+  uint64_t shard_failures = 0;  ///< round trips that failed (any layer)
+  uint64_t sessions_expired = 0;  ///< idle sessions swept (keys released)
+};
+
+/// \brief Client-facing frame loop over remote shards.
+class ShardCoordinator {
+ public:
+  /// \brief `transports[s]` carries shard `s`'s traffic and must outlive the
+  ///        coordinator, as must `pool` (may be null: serial batches).
+  ShardCoordinator(std::vector<ShardTransport*> transports,
+                   const ShardCoordinatorOptions& options = {},
+                   ThreadPool* pool = nullptr);
+
+  /// \brief Pings every shard: verifies liveness, fences the epoch, checks
+  ///        each shard serves exactly one slice, and learns the shared
+  ///        bucket_count (all shards must agree). Runs lazily on the first
+  ///        request if not called; idempotent once it has succeeded.
+  Status Handshake();
+
+  /// \brief Same surface as EmbellishServer::HandleFrame — one request
+  ///        frame in, always one response frame out.
+  std::vector<uint8_t> HandleFrame(const std::vector<uint8_t>& request);
+
+  /// \brief Batch dispatch over the constructor pool; `response[i]` answers
+  ///        `requests[i]`, bit-identical to serial handling.
+  std::vector<std::vector<uint8_t>> HandleBatch(
+      const std::vector<std::vector<uint8_t>>& requests);
+
+  size_t shard_count() const { return transports_.size(); }
+
+  /// \brief Shared bucket count learned from the handshake (0 before).
+  size_t bucket_count() const {
+    return bucket_count_.load(std::memory_order_acquire);
+  }
+
+  /// \brief The shard-qualified bucket field addressing (shard, bucket),
+  ///        mirroring EmbellishServer::PirBucketField.
+  size_t PirBucketField(size_t shard, size_t bucket) const {
+    return shard * bucket_count() + bucket;
+  }
+
+  size_t session_count() const;
+  CoordinatorStats stats() const;
+
+ private:
+  // One downstream round trip: wrap `inner` for `shard`, send, validate the
+  // response envelope (shard id / epoch / seq echo), and return the decoded
+  // inner frame. Inner kError frames are returned as frames — the caller
+  // decides whether to pass them through. Every other failure is a typed
+  // non-OK status (Unavailable for transport/corruption faults).
+  Result<Frame> ShardRoundTrip(size_t shard,
+                               const std::vector<uint8_t>& inner);
+
+  // Fans `inner` out to every shard (over fanout_pool_ when present) and
+  // collects the inner response frames in shard order.
+  std::vector<Result<Frame>> FanOut(const std::vector<uint8_t>& inner);
+
+  // Self-healing registration: re-sends the session's hello (rebuilt from
+  // the coordinator's own key table) to every shard. True iff every shard
+  // acknowledged. Used when a shard turns out to have lost the session —
+  // restart, idle expiry on the shard, or a raced re-hello — so one stale
+  // shard does not fail the session's queries forever.
+  bool ReRegisterOnShards(uint64_t session_id,
+                          const crypto::BenalohPublicKey& pk);
+
+  std::vector<uint8_t> ProcessOne(const std::vector<uint8_t>& request);
+  std::vector<uint8_t> HandleHello(const Frame& frame,
+                                   const std::vector<uint8_t>& request);
+  std::vector<uint8_t> HandleQuery(const Frame& frame,
+                                   const std::vector<uint8_t>& request);
+  std::vector<uint8_t> HandlePirQuery(const Frame& frame);
+  std::vector<uint8_t> HandleTopK(const Frame& frame,
+                                  const std::vector<uint8_t>& request);
+  std::vector<uint8_t> ErrorFrame(uint64_t session_id, const Status& status);
+
+  // Forwards a shard's application-level error payload to the client
+  // unchanged (counted as an error response).
+  std::vector<uint8_t> PassThroughError(uint64_t session_id,
+                                        const std::vector<uint8_t>& payload);
+
+  // Lock-free counters: shard_trips is bumped once per round trip from
+  // every batch worker concurrently, so the stat path must not contend a
+  // mutex. stats() assembles a CoordinatorStats snapshot from these.
+  struct AtomicStats {
+    std::atomic<uint64_t> frames{0};
+    std::atomic<uint64_t> hellos{0};
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> pir_queries{0};
+    std::atomic<uint64_t> topk_queries{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> shard_trips{0};
+    std::atomic<uint64_t> shard_failures{0};
+  };
+
+  void Count(std::atomic<uint64_t> AtomicStats::*field) {
+    (counters_.*field).fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::vector<ShardTransport*> transports_;  // elements not owned
+  const ShardCoordinatorOptions options_;
+  ThreadPool* pool_;  // not owned; null => serial batches
+  std::unique_ptr<ThreadPool> fanout_pool_;  // owned; see fanout_threads
+
+  // Transports are plain blocking request/response channels with no
+  // multiplexing, so round trips on one transport must not interleave.
+  std::vector<std::unique_ptr<std::mutex>> transport_mu_;
+
+  std::atomic<uint64_t> seq_{0};
+
+  std::mutex handshake_mu_;
+  // Lock-free fast path for the per-request handshake check; the mutex
+  // serializes only the (rare) actual handshake attempts.
+  std::atomic<bool> handshaken_{false};
+  std::atomic<size_t> bucket_count_{0};
+
+  // Logical clock for session idle tracking: handled frames.
+  std::atomic<uint64_t> frame_clock_{0};
+
+  // Registered client sessions (the coordinator keeps keys to decode and
+  // re-merge PR results); bounded and idle-expiring like the server's.
+  SessionTable sessions_;
+
+  AtomicStats counters_;
+};
+
+}  // namespace embellish::server
+
+#endif  // EMBELLISH_SERVER_SHARD_COORDINATOR_H_

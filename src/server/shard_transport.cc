@@ -1,0 +1,374 @@
+#include "server/shard_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/endian.h"
+#include "common/strings.h"
+
+namespace embellish::server {
+
+// --- ShardEndpoint ----------------------------------------------------------
+
+ShardEndpoint::ShardEndpoint(EmbellishServer* server, size_t shard_id)
+    : server_(server), shard_id_(shard_id) {}
+
+std::vector<uint8_t> ShardEndpoint::HandleFrame(
+    const std::vector<uint8_t>& request) {
+  auto error = [](const Status& status) {
+    return EncodeFrame(FrameKind::kError, 0, EncodeError(status));
+  };
+
+  // A slice misconfiguration (slice >= count, or combined with in-process
+  // sharding) falls back to serving the full index; behind a coordinator
+  // that would merge overlapping document sets into silently wrong
+  // answers. Refuse every request instead so the handshake fails loudly.
+  if (server_->slice_config_invalid()) {
+    return error(Status::FailedPrecondition(StringPrintf(
+        "shard %zu's server has an invalid slice configuration", shard_id_)));
+  }
+
+  auto frame = DecodeFrame(request);
+  if (!frame.ok()) return error(frame.status());
+  if (frame->kind != FrameKind::kShardRequest) {
+    return error(Status::InvalidArgument(
+        "shard endpoint accepts only shard-request envelopes"));
+  }
+  auto envelope = DecodeShardEnvelope(frame->payload);
+  if (!envelope.ok()) return error(envelope.status());
+  if (envelope->shard_id != shard_id_) {
+    return error(Status::FailedPrecondition(StringPrintf(
+        "envelope addresses shard %zu but this endpoint serves shard %zu",
+        envelope->shard_id, shard_id_)));
+  }
+  {
+    // Fencing: adopt higher epochs (a new coordinator took over), refuse
+    // lower ones (a superseded coordinator must not keep driving us).
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    if (envelope->epoch < last_epoch_) {
+      return error(Status::FailedPrecondition(StringPrintf(
+          "stale coordinator epoch %llu (shard has seen %llu)",
+          static_cast<unsigned long long>(envelope->epoch),
+          static_cast<unsigned long long>(last_epoch_))));
+    }
+    last_epoch_ = envelope->epoch;
+  }
+
+  std::vector<uint8_t> inner_response;
+  if (envelope->inner.empty()) {
+    // Ping: liveness + topology discovery. A slice server reports itself
+    // monolithic (shard_count 1) — the coordinator owns the global fan-out.
+    inner_response =
+        EncodeFrame(FrameKind::kHelloOk, 0,
+                    EncodeHelloOk(server_->shard_count(),
+                                  server_->bucket_count()));
+  } else {
+    inner_response = server_->HandleFrame(envelope->inner);
+  }
+  return EncodeFrame(FrameKind::kShardResponse, frame->session_id,
+                     EncodeShardEnvelope(shard_id_, envelope->epoch,
+                                         envelope->seq, inner_response));
+}
+
+// --- TCP --------------------------------------------------------------------
+
+namespace {
+
+Status SetIoTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IoError(StringPrintf("setsockopt timeout: %s",
+                                        std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<int> ConnectLoopbackFd(const std::string& host, uint16_t port,
+                              const TcpTransportOptions& options) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(StringPrintf("socket: %s",
+                                            std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument(
+        StringPrintf("not a numeric IPv4 address: %s", host.c_str()));
+  }
+  Status timeout_status = SetIoTimeout(fd, options.connect_timeout_ms);
+  if (!timeout_status.ok()) {
+    close(fd);
+    return timeout_status;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    close(fd);
+    return Status::Unavailable(StringPrintf("connect %s:%u: %s", host.c_str(),
+                                            port, std::strerror(err)));
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeout_status = SetIoTimeout(fd, options.io_timeout_ms);
+  if (!timeout_status.ok()) {
+    close(fd);
+    return timeout_status;
+  }
+  return fd;
+}
+
+// MSG_NOSIGNAL: a peer that died mid-write must produce EPIPE, not SIGPIPE.
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Unavailable(StringPrintf(
+          "send failed after %zu/%zu bytes: %s", sent, size,
+          n < 0 ? std::strerror(errno) : "connection closed"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, uint8_t* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = recv(fd, data + got, size - got, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Unavailable(StringPrintf(
+          "recv failed after %zu/%zu bytes: %s", got, size,
+          n < 0 ? std::strerror(errno) : "connection closed"));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Reads one complete frame: the fixed header first (whose declared payload
+// size is bounded before any allocation), then the payload.
+Result<std::vector<uint8_t>> ReadFrame(int fd) {
+  std::vector<uint8_t> bytes(kFrameHeaderBytes);
+  EMB_RETURN_NOT_OK(ReadAll(fd, bytes.data(), kFrameHeaderBytes));
+  const size_t payload_size = GetU32(bytes.data() + 16);
+  if (payload_size > kMaxTransportFrameBytes - kFrameHeaderBytes) {
+    return Status::Unavailable(StringPrintf(
+        "peer declared an oversized %zu-byte frame payload", payload_size));
+  }
+  bytes.resize(kFrameHeaderBytes + payload_size);
+  EMB_RETURN_NOT_OK(
+      ReadAll(fd, bytes.data() + kFrameHeaderBytes, payload_size));
+  return bytes;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::string host, uint16_t port,
+                           TcpTransportOptions options, int fd)
+    : host_(std::move(host)), port_(port), options_(options), fd_(fd) {}
+
+TcpTransport::~TcpTransport() { Disconnect(); }
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
+    const std::string& host, uint16_t port,
+    const TcpTransportOptions& options) {
+  EMB_ASSIGN_OR_RETURN(int fd, ConnectLoopbackFd(host, port, options));
+  return std::unique_ptr<TcpTransport>(
+      new TcpTransport(host, port, options, fd));
+}
+
+void TcpTransport::Disconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpTransport::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  EMB_ASSIGN_OR_RETURN(fd_, ConnectLoopbackFd(host_, port_, options_));
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> TcpTransport::RoundTrip(
+    const std::vector<uint8_t>& request) {
+  EMB_RETURN_NOT_OK(EnsureConnected());
+  Status write_status = WriteAll(fd_, request.data(), request.size());
+  if (!write_status.ok()) {
+    // Tear the connection down so the next call reconnects cleanly — a
+    // half-written frame would desynchronize the stream.
+    Disconnect();
+    return write_status;
+  }
+  auto response = ReadFrame(fd_);
+  if (!response.ok()) Disconnect();
+  return response;
+}
+
+Result<int> ListenOnLoopback(uint16_t* port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port != nullptr ? *port : 0);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 16) != 0) {
+    int err = errno;
+    close(fd);
+    return Status::IoError(StringPrintf("bind/listen: %s",
+                                        std::strerror(err)));
+  }
+  if (port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      int err = errno;
+      close(fd);
+      return Status::IoError(StringPrintf("getsockname: %s",
+                                          std::strerror(err)));
+    }
+    *port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+Status ServeShardConnections(int listen_fd, ShardEndpoint* endpoint) {
+  for (;;) {
+    int conn = accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      // Transient accept failures must not kill a long-running shard
+      // process: a peer that reset while queued (ECONNABORTED/EPROTO) or
+      // a momentary fd shortage during a reconnect storm just retries.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      // The normal shutdown path: the owner closed / shut down listen_fd.
+      return Status::OK();
+    }
+    int one = 1;
+    setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    for (;;) {
+      auto request = ReadFrame(conn);
+      if (!request.ok()) break;  // peer gone or hostile length; drop it
+      std::vector<uint8_t> response = endpoint->HandleFrame(*request);
+      if (!WriteAll(conn, response.data(), response.size()).ok()) break;
+    }
+    close(conn);
+  }
+}
+
+// --- Fault injection --------------------------------------------------------
+
+FaultyTransport::FaultyTransport(ShardTransport* inner,
+                                 FaultyTransportOptions options)
+    : inner_(inner), options_(std::move(options)), rng_(options_.seed) {}
+
+size_t FaultyTransport::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+TransportFault FaultyTransport::NextFaultLocked() {
+  const size_t call = calls_++;
+  if (!options_.schedule.empty()) {
+    if (call < options_.schedule.size()) return options_.schedule[call];
+    if (options_.cycle) {
+      return options_.schedule[call % options_.schedule.size()];
+    }
+    return TransportFault::kNone;
+  }
+  if (options_.fault_rate > 0 && rng_.Bernoulli(options_.fault_rate)) {
+    // kNone excluded: a drawn fault is a fault.
+    return static_cast<TransportFault>(
+        1 + rng_.Uniform(static_cast<uint64_t>(TransportFault::kDelay)));
+  }
+  return TransportFault::kNone;
+}
+
+Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
+    const std::vector<uint8_t>& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TransportFault fault = NextFaultLocked();
+  if (fault != TransportFault::kNone) ++faults_;
+
+  switch (fault) {
+    case TransportFault::kNone:
+      return inner_->RoundTrip(request);
+    case TransportFault::kDrop: {
+      // The shard processes the request; its response never arrives. This
+      // is what a timeout on a live-but-unreachable shard looks like.
+      (void)inner_->RoundTrip(request);
+      return Status::Unavailable("injected fault: response frame dropped");
+    }
+    case TransportFault::kTruncate: {
+      EMB_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                           inner_->RoundTrip(request));
+      // Chop strictly short of the full length so a scheduled truncation
+      // always damages the frame (an intact delivery would make
+      // "fault => typed error" assertions seed-dependent).
+      if (!response.empty()) {
+        response.resize(rng_.Uniform(response.size()));
+      }
+      return response;
+    }
+    case TransportFault::kBitFlip: {
+      EMB_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                           inner_->RoundTrip(request));
+      if (!response.empty()) {
+        const size_t bit = rng_.Uniform(response.size() * 8);
+        response[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+      return response;
+    }
+    case TransportFault::kReorder: {
+      // Swap this response with the previously held one; the first reorder
+      // (nothing held yet) degrades to a drop. The stale response carries a
+      // stale envelope seq, which the coordinator must reject.
+      EMB_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                           inner_->RoundTrip(request));
+      std::vector<uint8_t> out;
+      const bool had_held = has_held_;
+      if (had_held) out = std::move(held_);
+      held_ = std::move(response);
+      has_held_ = true;
+      if (!had_held) {
+        return Status::Unavailable(
+            "injected fault: response reordered past its request");
+      }
+      return out;
+    }
+    case TransportFault::kDelay: {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.delay_ms));
+      return inner_->RoundTrip(request);
+    }
+  }
+  return Status::Internal("unreachable fault kind");
+}
+
+}  // namespace embellish::server

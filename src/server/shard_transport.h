@@ -1,0 +1,206 @@
+// Transports carrying framed requests between a ShardCoordinator and its
+// shard servers, plus the shard-side endpoint that unwraps them.
+//
+// A ShardTransport is a blocking request/response channel for
+// server/framing.h frames: the coordinator writes one kShardRequest frame
+// and reads exactly one response frame. Three implementations:
+//
+//   InProcessTransport  wraps a ShardEndpoint directly — zero copies beyond
+//                       the frames themselves; used by tests, benches and
+//                       single-box deployments, and the configuration whose
+//                       responses the bit-identity suite pins against the
+//                       in-process sharded server.
+//   TcpTransport        a loopback/LAN socket with send/recv timeouts, so a
+//                       dead shard surfaces as a typed Unavailable status
+//                       instead of a hang. Reconnects lazily after failures.
+//   FaultyTransport     a decorator injecting deterministic transport
+//                       faults (drop / truncate / bit-flip / reorder /
+//                       delay) for the coordinator fault-injection suite.
+//
+// The ShardEndpoint is the server side of the shard protocol: it validates
+// the kShardRequest envelope (shard id, fencing epoch), hands the inner
+// frame to its EmbellishServer — typically one serving a single slice (see
+// EmbellishServerOptions::shard_slice) — and wraps the response in a
+// kShardResponse envelope echoing shard id / epoch / seq so the coordinator
+// can detect misrouted, stale or reordered responses. An empty inner frame
+// is a ping answered with the shard's topology (kHelloOk).
+
+#ifndef EMBELLISH_SERVER_SHARD_TRANSPORT_H_
+#define EMBELLISH_SERVER_SHARD_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "server/embellish_server.h"
+#include "server/framing.h"
+
+namespace embellish::server {
+
+/// \brief Largest frame a transport will read off a socket. A hostile or
+///        corrupt length field must bound the allocation it can force.
+inline constexpr size_t kMaxTransportFrameBytes = (64u << 20) + kFrameHeaderBytes;
+
+/// \brief A blocking request/response channel for framed bytes.
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// \brief Sends one frame and blocks for the response frame. Any
+  ///        transport-level failure (peer dead, timeout, short read) is a
+  ///        non-OK status — implementations must not hang forever and must
+  ///        not crash, whatever the peer does. Implementations need not be
+  ///        thread-safe; the coordinator serializes calls per transport.
+  virtual Result<std::vector<uint8_t>> RoundTrip(
+      const std::vector<uint8_t>& request) = 0;
+};
+
+/// \brief Server side of the shard protocol: envelope validation + fencing
+///        around an EmbellishServer. Thread-safe.
+class ShardEndpoint {
+ public:
+  /// \brief `server` must outlive the endpoint and is typically a slice
+  ///        server (shard_slice == shard_id) over the shared index.
+  ShardEndpoint(EmbellishServer* server, size_t shard_id);
+
+  /// \brief Handles one kShardRequest frame; always returns a response
+  ///        frame (kShardResponse on success, kError otherwise).
+  std::vector<uint8_t> HandleFrame(const std::vector<uint8_t>& request);
+
+  size_t shard_id() const { return shard_id_; }
+
+ private:
+  EmbellishServer* server_;  // not owned
+  const size_t shard_id_;
+
+  // Highest coordinator epoch seen; envelopes from lower epochs are fenced
+  // out so a superseded coordinator cannot keep driving the shard.
+  std::mutex epoch_mu_;
+  uint64_t last_epoch_ = 0;
+};
+
+/// \brief In-process transport: the "wire" is a function call.
+class InProcessTransport : public ShardTransport {
+ public:
+  /// \brief `endpoint` must outlive the transport.
+  explicit InProcessTransport(ShardEndpoint* endpoint) : endpoint_(endpoint) {}
+
+  Result<std::vector<uint8_t>> RoundTrip(
+      const std::vector<uint8_t>& request) override {
+    return endpoint_->HandleFrame(request);
+  }
+
+ private:
+  ShardEndpoint* endpoint_;  // not owned
+};
+
+// --- TCP --------------------------------------------------------------------
+
+/// \brief Socket knobs. Timeouts are what turn a dead shard into a typed
+///        Unavailable instead of a wedged coordinator.
+struct TcpTransportOptions {
+  int connect_timeout_ms = 5000;
+  int io_timeout_ms = 5000;  ///< per send/recv syscall
+};
+
+/// \brief Blocking TCP client for one shard. After any failure the
+///        connection is torn down and the next RoundTrip reconnects, so a
+///        restarted shard process heals without coordinator restarts.
+class TcpTransport : public ShardTransport {
+ public:
+  /// \brief Connects to `host:port` (numeric IPv4, e.g. "127.0.0.1").
+  static Result<std::unique_ptr<TcpTransport>> Connect(
+      const std::string& host, uint16_t port,
+      const TcpTransportOptions& options = {});
+
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Result<std::vector<uint8_t>> RoundTrip(
+      const std::vector<uint8_t>& request) override;
+
+ private:
+  TcpTransport(std::string host, uint16_t port, TcpTransportOptions options,
+               int fd);
+
+  Status EnsureConnected();
+  void Disconnect();
+
+  const std::string host_;
+  const uint16_t port_;
+  const TcpTransportOptions options_;
+  int fd_ = -1;
+};
+
+/// \brief Binds a listening socket on 127.0.0.1 (port 0 = kernel-assigned;
+///        `*port` returns the bound port). Returns the listen fd.
+Result<int> ListenOnLoopback(uint16_t* port);
+
+/// \brief Accept loop serving `endpoint` on `listen_fd`: one connection at
+///        a time (a coordinator holds one connection per shard), one
+///        request frame -> one response frame until the peer disconnects.
+///        Returns when accept fails (e.g. the fd was closed or shut down) —
+///        the shutdown path for tests and shard processes.
+Status ServeShardConnections(int listen_fd, ShardEndpoint* endpoint);
+
+// --- Fault injection --------------------------------------------------------
+
+/// \brief What a FaultyTransport does to one round trip.
+enum class TransportFault : uint8_t {
+  kNone,      ///< deliver faithfully
+  kDrop,      ///< deliver the request, lose the response (reads as timeout)
+  kTruncate,  ///< chop the response at a seeded offset
+  kBitFlip,   ///< flip one seeded bit of the response
+  kReorder,   ///< deliver the previous round trip's response instead
+  kDelay,     ///< deliver intact after a bounded sleep (not an error)
+};
+
+/// \brief Deterministic fault schedule.
+struct FaultyTransportOptions {
+  /// Explicit per-call schedule, consumed one entry per RoundTrip; calls
+  /// past the end behave as kNone (or cycle when `cycle` is set). When the
+  /// schedule is empty, each call draws a fault with probability
+  /// `fault_rate` from the seeded generator — the fuzz mode.
+  std::vector<TransportFault> schedule;
+  bool cycle = false;
+  uint64_t seed = 1;       ///< seeds fault choice, truncation points, bits
+  double fault_rate = 0.0;
+  uint32_t delay_ms = 2;
+};
+
+/// \brief Decorator wrapping any transport with seeded, reproducible
+///        transport faults. Thread-safe (a single mutex covers the inner
+///        transport, so it also serializes — which matches the coordinator's
+///        per-transport locking).
+class FaultyTransport : public ShardTransport {
+ public:
+  /// \brief `inner` must outlive the decorator.
+  FaultyTransport(ShardTransport* inner, FaultyTransportOptions options);
+
+  Result<std::vector<uint8_t>> RoundTrip(
+      const std::vector<uint8_t>& request) override;
+
+  /// \brief Faults actually injected so far (kNone entries excluded).
+  size_t faults_injected() const;
+
+ private:
+  TransportFault NextFaultLocked();
+
+  ShardTransport* inner_;  // not owned
+  const FaultyTransportOptions options_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  size_t calls_ = 0;
+  size_t faults_ = 0;
+  std::vector<uint8_t> held_;  // kReorder: response awaiting late delivery
+  bool has_held_ = false;
+};
+
+}  // namespace embellish::server
+
+#endif  // EMBELLISH_SERVER_SHARD_TRANSPORT_H_

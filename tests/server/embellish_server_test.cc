@@ -430,6 +430,214 @@ TEST_F(EmbellishServerTest, ShardedPirResponsesAreCachedPerShard) {
   EXPECT_EQ(server.stats().cache_hits, 2u);
 }
 
+TEST_F(EmbellishServerTest, PirCacheEntriesAreSharedAcrossSessions) {
+  // PIR answers are session-independent (the modulus travels inside the
+  // payload; no registered key is touched), so the cache keys them
+  // globally: a second session replaying the same payload hits the first
+  // session's entry, and the response frame is re-addressed to it.
+  EmbellishServerOptions options;
+  options.cache_capacity = 64;
+  EmbellishServer server(&built_.index, &org_, nullptr, options);
+
+  auto terms = built_.index.IndexedTerms();
+  auto slot = org_.Locate(terms[17]);
+  ASSERT_TRUE(slot.ok());
+  Rng rng(971);
+  crypto::PirClient pir_client =
+      std::move(crypto::PirClient::Create(256, &rng)).value();
+  auto query = pir_client.BuildQuery(slot->slot,
+                                     org_.bucket(slot->bucket).size(), &rng);
+  ASSERT_TRUE(query.ok());
+  auto payload = EncodePirQuery(slot->bucket, *query);
+
+  auto first = server.HandleFrame(EncodeFrame(FrameKind::kPirQuery, 9,
+                                              payload));
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+  auto second = server.HandleFrame(EncodeFrame(FrameKind::kPirQuery, 10,
+                                               payload));
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+
+  // Same answer bytes, each frame addressed to its own session.
+  auto first_frame = DecodeFrame(first);
+  auto second_frame = DecodeFrame(second);
+  ASSERT_TRUE(first_frame.ok() && second_frame.ok());
+  EXPECT_EQ(first_frame->kind, FrameKind::kPirResult);
+  EXPECT_EQ(second_frame->kind, FrameKind::kPirResult);
+  EXPECT_EQ(first_frame->session_id, 9u);
+  EXPECT_EQ(second_frame->session_id, 10u);
+  EXPECT_EQ(first_frame->payload, second_frame->payload);
+
+  // PR entries, by contrast, stay session- and epoch-scoped: replaying one
+  // session's query bytes under another session id misses (and fails — the
+  // ciphertexts are not valid under the other session's key).
+  SessionClient alice = MakeClient(11, 311);
+  SessionClient bob = MakeClient(12, 312);
+  server.HandleFrame(alice.HelloFrame());
+  server.HandleFrame(bob.HelloFrame());
+  auto alice_request = alice.QueryFrame(SomeTerms(7, 13));
+  ASSERT_TRUE(alice_request.ok());
+  server.HandleFrame(*alice_request);
+  auto alice_req_frame = DecodeFrame(*alice_request);
+  ASSERT_TRUE(alice_req_frame.ok());
+  auto replayed = server.HandleFrame(
+      EncodeFrame(FrameKind::kQuery, 12, alice_req_frame->payload));
+  EXPECT_EQ(server.stats().cache_hits, 1u);  // no PR cross-session hit
+  auto replay_frame = DecodeFrame(replayed);
+  ASSERT_TRUE(replay_frame.ok());
+  EXPECT_NE(replayed, server.HandleFrame(*alice_request));
+}
+
+TEST_F(EmbellishServerTest, TopKThroughTheLoopMatchesEvaluateFull) {
+  // The plaintext top-k path answers with the full-accumulation prefix on
+  // every configuration, so monolithic and sharded servers produce
+  // byte-identical frames.
+  EmbellishServer mono(&built_.index, &org_, nullptr);
+  EmbellishServerOptions shard_options;
+  shard_options.shard_count = 3;
+  EmbellishServer sharded(&built_.index, &org_, nullptr, shard_options);
+
+  auto genuine = SomeTerms(5, 23);
+  auto request = EncodeFrame(FrameKind::kTopKQuery, 6,
+                             EncodeTopKQuery(10, genuine));
+  auto mono_resp = mono.HandleFrame(request);
+  auto sharded_resp = sharded.HandleFrame(request);
+  EXPECT_EQ(mono_resp, sharded_resp);
+
+  auto frame = DecodeFrame(mono_resp);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->kind, FrameKind::kTopKResult);
+  auto docs = DecodeTopKResult(frame->payload);
+  ASSERT_TRUE(docs.ok());
+  auto expected = index::EvaluateFull(built_.index, genuine);
+  if (expected.size() > 10) expected.resize(10);
+  EXPECT_EQ(*docs, expected);
+  EXPECT_EQ(mono.stats().topk_queries, 1u);
+
+  // Top-k shares the global cache keying: a different session replaying the
+  // payload hits, re-addressed.
+  auto other = mono.HandleFrame(EncodeFrame(FrameKind::kTopKQuery, 7,
+                                            EncodeTopKQuery(10, genuine)));
+  EXPECT_EQ(mono.stats().cache_hits, 1u);
+  auto other_frame = DecodeFrame(other);
+  ASSERT_TRUE(other_frame.ok());
+  EXPECT_EQ(other_frame->session_id, 7u);
+  EXPECT_EQ(other_frame->payload, frame->payload);
+
+  // Malformed top-k payloads are answered, not fatal.
+  auto hostile = mono.HandleFrame(
+      EncodeFrame(FrameKind::kTopKQuery, 6, {1, 2, 3}));
+  auto hostile_frame = DecodeFrame(hostile);
+  ASSERT_TRUE(hostile_frame.ok());
+  EXPECT_EQ(hostile_frame->kind, FrameKind::kError);
+}
+
+TEST_F(EmbellishServerTest, IdleSessionSweepBoundsKeyMemory) {
+  // A registration storm of throwaway ids must not pin Benaloh keys
+  // forever: idle sessions expire after session_idle_frames, so the table
+  // stays bounded AND a genuine new session can register once the dead
+  // entries age out — while active sessions survive the sweep.
+  EmbellishServerOptions options;
+  options.max_sessions = 4;
+  options.session_idle_frames = 8;
+  EmbellishServer server(&built_.index, &org_, nullptr, options);
+
+  std::vector<SessionClient> storm;
+  for (size_t s = 0; s < 4; ++s) {
+    storm.push_back(MakeClient(100 + s, 900 + s));
+    auto frame = DecodeFrame(server.HandleFrame(storm.back().HelloFrame()));
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(frame->kind, FrameKind::kHelloOk);
+  }
+  EXPECT_EQ(server.session_count(), 4u);
+
+  // Table full, nothing idle yet: a fresh id is refused.
+  SessionClient late = MakeClient(200, 950);
+  auto refused = DecodeFrame(server.HandleFrame(late.HelloFrame()));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->kind, FrameKind::kError);
+
+  // Keep session 100 active while the logical clock runs past the idle
+  // horizon for the other three. Deliberately NOT kQuery frames: any
+  // decodable frame naming the session counts as activity — a session
+  // streaming only top-k (or PIR) traffic must not lose its registered key
+  // mid-stream — and even a payload that fails to decode already proved
+  // the session alive.
+  for (size_t i = 0; i < 12; ++i) {
+    server.HandleFrame(EncodeFrame(FrameKind::kTopKQuery, 100, {1, 2, 3}));
+  }
+
+  // Now the fresh id's hello sweeps the idle sessions and succeeds.
+  auto admitted = DecodeFrame(server.HandleFrame(late.HelloFrame()));
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted->kind, FrameKind::kHelloOk);
+  EXPECT_LE(server.session_count(), 4u);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.sessions_expired, 3u);
+
+  // The active session survived; an expired one must re-hello.
+  auto active_query = storm[0].QueryFrame(SomeTerms(3, 9));
+  ASSERT_TRUE(active_query.ok());
+  EXPECT_TRUE(
+      storm[0].DecodeResultFrame(server.HandleFrame(*active_query), 5).ok());
+  auto expired_query = storm[1].QueryFrame(SomeTerms(4, 11));
+  ASSERT_TRUE(expired_query.ok());
+  auto expired_result = storm[1].DecodeResultFrame(
+      server.HandleFrame(*expired_query), 5);
+  ASSERT_FALSE(expired_result.ok());
+  EXPECT_TRUE(expired_result.status().IsFailedPrecondition());
+}
+
+TEST_F(EmbellishServerTest, SliceServerServesOneShardsDocuments) {
+  // A slice server's PR answers cover exactly its slice's documents, and
+  // merging every slice's candidates reproduces the monolithic response —
+  // the property the remote-shard coordinator is built on.
+  constexpr size_t kSlices = 3;
+  SessionClient client = MakeClient(31, 931);
+  auto request = client.QueryFrame(SomeTerms(7, 29));
+  ASSERT_TRUE(request.ok());
+
+  EmbellishServer mono(&built_.index, &org_, nullptr);
+  mono.HandleFrame(client.HelloFrame());
+  auto mono_frame = DecodeFrame(mono.HandleFrame(*request));
+  ASSERT_TRUE(mono_frame.ok());
+  auto mono_result = core::DecodeResult(mono_frame->payload,
+                                        client.public_key());
+  ASSERT_TRUE(mono_result.ok());
+
+  std::vector<core::EncryptedResult> partial;
+  for (size_t s = 0; s < kSlices; ++s) {
+    EmbellishServerOptions options;
+    options.shard_slice = s;
+    options.shard_slice_count = kSlices;
+    EmbellishServer slice(&built_.index, &org_, nullptr, options);
+    ASSERT_TRUE(slice.serves_slice());
+    // The slice advertises itself monolithic; the coordinator owns the
+    // global topology.
+    auto hello = DecodeFrame(slice.HandleFrame(client.HelloFrame()));
+    ASSERT_TRUE(hello.ok());
+    auto topology = DecodeHelloOk(hello->payload);
+    ASSERT_TRUE(topology.ok());
+    EXPECT_EQ(topology->shard_count, 1u);
+    auto frame = DecodeFrame(slice.HandleFrame(*request));
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(frame->kind, FrameKind::kResult);
+    auto result = core::DecodeResult(frame->payload, client.public_key());
+    ASSERT_TRUE(result.ok());
+    partial.push_back(std::move(*result));
+  }
+  core::EncryptedResult merged = core::MergeShardResults(std::move(partial));
+  ASSERT_EQ(merged.candidates.size(), mono_result->candidates.size());
+  EXPECT_EQ(core::EncodeResult(merged, client.public_key()),
+            core::EncodeResult(*mono_result, client.public_key()));
+
+  // An invalid slice configuration falls back to serving the full index.
+  EmbellishServerOptions invalid;
+  invalid.shard_slice = 9;
+  invalid.shard_slice_count = 3;
+  EmbellishServer fallback(&built_.index, &org_, nullptr, invalid);
+  EXPECT_FALSE(fallback.serves_slice());
+}
+
 TEST_F(EmbellishServerTest, ByteBudgetBoundsTheCache) {
   // Keys embed attacker-controlled request payloads, so the byte budget —
   // not the entry count — is what bounds pinned memory.

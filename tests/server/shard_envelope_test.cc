@@ -1,0 +1,195 @@
+// Round-trip and hostile-input fuzz for the shard-scoped request envelope
+// and the plaintext top-k payload codecs, mirroring the PR 2 framing fuzz
+// style: every truncation, tampered length, trailing byte and reserved
+// sentinel must come back as Status::Corruption — never crash, never decode
+// into something plausible — and because envelopes ride inside checksummed
+// frames, every single-bit flip of a full kShardRequest frame is rejected.
+
+#include "server/framing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace embellish::server {
+namespace {
+
+std::vector<uint8_t> SomePayload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (uint8_t& b : out) b = static_cast<uint8_t>(rng.Uniform(256));
+  return out;
+}
+
+// --- Shard envelope ---------------------------------------------------------
+
+TEST(ShardEnvelopeTest, RoundTrip) {
+  std::vector<uint8_t> inner =
+      EncodeFrame(FrameKind::kQuery, 77, SomePayload(41, 1));
+  auto payload = EncodeShardEnvelope(5, 0xAABBCCDD00112233ull, 42, inner);
+  auto decoded = DecodeShardEnvelope(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->shard_id, 5u);
+  EXPECT_EQ(decoded->epoch, 0xAABBCCDD00112233ull);
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->inner, inner);
+}
+
+TEST(ShardEnvelopeTest, RoundTripsEmptyInnerAsPing) {
+  auto payload = EncodeShardEnvelope(0, 1, 0, {});
+  auto decoded = DecodeShardEnvelope(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->inner.empty());
+}
+
+TEST(ShardEnvelopeTest, RejectsEveryTruncation) {
+  auto payload = EncodeShardEnvelope(3, 9, 11, SomePayload(32, 2));
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<uint8_t> truncated(payload.begin(),
+                                   payload.begin() + static_cast<long>(cut));
+    auto decoded = DecodeShardEnvelope(truncated);
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    EXPECT_TRUE(decoded.status().IsCorruption()) << "cut=" << cut;
+  }
+}
+
+TEST(ShardEnvelopeTest, RejectsTrailingGarbage) {
+  auto payload = EncodeShardEnvelope(3, 9, 11, SomePayload(16, 3));
+  for (size_t extra : {1u, 5u, 512u}) {
+    std::vector<uint8_t> oversized = payload;
+    oversized.insert(oversized.end(), extra, 0xCD);
+    auto decoded = DecodeShardEnvelope(oversized);
+    ASSERT_FALSE(decoded.ok()) << "extra=" << extra;
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
+
+TEST(ShardEnvelopeTest, RejectsTamperedInnerSize) {
+  // The explicit inner_size (bytes 20..24 of the payload) must agree with
+  // the bytes actually present, in both directions.
+  auto payload = EncodeShardEnvelope(1, 2, 3, SomePayload(24, 4));
+  for (uint8_t hostile : {0x00, 0x01, 0x7F, 0xFF}) {
+    std::vector<uint8_t> tampered = payload;
+    tampered[20] = hostile;
+    tampered[21] = hostile;
+    tampered[22] = hostile;
+    tampered[23] = hostile;
+    auto decoded = DecodeShardEnvelope(tampered);
+    ASSERT_FALSE(decoded.ok()) << "hostile=" << int(hostile);
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
+
+TEST(ShardEnvelopeTest, OversizedShardIdSaturatesAndIsRejected) {
+  // Like EncodePirQuery's bucket field: a shard id beyond the u32 wire
+  // width saturates to the reserved sentinel, which the decoder refuses —
+  // an overflowed id can never alias shard (id mod 2^32).
+  for (size_t huge : {static_cast<size_t>(UINT32_MAX),
+                      static_cast<size_t>(UINT32_MAX) + 1, SIZE_MAX}) {
+    auto payload = EncodeShardEnvelope(huge, 1, 2, {});
+    EXPECT_EQ(payload[0], 0xFF);
+    EXPECT_EQ(payload[1], 0xFF);
+    EXPECT_EQ(payload[2], 0xFF);
+    EXPECT_EQ(payload[3], 0xFF);
+    auto decoded = DecodeShardEnvelope(payload);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+  // The largest encodable id still round-trips.
+  auto payload = EncodeShardEnvelope(UINT32_MAX - 1, 1, 2, {});
+  auto decoded = DecodeShardEnvelope(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->shard_id, static_cast<size_t>(UINT32_MAX) - 1);
+}
+
+TEST(ShardEnvelopeTest, FramedEnvelopeRejectsEverySingleBitFlip) {
+  // An envelope travels inside a checksummed frame, so any one flipped bit
+  // anywhere — header, envelope fields, or inner frame — must surface as
+  // Corruption at the frame layer before the envelope is even parsed.
+  std::vector<uint8_t> inner =
+      EncodeFrame(FrameKind::kPirQuery, 4, SomePayload(20, 5));
+  auto frame = EncodeFrame(FrameKind::kShardRequest, 0,
+                           EncodeShardEnvelope(2, 7, 13, inner));
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> flipped = frame;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      auto decoded = DecodeFrame(flipped);
+      ASSERT_FALSE(decoded.ok()) << "byte=" << byte << " bit=" << bit;
+      EXPECT_TRUE(decoded.status().IsCorruption());
+    }
+  }
+}
+
+// --- Top-k payloads ---------------------------------------------------------
+
+TEST(TopKCodecTest, QueryRoundTrip) {
+  std::vector<wordnet::TermId> terms{3, 99, 1234567, 0};
+  auto payload = EncodeTopKQuery(17, terms);
+  auto decoded = DecodeTopKQuery(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->k, 17u);
+  EXPECT_EQ(decoded->terms, terms);
+}
+
+TEST(TopKCodecTest, QueryRejectsHostileCountAndTruncation) {
+  auto payload = EncodeTopKQuery(5, {1, 2, 3});
+  // Hostile term count must be bounded by the bytes present before any
+  // size arithmetic.
+  std::vector<uint8_t> tampered = payload;
+  tampered[4] = 0xFF;
+  tampered[5] = 0xFF;
+  tampered[6] = 0xFF;
+  tampered[7] = 0xFF;
+  EXPECT_TRUE(DecodeTopKQuery(tampered).status().IsCorruption());
+  // Every truncation leaves the declared term count inconsistent with the
+  // bytes present, so every one is Corruption.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<uint8_t> truncated(payload.begin(),
+                                   payload.begin() + static_cast<long>(cut));
+    auto decoded = DecodeTopKQuery(truncated);
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    EXPECT_TRUE(decoded.status().IsCorruption()) << "cut=" << cut;
+  }
+  std::vector<uint8_t> oversized = payload;
+  oversized.push_back(0);
+  EXPECT_TRUE(DecodeTopKQuery(oversized).status().IsCorruption());
+}
+
+TEST(TopKCodecTest, ResultRoundTrip) {
+  std::vector<index::ScoredDoc> docs{{7, 900}, {3, 900}, {99, 5}};
+  auto payload = EncodeTopKResult(docs);
+  auto decoded = DecodeTopKResult(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, docs);
+}
+
+TEST(TopKCodecTest, ResultRejectsHostileCountTruncationAndGarbage) {
+  std::vector<index::ScoredDoc> docs{{1, 2}, {3, 4}};
+  auto payload = EncodeTopKResult(docs);
+  std::vector<uint8_t> tampered = payload;
+  tampered[0] = 0xFF;
+  tampered[1] = 0xFF;
+  tampered[2] = 0xFF;
+  tampered[3] = 0xFF;
+  EXPECT_TRUE(DecodeTopKResult(tampered).status().IsCorruption());
+  std::vector<uint8_t> truncated(payload.begin(), payload.end() - 1);
+  EXPECT_TRUE(DecodeTopKResult(truncated).status().IsCorruption());
+  std::vector<uint8_t> oversized = payload;
+  oversized.push_back(0);
+  EXPECT_TRUE(DecodeTopKResult(oversized).status().IsCorruption());
+}
+
+TEST(TopKCodecTest, UnavailableStatusSurvivesErrorTransport) {
+  // The coordinator's typed shard-failure answers ride the standard error
+  // payload; the new code must round-trip like every other.
+  Status original = Status::Unavailable("shard 3 transport: timed out");
+  auto payload = EncodeError(original);
+  Status transported;
+  ASSERT_TRUE(DecodeError(payload, &transported).ok());
+  EXPECT_TRUE(transported.IsUnavailable());
+  EXPECT_EQ(transported, original);
+}
+
+}  // namespace
+}  // namespace embellish::server
