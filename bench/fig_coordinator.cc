@@ -8,11 +8,18 @@
 // PIR and plaintext top-k paths — the coordinator is allowed to change
 // only the clock. Emits BENCH_coordinator.json.
 //
+// The coordinator runs with a shared executor and unbounded fanout
+// (ShardCoordinatorOptions::fanout_threads = 0): its per-request shard
+// round trips overlap as executor tasks instead of walking the shards
+// sequentially — the overlap that closes the coordinator-vs-in-process
+// gap on machines with real cores.
+//
 // Environment variables (all optional):
 //   EMBELLISH_BENCH_TERMS    lexicon size                  (default 2000)
 //   EMBELLISH_BENCH_DOCS     corpus documents              (default 300)
 //   EMBELLISH_BENCH_KEYLEN   Benaloh modulus bits          (default 256)
 //   EMBELLISH_BENCH_QUERIES  queries per configuration     (default 12)
+//   EMBELLISH_BENCH_THREADS  executor width                (default 4)
 //   EMBELLISH_BENCH_JSON     output path  (default BENCH_coordinator.json)
 
 #include <cstdio>
@@ -42,6 +49,7 @@ int main() {
   const size_t docs = bench::EnvSize("EMBELLISH_BENCH_DOCS", 300);
   const size_t key_bits = bench::EnvSize("EMBELLISH_BENCH_KEYLEN", 256);
   const size_t num_queries = bench::EnvSize("EMBELLISH_BENCH_QUERIES", 12);
+  const size_t threads = bench::EnvSize("EMBELLISH_BENCH_THREADS", 4);
   const char* json_path_env = std::getenv("EMBELLISH_BENCH_JSON");
   const std::string json_path =
       (json_path_env != nullptr && *json_path_env != '\0')
@@ -157,7 +165,12 @@ int main() {
             endpoints.back().get()));
         raw.push_back(transports.back().get());
       }
-      server::ShardCoordinator coordinator(raw);
+      // Shared executor: each request's PR/top-k fan-out overlaps its
+      // shard round trips as executor tasks (fanout_threads 0 = all
+      // shards in flight); caches stay off so the answer path is what is
+      // measured.
+      ThreadPool pool(threads);
+      server::ShardCoordinator coordinator(raw, {}, &pool);
       if (!coordinator.Handshake().ok()) {
         std::fprintf(stderr, "handshake failed at %zu shards\n", shards);
         return 1;

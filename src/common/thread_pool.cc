@@ -2,21 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 
 #include "common/stopwatch.h"
 
 namespace embellish {
 
-// One in-flight parallel region. Workers claim contiguous chunks from `next`;
-// the participant that completes the final index signals `done`. The job
-// lives on the caller's stack, so lifetime is guarded twice: `done` proves
-// every index ran, and `active` proves every registered worker has left
-// Participate() before the caller may return.
-struct ThreadPool::ParallelJob {
+// One in-flight parallel region. Participants claim contiguous chunks from
+// `next`; the participant that completes the final index signals `done`. The
+// region lives on the caller's stack, so lifetime is guarded twice: `done`
+// proves every index ran, and `active` proves every worker that entered
+// Participate() has left before the caller may return.
+struct ThreadPool::Region {
   size_t end = 0;
   size_t chunk = 1;
-  uint64_t generation = 0;
   const std::function<void(size_t, size_t)>* fn = nullptr;
 
   std::atomic<size_t> next{0};
@@ -29,10 +29,18 @@ struct ThreadPool::ParallelJob {
 
   std::atomic<int64_t> cpu_micros{0};
 
+  // Heuristic only (workers poll it before committing to the region): the
+  // cursor may be exhausted by the time a claim lands, which Participate()
+  // handles by returning immediately.
+  bool claimable() const {
+    return next.load(std::memory_order_relaxed) < end;
+  }
+
   // Drains chunks until the index space is exhausted. Returns whether this
-  // thread completed the job's final index. After a true return (or after
-  // `remaining` reaches zero) the job may be torn down by the caller, so all
-  // bookkeeping for a chunk happens before that chunk's decrement.
+  // thread completed the region's final index. After a true return (or
+  // after `remaining` reaches zero) the region may be torn down by the
+  // caller, so all bookkeeping for a chunk happens before that chunk's
+  // decrement.
   bool Participate() {
     while (true) {
       const size_t start = next.fetch_add(chunk, std::memory_order_relaxed);
@@ -56,7 +64,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads <= 1) return;  // inline mode
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -69,25 +77,87 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::WorkerLoop() {
-  uint64_t last_generation = 0;
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  // A worker switches from the timed-rescan regime to an indefinite "deep
+  // park" only after this many consecutive rescan timeouts finding nothing
+  // claimable (~160 ms without stealable work). The hysteresis is what
+  // reconciles three constraints: an idle pool must not poll forever (the
+  // process-wide Default() pool lives for the process), an active stream
+  // of short regions on a one-core box must not pay a wake-up per region
+  // (the eager clamp deliberately wakes nobody there), and a region must
+  // never be stranded (while anyone is deep-parked, registration wakes one
+  // worker past the clamp, which restores the timed regime).
+  constexpr size_t kDeepParkAfterTimeouts = 16;
+  std::unique_lock<std::mutex> lock(mu_);
+  // Rotating scan start: workers spread across concurrent regions instead
+  // of piling onto regions_[0], which is what keeps one long region from
+  // starving the others (the fairness the stress tests assert).
+  size_t rr = worker_index;
+  size_t barren_timeouts = 0;
   while (true) {
-    ParallelJob* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] {
-        return shutdown_ ||
-               (job_ != nullptr && job_->generation != last_generation);
-      });
-      if (shutdown_) return;
-      job = job_;
-      last_generation = job->generation;
-      // Registered under mu_: once the caller clears job_ under mu_, no
-      // further worker can enter, and `active` covers those that did.
-      job->active.fetch_add(1, std::memory_order_relaxed);
+    Region* region = nullptr;
+    const size_t count = regions_.size();
+    for (size_t i = 0; i < count; ++i) {
+      Region* r = regions_[(rr + i) % count];
+      if (r->claimable()) {
+        region = r;
+        rr = (rr + i + 1) % count;
+        break;
+      }
     }
-    job->Participate();
-    job->active.fetch_sub(1, std::memory_order_release);
+    if (region == nullptr) {
+      // Reaching here means the scan found nothing claimable — a stable
+      // condition until a new registration (an exhausted cursor never
+      // becomes claimable again), which is what makes deep-parking on it
+      // safe: registrations wake a deep-parked worker via the clamp
+      // override. Gating on "nothing claimable" rather than "no regions"
+      // keeps a long-running region's idle co-workers from timed-rescan
+      // churn for its whole duration.
+      if (shutdown_) return;
+      ++idle_workers_;
+      if (barren_timeouts >= kDeepParkAfterTimeouts) {
+        ++deep_parked_;
+        work_ready_.wait(lock);
+        --deep_parked_;
+        barren_timeouts = 0;
+      } else {
+        // Timed, not indefinite: the periodic rescan is what guarantees a
+        // parked worker still discovers claimable chunks on a machine
+        // whose eager clamp is zero — liveness for chunks that block on a
+        // sibling's side effect costs ~10 ms instead of a per-region
+        // context switch.
+        const auto status =
+            work_ready_.wait_for(lock, std::chrono::milliseconds(10));
+        if (status == std::cv_status::timeout) {
+          ++barren_timeouts;
+        } else {
+          barren_timeouts = 0;  // an explicit notify signals new work
+        }
+      }
+      --idle_workers_;
+      continue;  // rescan; spurious and timeout wakes rescan too
+    }
+    barren_timeouts = 0;
+    // Committed under mu_: once the caller removes the region from
+    // regions_ under mu_, no further worker can enter, and `active` covers
+    // those that did.
+    region->active.fetch_add(1, std::memory_order_relaxed);
+    // Chain the wake-up: two racing registrations can aim their notifies at
+    // the same sleeper, so a committing worker recruits one more whenever
+    // claimable work remains and someone is still parked — wake-ups then
+    // propagate until the sleepers or the chunks run out.
+    if (idle_workers_ > 0) {
+      for (Region* r : regions_) {
+        if (r->claimable()) {
+          work_ready_.notify_one();
+          break;
+        }
+      }
+    }
+    lock.unlock();
+    region->Participate();
+    region->active.fetch_sub(1, std::memory_order_release);
+    lock.lock();
   }
 }
 
@@ -103,9 +173,8 @@ double ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
     return cpu.ElapsedMillis();
   }
 
-  static std::atomic<uint64_t> generation_counter{0};
-  ParallelJob job;
-  job.end = end;
+  Region region;
+  region.end = end;
   // ~4 chunks per participant balances tail latency against chunk overhead
   // while keeping each chunk a contiguous, cache-friendly index range. When
   // the pool is wider than the machine (oversubscribed), more chunks only
@@ -113,34 +182,58 @@ double ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
   size_t participants = workers_.size() + 1;
   const size_t hw = std::thread::hardware_concurrency();
   if (hw != 0 && participants > hw) participants = hw;
-  job.chunk =
+  region.chunk =
       std::max(min_grain, (n + 4 * participants - 1) / (4 * participants));
-  job.generation = ++generation_counter;
-  job.fn = &fn;
-  job.next.store(begin, std::memory_order_relaxed);
-  job.remaining.store(n, std::memory_order_relaxed);
+  region.fn = &fn;
+  region.next.store(begin, std::memory_order_relaxed);
+  region.remaining.store(n, std::memory_order_relaxed);
 
+  // Wake only workers that can actually help: one per chunk beyond the one
+  // the caller claims itself, never more than are parked, and never more
+  // than the hardware minus the caller's own core. On a one-core box that
+  // is ZERO eager wake-ups — parallel workers there only buy context
+  // switches (the PR 3 pooled-mode collapse), and the caller drains its
+  // own region at serial speed; parked workers still discover the region
+  // through their periodic rescan (see WorkerLoop), which is the liveness
+  // path for chunks that genuinely block on a sibling. Under-waking is
+  // safe everywhere: a woken worker that commits to a region chains one
+  // further wake-up while claimable work and sleepers remain, and busy
+  // workers need no wake-up at all — they rescan the region list whenever
+  // their current region's cursor is exhausted (that rescan IS the
+  // cross-region steal).
+  const size_t chunks = (n + region.chunk - 1) / region.chunk;
+  const size_t hw_spare = hw == 0 ? workers_.size() : hw - 1;
+  size_t wake = std::min(chunks - 1, hw_spare);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_ = &job;
+    regions_.push_back(&region);
+    // A deep-parked worker (see WorkerLoop) is only reachable by notify,
+    // so its presence overrides the hardware clamp: one wake restores the
+    // timed-rescan regime for everything that follows. Absent deep parks,
+    // an under-woken region is covered by the parked workers' own rescan
+    // timers and by busy workers finishing their chunks.
+    if (wake == 0 && deep_parked_ > 0) wake = 1;
+    wake = std::min(wake, idle_workers_);
   }
-  work_ready_.notify_all();
+  for (size_t i = 0; i < wake; ++i) work_ready_.notify_one();
 
-  if (!job.Participate()) {
-    std::unique_lock<std::mutex> lock(job.done_mu);
-    job.done_cv.wait(lock, [&] { return job.done; });
+  if (!region.Participate()) {
+    std::unique_lock<std::mutex> lock(region.done_mu);
+    region.done_cv.wait(lock, [&] { return region.done; });
   }
 
-  // Close the job to new entrants, then wait out any worker still inside
-  // Participate() (its remaining work is at most one exhausted-cursor check).
+  // Close the region to new entrants, then wait out any worker still inside
+  // Participate() (its remaining work is at most one exhausted-cursor
+  // check).
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_ = nullptr;
+    regions_.erase(std::find(regions_.begin(), regions_.end(), &region));
   }
-  while (job.active.load(std::memory_order_acquire) != 0) {
+  while (region.active.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
-  return static_cast<double>(job.cpu_micros.load(std::memory_order_relaxed)) /
+  return static_cast<double>(
+             region.cpu_micros.load(std::memory_order_relaxed)) /
          1000.0;
 }
 

@@ -24,8 +24,9 @@ ShardedPrivateRetrievalServer::ShardedPrivateRetrievalServer(
     const index::ShardedIndex* sharded, const BucketOrganization* buckets,
     const std::vector<storage::StorageLayout>* layouts,
     const storage::DiskModelOptions& disk_options,
-    const PrivateRetrievalServerOptions& options, ThreadPool* pool)
-    : pool_(pool) {
+    const PrivateRetrievalServerOptions& options, ThreadPool* pool,
+    size_t max_parallel)
+    : pool_(pool), max_parallel_(max_parallel) {
   servers_.reserve(sharded->shard_count());
   for (size_t s = 0; s < sharded->shard_count(); ++s) {
     const storage::StorageLayout* layout =
@@ -64,7 +65,7 @@ Result<EncryptedResult> ShardedPrivateRetrievalServer::Process(
 
   index::ForEachShard(pool_, shards, [&](size_t s) {
     partial[s] = servers_[s].Process(query, pk, &shard_costs[s]);
-  });
+  }, max_parallel_);
 
   std::vector<EncryptedResult> results;
   results.reserve(shards);
@@ -81,8 +82,9 @@ Result<EncryptedResult> ShardedPrivateRetrievalServer::Process(
 ShardedPirRetrievalServer::ShardedPirRetrievalServer(
     const index::ShardedIndex* sharded, const BucketOrganization* buckets,
     const std::vector<storage::StorageLayout>* layouts,
-    const storage::DiskModelOptions& disk_options, ThreadPool* pool)
-    : pool_(pool) {
+    const storage::DiskModelOptions& disk_options, ThreadPool* pool,
+    size_t max_parallel)
+    : pool_(pool), max_parallel_(max_parallel) {
   servers_.reserve(sharded->shard_count());
   for (size_t s = 0; s < sharded->shard_count(); ++s) {
     const storage::StorageLayout* layout =
@@ -116,7 +118,7 @@ Result<std::vector<crypto::PirResponse>> ShardedPirRetrievalServer::AnswerAll(
   // matrix caches never race.
   index::ForEachShard(pool_, shards, [&](size_t s) {
     partial[s] = servers_[s].Answer(bucket, query, &shard_costs[s]);
-  });
+  }, max_parallel_);
 
   std::vector<crypto::PirResponse> out;
   out.reserve(shards);

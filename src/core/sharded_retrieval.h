@@ -52,15 +52,19 @@ class ShardedPrivateRetrievalServer {
  public:
   /// \brief `layouts`, when non-null, must hold one layout per shard (see
   ///        BuildShardLayouts) and outlive the server, as must `sharded` and
-  ///        `buckets`. `pool` may be null (shards evaluated serially); it
-  ///        runs one task per shard and must not be a pool the caller is
-  ///        currently running a ParallelFor region on.
+  ///        `buckets`. `pool` may be null (shards evaluated serially). The
+  ///        pool is a multi-region executor, so it may be — and in the
+  ///        batched server is — the same pool the caller is currently
+  ///        running a ParallelFor region on: the per-query shard region
+  ///        nests and composes. `max_parallel` caps the shards evaluated
+  ///        concurrently per query (0 = one task per shard), bounding one
+  ///        query's draw on a shared pool.
   ShardedPrivateRetrievalServer(
       const index::ShardedIndex* sharded, const BucketOrganization* buckets,
       const std::vector<storage::StorageLayout>* layouts,
       const storage::DiskModelOptions& disk_options = {},
       const PrivateRetrievalServerOptions& options = {},
-      ThreadPool* pool = nullptr);
+      ThreadPool* pool = nullptr, size_t max_parallel = 0);
 
   size_t shard_count() const { return servers_.size(); }
 
@@ -74,17 +78,19 @@ class ShardedPrivateRetrievalServer {
  private:
   std::vector<PrivateRetrievalServer> servers_;  // one per shard, null pool
   ThreadPool* pool_;  // not owned; null => serial shard loop
+  size_t max_parallel_;  // cap on concurrent shards per query; 0 = all
 };
 
 /// \brief Search-engine side of the KO-PIR scheme over shards.
 class ShardedPirRetrievalServer {
  public:
-  /// \brief Same lifetime rules as ShardedPrivateRetrievalServer.
+  /// \brief Same lifetime, pool-sharing and cap rules as
+  ///        ShardedPrivateRetrievalServer.
   ShardedPirRetrievalServer(
       const index::ShardedIndex* sharded, const BucketOrganization* buckets,
       const std::vector<storage::StorageLayout>* layouts,
       const storage::DiskModelOptions& disk_options = {},
-      ThreadPool* pool = nullptr);
+      ThreadPool* pool = nullptr, size_t max_parallel = 0);
 
   size_t shard_count() const { return servers_.size(); }
 
@@ -110,6 +116,7 @@ class ShardedPirRetrievalServer {
  private:
   std::vector<PirRetrievalServer> servers_;  // one per shard, null pool
   ThreadPool* pool_;  // not owned; null => serial shard loop
+  size_t max_parallel_;  // cap on concurrent shards per query; 0 = all
 };
 
 /// \brief Retrieves one term's inverted list from a sharded PIR server: one

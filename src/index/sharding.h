@@ -29,13 +29,20 @@
 namespace embellish::index {
 
 /// \brief Runs `fn(shard)` for every shard in [0, shard_count) — fanned out
-///        over `pool` (one task per shard) when one is supplied and more
-///        than one shard exists, inline on the calling thread otherwise.
-///        The single dispatch point every shard fan-out in the codebase
-///        goes through. Blocks until all shards complete; `fn` must be safe
-///        to invoke concurrently for distinct shards.
+///        over `pool` when one is supplied and more than one shard exists,
+///        inline on the calling thread otherwise. The single dispatch point
+///        every shard fan-out in the codebase goes through; since the pool
+///        became a multi-region executor this may be called from inside
+///        another ParallelFor region (batch workers fan their own query's
+///        shards out over the same shared pool). `max_parallel` caps the
+///        number of shards evaluated concurrently (expressed through the
+///        region's grain, so the cap bounds pool draw per request without a
+///        dedicated sub-pool): 0 means one task per shard, 1 forces the
+///        serial inline loop. Blocks until all shards complete; `fn` must
+///        be safe to invoke concurrently for distinct shards.
 void ForEachShard(ThreadPool* pool, size_t shard_count,
-                  const std::function<void(size_t)>& fn);
+                  const std::function<void(size_t)>& fn,
+                  size_t max_parallel = 0);
 
 /// \brief How documents map to shards.
 enum class ShardPartition {
@@ -102,9 +109,12 @@ std::vector<ScoredDoc> MergeShardTopK(
 ///        per-shard scores are final and the merged prefix is bit-identical
 ///        to EvaluateFull on the monolithic index truncated to `k`.
 ///        `stats`, if non-null, accumulates postings scanned across shards.
+///        `max_parallel` caps the concurrent shard evaluations per call
+///        (see ForEachShard); 0 = one task per shard.
 std::vector<ScoredDoc> EvaluateTopKSharded(
     const ShardedIndex& sharded, const std::vector<wordnet::TermId>& query,
-    size_t k, ThreadPool* pool = nullptr, EvalStats* stats = nullptr);
+    size_t k, ThreadPool* pool = nullptr, EvalStats* stats = nullptr,
+    size_t max_parallel = 0);
 
 }  // namespace embellish::index
 

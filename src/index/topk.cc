@@ -4,41 +4,105 @@
 #include <functional>
 #include <queue>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 namespace embellish::index {
 
 namespace {
 
-// Minimum pops between termination checks. A check costs a selection over
-// the accumulator table (O(candidates)), so the gap to the next check grows
-// with the table: the aggregate check cost stays linear in the postings
-// popped even on flat-impact workloads where termination never fires.
-constexpr uint64_t kMinTerminationCheckInterval = 16;
+// Threshold tracker for the Figure 10 termination test. The old
+// implementation recomputed the k-th best and best-outside scores with an
+// O(candidates) selection over the whole accumulator table, which forced the
+// check onto a widening interval (every max(16, candidates/4) pops) to keep
+// the aggregate cost linear. This tracker maintains both quantities
+// incrementally in amortized O(log k) per accumulation, so the test runs
+// after every pop and fires the moment the top-k settles.
+//
+// Structure: a lazy min-heap over (score, doc) snapshots of the current
+// top-k members. Scores only grow, so every accumulation pushes a fresh
+// snapshot and older snapshots of the same doc go stale; stale entries are
+// discarded when they surface at the top (for one doc the snapshots pop in
+// increasing order, so the current one always outlives the stale ones).
+// `best_outside` is a running maximum over every score observed leaving —
+// or growing outside — the top k. It can only ever be stale-HIGH (a doc
+// whose score was recorded may have re-entered the top k since), which
+// delays termination but never mis-fires it; documents never seen at all
+// sit at score 0 and are covered by the initial value. The termination
+// inequality stays strict, so score ties at the k boundary (where a tied
+// outsider could still win the canonical doc-id tie-break) keep scanning.
+class TopKThreshold {
+ public:
+  explicit TopKThreshold(size_t k) : k_(k) {}
 
-// True when no document outside the current top k — including documents not
-// yet seen at all — can reach the k-th best accumulated score even if every
-// remaining posting went its way. `head_sum` bounds any single document's
-// remaining gain: a document appears at most once per inverted list and the
-// lists are impact-ordered, so it can collect at most the current head
-// impact of every active cursor. Strict inequality keeps the decision
-// immune to score ties at the k boundary (a tied outsider could still win
-// the canonical doc-id tie-break).
-bool TopKIsSettled(const std::unordered_map<corpus::DocId, uint64_t>& acc,
-                   size_t k, uint64_t head_sum,
-                   std::vector<uint64_t>* scratch) {
-  if (acc.size() < k) return false;
-  scratch->clear();
-  scratch->reserve(acc.size());
-  for (const auto& [doc, score] : acc) scratch->push_back(score);
-  std::nth_element(scratch->begin(), scratch->begin() + (k - 1),
-                   scratch->end(), std::greater<uint64_t>());
-  const uint64_t kth_best = (*scratch)[k - 1];
-  uint64_t best_outside = 0;  // also covers documents never seen (score 0)
-  if (scratch->size() > k) {
-    best_outside = *std::max_element(scratch->begin() + k, scratch->end());
+  // Records that `doc`'s accumulated score grew to `score` (its current
+  // value in `acc` — passed in so the hot loop avoids a second hash
+  // lookup). Must be called for every accumulation that changes a score.
+  void Update(corpus::DocId doc, uint64_t score,
+              const std::unordered_map<corpus::DocId, uint64_t>& acc) {
+    // For an existing member the push refreshes its snapshot (the old one
+    // goes stale); a non-member provisionally joins and the eviction loop
+    // below decides whether it stays.
+    in_top_.insert(doc);
+    heap_.push({score, doc});
+    // Evict smallest current members until exactly k remain.
+    while (in_top_.size() > k_) {
+      DropStale(acc);
+      const auto [s, d] = heap_.top();
+      heap_.pop();
+      in_top_.erase(d);
+      if (s > best_outside_) best_outside_ = s;
+    }
+    // Compact: stale snapshots buried under the current minimum are never
+    // popped by the lazy path, so without this the heap would grow with
+    // postings scanned (not with k) on flat-impact workloads where
+    // termination never fires. Rebuilding from the k current members
+    // amortizes to O(1) per update and pins memory at O(k).
+    if (heap_.size() > 2 * in_top_.size() + 64) {
+      std::vector<Snapshot> current;
+      current.reserve(in_top_.size());
+      for (corpus::DocId d : in_top_) current.push_back({acc.at(d), d});
+      heap_ = decltype(heap_)(std::greater<Snapshot>(), std::move(current));
+    }
   }
-  return kth_best > best_outside + head_sum;
-}
+
+  // True when no document outside the current top k — including documents
+  // never seen at all — can reach the k-th best accumulated score even if
+  // every remaining posting went its way. `head_sum` bounds any single
+  // document's remaining gain: a document appears at most once per inverted
+  // list and the lists are impact-ordered, so it can collect at most the
+  // current head impact of every active cursor.
+  bool Settled(const std::unordered_map<corpus::DocId, uint64_t>& acc,
+               uint64_t head_sum) {
+    if (in_top_.size() < k_) return false;
+    DropStale(acc);
+    const uint64_t kth_best = heap_.top().first;
+    return kth_best > best_outside_ + head_sum;
+  }
+
+ private:
+  using Snapshot = std::pair<uint64_t, corpus::DocId>;
+
+  // Pops snapshots that no longer describe a current top-k member. A
+  // snapshot is current iff its doc is still a member and the score matches
+  // the doc's accumulator (scores only grow, so a mismatch means a newer
+  // snapshot exists further down the heap). Amortized O(1): every push is
+  // popped at most once.
+  void DropStale(const std::unordered_map<corpus::DocId, uint64_t>& acc) {
+    while (!heap_.empty()) {
+      const auto& [s, d] = heap_.top();
+      if (in_top_.count(d) != 0 && acc.at(d) == s) return;
+      heap_.pop();
+    }
+  }
+
+  const size_t k_;
+  std::priority_queue<Snapshot, std::vector<Snapshot>,
+                      std::greater<Snapshot>>
+      heap_;  // min-heap; holds current + stale snapshots of top-k members
+  std::unordered_set<corpus::DocId> in_top_;
+  uint64_t best_outside_ = 0;  // also covers documents never seen (score 0)
+};
 
 }  // namespace
 
@@ -98,10 +162,8 @@ std::vector<ScoredDoc> EvaluateTopK(const InvertedIndex& index,
   }
 
   std::unordered_map<corpus::DocId, uint64_t> acc;
-  std::vector<uint64_t> scratch;
+  TopKThreshold threshold(k);
   uint64_t scanned = 0;
-  uint64_t pops_since_check = 0;
-  uint64_t check_interval = kMinTerminationCheckInterval;
   bool early = false;
   while (!heap.empty()) {
     size_t ci = heap.top();
@@ -109,23 +171,24 @@ std::vector<ScoredDoc> EvaluateTopK(const InvertedIndex& index,
     Cursor& cur = cursors[ci];
     const Posting& p = (*cur.list)[cur.pos];
     ++scanned;
-    acc[p.doc] += p.impact;  // steps 2b-2c
     head_sum -= p.impact;
+    // Steps 2b-2c. A zero-impact posting still creates the accumulator
+    // entry: EvaluateFull counts such documents as candidates, and the
+    // top-k contract is "exactly the full evaluation's top-k set". The
+    // duplicate same-score snapshot this pushes is harmless — eviction
+    // erases membership, which stales every remaining copy.
+    const uint64_t score = (acc[p.doc] += p.impact);
+    threshold.Update(p.doc, score, acc);
     if (++cur.pos < cur.list->size()) {  // step 2d
       head_sum += (*cur.list)[cur.pos].impact;
       heap.push(ci);
     }
-    // Step 2e, the termination test this implementation used to skip: once
-    // the k-th best accumulated score is out of reach for everyone else,
-    // the remaining postings cannot change the top-k set.
-    if (!heap.empty() && ++pops_since_check >= check_interval) {
-      pops_since_check = 0;
-      check_interval = std::max<uint64_t>(kMinTerminationCheckInterval,
-                                          acc.size() / 4);
-      if (TopKIsSettled(acc, k, head_sum, &scratch)) {
-        early = true;
-        break;
-      }
+    // Step 2e every pop: with the threshold tracked incrementally the test
+    // costs O(log k), so it no longer waits out a check interval — the
+    // evaluation stops at the first pop where the top-k is settled.
+    if (!heap.empty() && threshold.Settled(acc, head_sum)) {
+      early = true;
+      break;
     }
   }
   if (stats != nullptr) {

@@ -48,7 +48,10 @@ std::vector<ScoredDoc> EvaluateFull(const InvertedIndex& index,
 /// and stops as soon as the k-th best accumulated score can no longer be
 /// overtaken — even in the best case — by any document outside the current
 /// top k (their accumulated scores plus an upper bound derived from the
-/// remaining cursor heads).
+/// remaining cursor heads). The termination quantities are tracked
+/// incrementally in a threshold heap (amortized O(log k) per posting), so
+/// the test runs after every pop instead of on an O(candidates) check
+/// interval — the scan stops at the first settled posting.
 ///
 /// Returns exactly the documents a full evaluation would rank in its top k.
 /// When the evaluation terminated early (`stats->early_terminated`), the

@@ -41,13 +41,25 @@ EmbellishServer::EmbellishServer(const index::InvertedIndex* index,
                                   layout->policy(), options.disk))
                         : nullptr),
       serve_index_(slice_index_ != nullptr ? slice_index_.get() : index),
+      // No caller pool, but intra-query shard parallelism requested: spawn
+      // an owned executor of the requested width and serve everything from
+      // it — the pre-executor dedicated-shard-pool behavior, minus the old
+      // one-region-at-a-time collision.
+      owned_pool_(pool == nullptr && options.shard_threads > 1 &&
+                          options.shard_count > 1 && slice_index_ == nullptr
+                      ? std::make_unique<ThreadPool>(options.shard_threads)
+                      : nullptr),
+      pool_(pool != nullptr ? pool : owned_pool_.get()),
+      // The monolithic engines share the executor: their internal
+      // ParallelFor regions (Algorithm 4 entries, PIR rows) nest inside the
+      // batch region and compose instead of colliding (parallel outputs are
+      // bit-identical to serial — the PR 1 equivalence tests).
       pr_server_(serve_index_, buckets,
                  slice_layout_ != nullptr ? slice_layout_.get() : layout,
-                 options.disk, options.pr, /*pool=*/nullptr),
+                 options.disk, options.pr, pool_),
       pir_server_(serve_index_, buckets,
                   slice_layout_ != nullptr ? slice_layout_.get() : layout,
-                  options.disk, /*pool=*/nullptr),
-      pool_(pool),
+                  options.disk, pool_),
       bucket_count_(buckets->bucket_count()),
       sessions_(options.max_sessions, options.session_idle_frames),
       cache_(options.cache_capacity, options.cache_max_bytes) {
@@ -66,14 +78,14 @@ EmbellishServer::EmbellishServer(const index::InvertedIndex* index,
                                              layout->policy(), options.disk);
     layouts = &shard_layouts_;
   }
-  if (options.shard_threads > 1) {
-    shard_pool_ = std::make_unique<ThreadPool>(options.shard_threads);
-  }
+  // Shard fan-outs run on the shared executor (nested inside batch regions
+  // when batched); shard_threads survives as the per-query concurrency cap.
   sharded_pr_ = std::make_unique<core::ShardedPrivateRetrievalServer>(
       sharded_index_.get(), buckets, layouts, options.disk, options.pr,
-      shard_pool_.get());
+      pool_, options.shard_threads);
   sharded_pir_ = std::make_unique<core::ShardedPirRetrievalServer>(
-      sharded_index_.get(), buckets, layouts, options.disk, shard_pool_.get());
+      sharded_index_.get(), buckets, layouts, options.disk, pool_,
+      options.shard_threads);
   shard_pir_mu_.reserve(sharded_index_->shard_count());
   for (size_t s = 0; s < sharded_index_->shard_count(); ++s) {
     shard_pir_mu_.push_back(std::make_unique<std::mutex>());
@@ -111,7 +123,12 @@ std::vector<std::vector<uint8_t>> EmbellishServer::HandleBatch(
       responses[i] = HandleFrame(requests[i]);
     }
   };
-  if (pool_ != nullptr && requests.size() > 1) {
+  // Tiny batches run inline: at 1-2 requests the region bookkeeping and
+  // worker wake-ups cost more than the overlap buys (the BENCH_server.json
+  // batched-path regression), and any intra-request parallelism still
+  // arrives through the engines' own nested regions.
+  constexpr size_t kInlineBatchMax = 2;
+  if (pool_ != nullptr && requests.size() > kInlineBatchMax) {
     pool_->ParallelFor(0, requests.size(), /*min_grain=*/1, handle_range);
   } else {
     handle_range(0, requests.size());
@@ -350,7 +367,8 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleTopK(
   std::vector<index::ScoredDoc> top;
   if (sharded_index_ != nullptr) {
     top = index::EvaluateTopKSharded(*sharded_index_, query->terms, query->k,
-                                     shard_pool_.get());
+                                     pool_, /*stats=*/nullptr,
+                                     options_.shard_threads);
   } else {
     // Full accumulation, not Figure 10 early termination: wire responses
     // must be configuration-independent so a coordinator merge over slice

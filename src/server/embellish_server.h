@@ -12,21 +12,25 @@
 //   kTopKQuery  runs a plaintext top-k evaluation (the full-accumulation
 //               prefix, so the answer bytes are sharding-independent).
 //
-// HandleBatch fans a batch of request frames out over the shared ThreadPool
-// — parallelism comes from concurrent *requests*, so the per-request answer
-// engines run serially (the pool must not be entered twice). A bucket-set
+// HandleBatch fans a batch of request frames out over the shared ThreadPool.
+// The pool is a multi-region work-stealing executor (common/thread_pool.h),
+// so the per-request answer engines run on the SAME pool: a batch worker's
+// query fans its shards (and the PIR answer kernel its rows) out as nested
+// regions, and idle workers steal across regions instead of leaving the
+// losers inline. Batches of one or two requests skip the fan-out entirely —
+// region bookkeeping costs more than it buys at that size. A bucket-set
 // keyed response cache (see response_cache.h) short-circuits the recurring
 // co-bucket decoy sets that session-consistent embellishment produces.
 //
 // Sharding (options.shard_count > 1): the index is document-partitioned
 // into N shards (index/sharding.h) and queries are answered by the sharded
 // engines (core/sharded_retrieval.h). PR queries fan out across all shards
-// — over a dedicated shard pool when options.shard_threads > 1, so batch
-// workers and shard workers never contend for the same non-reentrant pool —
-// and the merged response frame is bit-identical to the monolithic server's.
-// PIR requests address one (shard, bucket) pair: the frame's bucket field
-// carries shard * bucket_count + bucket, each shard answers independently
-// behind its own mutex, and cache entries are keyed per shard.
+// on the shared executor — options.shard_threads caps one query's draw on
+// the pool — and the merged response frame is bit-identical to the
+// monolithic server's. PIR requests address one (shard, bucket) pair: the
+// frame's bucket field carries shard * bucket_count + bucket, each shard
+// answers independently behind its own mutex, and cache entries are keyed
+// per shard.
 //
 // Slice mode (options.shard_slice set): the server owns one slice of an
 // N-way document partition and behaves as a monolithic server over it —
@@ -99,17 +103,18 @@ struct EmbellishServerOptions {
   /// How documents map to shards when shard_count > 1.
   index::ShardPartition shard_partition = index::ShardPartition::kDocRange;
 
-  /// Width of the dedicated shard fan-out pool. 0 or 1 evaluates a query's
-  /// shards serially within the handling thread (batch-level parallelism
-  /// still touches different shards concurrently); > 1 spawns an internal
-  /// pool so a single query's shards run in parallel. Kept separate from
-  /// the batch pool because ParallelFor regions must not nest on one pool.
-  /// Caveat: the pool runs one ParallelFor region at a time, so when many
-  /// batch workers fan out simultaneously the losers degrade to evaluating
-  /// their own shards inline (results are unchanged; only the intra-query
-  /// parallelism is lost — see the ROADMAP item on per-caller job queues).
-  /// The knob therefore helps most for low-concurrency / latency-sensitive
-  /// traffic.
+  /// Cap on how many of one query's shards are evaluated concurrently on
+  /// the shared executor (there is no dedicated shard pool any more: shard
+  /// fan-out regions nest inside batch regions on one pool, and idle
+  /// workers steal across them). 0 — the default — runs one task per
+  /// shard; 1 evaluates a query's shards serially within the handling
+  /// thread (batch-level parallelism still touches different shards
+  /// concurrently); N caps a single query's draw on the pool so heavy
+  /// batch traffic keeps worker headroom. A sharded server constructed
+  /// WITHOUT a pool but with shard_threads > 1 spawns an owned executor of
+  /// that width and serves everything from it — the pre-executor behavior
+  /// (a dedicated shard pool) without the old one-region-at-a-time
+  /// collision. Results are bit-identical at any setting.
   size_t shard_threads = 0;
 
   /// Slice mode: serve exactly shard `shard_slice` of a
@@ -236,15 +241,23 @@ class EmbellishServer {
   std::unique_ptr<index::InvertedIndex> slice_index_;
   std::unique_ptr<storage::StorageLayout> slice_layout_;
   const index::InvertedIndex* serve_index_;  // slice or caller's index
-  const core::PrivateRetrievalServer pr_server_;  // built with a null pool
-  const core::PirRetrievalServer pir_server_;     // built with a null pool
-  ThreadPool* pool_;  // not owned; null => serial batches
+  // Spawned only when the caller passed no pool but asked for intra-query
+  // shard parallelism (shard_threads > 1 on a sharded server); pool_ then
+  // points at it and the whole server shares it. Declared before the
+  // engines so it exists when they are constructed.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;  // caller's pool or owned_pool_; null => all serial
+  // The monolithic engines share the executor: their internal regions
+  // (Algorithm 4 bucket entries, PIR answer rows) nest inside batch
+  // regions and compose.
+  const core::PrivateRetrievalServer pr_server_;
+  const core::PirRetrievalServer pir_server_;
   const size_t bucket_count_;
 
   // Sharded engines; null when shard_count <= 1 (monolithic dispatch).
+  // They fan out over the same shared executor, capped by shard_threads.
   std::unique_ptr<index::ShardedIndex> sharded_index_;
   std::vector<storage::StorageLayout> shard_layouts_;
-  std::unique_ptr<ThreadPool> shard_pool_;  // owned; see shard_threads
   std::unique_ptr<core::ShardedPrivateRetrievalServer> sharded_pr_;
   std::unique_ptr<core::ShardedPirRetrievalServer> sharded_pir_;
 

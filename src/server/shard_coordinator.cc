@@ -14,11 +14,15 @@ ShardCoordinator::ShardCoordinator(std::vector<ShardTransport*> transports,
                                    ThreadPool* pool)
     : transports_(std::move(transports)),
       options_(options),
-      pool_(pool),
-      sessions_(options.max_sessions, options.session_idle_frames) {
-  if (options.fanout_threads > 1) {
-    fanout_pool_ = std::make_unique<ThreadPool>(options.fanout_threads);
-  }
+      // No caller pool, but overlapped fan-out requested: spawn an owned
+      // executor of the requested width (see fanout_threads).
+      owned_pool_(pool == nullptr && options.fanout_threads > 1 &&
+                          transports_.size() > 1
+                      ? std::make_unique<ThreadPool>(options.fanout_threads)
+                      : nullptr),
+      pool_(pool != nullptr ? pool : owned_pool_.get()),
+      sessions_(options.max_sessions, options.session_idle_frames),
+      cache_(options.cache_capacity, options.cache_max_bytes) {
   transport_mu_.reserve(transports_.size());
   for (size_t s = 0; s < transports_.size(); ++s) {
     transport_mu_.push_back(std::make_unique<std::mutex>());
@@ -42,6 +46,8 @@ CoordinatorStats ShardCoordinator::stats() const {
   snapshot.shard_failures =
       counters_.shard_failures.load(std::memory_order_relaxed);
   snapshot.sessions_expired = sessions_.expired_total();
+  snapshot.cache_hits = cache_.hits();
+  snapshot.cache_misses = cache_.misses();
   return snapshot;
 }
 
@@ -134,9 +140,13 @@ std::vector<Result<Frame>> ShardCoordinator::FanOut(
   const size_t shards = transports_.size();
   std::vector<Result<Frame>> out(
       shards, Result<Frame>(Status::Internal("shard not contacted")));
-  index::ForEachShard(fanout_pool_.get(), shards, [&](size_t s) {
+  // The round trips overlap as executor tasks (each one blocks on its
+  // transport, so the fanout_threads cap is what bounds how many workers
+  // one request can pin on I/O waits). The caller participates too, so a
+  // fully-busy pool degrades to the sequential loop, never a stall.
+  index::ForEachShard(pool_, shards, [&](size_t s) {
     out[s] = ShardRoundTrip(s, inner);
-  });
+  }, options_.fanout_threads);
   return out;
 }
 
@@ -319,12 +329,30 @@ bool ShardCoordinator::ReRegisterOnShards(
 
 std::vector<uint8_t> ShardCoordinator::HandleQuery(
     const Frame& frame, const std::vector<uint8_t>& request) {
-  std::shared_ptr<const crypto::BenalohPublicKey> pk =
-      sessions_.Find(frame.session_id).pk;
+  SessionTable::Entry session = sessions_.Find(frame.session_id);
+  const std::shared_ptr<const crypto::BenalohPublicKey>& pk = session.pk;
   if (pk == nullptr) {
     return ErrorFrame(frame.session_id,
                       Status::FailedPrecondition(
                           "session has not sent a hello frame"));
+  }
+
+  // Upstream cache, keyed exactly like the server's PR entries — kind,
+  // session, registration epoch, payload bytes. Session consistency makes a
+  // recurring genuine-term set a byte-identical uplink, so a hit replays
+  // the previously merged response without touching any shard; the epoch
+  // component means a re-hello (new key, new epoch) can never be answered
+  // with bytes merged under the superseded key.
+  std::string cache_key;
+  if (cache_.enabled()) {
+    cache_key = ResponseCache::MakeKey(static_cast<uint8_t>(frame.kind),
+                                       frame.session_id, session.epoch,
+                                       frame.payload);
+    std::vector<uint8_t> cached;
+    if (cache_.Get(cache_key, &cached)) {
+      Count(&AtomicStats::queries);
+      return cached;
+    }
   }
 
   // Up to two passes: if a shard turns out to have lost (or to hold a
@@ -381,8 +409,11 @@ std::vector<uint8_t> ShardCoordinator::HandleQuery(
     core::EncryptedResult merged =
         core::MergeShardResults(std::move(partial));
     Count(&AtomicStats::queries);
-    return EncodeFrame(FrameKind::kResult, frame.session_id,
-                       core::EncodeResult(merged, *pk));
+    std::vector<uint8_t> response =
+        EncodeFrame(FrameKind::kResult, frame.session_id,
+                    core::EncodeResult(merged, *pk));
+    if (cache_.enabled()) cache_.Put(cache_key, response);
+    return response;
   }
   return ErrorFrame(frame.session_id,
                     Status::Internal("unreachable query retry exit"));

@@ -24,6 +24,13 @@
 //               addresses (shard * bucket_count + bucket), rewriting the
 //               field to the shard-local bucket.
 //
+// Fan-outs overlap: the per-shard round trips of one request run as tasks
+// on the shared executor (bounded by options.fanout_threads), nested
+// inside the batch region when the request arrived through HandleBatch —
+// the coordinator no longer walks shards sequentially per request. An
+// optional upstream response cache (options.cache_capacity) answers a
+// session's recurring PR decoy sets before any shard round trip.
+//
 // Failure semantics: any transport failure, corrupt frame, or envelope
 // mismatch on a shard round trip yields a typed kError response (usually
 // StatusCode::kUnavailable) for the affected request — never a hang, crash,
@@ -42,6 +49,7 @@
 
 #include "common/thread_pool.h"
 #include "server/framing.h"
+#include "server/response_cache.h"
 #include "server/session_table.h"
 #include "server/shard_transport.h"
 
@@ -64,11 +72,39 @@ struct ShardCoordinatorOptions {
   /// forever at the coordinator either. 0 disables expiry.
   uint64_t session_idle_frames = 1u << 20;
 
-  /// Width of the internal pool fanning one request's shard round trips out
-  /// in parallel. 0 or 1 = serial fan-out. Kept separate from the batch
-  /// pool handed to the constructor because ParallelFor regions must not
-  /// nest on one pool.
+  /// Per-request cap on how many of a fan-out's shard round trips are in
+  /// flight concurrently. Round trips run as tasks on the constructor's
+  /// executor (there is no dedicated fan-out pool any more: fan-out
+  /// regions nest inside batch regions on the one shared pool), so a
+  /// coordinator overlaps its transport sends instead of walking shards
+  /// sequentially. 0 — the default — overlaps all shards; 1 restores the
+  /// sequential per-shard loop; N bounds one request's draw on the pool
+  /// (fan-out tasks BLOCK on transport I/O, so the cap is what keeps a
+  /// wide fan-out from pinning every worker). A coordinator constructed
+  /// WITHOUT a pool but with fanout_threads > 1 spawns an owned executor
+  /// of that width (the pre-executor dedicated fan-out pool, minus the
+  /// old region collision); with a null pool and fanout_threads <= 1 the
+  /// fan-out is sequential. Caveat: the executor's eager wake-ups are
+  /// clamped to spare *hardware* threads, so on a single-core machine
+  /// overlap of these I/O-bound round trips only begins once a parked
+  /// worker's idle rescan fires (~10 ms) — the ROADMAP's async request
+  /// loop is the real fix for overlapping I/O without burning threads.
   size_t fanout_threads = 0;
+
+  /// Upstream response-cache capacity in entries; 0 (default) disables it.
+  /// The cache reuses the server's bucket-set keying (kind, session,
+  /// registration epoch, payload bytes) for PR query frames, so a
+  /// session's recurring co-bucket decoy sets — byte-identical uplinks by
+  /// session consistency — short-circuit before ANY shard round trip. The
+  /// epoch component keeps a re-hello from ever being answered with bytes
+  /// merged under a superseded key. Slice servers still cache per shard;
+  /// this sits in front of the whole fan-out.
+  size_t cache_capacity = 0;
+
+  /// Coordinator response-cache budget in bytes (keys embed
+  /// attacker-controlled payloads; the byte budget is the bound that
+  /// holds).
+  size_t cache_max_bytes = 64u << 20;
 };
 
 /// \brief Aggregate counters; a consistent snapshot via stats().
@@ -82,6 +118,8 @@ struct CoordinatorStats {
   uint64_t shard_trips = 0;     ///< downstream round trips attempted
   uint64_t shard_failures = 0;  ///< round trips that failed (any layer)
   uint64_t sessions_expired = 0;  ///< idle sessions swept (keys released)
+  uint64_t cache_hits = 0;      ///< PR responses served without any trip
+  uint64_t cache_misses = 0;
 };
 
 /// \brief Client-facing frame loop over remote shards.
@@ -133,7 +171,8 @@ class ShardCoordinator {
   Result<Frame> ShardRoundTrip(size_t shard,
                                const std::vector<uint8_t>& inner);
 
-  // Fans `inner` out to every shard (over fanout_pool_ when present) and
+  // Fans `inner` out to every shard — the round trips overlap as executor
+  // tasks on pool_, capped per request by options_.fanout_threads — and
   // collects the inner response frames in shard order.
   std::vector<Result<Frame>> FanOut(const std::vector<uint8_t>& inner);
 
@@ -180,8 +219,12 @@ class ShardCoordinator {
 
   const std::vector<ShardTransport*> transports_;  // elements not owned
   const ShardCoordinatorOptions options_;
-  ThreadPool* pool_;  // not owned; null => serial batches
-  std::unique_ptr<ThreadPool> fanout_pool_;  // owned; see fanout_threads
+  // Spawned only when the caller passed no pool but asked for overlapped
+  // fan-out (fanout_threads > 1); pool_ then points at it.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  // One executor for batches AND per-request fan-outs: fan-out regions
+  // nest inside batch regions and idle workers steal across them.
+  ThreadPool* pool_;  // caller's pool or owned_pool_; null => all serial
 
   // Transports are plain blocking request/response channels with no
   // multiplexing, so round trips on one transport must not interleave.
@@ -201,6 +244,9 @@ class ShardCoordinator {
   // Registered client sessions (the coordinator keeps keys to decode and
   // re-merge PR results); bounded and idle-expiring like the server's.
   SessionTable sessions_;
+
+  // Upstream PR response cache (see options.cache_capacity).
+  ResponseCache cache_;
 
   AtomicStats counters_;
 };

@@ -233,6 +233,96 @@ TEST(TopKEarlyTerminationTest, MultiTermSkewAgreesWithFullOnTheSet) {
   }
 }
 
+TEST(TopKEarlyTerminationTest, ChecksFireBetweenTheOldSixteenPopIntervals) {
+  // The threshold-heap rewrite runs the termination test every pop
+  // (amortized O(log k)) instead of every max(16, candidates/4) pops with
+  // an O(candidates) selection. On a list whose top-1 settles after two
+  // postings, the evaluation must stop there — not at the old 16-pop
+  // check boundary.
+  std::unordered_map<wordnet::TermId, std::vector<Posting>> lists;
+  std::vector<Posting> skewed;
+  skewed.push_back(Posting{0, 255});
+  for (corpus::DocId d = 1; d < 500; ++d) skewed.push_back(Posting{d, 1});
+  lists.emplace(3, std::move(skewed));
+  InvertedIndex index(/*num_docs=*/500, std::move(lists), /*impact_bits=*/8);
+
+  // After pop 2: kth_best (doc 0) = 255, best outsider = 1, remaining
+  // head bound = 1 → 255 > 1 + 1 settles the top-1 immediately.
+  EvalStats stats;
+  auto topk = EvaluateTopK(index, {3}, 1, &stats);
+  ASSERT_EQ(topk.size(), 1u);
+  EXPECT_EQ(topk[0].doc, 0u);
+  EXPECT_TRUE(stats.early_terminated);
+  EXPECT_LT(stats.postings_scanned, 16u)
+      << "termination waited for the removed check interval";
+}
+
+TEST(TopKEarlyTerminationTest, ReEnteringDocKeepsTheSetExact) {
+  // A doc that is evicted from the threshold tracker's top-k and later
+  // grows back in exercises the lazy-snapshot path: stale heap entries and
+  // the conservatively-high best-outside bound must never mis-fire the
+  // termination. Two lists: doc 5 starts small (evicted once doc 1 and 2
+  // arrive), then collects a second large impact and ends up top-1.
+  std::unordered_map<wordnet::TermId, std::vector<Posting>> lists;
+  lists.emplace(0, std::vector<Posting>{{5, 100}, {1, 90}, {2, 80},
+                                        {3, 10}, {4, 9}});
+  lists.emplace(1, std::vector<Posting>{{5, 120}, {6, 50}, {7, 40},
+                                        {8, 2}, {9, 1}});
+  InvertedIndex index(/*num_docs=*/16, std::move(lists), /*impact_bits=*/8);
+
+  const std::vector<wordnet::TermId> query{0, 1};
+  auto full = EvaluateFull(index, query);
+  for (size_t k : {1u, 2u, 3u}) {
+    EvalStats stats;
+    auto topk = EvaluateTopK(index, query, k, &stats);
+    ASSERT_EQ(topk.size(), std::min<size_t>(k, full.size())) << "k=" << k;
+    std::set<corpus::DocId> expected, got;
+    for (size_t i = 0; i < topk.size(); ++i) {
+      expected.insert(full[i].doc);
+      got.insert(topk[i].doc);
+    }
+    EXPECT_EQ(got, expected) << "k=" << k;
+  }
+}
+
+TEST(TopKEarlyTerminationTest, ZeroImpactPostingsStillQualifyAsCandidates) {
+  // EvaluateFull counts a document with only zero-impact postings as a
+  // (score 0) candidate, and the top-k contract is "exactly the full
+  // evaluation's top-k set" — so EvaluateTopK must create the accumulator
+  // entry too, and the threshold tracker must survive the duplicate
+  // same-score snapshots repeated zero impacts produce.
+  std::unordered_map<wordnet::TermId, std::vector<Posting>> lists;
+  lists.emplace(0, std::vector<Posting>{{1, 5}, {2, 3}, {7, 0}, {9, 0}});
+  lists.emplace(1, std::vector<Posting>{{2, 2}, {7, 0}});
+  InvertedIndex index(/*num_docs=*/16, std::move(lists), /*impact_bits=*/8);
+
+  const std::vector<wordnet::TermId> query{0, 1};
+  auto full = EvaluateFull(index, query);
+  ASSERT_EQ(full.size(), 4u);  // docs 1, 2, 7, 9 — zero-scored included
+  std::unordered_map<corpus::DocId, uint64_t> full_scores;
+  for (const ScoredDoc& sd : full) full_scores[sd.doc] = sd.score;
+  for (size_t k : {2u, 3u, 4u, 10u}) {
+    EvalStats stats;
+    auto topk = EvaluateTopK(index, query, k, &stats);
+    ASSERT_EQ(topk.size(), std::min<size_t>(k, full.size())) << "k=" << k;
+    // The contract is set-exactness; scores are lower bounds after an
+    // early stop (see topk.h).
+    std::set<corpus::DocId> expected, got;
+    for (size_t i = 0; i < topk.size(); ++i) {
+      expected.insert(full[i].doc);
+      got.insert(topk[i].doc);
+      EXPECT_LE(topk[i].score, full_scores.at(topk[i].doc))
+          << "k=" << k << " i=" << i;
+    }
+    EXPECT_EQ(got, expected) << "k=" << k;
+    if (!stats.early_terminated) {
+      for (size_t i = 0; i < topk.size(); ++i) {
+        EXPECT_EQ(topk[i], full[i]) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
 TEST(SortByScoreTest, OrdersByScoreThenDoc) {
   std::vector<ScoredDoc> docs{{3, 10}, {1, 20}, {2, 10}, {0, 5}};
   SortByScore(&docs);

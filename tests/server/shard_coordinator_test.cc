@@ -199,8 +199,8 @@ TEST_F(ShardCoordinatorTest, BatchedDispatchMatchesSerial) {
   ShardCoordinatorOptions copts;
   copts.fanout_threads = 2;
   Rig rig = MakeRig(3, copts);
-  // Batched coordinator dispatch rides the caller's pool while each
-  // query's fan-out rides the internal one.
+  // Batched coordinator dispatch and each query's capped fan-out now share
+  // the caller's pool: fan-out regions nest inside the batch region.
   std::vector<ShardTransport*> shared;
   for (auto& t : rig.transports) shared.push_back(t.get());
   ShardCoordinator batched(shared, copts, &pool);
@@ -224,6 +224,63 @@ TEST_F(ShardCoordinatorTest, BatchedDispatchMatchesSerial) {
     EXPECT_EQ(responses[i], sharded.HandleFrame(requests[i]))
         << "request " << i;
   }
+}
+
+TEST_F(ShardCoordinatorTest, ResponseCacheShortCircuitsRecurringPrQueries) {
+  ShardCoordinatorOptions copts;
+  copts.cache_capacity = 64;
+  Rig rig = MakeRig(3, copts);
+  SessionClient client = MakeClient(41, 941);
+  ASSERT_EQ(KindOf(rig.coordinator->HandleFrame(client.HelloFrame())),
+            FrameKind::kHelloOk);
+  auto request = client.QueryFrame(SomeTerms(3, 71));
+  ASSERT_TRUE(request.ok());
+
+  auto first = rig.coordinator->HandleFrame(*request);
+  ASSERT_EQ(KindOf(first), FrameKind::kResult);
+  const uint64_t trips_after_first = rig.coordinator->stats().shard_trips;
+
+  // Session consistency makes a recurring genuine-term set a byte-identical
+  // uplink; the replay must be served upstream with zero new shard trips.
+  auto second = rig.coordinator->HandleFrame(*request);
+  EXPECT_EQ(second, first);
+  CoordinatorStats stats = rig.coordinator->stats();
+  EXPECT_EQ(stats.shard_trips, trips_after_first);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.queries, 2u);
+}
+
+TEST_F(ShardCoordinatorTest, ResponseCacheIsEpochScopedAcrossReHellos) {
+  // Regression: a re-hello bumps the session's registration epoch, and the
+  // epoch is a cache-key component — identical request bytes after the
+  // re-hello must MISS and re-fan out, never replay bytes merged under the
+  // superseded registration.
+  constexpr size_t kShards = 3;
+  ShardCoordinatorOptions copts;
+  copts.cache_capacity = 64;
+  Rig rig = MakeRig(kShards, copts);
+  SessionClient client = MakeClient(42, 942);
+  rig.coordinator->HandleFrame(client.HelloFrame());
+  auto request = client.QueryFrame(SomeTerms(5, 23));
+  ASSERT_TRUE(request.ok());
+
+  auto first = rig.coordinator->HandleFrame(*request);
+  ASSERT_EQ(KindOf(first), FrameKind::kResult);
+  ASSERT_EQ(rig.coordinator->stats().cache_misses, 1u);
+
+  ASSERT_EQ(KindOf(rig.coordinator->HandleFrame(client.HelloFrame())),
+            FrameKind::kHelloOk);
+  const uint64_t trips_after_rehello = rig.coordinator->stats().shard_trips;
+
+  // Same bytes, new epoch: a fresh fan-out (one trip per shard). The key
+  // did not change, so the recomputed merge is still byte-identical.
+  auto replay = rig.coordinator->HandleFrame(*request);
+  EXPECT_EQ(replay, first);
+  CoordinatorStats stats = rig.coordinator->stats();
+  EXPECT_EQ(stats.shard_trips, trips_after_rehello + kShards);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 2u);
 }
 
 TEST_F(ShardCoordinatorTest, EndpointValidatesEnvelopes) {
