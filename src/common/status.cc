@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kBusy:
+      return "Busy";
   }
   return "Unknown";
 }

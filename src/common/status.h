@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kCryptoError = 8,
   kIoError = 9,
   kUnavailable = 10,
+  kBusy = 11,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -72,6 +73,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +93,7 @@ class Status {
   bool IsCryptoError() const { return code_ == StatusCode::kCryptoError; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
 
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;

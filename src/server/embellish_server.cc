@@ -1,5 +1,6 @@
 #include "server/embellish_server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -92,35 +93,81 @@ EmbellishServer::EmbellishServer(const index::InvertedIndex* index,
   }
 }
 
+void EmbellishServer::MergeDelta(const ServerStats& d) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServerStats& t = totals_;
+  t.frames += d.frames;
+  t.hellos += d.hellos;
+  t.queries += d.queries;
+  t.pir_queries += d.pir_queries;
+  t.topk_queries += d.topk_queries;
+  t.errors += d.errors;
+  t.shed += d.shed;
+  // cache_hits/cache_misses are not per-request deltas; stats() snapshots
+  // them straight from the ResponseCache's own counters.
+  t.uplink_bytes += d.uplink_bytes;
+  t.downlink_bytes += d.downlink_bytes;
+  t.server_cpu_ms += d.server_cpu_ms;
+  t.server_io_ms += d.server_io_ms;
+}
+
+size_t EmbellishServer::AcquireInflight(size_t want) {
+  if (options_.max_inflight == 0) return want;
+  size_t current = inflight_.load(std::memory_order_relaxed);
+  for (;;) {
+    const size_t room = options_.max_inflight > current
+                            ? options_.max_inflight - current
+                            : 0;
+    const size_t grant = std::min(want, room);
+    if (grant == 0) return 0;
+    if (inflight_.compare_exchange_weak(current, current + grant,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      return grant;
+    }
+  }
+}
+
+void EmbellishServer::ReleaseInflight(size_t granted) {
+  if (options_.max_inflight == 0 || granted == 0) return;
+  inflight_.fetch_sub(granted, std::memory_order_acq_rel);
+}
+
+EmbellishServer::RequestOutcome EmbellishServer::BusyOutcome() {
+  RequestOutcome outcome = ErrorOutcome(
+      0, Status::Busy("server in-flight budget exhausted; request shed"));
+  outcome.delta.shed = 1;
+  outcome.delta.frames = 1;
+  outcome.delta.downlink_bytes = outcome.response.size();
+  return outcome;
+}
+
 std::vector<uint8_t> EmbellishServer::HandleFrame(
     const std::vector<uint8_t>& request) {
-  RequestOutcome outcome = ProcessOne(request);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ServerStats& t = totals_;
-    const ServerStats& d = outcome.delta;
-    t.frames += d.frames;
-    t.hellos += d.hellos;
-    t.queries += d.queries;
-    t.pir_queries += d.pir_queries;
-    t.topk_queries += d.topk_queries;
-    t.errors += d.errors;
-    // cache_hits/cache_misses are not per-request deltas; stats() snapshots
-    // them straight from the ResponseCache's own counters.
-    t.uplink_bytes += d.uplink_bytes;
-    t.downlink_bytes += d.downlink_bytes;
-    t.server_cpu_ms += d.server_cpu_ms;
-    t.server_io_ms += d.server_io_ms;
+  RequestOutcome outcome;
+  if (AcquireInflight(1) == 0) {
+    outcome = BusyOutcome();
+  } else {
+    outcome = ProcessOne(request);
+    ReleaseInflight(1);
   }
+  MergeDelta(outcome.delta);
   return std::move(outcome.response);
 }
 
 std::vector<std::vector<uint8_t>> EmbellishServer::HandleBatch(
     const std::vector<std::vector<uint8_t>>& requests) {
   std::vector<std::vector<uint8_t>> responses(requests.size());
+  // Admission is reserved for the whole batch up front: the first `granted`
+  // requests are processed, the rest are shed with typed kBusy frames — a
+  // deterministic suffix, so the client knows exactly which to resend.
+  const size_t granted = AcquireInflight(requests.size());
   auto handle_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      responses[i] = HandleFrame(requests[i]);
+      RequestOutcome outcome =
+          i < granted ? ProcessOne(requests[i]) : BusyOutcome();
+      MergeDelta(outcome.delta);
+      responses[i] = std::move(outcome.response);
     }
   };
   // Tiny batches run inline: at 1-2 requests the region bookkeeping and
@@ -133,6 +180,7 @@ std::vector<std::vector<uint8_t>> EmbellishServer::HandleBatch(
   } else {
     handle_range(0, requests.size());
   }
+  ReleaseInflight(granted);
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++totals_.batches;
   return responses;

@@ -133,6 +133,13 @@ struct EmbellishServerOptions {
 
   /// Total slices of the partition `shard_slice` addresses.
   size_t shard_slice_count = 1;
+
+  /// In-flight request budget across HandleFrame/HandleBatch; requests
+  /// beyond it are shed with a typed kBusy error frame instead of queueing
+  /// without bound — overload degrades into fast refusals the client can
+  /// retry, not latency collapse. 0 — the default — disables admission
+  /// control.
+  size_t max_inflight = 0;
 };
 
 /// \brief Aggregate counters; a consistent snapshot is returned by stats().
@@ -143,6 +150,7 @@ struct ServerStats {
   uint64_t pir_queries = 0;   ///< PIR executions answered
   uint64_t topk_queries = 0;  ///< plaintext top-k queries answered
   uint64_t errors = 0;        ///< kError responses produced
+  uint64_t shed = 0;          ///< requests refused with kBusy (admission)
   uint64_t batches = 0;       ///< HandleBatch calls
   uint64_t sessions_expired = 0;  ///< idle sessions swept (keys released)
   uint64_t cache_hits = 0;
@@ -224,6 +232,17 @@ class EmbellishServer {
   };
 
   RequestOutcome ProcessOne(const std::vector<uint8_t>& request);
+
+  // Admission control: grants up to `want` in-flight slots (all of them
+  // when max_inflight is 0); ReleaseInflight returns what was granted.
+  // BusyOutcome is the typed kBusy response for a shed request.
+  size_t AcquireInflight(size_t want);
+  void ReleaseInflight(size_t granted);
+  static RequestOutcome BusyOutcome();
+
+  // Folds one request's counters into totals_ under stats_mu_.
+  void MergeDelta(const ServerStats& delta);
+
   RequestOutcome HandleHello(const Frame& frame);
   RequestOutcome HandleQuery(const Frame& frame);
   RequestOutcome HandlePirQuery(const Frame& frame);
@@ -269,6 +288,9 @@ class EmbellishServer {
 
   // Logical clock for session idle tracking: handled frames.
   std::atomic<uint64_t> frame_clock_{0};
+
+  // In-flight request count against options_.max_inflight.
+  std::atomic<size_t> inflight_{0};
 
   // PirRetrievalServer's lazy matrix cache is not thread-safe; batch workers
   // serialize PIR answers through this mutex (PR queries run concurrently).

@@ -76,7 +76,7 @@ void PutPaddedBigInt(std::vector<uint8_t>* out, const bignum::BigInt& v,
 
 bool IsKnownFrameKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(FrameKind::kHello) &&
-         kind <= static_cast<uint8_t>(FrameKind::kShardResponse);
+         kind <= static_cast<uint8_t>(FrameKind::kDegradedResult);
 }
 
 uint32_t Fnv1a32(const uint8_t* data, size_t size, uint32_t seed) {
@@ -267,6 +267,9 @@ Status DecodeError(const std::vector<uint8_t>& payload, Status* out) {
       return Status::OK();
     case StatusCode::kUnavailable:
       *out = Status::Unavailable(std::move(msg));
+      return Status::OK();
+    case StatusCode::kBusy:
+      *out = Status::Busy(std::move(msg));
       return Status::OK();
     case StatusCode::kOk:
       break;  // an OK code in an error frame is itself corruption
@@ -463,6 +466,61 @@ Result<ShardEnvelope> DecodeShardEnvelope(
   }
   EMB_ASSIGN_OR_RETURN(out.inner, reader.ReadBytes(inner_size));
   EMB_RETURN_NOT_OK(reader.ExpectDone());
+  return out;
+}
+
+// --- Degraded result --------------------------------------------------------
+
+std::vector<uint8_t> EncodeDegradedResult(
+    FrameKind inner_kind, const std::vector<uint32_t>& missing,
+    const std::vector<uint8_t>& inner) {
+  std::vector<uint8_t> out;
+  out.reserve(5 + missing.size() * 4 + inner.size());
+  out.push_back(static_cast<uint8_t>(inner_kind));
+  PutU32(&out, static_cast<uint32_t>(missing.size()));
+  for (uint32_t slice : missing) PutU32(&out, slice);
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+Result<DegradedResultPayload> DecodeDegradedResult(
+    const std::vector<uint8_t>& payload) {
+  if (payload.empty()) {
+    return Status::Corruption("degraded result missing its inner kind");
+  }
+  // Only the shard-disjoint merge kinds may be marked degraded: a partial
+  // PIR answer would be a wrong answer, not a smaller one.
+  const uint8_t inner_kind = payload[0];
+  if (inner_kind != static_cast<uint8_t>(FrameKind::kResult) &&
+      inner_kind != static_cast<uint8_t>(FrameKind::kTopKResult)) {
+    return Status::Corruption(StringPrintf(
+        "degraded result wraps non-mergeable inner kind %u", inner_kind));
+  }
+  const std::vector<uint8_t> rest(payload.begin() + 1, payload.end());
+  PayloadReader reader(rest);
+  EMB_ASSIGN_OR_RETURN(uint32_t missing_count, reader.ReadU32());
+  if (missing_count == 0) {
+    return Status::Corruption(
+        "degraded result marks no slice missing (a full answer must not "
+        "carry the degraded marker)");
+  }
+  if (missing_count > reader.remaining() / 4) {
+    return Status::Corruption(StringPrintf(
+        "degraded result declares %u missing slices but holds %zu payload "
+        "bytes", missing_count, reader.remaining()));
+  }
+  DegradedResultPayload out;
+  out.inner_kind = static_cast<FrameKind>(inner_kind);
+  out.missing.reserve(missing_count);
+  for (uint32_t i = 0; i < missing_count; ++i) {
+    EMB_ASSIGN_OR_RETURN(uint32_t slice, reader.ReadU32());
+    if (!out.missing.empty() && slice <= out.missing.back()) {
+      return Status::Corruption(
+          "degraded-result missing slices must be strictly ascending");
+    }
+    out.missing.push_back(slice);
+  }
+  EMB_ASSIGN_OR_RETURN(out.inner_payload, reader.ReadBytes(reader.remaining()));
   return out;
 }
 

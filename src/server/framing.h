@@ -62,6 +62,7 @@ enum class FrameKind : uint8_t {
   kTopKResult = 9,     ///< response: the ranked (doc, score) prefix
   kShardRequest = 10,  ///< coordinator -> shard: shard-scoped envelope
   kShardResponse = 11, ///< shard -> coordinator: envelope echo + inner frame
+  kDegradedResult = 12,  ///< response: partial merge + missing-slice marker
 };
 
 /// \brief True for the kinds this protocol version defines.
@@ -190,6 +191,36 @@ std::vector<uint8_t> EncodeShardEnvelope(size_t shard_id, uint64_t epoch,
 ///        malformed input (truncation, inner_size disagreeing with the bytes
 ///        present, trailing garbage, or the UINT32_MAX shard-id sentinel).
 Result<ShardEnvelope> DecodeShardEnvelope(const std::vector<uint8_t>& payload);
+
+// --- Degraded result --------------------------------------------------------
+
+/// \brief A coordinator's partial answer when whole replica groups are down
+///        and partial-result mode is on (see
+///        ShardCoordinatorOptions::allow_partial_results):
+///
+///          [u8 inner_kind][u32 missing_count][u32 slice]...[inner payload]
+///
+///        `inner_kind` names the payload the surviving shards merged into
+///        (kResult or kTopKResult), `missing` lists the slices whose
+///        documents are absent from that merge (sorted ascending), and the
+///        remaining bytes are exactly the payload a full merge over the
+///        surviving slices produces. The marker is typed so a client can
+///        never mistake a partial answer for a complete one.
+struct DegradedResultPayload {
+  FrameKind inner_kind = FrameKind::kResult;
+  std::vector<uint32_t> missing;  ///< unreachable slices, ascending
+  std::vector<uint8_t> inner_payload;
+};
+
+std::vector<uint8_t> EncodeDegradedResult(FrameKind inner_kind,
+                                          const std::vector<uint32_t>& missing,
+                                          const std::vector<uint8_t>& inner);
+
+/// \brief Parses a degraded-result payload; Corruption on malformed input
+///        (unknown or non-result inner kind, empty or unsorted missing
+///        list, truncation).
+Result<DegradedResultPayload> DecodeDegradedResult(
+    const std::vector<uint8_t>& payload);
 
 }  // namespace embellish::server
 

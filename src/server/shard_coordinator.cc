@@ -1,5 +1,8 @@
 #include "server/shard_coordinator.h"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <utility>
 
 #include "common/strings.h"
@@ -9,23 +12,53 @@
 
 namespace embellish::server {
 
+namespace {
+
+// The single-transport-per-slice constructor is sugar for one-replica
+// groups.
+std::vector<std::vector<ShardTransport*>> SingleReplicaGroups(
+    std::vector<ShardTransport*> transports) {
+  std::vector<std::vector<ShardTransport*>> groups;
+  groups.reserve(transports.size());
+  for (ShardTransport* t : transports) {
+    groups.push_back(std::vector<ShardTransport*>{t});
+  }
+  return groups;
+}
+
+}  // namespace
+
 ShardCoordinator::ShardCoordinator(std::vector<ShardTransport*> transports,
                                    const ShardCoordinatorOptions& options,
                                    ThreadPool* pool)
-    : transports_(std::move(transports)),
+    : ShardCoordinator(SingleReplicaGroups(std::move(transports)), options,
+                       pool) {}
+
+ShardCoordinator::ShardCoordinator(
+    std::vector<std::vector<ShardTransport*>> replica_groups,
+    const ShardCoordinatorOptions& options, ThreadPool* pool)
+    : replicas_(std::move(replica_groups)),
       options_(options),
       // No caller pool, but overlapped fan-out requested: spawn an owned
       // executor of the requested width (see fanout_threads).
       owned_pool_(pool == nullptr && options.fanout_threads > 1 &&
-                          transports_.size() > 1
+                          replicas_.size() > 1
                       ? std::make_unique<ThreadPool>(options.fanout_threads)
                       : nullptr),
       pool_(pool != nullptr ? pool : owned_pool_.get()),
+      probe_rng_(options.probe_seed),
       sessions_(options.max_sessions, options.session_idle_frames),
       cache_(options.cache_capacity, options.cache_max_bytes) {
-  transport_mu_.reserve(transports_.size());
-  for (size_t s = 0; s < transports_.size(); ++s) {
-    transport_mu_.push_back(std::make_unique<std::mutex>());
+  transport_mu_.reserve(replicas_.size());
+  replica_failures_.reserve(replicas_.size());
+  for (const auto& group : replicas_) {
+    transport_mu_.emplace_back();
+    replica_failures_.emplace_back();
+    for (size_t r = 0; r < group.size(); ++r) {
+      transport_mu_.back().push_back(std::make_unique<std::mutex>());
+      replica_failures_.back().push_back(
+          std::make_unique<std::atomic<uint32_t>>(0));
+    }
   }
 }
 
@@ -48,6 +81,14 @@ CoordinatorStats ShardCoordinator::stats() const {
   snapshot.sessions_expired = sessions_.expired_total();
   snapshot.cache_hits = cache_.hits();
   snapshot.cache_misses = cache_.misses();
+  snapshot.retries = counters_.retries.load(std::memory_order_relaxed);
+  snapshot.hedges_fired =
+      counters_.hedges_fired.load(std::memory_order_relaxed);
+  snapshot.hedge_wins = counters_.hedge_wins.load(std::memory_order_relaxed);
+  snapshot.failovers = counters_.failovers.load(std::memory_order_relaxed);
+  snapshot.shed = counters_.shed.load(std::memory_order_relaxed);
+  snapshot.degraded_answers =
+      counters_.degraded_answers.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -63,22 +104,24 @@ std::vector<uint8_t> ShardCoordinator::PassThroughError(
   return EncodeFrame(FrameKind::kError, session_id, payload);
 }
 
-Result<Frame> ShardCoordinator::ShardRoundTrip(
-    size_t shard, const std::vector<uint8_t>& inner) {
+Result<Frame> ShardCoordinator::ReplicaTrip(
+    size_t shard, size_t replica, const std::vector<uint8_t>& inner) {
   const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
   std::vector<uint8_t> request =
       EncodeFrame(FrameKind::kShardRequest, 0,
                   EncodeShardEnvelope(shard, options_.epoch, seq, inner));
   Count(&AtomicStats::shard_trips);
+  std::atomic<uint32_t>& breaker = *replica_failures_[shard][replica];
   auto fail = [&](Status status) -> Result<Frame> {
     Count(&AtomicStats::shard_failures);
+    breaker.fetch_add(1, std::memory_order_relaxed);
     return status;
   };
 
   Result<std::vector<uint8_t>> response = [&] {
     // Transports are plain blocking channels; one round trip at a time.
-    std::lock_guard<std::mutex> lock(*transport_mu_[shard]);
-    return transports_[shard]->RoundTrip(request);
+    std::lock_guard<std::mutex> lock(*transport_mu_[shard][replica]);
+    return replicas_[shard][replica]->RoundTrip(request);
   }();
   if (!response.ok()) {
     return fail(Status::Unavailable(StringPrintf(
@@ -132,12 +175,166 @@ Result<Frame> ShardCoordinator::ShardRoundTrip(
         "shard %zu inner frame: %s", shard,
         inner_frame.status().ToString().c_str())));
   }
+  // Any validated response closes the replica's breaker: the channel works
+  // end to end, even if the shard answered an application-level error.
+  breaker.store(0, std::memory_order_relaxed);
   return inner_frame;
+}
+
+std::vector<size_t> ShardCoordinator::ReplicaOrder(size_t shard) {
+  const size_t n = replicas_[shard].size();
+  std::vector<size_t> closed;
+  std::vector<size_t> open;
+  for (size_t r = 0; r < n; ++r) {
+    const bool broken =
+        options_.breaker_threshold > 0 &&
+        replica_failures_[shard][r]->load(std::memory_order_relaxed) >=
+            options_.breaker_threshold;
+    (broken ? open : closed).push_back(r);
+  }
+  // Probe re-admission: occasionally front one circuit-open replica so a
+  // healed replica sees traffic again and can close its breaker. When every
+  // replica is open there is nothing to protect — just try them all.
+  if (!open.empty() && !closed.empty() && options_.probe_probability > 0) {
+    bool probe;
+    {
+      std::lock_guard<std::mutex> lock(probe_mu_);
+      probe = probe_rng_.Bernoulli(options_.probe_probability);
+    }
+    if (probe) {
+      closed.insert(closed.begin(), open.front());
+      open.erase(open.begin());
+    }
+  }
+  closed.insert(closed.end(), open.begin(), open.end());
+  return closed;
+}
+
+ShardCoordinator::HedgeOutcome ShardCoordinator::HedgedTrip(
+    size_t shard, size_t primary, size_t hedge,
+    const std::vector<uint8_t>& inner) {
+  struct Race {
+    std::mutex m;
+    std::condition_variable cv;
+    bool primary_done = false;
+    bool hedge_fired = false;
+    bool hedge_done = false;
+    int finishes = 0;
+    int primary_rank = 0;
+    int hedge_rank = 0;
+    Result<Frame> primary_result{Status::Internal("primary not run")};
+    Result<Frame> hedge_result{Status::Internal("hedge not run")};
+  } race;
+
+  // Two 1-wide chunks: the primary trip and the hedge watcher. On a pool
+  // with free workers they run concurrently; with none, the caller runs
+  // them back to back and the watcher degrades into an immediate
+  // retry-on-failure (the primary is already done when it checks). Each
+  // trip draws its own envelope seq, so the loser's response cannot be
+  // mistaken for the winner's. Caveat: ParallelFor joins both chunks, so a
+  // hedge that is still in flight when the primary lands extends the trip
+  // by its transport timeout at worst — the price of hedging over blocking
+  // transports (the ROADMAP's async request loop removes it).
+  pool_->ParallelFor(0, 2, /*min_grain=*/1, [&](size_t begin, size_t end) {
+    for (size_t task = begin; task < end; ++task) {
+      if (task == 0) {
+        Result<Frame> r = ReplicaTrip(shard, primary, inner);
+        std::lock_guard<std::mutex> lock(race.m);
+        race.primary_result = std::move(r);
+        race.primary_done = true;
+        race.primary_rank = ++race.finishes;
+        race.cv.notify_all();
+      } else {
+        bool fire;
+        {
+          std::unique_lock<std::mutex> lock(race.m);
+          race.cv.wait_for(lock,
+                           std::chrono::milliseconds(options_.hedge_delay_ms),
+                           [&] { return race.primary_done; });
+          // Fire on a slow primary (still out past the delay) or a failed
+          // one (immediate failover); stand down on a landed success.
+          fire = !(race.primary_done && race.primary_result.ok());
+          race.hedge_fired = fire;
+        }
+        if (!fire) continue;
+        Result<Frame> r = ReplicaTrip(shard, hedge, inner);
+        std::lock_guard<std::mutex> lock(race.m);
+        race.hedge_result = std::move(r);
+        race.hedge_done = true;
+        race.hedge_rank = ++race.finishes;
+      }
+    }
+  });
+
+  HedgeOutcome out;
+  out.hedge_fired = race.hedge_fired;
+  const bool primary_ok = race.primary_result.ok();
+  const bool hedge_ok = race.hedge_done && race.hedge_result.ok();
+  if (primary_ok && (!hedge_ok || race.primary_rank < race.hedge_rank)) {
+    out.result = std::move(race.primary_result);
+  } else if (hedge_ok) {
+    out.result = std::move(race.hedge_result);
+    out.hedge_won = true;
+    out.primary_failed = !primary_ok;
+  } else {
+    // Both attempts failed; surface the primary's status deterministically.
+    out.result = std::move(race.primary_result);
+    out.primary_failed = true;
+  }
+  return out;
+}
+
+Result<Frame> ShardCoordinator::ShardRoundTrip(
+    size_t shard, const std::vector<uint8_t>& inner) {
+  const std::vector<size_t> order = ReplicaOrder(shard);
+  if (order.empty()) {
+    Count(&AtomicStats::shard_failures);
+    return Status::Unavailable(
+        StringPrintf("slice %zu has no replica transports", shard));
+  }
+  const size_t budget = options_.max_attempts == 0
+                            ? order.size()
+                            : std::min(options_.max_attempts, order.size());
+
+  size_t idx = 0;  // next candidate in `order`
+  Result<Frame> last(Status::Internal("no replica attempted"));
+
+  // First attempt — hedged when enabled and a second candidate and the
+  // budget allow it (hedging needs a pool to race on).
+  if (options_.hedge_delay_ms >= 0 && pool_ != nullptr && budget >= 2) {
+    HedgeOutcome h = HedgedTrip(shard, order[0], order[1], inner);
+    idx = h.hedge_fired ? 2 : 1;
+    if (h.hedge_fired) Count(&AtomicStats::hedges_fired);
+    if (h.result.ok()) {
+      if (h.hedge_won) {
+        Count(&AtomicStats::hedge_wins);
+        if (h.primary_failed) Count(&AtomicStats::failovers);
+      }
+      return h.result;
+    }
+    last = std::move(h.result);
+  } else {
+    last = ReplicaTrip(shard, order[0], inner);
+    idx = 1;
+    if (last.ok()) return last;
+  }
+
+  // Sequential failover over the remaining candidates.
+  while (idx < budget) {
+    Count(&AtomicStats::retries);
+    last = ReplicaTrip(shard, order[idx], inner);
+    ++idx;
+    if (last.ok()) {
+      Count(&AtomicStats::failovers);
+      return last;
+    }
+  }
+  return last;
 }
 
 std::vector<Result<Frame>> ShardCoordinator::FanOut(
     const std::vector<uint8_t>& inner) {
-  const size_t shards = transports_.size();
+  const size_t shards = replicas_.size();
   std::vector<Result<Frame>> out(
       shards, Result<Frame>(Status::Internal("shard not contacted")));
   // The round trips overlap as executor tasks (each one blocks on its
@@ -150,40 +347,82 @@ std::vector<Result<Frame>> ShardCoordinator::FanOut(
   return out;
 }
 
+std::vector<std::vector<Result<Frame>>> ShardCoordinator::FanOutAllReplicas(
+    const std::vector<uint8_t>& inner) {
+  const size_t shards = replicas_.size();
+  std::vector<std::vector<Result<Frame>>> out(shards);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t s = 0; s < shards; ++s) {
+    out[s].assign(replicas_[s].size(),
+                  Result<Frame>(Status::Internal("replica not contacted")));
+    for (size_t r = 0; r < replicas_[s].size(); ++r) pairs.emplace_back(s, r);
+  }
+  index::ForEachShard(pool_, pairs.size(), [&](size_t i) {
+    out[pairs[i].first][pairs[i].second] =
+        ReplicaTrip(pairs[i].first, pairs[i].second, inner);
+  }, options_.fanout_threads);
+  return out;
+}
+
 Status ShardCoordinator::Handshake() {
   // Lock-free fast path: once handshaken, per-request checks cost one
   // acquire load instead of contending a mutex across batch workers.
   if (handshaken_.load(std::memory_order_acquire)) return Status::OK();
   std::lock_guard<std::mutex> lock(handshake_mu_);
   if (handshaken_.load(std::memory_order_relaxed)) return Status::OK();
-  if (transports_.empty()) {
+  if (replicas_.empty()) {
     return Status::InvalidArgument("coordinator has no shard transports");
   }
   size_t bucket_count = 0;
-  for (size_t s = 0; s < transports_.size(); ++s) {
-    EMB_ASSIGN_OR_RETURN(Frame inner, ShardRoundTrip(s, {}));
-    if (inner.kind != FrameKind::kHelloOk) {
-      return Status::Unavailable(StringPrintf(
-          "shard %zu answered the ping with frame kind %u", s,
-          static_cast<unsigned>(inner.kind)));
+  bool bucket_known = false;
+  for (size_t s = 0; s < replicas_.size(); ++s) {
+    if (replicas_[s].empty()) {
+      return Status::InvalidArgument(
+          StringPrintf("slice %zu has no replica transports", s));
     }
-    EMB_ASSIGN_OR_RETURN(HelloOkPayload topology,
-                         DecodeHelloOk(inner.payload));
-    // A coordinator shard must serve exactly one slice: PIR bucket fields
-    // are rewritten to shard-local addresses, which an internally-sharded
-    // server would misinterpret as shard-qualified.
-    if (topology.shard_count != 1) {
-      return Status::FailedPrecondition(StringPrintf(
-          "shard %zu serves %zu shards; coordinator shards must each serve "
-          "one slice", s, topology.shard_count));
+    // Ping every replica: a slice is usable if at least one answers, and
+    // every replica that does answer must advertise the same topology. A
+    // misconfigured replica (wrong shard count, divergent buckets) is a
+    // deployment error worth failing loudly on, not failing over past.
+    bool slice_ok = false;
+    Status first_failure;
+    for (size_t r = 0; r < replicas_[s].size(); ++r) {
+      auto inner = ReplicaTrip(s, r, {});
+      if (!inner.ok()) {
+        if (first_failure.ok()) first_failure = inner.status();
+        continue;
+      }
+      if (inner->kind != FrameKind::kHelloOk) {
+        return Status::Unavailable(StringPrintf(
+            "shard %zu answered the ping with frame kind %u", s,
+            static_cast<unsigned>(inner->kind)));
+      }
+      EMB_ASSIGN_OR_RETURN(HelloOkPayload topology,
+                           DecodeHelloOk(inner->payload));
+      // A coordinator shard must serve exactly one slice: PIR bucket fields
+      // are rewritten to shard-local addresses, which an internally-sharded
+      // server would misinterpret as shard-qualified.
+      if (topology.shard_count != 1) {
+        return Status::FailedPrecondition(StringPrintf(
+            "shard %zu serves %zu shards; coordinator shards must each serve "
+            "one slice", s, topology.shard_count));
+      }
+      if (!bucket_known) {
+        bucket_count = topology.bucket_count;
+        bucket_known = true;
+      } else if (topology.bucket_count != bucket_count) {
+        return Status::FailedPrecondition(StringPrintf(
+            "shard %zu advertises %zu buckets but shard 0 advertises %zu — "
+            "shards must share one bucket organization",
+            s, topology.bucket_count, bucket_count));
+      }
+      slice_ok = true;
     }
-    if (s == 0) {
-      bucket_count = topology.bucket_count;
-    } else if (topology.bucket_count != bucket_count) {
-      return Status::FailedPrecondition(StringPrintf(
-          "shard %zu advertises %zu buckets but shard 0 advertises %zu — "
-          "shards must share one bucket organization",
-          s, topology.bucket_count, bucket_count));
+    if (!slice_ok) {
+      return first_failure.ok()
+                 ? Status::Unavailable(StringPrintf(
+                       "slice %zu: no replica answered the ping", s))
+                 : first_failure;
     }
   }
   bucket_count_.store(bucket_count, std::memory_order_release);
@@ -191,9 +430,40 @@ Status ShardCoordinator::Handshake() {
   return Status::OK();
 }
 
+size_t ShardCoordinator::AcquireInflight(size_t want) {
+  if (options_.max_inflight == 0) return want;
+  size_t current = inflight_.load(std::memory_order_relaxed);
+  for (;;) {
+    const size_t room = options_.max_inflight > current
+                            ? options_.max_inflight - current
+                            : 0;
+    const size_t grant = std::min(want, room);
+    if (grant == 0) return 0;
+    if (inflight_.compare_exchange_weak(current, current + grant,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      return grant;
+    }
+  }
+}
+
+void ShardCoordinator::ReleaseInflight(size_t granted) {
+  if (options_.max_inflight == 0 || granted == 0) return;
+  inflight_.fetch_sub(granted, std::memory_order_acq_rel);
+}
+
+std::vector<uint8_t> ShardCoordinator::BusyFrame() {
+  Count(&AtomicStats::shed);
+  Count(&AtomicStats::frames);
+  return ErrorFrame(
+      0, Status::Busy("coordinator in-flight budget exhausted; request shed"));
+}
+
 std::vector<uint8_t> ShardCoordinator::HandleFrame(
     const std::vector<uint8_t>& request) {
+  if (AcquireInflight(1) == 0) return BusyFrame();
   std::vector<uint8_t> response = ProcessOne(request);
+  ReleaseInflight(1);
   Count(&AtomicStats::frames);
   return response;
 }
@@ -201,9 +471,18 @@ std::vector<uint8_t> ShardCoordinator::HandleFrame(
 std::vector<std::vector<uint8_t>> ShardCoordinator::HandleBatch(
     const std::vector<std::vector<uint8_t>>& requests) {
   std::vector<std::vector<uint8_t>> responses(requests.size());
+  // Admission is reserved for the whole batch up front: the first `granted`
+  // requests are processed, the rest are shed with typed kBusy frames — a
+  // deterministic suffix, so the client knows exactly which to resend.
+  const size_t granted = AcquireInflight(requests.size());
   auto handle_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      responses[i] = HandleFrame(requests[i]);
+      if (i < granted) {
+        responses[i] = ProcessOne(requests[i]);
+        Count(&AtomicStats::frames);
+      } else {
+        responses[i] = BusyFrame();
+      }
     }
   };
   if (pool_ != nullptr && requests.size() > 1) {
@@ -211,6 +490,7 @@ std::vector<std::vector<uint8_t>> ShardCoordinator::HandleBatch(
   } else {
     handle_range(0, requests.size());
   }
+  ReleaseInflight(granted);
   return responses;
 }
 
@@ -281,24 +561,59 @@ std::vector<uint8_t> ShardCoordinator::HandleHello(
                           "session table full; hello refused"));
   }
 
-  // Forward the hello verbatim so every shard registers the session key
-  // (their per-shard epochs may differ; each shard's cache scoping is its
-  // own business).
-  std::vector<Result<Frame>> responses = FanOut(request);
-  if (const Status* failure = FirstFailure(responses)) {
-    return ErrorFrame(frame.session_id, *failure);
-  }
-  if (const Frame* inner_error = FirstInnerError(responses)) {
-    return PassThroughError(frame.session_id, inner_error->payload);
-  }
-  for (size_t s = 0; s < responses.size(); ++s) {
-    if (responses[s]->kind != FrameKind::kHelloOk ||
-        responses[s]->session_id != frame.session_id) {
-      return ErrorFrame(frame.session_id,
-                        Status::Unavailable(StringPrintf(
-                            "shard %zu answered the hello with an unexpected "
-                            "frame", s)));
+  // Forward the hello verbatim to every replica of every slice (each
+  // replica keeps its own session table; their per-shard epochs may
+  // differ). A slice counts as registered when at least one replica acks —
+  // a replica that was down re-learns the session through the self-healing
+  // re-registration when it next serves a query for it.
+  std::vector<std::vector<Result<Frame>>> groups = FanOutAllReplicas(request);
+  const Status* first_failure = nullptr;
+  const Frame* first_inner_error = nullptr;
+  size_t first_unexpected = 0;
+  bool saw_unexpected = false;
+  bool any_slice_failed = false;
+  for (size_t s = 0; s < groups.size(); ++s) {
+    bool acked = false;
+    const Status* slice_failure = nullptr;
+    const Frame* slice_inner_error = nullptr;
+    for (const Result<Frame>& r : groups[s]) {
+      if (!r.ok()) {
+        if (slice_failure == nullptr) slice_failure = &r.status();
+      } else if (r->kind == FrameKind::kError) {
+        if (slice_inner_error == nullptr) slice_inner_error = &*r;
+      } else if (r->kind == FrameKind::kHelloOk &&
+                 r->session_id == frame.session_id) {
+        acked = true;
+      }
     }
+    if (acked) continue;
+    any_slice_failed = true;
+    if (slice_failure == nullptr && slice_inner_error == nullptr &&
+        !saw_unexpected) {
+      saw_unexpected = true;
+      first_unexpected = s;
+    }
+    if (slice_failure != nullptr && first_failure == nullptr) {
+      first_failure = slice_failure;
+    }
+    if (slice_inner_error != nullptr && first_inner_error == nullptr) {
+      first_inner_error = slice_inner_error;
+    }
+  }
+  if (any_slice_failed) {
+    // Same precedence as the single-replica coordinator: a transport-level
+    // failure anywhere outranks an application error, which outranks an
+    // unexpected frame kind.
+    if (first_failure != nullptr) {
+      return ErrorFrame(frame.session_id, *first_failure);
+    }
+    if (first_inner_error != nullptr) {
+      return PassThroughError(frame.session_id, first_inner_error->payload);
+    }
+    return ErrorFrame(frame.session_id,
+                      Status::Unavailable(StringPrintf(
+                          "shard %zu answered the hello with an unexpected "
+                          "frame", first_unexpected)));
   }
   Count(&AtomicStats::hellos);
   // Advertise the *global* topology: the client addresses PIR executions
@@ -316,13 +631,20 @@ bool ShardCoordinator::ReRegisterOnShards(
   // holding a superseded key — converges back to the coordinator's view.
   std::vector<uint8_t> hello =
       EncodeFrame(FrameKind::kHello, session_id, EncodeHello(pk));
-  std::vector<Result<Frame>> responses = FanOut(hello);
-  for (size_t s = 0; s < responses.size(); ++s) {
-    if (!responses[s].ok() ||
-        responses[s]->kind != FrameKind::kHelloOk ||
-        responses[s]->session_id != session_id) {
-      return false;
+  // Offer the key to every replica (a replica that lost it may not be the
+  // one the next trip lands on); the repair succeeds if every slice has at
+  // least one replica holding the registration again.
+  std::vector<std::vector<Result<Frame>>> groups = FanOutAllReplicas(hello);
+  for (size_t s = 0; s < groups.size(); ++s) {
+    bool acked = false;
+    for (const Result<Frame>& r : groups[s]) {
+      if (r.ok() && r->kind == FrameKind::kHelloOk &&
+          r->session_id == session_id) {
+        acked = true;
+        break;
+      }
     }
+    if (!acked) return false;
   }
   return true;
 }
@@ -364,8 +686,16 @@ std::vector<uint8_t> ShardCoordinator::HandleQuery(
   for (int attempt = 0; attempt < 2; ++attempt) {
     const bool can_repair = attempt == 0;
     std::vector<Result<Frame>> responses = FanOut(request);
-    if (const Status* failure = FirstFailure(responses)) {
-      return ErrorFrame(frame.session_id, *failure);
+    // Transport-level failures (after each slice's failover walk): strict
+    // mode fails the request on any one; partial mode records the slice as
+    // missing and answers from the survivors — unless nothing survived.
+    std::vector<uint32_t> missing;
+    for (size_t s = 0; s < responses.size(); ++s) {
+      if (!responses[s].ok()) missing.push_back(static_cast<uint32_t>(s));
+    }
+    if (!missing.empty() && (!options_.allow_partial_results ||
+                             missing.size() == responses.size())) {
+      return ErrorFrame(frame.session_id, *FirstFailure(responses));
     }
     if (const Frame* inner_error = FirstInnerError(responses)) {
       Status transported;
@@ -383,6 +713,7 @@ std::vector<uint8_t> ShardCoordinator::HandleQuery(
     partial.reserve(responses.size());
     Status decode_failure;
     for (size_t s = 0; s < responses.size() && decode_failure.ok(); ++s) {
+      if (!responses[s].ok()) continue;  // missing slice (degraded mode)
       const Frame& inner = *responses[s];
       if (inner.kind != FrameKind::kResult ||
           inner.session_id != frame.session_id) {
@@ -406,14 +737,26 @@ std::vector<uint8_t> ShardCoordinator::HandleQuery(
 
     // The PR 3 merge: shard-disjoint documents re-sorted into canonical
     // order, bit-identical to the in-process sharded server's response.
+    // With missing slices the same merge over the survivors is still exact
+    // over the surviving documents — disjointness means a dead slice
+    // removes documents, it cannot corrupt the rest.
     core::EncryptedResult merged =
         core::MergeShardResults(std::move(partial));
     Count(&AtomicStats::queries);
-    std::vector<uint8_t> response =
-        EncodeFrame(FrameKind::kResult, frame.session_id,
-                    core::EncodeResult(merged, *pk));
-    if (cache_.enabled()) cache_.Put(cache_key, response);
-    return response;
+    std::vector<uint8_t> payload_bytes = core::EncodeResult(merged, *pk);
+    if (missing.empty()) {
+      std::vector<uint8_t> response =
+          EncodeFrame(FrameKind::kResult, frame.session_id, payload_bytes);
+      if (cache_.enabled()) cache_.Put(cache_key, response);
+      return response;
+    }
+    // Degraded answers are never cached: the key is the same as the full
+    // answer's, and a healed fan-out must not keep replaying the partial
+    // merge.
+    Count(&AtomicStats::degraded_answers);
+    return EncodeFrame(
+        FrameKind::kDegradedResult, frame.session_id,
+        EncodeDegradedResult(FrameKind::kResult, missing, payload_bytes));
   }
   return ErrorFrame(frame.session_id,
                     Status::Internal("unreachable query retry exit"));
@@ -476,8 +819,13 @@ std::vector<uint8_t> ShardCoordinator::HandleTopK(
   if (!query.ok()) return ErrorFrame(frame.session_id, query.status());
 
   std::vector<Result<Frame>> responses = FanOut(request);
-  if (const Status* failure = FirstFailure(responses)) {
-    return ErrorFrame(frame.session_id, *failure);
+  std::vector<uint32_t> missing;
+  for (size_t s = 0; s < responses.size(); ++s) {
+    if (!responses[s].ok()) missing.push_back(static_cast<uint32_t>(s));
+  }
+  if (!missing.empty() && (!options_.allow_partial_results ||
+                           missing.size() == responses.size())) {
+    return ErrorFrame(frame.session_id, *FirstFailure(responses));
   }
   if (const Frame* inner_error = FirstInnerError(responses)) {
     return PassThroughError(frame.session_id, inner_error->payload);
@@ -486,6 +834,7 @@ std::vector<uint8_t> ShardCoordinator::HandleTopK(
   std::vector<std::vector<index::ScoredDoc>> partial;
   partial.reserve(responses.size());
   for (size_t s = 0; s < responses.size(); ++s) {
+    if (!responses[s].ok()) continue;  // missing slice (degraded mode)
     const Frame& inner = *responses[s];
     if (inner.kind != FrameKind::kTopKResult ||
         inner.session_id != frame.session_id) {
@@ -507,8 +856,18 @@ std::vector<uint8_t> ShardCoordinator::HandleTopK(
   std::vector<index::ScoredDoc> merged =
       index::MergeShardTopK(partial, query->k);
   Count(&AtomicStats::topk_queries);
-  return EncodeFrame(FrameKind::kTopKResult, frame.session_id,
-                     EncodeTopKResult(merged));
+  std::vector<uint8_t> payload_bytes = EncodeTopKResult(merged);
+  if (missing.empty()) {
+    return EncodeFrame(FrameKind::kTopKResult, frame.session_id,
+                       payload_bytes);
+  }
+  // Best-effort top-k over the surviving slices: a missing slice can only
+  // remove candidates, never reorder the survivors, and the marker tells
+  // the client exactly which slices' documents are absent.
+  Count(&AtomicStats::degraded_answers);
+  return EncodeFrame(
+      FrameKind::kDegradedResult, frame.session_id,
+      EncodeDegradedResult(FrameKind::kTopKResult, missing, payload_bytes));
 }
 
 }  // namespace embellish::server

@@ -31,12 +31,33 @@
 // optional upstream response cache (options.cache_capacity) answers a
 // session's recurring PR decoy sets before any shard round trip.
 //
+// Replication (construct with replica groups): each slice may be served by
+// R transports, every one answering with bytes identical to the monolithic
+// server's slice response. A logical shard round trip walks the group's
+// replicas — healthy (circuit closed) replicas first — failing over on any
+// transport-level fault, and may race a hedged duplicate against a slow
+// primary on a second replica (options.hedge_delay_ms). Per-replica health
+// is a consecutive-failure circuit breaker with probabilistic probe
+// re-admission, so a dead replica costs capacity, not availability, and a
+// healed one is re-discovered without operator action. Every attempt
+// carries its own envelope seq under the coordinator's fencing epoch, so a
+// duplicate, late, or stale response can never be merged twice or merged
+// wrongly — each logical trip accepts exactly one response, matched by seq.
+//
 // Failure semantics: any transport failure, corrupt frame, or envelope
-// mismatch on a shard round trip yields a typed kError response (usually
+// mismatch on a shard round trip (after failover/retry exhausts the
+// replica group) yields a typed kError response (usually
 // StatusCode::kUnavailable) for the affected request — never a hang, crash,
-// or a merge over partial results. Application-level errors a shard returns
-// (inner kError frames) pass through to the client unchanged. Requests that
-// do not touch a faulted shard are unaffected.
+// or a silent merge over partial results. With
+// options.allow_partial_results set, PR and top-k requests whose surviving
+// slices can still answer are merged and wrapped in a kDegradedResult frame
+// that names the missing slices (documents are shard-disjoint, so the
+// partial merge is exact over the surviving documents); PIR requests stay
+// strict — the addressed slice either answers or the request errors.
+// Application-level errors a shard returns (inner kError frames) pass
+// through to the client unchanged. Requests that do not touch a faulted
+// shard are unaffected. An in-flight budget (options.max_inflight) sheds
+// excess load with typed kBusy errors instead of queueing without bound.
 
 #ifndef EMBELLISH_SERVER_SHARD_COORDINATOR_H_
 #define EMBELLISH_SERVER_SHARD_COORDINATOR_H_
@@ -47,6 +68,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "server/framing.h"
 #include "server/response_cache.h"
@@ -105,6 +127,53 @@ struct ShardCoordinatorOptions {
   /// attacker-controlled payloads; the byte budget is the bound that
   /// holds).
   size_t cache_max_bytes = 64u << 20;
+
+  /// Attempt budget for one logical shard round trip, counting the first
+  /// send: each attempt goes to a different replica of the slice (healthy
+  /// ones first), so a transport-level failure fails over instead of
+  /// failing the request. 0 — the default — tries each replica once (one
+  /// attempt on a single-replica group, which is exactly the pre-replica
+  /// behavior); N caps the walk at N replicas.
+  size_t max_attempts = 0;
+
+  /// Hedged sends: when >= 0 and the coordinator has a pool and the slice
+  /// has a second usable replica, a logical round trip arms a duplicate of
+  /// the request for a *different* replica and fires it if the primary has
+  /// not answered within this many milliseconds; first valid response wins.
+  /// The hedge watcher runs as an executor task and is woken the moment the
+  /// primary lands (it never sleeps past the primary), and every attempt
+  /// has its own envelope seq, so the losing duplicate's response can never
+  /// be merged — it fails its trip's seq echo by construction. 0 hedges
+  /// immediately (a two-replica race). Negative — the default — disables
+  /// hedging.
+  int hedge_delay_ms = -1;
+
+  /// Consecutive transport-level failures on one replica that open its
+  /// circuit breaker: an open replica is ordered after healthy ones (tried
+  /// only when every healthy replica has failed) until a probe re-admits
+  /// it. Any success closes the breaker.
+  uint32_t breaker_threshold = 3;
+
+  /// Probability that a replica order fronts one circuit-open replica as a
+  /// probe, giving a healed replica traffic to close its breaker with. 0
+  /// disables probing (an open breaker then only closes via the
+  /// everything-open fallback).
+  double probe_probability = 0.125;
+
+  /// Seed for the probe draw (deterministic tests pin it).
+  uint64_t probe_seed = 0x9E3779B97F4A7C15ull;
+
+  /// Opt-in partial results: when a whole replica group is unreachable,
+  /// answer PR and top-k requests from the surviving slices, wrapped in a
+  /// typed kDegradedResult frame naming the missing slices. Off — the
+  /// default — keeps the strict behavior: any unreachable slice fails the
+  /// request with a typed error.
+  bool allow_partial_results = false;
+
+  /// In-flight request budget across HandleFrame/HandleBatch; requests
+  /// beyond it are shed with a typed kBusy error frame instead of queueing
+  /// without bound. 0 — the default — disables admission control.
+  size_t max_inflight = 0;
 };
 
 /// \brief Aggregate counters; a consistent snapshot via stats().
@@ -120,6 +189,12 @@ struct CoordinatorStats {
   uint64_t sessions_expired = 0;  ///< idle sessions swept (keys released)
   uint64_t cache_hits = 0;      ///< PR responses served without any trip
   uint64_t cache_misses = 0;
+  uint64_t retries = 0;       ///< failover attempts beyond a trip's first send
+  uint64_t hedges_fired = 0;  ///< hedged duplicates actually sent
+  uint64_t hedge_wins = 0;    ///< logical trips answered by the hedge
+  uint64_t failovers = 0;     ///< trips answered by a non-primary replica
+  uint64_t shed = 0;          ///< requests refused with kBusy (admission)
+  uint64_t degraded_answers = 0;  ///< partial-merge responses produced
 };
 
 /// \brief Client-facing frame loop over remote shards.
@@ -127,7 +202,16 @@ class ShardCoordinator {
  public:
   /// \brief `transports[s]` carries shard `s`'s traffic and must outlive the
   ///        coordinator, as must `pool` (may be null: serial batches).
+  ///        Equivalent to one single-replica group per slice.
   ShardCoordinator(std::vector<ShardTransport*> transports,
+                   const ShardCoordinatorOptions& options = {},
+                   ThreadPool* pool = nullptr);
+
+  /// \brief Replicated construction: `replica_groups[s]` holds slice `s`'s
+  ///        R transports, every replica serving byte-identical answers for
+  ///        the slice. All transports (and `pool`) must outlive the
+  ///        coordinator.
+  ShardCoordinator(std::vector<std::vector<ShardTransport*>> replica_groups,
                    const ShardCoordinatorOptions& options = {},
                    ThreadPool* pool = nullptr);
 
@@ -146,7 +230,10 @@ class ShardCoordinator {
   std::vector<std::vector<uint8_t>> HandleBatch(
       const std::vector<std::vector<uint8_t>>& requests);
 
-  size_t shard_count() const { return transports_.size(); }
+  size_t shard_count() const { return replicas_.size(); }
+
+  /// \brief Replicas serving slice `shard`.
+  size_t replica_count(size_t shard) const { return replicas_[shard].size(); }
 
   /// \brief Shared bucket count learned from the handshake (0 before).
   size_t bucket_count() const {
@@ -163,18 +250,60 @@ class ShardCoordinator {
   CoordinatorStats stats() const;
 
  private:
-  // One downstream round trip: wrap `inner` for `shard`, send, validate the
-  // response envelope (shard id / epoch / seq echo), and return the decoded
-  // inner frame. Inner kError frames are returned as frames — the caller
-  // decides whether to pass them through. Every other failure is a typed
-  // non-OK status (Unavailable for transport/corruption faults).
+  // One physical round trip to one replica: wrap `inner` for `shard`, send
+  // on replica `replica`'s transport, validate the response envelope
+  // (shard id / epoch / seq echo), and return the decoded inner frame.
+  // Inner kError frames are returned as frames — the caller decides
+  // whether to pass them through. Every other failure is a typed non-OK
+  // status (Unavailable for transport/corruption faults). Updates the
+  // replica's circuit breaker: success closes it, failure counts toward
+  // breaker_threshold.
+  Result<Frame> ReplicaTrip(size_t shard, size_t replica,
+                            const std::vector<uint8_t>& inner);
+
+  // One *logical* round trip for the slice: walks ReplicaOrder(shard) —
+  // failing over, optionally hedging the first attempt onto a second
+  // replica — until a replica answers or the attempt budget is spent.
   Result<Frame> ShardRoundTrip(size_t shard,
                                const std::vector<uint8_t>& inner);
 
-  // Fans `inner` out to every shard — the round trips overlap as executor
-  // tasks on pool_, capped per request by options_.fanout_threads — and
-  // collects the inner response frames in shard order.
+  // A primary/hedge pair raced on the executor: the primary sends
+  // immediately; the watcher task fires the duplicate to `hedge` if the
+  // primary has not landed within hedge_delay_ms (woken early the moment
+  // it does). Returns the winning result and whether the hedge fired/won.
+  struct HedgeOutcome {
+    Result<Frame> result{Status::Internal("hedged trip not run")};
+    bool hedge_fired = false;
+    bool hedge_won = false;
+    bool primary_failed = false;
+  };
+  HedgeOutcome HedgedTrip(size_t shard, size_t primary, size_t hedge,
+                          const std::vector<uint8_t>& inner);
+
+  // Replica indices of `shard` in send order: circuit-closed replicas
+  // first (ascending, for determinism), circuit-open ones after; with
+  // probe_probability, one open replica may be promoted to the front as a
+  // re-admission probe.
+  std::vector<size_t> ReplicaOrder(size_t shard);
+
+  // Fans `inner` out to every slice (one *logical* trip per slice — each
+  // with its own failover/hedging) — the trips overlap as executor tasks
+  // on pool_, capped per request by options_.fanout_threads — and collects
+  // the inner response frames in shard order.
   std::vector<Result<Frame>> FanOut(const std::vector<uint8_t>& inner);
+
+  // Fans `inner` to every replica of every slice (registration traffic:
+  // every replica needs the session key). out[s][r] is replica r's result.
+  std::vector<std::vector<Result<Frame>>> FanOutAllReplicas(
+      const std::vector<uint8_t>& inner);
+
+  // Admission control: grants up to `want` in-flight slots (all of them
+  // when max_inflight is 0). ReleaseInflight returns what was granted.
+  size_t AcquireInflight(size_t want);
+  void ReleaseInflight(size_t granted);
+
+  // The typed kBusy response for a shed request.
+  std::vector<uint8_t> BusyFrame();
 
   // Self-healing registration: re-sends the session's hello (rebuilt from
   // the coordinator's own key table) to every shard. True iff every shard
@@ -211,13 +340,20 @@ class ShardCoordinator {
     std::atomic<uint64_t> errors{0};
     std::atomic<uint64_t> shard_trips{0};
     std::atomic<uint64_t> shard_failures{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> hedges_fired{0};
+    std::atomic<uint64_t> hedge_wins{0};
+    std::atomic<uint64_t> failovers{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> degraded_answers{0};
   };
 
   void Count(std::atomic<uint64_t> AtomicStats::*field) {
     (counters_.*field).fetch_add(1, std::memory_order_relaxed);
   }
 
-  const std::vector<ShardTransport*> transports_;  // elements not owned
+  // replicas_[s][r]: replica r of slice s. Elements not owned.
+  const std::vector<std::vector<ShardTransport*>> replicas_;
   const ShardCoordinatorOptions options_;
   // Spawned only when the caller passed no pool but asked for overlapped
   // fan-out (fanout_threads > 1); pool_ then points at it.
@@ -228,7 +364,22 @@ class ShardCoordinator {
 
   // Transports are plain blocking request/response channels with no
   // multiplexing, so round trips on one transport must not interleave.
-  std::vector<std::unique_ptr<std::mutex>> transport_mu_;
+  // transport_mu_[s][r] guards replicas_[s][r]; hedged duplicates go to a
+  // different replica precisely so they never queue behind the slow
+  // primary on its transport lock.
+  std::vector<std::vector<std::unique_ptr<std::mutex>>> transport_mu_;
+
+  // Circuit breakers: consecutive transport-level failures per replica.
+  std::vector<std::vector<std::unique_ptr<std::atomic<uint32_t>>>>
+      replica_failures_;
+
+  // Probe draws for breaker re-admission (seeded; serialized — the draw is
+  // a few ns against a blocking round trip).
+  std::mutex probe_mu_;
+  Rng probe_rng_;
+
+  // In-flight request count against options_.max_inflight.
+  std::atomic<size_t> inflight_{0};
 
   std::atomic<uint64_t> seq_{0};
 

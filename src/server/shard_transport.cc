@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -207,9 +208,8 @@ Status TcpTransport::EnsureConnected() {
   return Status::OK();
 }
 
-Result<std::vector<uint8_t>> TcpTransport::RoundTrip(
+Result<std::vector<uint8_t>> TcpTransport::TrySend(
     const std::vector<uint8_t>& request) {
-  EMB_RETURN_NOT_OK(EnsureConnected());
   Status write_status = WriteAll(fd_, request.data(), request.size());
   if (!write_status.ok()) {
     // Tear the connection down so the next call reconnects cleanly — a
@@ -220,6 +220,23 @@ Result<std::vector<uint8_t>> TcpTransport::RoundTrip(
   auto response = ReadFrame(fd_);
   if (!response.ok()) Disconnect();
   return response;
+}
+
+Result<std::vector<uint8_t>> TcpTransport::RoundTrip(
+    const std::vector<uint8_t>& request) {
+  // A connection that was already pooled may be stale: the peer restarted
+  // (or its kernel dropped the idle socket) between requests, and the
+  // first syscall against it fails even though the shard is healthy again.
+  // One transparent reconnect-and-resend absorbs that — shard requests are
+  // idempotent and seq/epoch-fenced, so the duplicate send cannot
+  // mis-merge. A connection established by this very call gets no retry:
+  // the peer is down, not stale.
+  const bool pooled = fd_ >= 0;
+  EMB_RETURN_NOT_OK(EnsureConnected());
+  auto response = TrySend(request);
+  if (response.ok() || !pooled) return response;
+  EMB_RETURN_NOT_OK(EnsureConnected());
+  return TrySend(request);
 }
 
 Result<int> ListenOnLoopback(uint16_t* port) {
@@ -254,6 +271,13 @@ Result<int> ListenOnLoopback(uint16_t* port) {
 }
 
 Status ServeShardConnections(int listen_fd, ShardEndpoint* endpoint) {
+  // Backoff for fd exhaustion: repeated EMFILE/ENFILE must not spin a core
+  // (accept fails instantly when the process is out of descriptors, so a
+  // flat short sleep still burns ~100 wakeups/sec for the whole outage).
+  // Doubles 10ms -> ~1s and resets on any successful accept.
+  constexpr auto kBackoffFloor = std::chrono::milliseconds(10);
+  constexpr auto kBackoffCeil = std::chrono::milliseconds(1000);
+  auto backoff = kBackoffFloor;
   for (;;) {
     int conn = accept(listen_fd, nullptr, nullptr);
     if (conn < 0) {
@@ -264,12 +288,14 @@ Status ServeShardConnections(int listen_fd, ShardEndpoint* endpoint) {
         continue;
       }
       if (errno == EMFILE || errno == ENFILE) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, kBackoffCeil);
         continue;
       }
       // The normal shutdown path: the owner closed / shut down listen_fd.
       return Status::OK();
     }
+    backoff = kBackoffFloor;
     int one = 1;
     setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     for (;;) {
@@ -290,11 +316,16 @@ FaultyTransport::FaultyTransport(ShardTransport* inner,
 
 size_t FaultyTransport::faults_injected() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return faults_;
+  return stats_.total();
+}
+
+FaultyTransportStats FaultyTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 TransportFault FaultyTransport::NextFaultLocked() {
-  const size_t call = calls_++;
+  const size_t call = stats_.calls++;
   if (!options_.schedule.empty()) {
     if (call < options_.schedule.size()) return options_.schedule[call];
     if (options_.cycle) {
@@ -314,7 +345,14 @@ Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
     const std::vector<uint8_t>& request) {
   std::lock_guard<std::mutex> lock(mu_);
   const TransportFault fault = NextFaultLocked();
-  if (fault != TransportFault::kNone) ++faults_;
+  switch (fault) {
+    case TransportFault::kNone: break;
+    case TransportFault::kDrop: ++stats_.drops; break;
+    case TransportFault::kTruncate: ++stats_.truncations; break;
+    case TransportFault::kBitFlip: ++stats_.bit_flips; break;
+    case TransportFault::kReorder: ++stats_.reorders; break;
+    case TransportFault::kDelay: ++stats_.delays; break;
+  }
 
   switch (fault) {
     case TransportFault::kNone:

@@ -110,6 +110,13 @@ struct TcpTransportOptions {
 /// \brief Blocking TCP client for one shard. After any failure the
 ///        connection is torn down and the next RoundTrip reconnects, so a
 ///        restarted shard process heals without coordinator restarts.
+///        A round trip that fails on an already-pooled connection (the peer
+///        restarted between requests, leaving a dead socket in the pool)
+///        transparently reconnects and resends once before surfacing
+///        Unavailable — shard requests are idempotent and seq-fenced, so a
+///        duplicate send is harmless. A failure on a connection established
+///        by this very call is surfaced immediately (the peer is down, not
+///        stale).
 class TcpTransport : public ShardTransport {
  public:
   /// \brief Connects to `host:port` (numeric IPv4, e.g. "127.0.0.1").
@@ -130,6 +137,9 @@ class TcpTransport : public ShardTransport {
 
   Status EnsureConnected();
   void Disconnect();
+
+  // One send + one response read on the current connection.
+  Result<std::vector<uint8_t>> TrySend(const std::vector<uint8_t>& request);
 
   const std::string host_;
   const uint16_t port_;
@@ -160,6 +170,23 @@ enum class TransportFault : uint8_t {
   kDelay,     ///< deliver intact after a bounded sleep (not an error)
 };
 
+/// \brief Per-kind injection counters, so fault tests can assert each fault
+///        class actually fired instead of trusting the seed.
+struct FaultyTransportStats {
+  size_t calls = 0;        ///< round trips attempted through the decorator
+  size_t drops = 0;
+  size_t truncations = 0;
+  size_t bit_flips = 0;
+  size_t reorders = 0;
+  size_t delays = 0;
+
+  /// \brief All injected faults (kNone excluded; delays count — they are
+  ///        injected even though they are not errors).
+  size_t total() const {
+    return drops + truncations + bit_flips + reorders + delays;
+  }
+};
+
 /// \brief Deterministic fault schedule.
 struct FaultyTransportOptions {
   /// Explicit per-call schedule, consumed one entry per RoundTrip; calls
@@ -188,6 +215,9 @@ class FaultyTransport : public ShardTransport {
   /// \brief Faults actually injected so far (kNone entries excluded).
   size_t faults_injected() const;
 
+  /// \brief Per-fault-kind injection counters.
+  FaultyTransportStats stats() const;
+
  private:
   TransportFault NextFaultLocked();
 
@@ -195,8 +225,7 @@ class FaultyTransport : public ShardTransport {
   const FaultyTransportOptions options_;
   mutable std::mutex mu_;
   Rng rng_;
-  size_t calls_ = 0;
-  size_t faults_ = 0;
+  FaultyTransportStats stats_;  // guarded by mu_
   std::vector<uint8_t> held_;  // kReorder: response awaiting late delivery
   bool has_held_ = false;
 };

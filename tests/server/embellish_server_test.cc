@@ -237,6 +237,52 @@ TEST_F(EmbellishServerTest, BatchedDispatchMatchesSerial) {
   EXPECT_EQ(batched.stats().queries, kSessions);
 }
 
+TEST_F(EmbellishServerTest, InflightBudgetShedsBatchSuffixTyped) {
+  // max_inflight bounds admitted work; HandleBatch reserves up front, so
+  // exactly the suffix beyond the budget is shed with a typed kBusy error
+  // while the admitted prefix answers byte-identically to an unthrottled
+  // server.
+  EmbellishServerOptions options;
+  options.cache_capacity = 0;
+  EmbellishServer reference(&built_.index, &org_, nullptr, options);
+  options.max_inflight = 4;
+  EmbellishServer throttled(&built_.index, &org_, nullptr, options);
+
+  constexpr size_t kRequests = 6;
+  std::vector<SessionClient> clients;
+  std::vector<std::vector<uint8_t>> requests;
+  for (size_t s = 0; s < kRequests; ++s) {
+    clients.push_back(MakeClient(700 + s, 800 + s));
+    reference.HandleFrame(clients.back().HelloFrame());
+    throttled.HandleFrame(clients.back().HelloFrame());
+    auto req = clients.back().QueryFrame(SomeTerms(2 * s, 5 * s + 3));
+    ASSERT_TRUE(req.ok());
+    requests.push_back(std::move(*req));
+  }
+
+  auto responses = throttled.HandleBatch(requests);
+  ASSERT_EQ(responses.size(), kRequests);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(responses[i], reference.HandleFrame(requests[i]))
+        << "admitted request " << i;
+  }
+  for (size_t i = 4; i < kRequests; ++i) {
+    auto frame = DecodeFrame(responses[i]);
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(frame->kind, FrameKind::kError) << "request " << i;
+    Status carried;
+    ASSERT_TRUE(DecodeError(frame->payload, &carried).ok());
+    EXPECT_TRUE(carried.IsBusy()) << carried.ToString();
+  }
+  EXPECT_EQ(throttled.stats().shed, 2u);
+  EXPECT_EQ(throttled.stats().queries, 4u);
+
+  // The budget is released once the batch drains: new work is admitted.
+  auto after = throttled.HandleFrame(requests[5]);
+  EXPECT_TRUE(clients[5].DecodeResultFrame(after, 10).ok());
+  EXPECT_EQ(throttled.stats().shed, 2u);
+}
+
 TEST_F(EmbellishServerTest, PirQueriesThroughTheLoop) {
   EmbellishServer server(&built_.index, &org_, nullptr);
 

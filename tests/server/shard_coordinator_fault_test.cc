@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "core/wire_format.h"
 #include "index/builder.h"
 #include "server/session_client.h"
 #include "server/shard_coordinator.h"
@@ -290,6 +293,182 @@ TEST_F(CoordinatorFaultTest, SeededFaultStormNeverCorruptsAnswers) {
   size_t injected = 0;
   for (const auto& f : faulty_) injected += f->faults_injected();
   EXPECT_GT(injected, 0u);
+}
+
+// A transport whose peer can be killed mid-test.
+class KillableTransport : public ShardTransport {
+ public:
+  explicit KillableTransport(ShardTransport* inner) : inner_(inner) {}
+  Result<std::vector<uint8_t>> RoundTrip(
+      const std::vector<uint8_t>& request) override {
+    if (dead_.load(std::memory_order_relaxed)) {
+      return Status::Unavailable("replica killed");
+    }
+    return inner_->RoundTrip(request);
+  }
+  void Kill() { dead_.store(true, std::memory_order_relaxed); }
+
+ private:
+  ShardTransport* inner_;  // not owned
+  std::atomic<bool> dead_{false};
+};
+
+TEST_F(CoordinatorFaultTest, ReplicatedStormWithMidRunKillStaysSound) {
+  // The full stack at once: two replicas per slice, seeded random faults on
+  // ~35% of every replica's round trips, hedging armed, retry/failover on,
+  // degraded mode opted in — and halfway through, replica 0 of every slice
+  // is killed outright. Every answer must be bit-identical to the healthy
+  // reference, a well-formed degraded partial naming its missing slices, or
+  // a typed error. Never a hang, never a silent wrong merge.
+  EmbellishServerOptions ref_options;
+  ref_options.shard_count = kShards;
+  EmbellishServer reference(&built_.index, &org_, nullptr, ref_options);
+
+  // Replica 1: a second, independent server per slice.
+  std::vector<std::unique_ptr<EmbellishServer>> slices2;
+  std::vector<std::unique_ptr<ShardEndpoint>> endpoints2;
+  std::vector<std::unique_ptr<InProcessTransport>> transports2;
+  for (size_t s = 0; s < kShards; ++s) {
+    EmbellishServerOptions options;
+    options.shard_slice = s;
+    options.shard_slice_count = kShards;
+    slices2.push_back(std::make_unique<EmbellishServer>(&built_.index, &org_,
+                                                        nullptr, options));
+    endpoints2.push_back(
+        std::make_unique<ShardEndpoint>(slices2.back().get(), s));
+    transports2.push_back(
+        std::make_unique<InProcessTransport>(endpoints2.back().get()));
+  }
+
+  // Both replicas of every slice run the fault storm; replica 0 is
+  // additionally killable.
+  std::vector<std::unique_ptr<FaultyTransport>> storm_faulty;
+  std::vector<std::unique_ptr<KillableTransport>> killable;
+  std::vector<std::vector<ShardTransport*>> groups(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    FaultyTransportOptions fo;
+    fo.fault_rate = 0.35;
+    fo.delay_ms = 1;
+    fo.seed = 8000 + s;
+    storm_faulty.push_back(std::make_unique<FaultyTransport>(
+        inner_transports_[s].get(), fo));
+    killable.push_back(
+        std::make_unique<KillableTransport>(storm_faulty.back().get()));
+    groups[s].push_back(killable.back().get());
+    fo.seed = 9000 + s;
+    storm_faulty.push_back(std::make_unique<FaultyTransport>(
+        transports2[s].get(), fo));
+    groups[s].push_back(storm_faulty.back().get());
+  }
+
+  ShardCoordinatorOptions options;
+  options.max_attempts = 2;
+  options.hedge_delay_ms = 0;
+  options.allow_partial_results = true;
+  ThreadPool pool(3);
+  ShardCoordinator coordinator(groups, options, &pool);
+
+  SessionClient client = MakeClient(9, 609);
+  reference.HandleFrame(client.HelloFrame());
+  bool registered = false;
+  for (int attempt = 0; attempt < 50 && !registered; ++attempt) {
+    auto frame = DecodeFrame(coordinator.HandleFrame(client.HelloFrame()));
+    ASSERT_TRUE(frame.ok());
+    registered = frame->kind == FrameKind::kHelloOk;
+    if (!registered) ASSERT_EQ(frame->kind, FrameKind::kError);
+  }
+  ASSERT_TRUE(registered);
+
+  auto terms = built_.index.IndexedTerms();
+  auto slot = org_.Locate(terms[17]);
+  ASSERT_TRUE(slot.ok());
+  Rng rng(613);
+  crypto::PirClient pir_client =
+      std::move(crypto::PirClient::Create(256, &rng)).value();
+  auto pir_query = pir_client.BuildQuery(
+      slot->slot, org_.bucket(slot->bucket).size(), &rng);
+  ASSERT_TRUE(pir_query.ok());
+
+  size_t clean = 0, degraded = 0, errored = 0;
+  for (size_t round = 0; round < 10; ++round) {
+    if (round == 5) {
+      for (auto& k : killable) k->Kill();  // replica 0 of every slice dies
+    }
+    auto pr_request = client.QueryFrame(SomeTerms(2, 4));
+    ASSERT_TRUE(pr_request.ok());
+    std::vector<std::vector<uint8_t>> requests{
+        *pr_request,
+        EncodeFrame(FrameKind::kPirQuery, 9,
+                    EncodePirQuery(coordinator.PirBucketField(
+                                       round % kShards, slot->bucket),
+                                   *pir_query)),
+        EncodeFrame(FrameKind::kTopKQuery, 9,
+                    EncodeTopKQuery(10, SomeTerms(2, 4)))};
+    for (const auto& request : requests) {
+      const std::vector<uint8_t> ref = reference.HandleFrame(request);
+      const std::vector<uint8_t> response = coordinator.HandleFrame(request);
+      if (response == ref) {
+        ++clean;
+        continue;
+      }
+      auto frame = DecodeFrame(response);
+      ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+      if (frame->kind == FrameKind::kDegradedResult) {
+        // A degraded answer must carry a well-formed marker and a payload
+        // that decodes under the matching inner kind.
+        auto partial = DecodeDegradedResult(frame->payload);
+        ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+        EXPECT_FALSE(partial->missing.empty());
+        EXPECT_LT(partial->missing.back(), kShards);
+        if (partial->inner_kind == FrameKind::kResult) {
+          EXPECT_TRUE(core::DecodeResult(partial->inner_payload,
+                                         client.public_key())
+                          .ok());
+        } else {
+          ASSERT_EQ(partial->inner_kind, FrameKind::kTopKResult);
+          EXPECT_TRUE(DecodeTopKResult(partial->inner_payload).ok());
+        }
+        ++degraded;
+        continue;
+      }
+      Status error = RequireTypedError(response);
+      EXPECT_FALSE(error.ok());
+      ++errored;
+    }
+  }
+  // The storm exercised the paths it was built to exercise.
+  EXPECT_GT(clean, 0u);
+  EXPECT_GT(degraded + errored, 0u);
+  size_t injected = 0;
+  for (const auto& f : storm_faulty) injected += f->stats().total();
+  EXPECT_GT(injected, 0u);
+}
+
+TEST_F(CoordinatorFaultTest, FaultKindCountersMatchInjection) {
+  // The per-kind counters let this suite assert which fault class actually
+  // fired instead of trusting the seed: a scheduled truncate shows up as
+  // exactly one truncation, nothing else.
+  SessionClient client = MakeClient(10, 610);
+  auto request = client.QueryFrame(SomeTerms(3, 71));
+  ASSERT_TRUE(request.ok());
+
+  FaultyTransportOptions options;
+  options.schedule = {TransportFault::kNone, TransportFault::kTruncate,
+                      TransportFault::kDrop};
+  auto coordinator = MakeCoordinator(/*faulty_shard=*/1, options);
+  coordinator->HandleFrame(client.HelloFrame());
+  coordinator->HandleFrame(*request);  // eats the truncate
+  coordinator->HandleFrame(*request);  // eats the drop
+  FaultyTransportStats stats = faulty_[0]->stats();
+  EXPECT_EQ(stats.truncations, 1u);
+  EXPECT_EQ(stats.drops, 1u);
+  EXPECT_EQ(stats.bit_flips, 0u);
+  EXPECT_EQ(stats.reorders, 0u);
+  EXPECT_EQ(stats.delays, 0u);
+  EXPECT_EQ(stats.total(), faulty_[0]->faults_injected());
+  // calls: handshake ping + hello + 2 faulted queries (+ the hello retry
+  // traffic the schedule's kNone padding absorbed) — at least 4.
+  EXPECT_GE(stats.calls, 4u);
 }
 
 }  // namespace

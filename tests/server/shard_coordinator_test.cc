@@ -509,6 +509,110 @@ TEST_F(ShardCoordinatorTest, TcpTransportOverLoopback) {
   for (auto& t : serve_threads) t.join();
 }
 
+namespace tcp_testutil {
+
+bool ReadExactFd(int fd, uint8_t* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = recv(fd, buf + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+// Reads one full frame (header + payload) off `fd`; empty on disconnect.
+std::vector<uint8_t> ReadOneFrame(int fd) {
+  std::vector<uint8_t> frame(kFrameHeaderBytes);
+  if (!ReadExactFd(fd, frame.data(), frame.size())) return {};
+  // Payload size: big-endian u32 at header offset 16 (see framing.h).
+  const uint32_t payload = static_cast<uint32_t>(frame[16]) << 24 |
+                           static_cast<uint32_t>(frame[17]) << 16 |
+                           static_cast<uint32_t>(frame[18]) << 8 |
+                           static_cast<uint32_t>(frame[19]);
+  frame.resize(kFrameHeaderBytes + payload);
+  if (payload != 0 &&
+      !ReadExactFd(fd, frame.data() + kFrameHeaderBytes, payload)) {
+    return {};
+  }
+  return frame;
+}
+
+bool WriteAllFd(int fd, const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t r = send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    if (r <= 0) return false;
+    sent += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace tcp_testutil
+
+TEST_F(ShardCoordinatorTest, StalePooledConnectionReconnectsAndResends) {
+  // The peer-restarted-between-requests scenario: the first server
+  // connection serves exactly one frame and then closes, leaving a dead
+  // socket pooled in the TcpTransport. The next round trip must absorb
+  // that with one transparent reconnect-and-resend — no error surfaces,
+  // and the response still echoes the request's own seq.
+  EmbellishServerOptions options;
+  options.shard_slice = 0;
+  options.shard_slice_count = 1;
+  EmbellishServer server(&built_.index, &org_, nullptr, options);
+  ShardEndpoint endpoint(&server, 0);
+
+  uint16_t port = 0;
+  auto listen_fd = ListenOnLoopback(&port);
+  ASSERT_TRUE(listen_fd.ok()) << listen_fd.status().ToString();
+  std::thread serve([fd = *listen_fd, &endpoint] {
+    for (int conn_index = 0;; ++conn_index) {
+      int conn = accept(fd, nullptr, nullptr);
+      if (conn < 0) return;
+      for (;;) {
+        std::vector<uint8_t> request = tcp_testutil::ReadOneFrame(conn);
+        if (request.empty()) break;
+        if (!tcp_testutil::WriteAllFd(conn, endpoint.HandleFrame(request))) {
+          break;
+        }
+        if (conn_index == 0) break;  // first connection dies after one frame
+      }
+      close(conn);
+    }
+  });
+
+  {
+    auto transport = TcpTransport::Connect("127.0.0.1", port);
+    ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+
+    auto ping = [&](uint64_t seq) {
+      return EncodeFrame(FrameKind::kShardRequest, 0,
+                         EncodeShardEnvelope(0, /*epoch=*/1, seq, {}));
+    };
+    auto require_pong = [&](Result<std::vector<uint8_t>> response,
+                            uint64_t seq) {
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      auto outer = DecodeFrame(*response);
+      ASSERT_TRUE(outer.ok());
+      ASSERT_EQ(outer->kind, FrameKind::kShardResponse);
+      auto envelope = DecodeShardEnvelope(outer->payload);
+      ASSERT_TRUE(envelope.ok());
+      EXPECT_EQ(envelope->seq, seq);
+    };
+
+    require_pong((*transport)->RoundTrip(ping(1)), 1);
+    // The server closed the connection after that response; this round trip
+    // finds the stale pooled socket, reconnects, resends, and succeeds.
+    require_pong((*transport)->RoundTrip(ping(2)), 2);
+    // The fresh connection keeps serving normally.
+    require_pong((*transport)->RoundTrip(ping(3)), 3);
+  }
+
+  shutdown(*listen_fd, SHUT_RDWR);
+  close(*listen_fd);
+  serve.join();
+}
+
 TEST_F(ShardCoordinatorTest, ConnectToDeadPortFailsTyped) {
   // Grab a port, then close it so nothing listens there.
   uint16_t port = 0;
