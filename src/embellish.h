@@ -85,8 +85,12 @@
 #include "core/specificity.h"        // IWYU pragma: export
 #include "core/wire_format.h"        // IWYU pragma: export
 
+#include "server/async_frontend.h"   // IWYU pragma: export
 #include "server/embellish_server.h" // IWYU pragma: export
+#include "server/event_loop.h"       // IWYU pragma: export
 #include "server/framing.h"          // IWYU pragma: export
+#include "server/io_util.h"          // IWYU pragma: export
+#include "server/multiplexed_transport.h"  // IWYU pragma: export
 #include "server/response_cache.h"   // IWYU pragma: export
 #include "server/session_client.h"   // IWYU pragma: export
 #include "server/shard_coordinator.h"// IWYU pragma: export

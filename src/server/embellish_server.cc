@@ -6,6 +6,7 @@
 #include "common/stopwatch.h"
 #include "core/wire_format.h"
 #include "index/topk.h"
+#include "server/async_frontend.h"
 
 namespace embellish::server {
 
@@ -184,6 +185,21 @@ std::vector<std::vector<uint8_t>> EmbellishServer::HandleBatch(
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++totals_.batches;
   return responses;
+}
+
+Result<std::unique_ptr<AsyncFrontEnd>> EmbellishServer::ServeAsync(
+    int listen_fd, EventLoop* loop) {
+  return ServeAsync(listen_fd, loop, AsyncFrontEndOptions{});
+}
+
+Result<std::unique_ptr<AsyncFrontEnd>> EmbellishServer::ServeAsync(
+    int listen_fd, EventLoop* loop, const AsyncFrontEndOptions& options) {
+  return AsyncFrontEnd::Create(
+      listen_fd, loop,
+      [this](const std::vector<std::vector<uint8_t>>& requests) {
+        return HandleBatch(requests);
+      },
+      options);
 }
 
 size_t EmbellishServer::session_count() const { return sessions_.size(); }

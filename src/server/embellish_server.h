@@ -63,6 +63,12 @@
 
 namespace embellish::server {
 
+// Fwd-declared so this header stays free of the event-loop stack; include
+// server/async_frontend.h to call ServeAsync.
+class AsyncFrontEnd;
+class EventLoop;
+struct AsyncFrontEndOptions;
+
 /// \brief Server construction knobs.
 struct EmbellishServerOptions {
   /// Response-cache capacity in entries; 0 disables caching.
@@ -183,6 +189,15 @@ class EmbellishServer {
   ///        to handling each frame alone — batching changes only the clock.
   std::vector<std::vector<uint8_t>> HandleBatch(
       const std::vector<std::vector<uint8_t>>& requests);
+
+  /// \brief Serves this server's HandleBatch behind an AsyncFrontEnd on
+  ///        `loop` (started, outliving the front end): the async request
+  ///        loop where no thread blocks on a socket and the response bytes
+  ///        are identical to HandleFrame's. Takes ownership of `listen_fd`.
+  Result<std::unique_ptr<AsyncFrontEnd>> ServeAsync(int listen_fd,
+                                                    EventLoop* loop);
+  Result<std::unique_ptr<AsyncFrontEnd>> ServeAsync(
+      int listen_fd, EventLoop* loop, const AsyncFrontEndOptions& options);
 
   /// \brief Number of registered sessions.
   size_t session_count() const;

@@ -1,0 +1,235 @@
+#include "server/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+#include "server/io_util.h"
+
+namespace embellish::server {
+
+namespace {
+
+constexpr int kMaxEpollEvents = 64;
+
+Status EpollCtl(int epoll_fd, int op, int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd, op, fd, &ev) != 0) {
+    return Status::IoError(
+        StringPrintf("epoll_ctl(fd %d): %s", fd, std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  int epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    return Status::IoError(
+        StringPrintf("epoll_create1: %s", std::strerror(errno)));
+  }
+  int wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) {
+    int err = errno;
+    close(epoll_fd);
+    return Status::IoError(StringPrintf("eventfd: %s", std::strerror(err)));
+  }
+  int timer_fd = timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  if (timer_fd < 0) {
+    int err = errno;
+    close(wake_fd);
+    close(epoll_fd);
+    return Status::IoError(
+        StringPrintf("timerfd_create: %s", std::strerror(err)));
+  }
+  std::unique_ptr<EventLoop> loop(new EventLoop(epoll_fd, wake_fd, timer_fd));
+  EMB_RETURN_NOT_OK(EpollCtl(epoll_fd, EPOLL_CTL_ADD, wake_fd, EPOLLIN));
+  EMB_RETURN_NOT_OK(EpollCtl(epoll_fd, EPOLL_CTL_ADD, timer_fd, EPOLLIN));
+  return loop;
+}
+
+EventLoop::EventLoop(int epoll_fd, int wake_fd, int timer_fd)
+    : epoll_fd_(epoll_fd), wake_fd_(wake_fd), timer_fd_(timer_fd) {}
+
+EventLoop::~EventLoop() {
+  Stop();
+  close(timer_fd_);
+  close(wake_fd_);
+  close(epoll_fd_);
+}
+
+Status EventLoop::Start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return Status::OK();
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void EventLoop::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    uint64_t one = 1;
+    (void)!write(wake_fd_, &one, sizeof(one));
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+bool EventLoop::InLoopThread() const {
+  return std::this_thread::get_id() == thread_.get_id();
+}
+
+void EventLoop::RunInLoop(std::function<void()> fn) {
+  if (InLoopThread()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.push_back(std::move(fn));
+  }
+  uint64_t one = 1;
+  (void)!write(wake_fd_, &one, sizeof(one));
+}
+
+uint64_t EventLoop::ScheduleAfter(int64_t delay_ms, std::function<void()> fn) {
+  const int64_t deadline = MonotonicMillis() + (delay_ms < 0 ? 0 : delay_ms);
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  const uint64_t id = next_timer_id_++;
+  timer_fns_.emplace(id, std::move(fn));
+  timer_heap_.push(TimerEntry{deadline, id});
+  RearmTimerLocked();
+  return id;
+}
+
+void EventLoop::CancelTimer(uint64_t id) {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  timer_fns_.erase(id);  // the heap entry is skipped lazily when popped
+}
+
+void EventLoop::RearmTimerLocked() {
+  // Arm the timerfd for the earliest live deadline. A relative expiry of 0
+  // is "disarm", so past-due deadlines arm the 1ns minimum and fire on the
+  // next tick.
+  while (!timer_heap_.empty() &&
+         timer_fns_.find(timer_heap_.top().id) == timer_fns_.end()) {
+    timer_heap_.pop();  // cancelled entry: drop before computing the expiry
+  }
+  itimerspec spec{};
+  if (!timer_heap_.empty()) {
+    const int64_t remaining = timer_heap_.top().deadline_ms - MonotonicMillis();
+    if (remaining > 0) {
+      spec.it_value.tv_sec = remaining / 1000;
+      spec.it_value.tv_nsec = (remaining % 1000) * 1000000;
+    } else {
+      spec.it_value.tv_nsec = 1;
+    }
+  }
+  (void)timerfd_settime(timer_fd_, 0, &spec, nullptr);
+}
+
+void EventLoop::FireDueTimers() {
+  uint64_t expirations = 0;
+  (void)!read(timer_fd_, &expirations, sizeof(expirations));
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      const int64_t now = MonotonicMillis();
+      while (!timer_heap_.empty()) {
+        const TimerEntry top = timer_heap_.top();
+        auto it = timer_fns_.find(top.id);
+        if (it == timer_fns_.end()) {
+          timer_heap_.pop();  // cancelled
+          continue;
+        }
+        if (top.deadline_ms > now) break;
+        timer_heap_.pop();
+        fn = std::move(it->second);
+        timer_fns_.erase(it);
+        break;
+      }
+      if (fn == nullptr) {
+        RearmTimerLocked();
+        return;
+      }
+    }
+    fn();  // outside timer_mu_: the callback may schedule or cancel timers
+  }
+}
+
+void EventLoop::DrainWake() {
+  uint64_t count = 0;
+  (void)!read(wake_fd_, &count, sizeof(count));
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    batch.swap(pending_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::Run() {
+  epoll_event events[kMaxEpollEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEpollEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // the epoll fd itself failed; nothing to serve any more
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWake();
+        continue;
+      }
+      if (fd == timer_fd_) {
+        FireDueTimers();
+        continue;
+      }
+      std::shared_ptr<IoHandler> handler;
+      {
+        std::lock_guard<std::mutex> lock(handlers_mu_);
+        auto it = handlers_.find(fd);
+        if (it != handlers_.end()) handler = it->second;
+      }
+      // A handler earlier in this batch may have removed the fd; the
+      // lookup-per-event is what keeps that safe.
+      if (handler != nullptr) (*handler)(events[i].events);
+    }
+  }
+}
+
+Status EventLoop::Add(int fd, uint32_t events, IoHandler handler) {
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers_[fd] = std::make_shared<IoHandler>(std::move(handler));
+  }
+  Status added = EpollCtl(epoll_fd_, EPOLL_CTL_ADD, fd, events);
+  if (!added.ok()) {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers_.erase(fd);
+  }
+  return added;
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  return EpollCtl(epoll_fd_, EPOLL_CTL_MOD, fd, events);
+}
+
+void EventLoop::Remove(int fd) {
+  (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_.erase(fd);
+}
+
+}  // namespace embellish::server

@@ -1,0 +1,145 @@
+// A minimal epoll reactor: the I/O frontier of the async serving stack.
+//
+// One EventLoop owns one thread blocked in epoll_wait and three kinds of
+// event source:
+//
+//   sockets   level-triggered EPOLLIN/EPOLLOUT interest registered with
+//             Add/Modify/Remove; handlers run on the loop thread;
+//   eventfd   cross-thread wakeups: RunInLoop(fn) enqueues fn from any
+//             thread and pokes the eventfd, so completions posted by
+//             executor workers (or transport submitters) land on the loop
+//             thread without the loop ever polling;
+//   timerfd   deadlines: ScheduleAfter(ms, fn) arms a CLOCK_MONOTONIC
+//             timerfd against a min-heap of pending timers — wall-clock
+//             steps cannot fire (or stall) a timeout.
+//
+// The contract every user leans on: handlers, posted functions and timer
+// callbacks all run on the loop thread, one at a time — connection and
+// correlation state confined to the loop needs no locks. Nothing run on the
+// loop thread may block: blocking work is handed to dispatcher threads /
+// the executor, and its results come back via RunInLoop.
+//
+// The loop is edge-free (level-triggered) on purpose: a handler that drains
+// only part of a socket's readable bytes is re-armed automatically, which is
+// what lets FrameReader::Pump budget its reads for slow-client fairness
+// without risking a stall.
+
+#ifndef EMBELLISH_SERVER_EVENT_LOOP_H_
+#define EMBELLISH_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace embellish::server {
+
+/// \brief One-thread epoll reactor. Create() then Start(); Stop() joins.
+class EventLoop {
+ public:
+  /// \brief Socket event handler; `events` carries the EPOLLIN / EPOLLOUT /
+  ///        EPOLLERR / EPOLLHUP bits that fired. Runs on the loop thread.
+  using IoHandler = std::function<void(uint32_t events)>;
+
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// \brief Spawns the loop thread. Idempotent once started.
+  Status Start();
+
+  /// \brief Stops and joins the loop thread. Registered fds are NOT closed
+  ///        (their owners close them); pending timers and posted functions
+  ///        are dropped. Idempotent.
+  void Stop();
+
+  /// \brief True on the loop thread — the thread-confinement assert hook.
+  bool InLoopThread() const;
+
+  /// \brief True between Start() and Stop(). Users that tear down via
+  ///        RunInLoop (e.g. MultiplexedTransport) check this to fall back
+  ///        to inline teardown when the loop is already gone.
+  bool IsRunning() const { return running_.load(std::memory_order_acquire); }
+
+  /// \brief Runs `fn` on the loop thread: immediately (inline) when called
+  ///        from the loop thread, otherwise enqueued and woken via eventfd.
+  void RunInLoop(std::function<void()> fn);
+
+  /// \brief Runs `fn` on the loop thread after `delay_ms` (CLOCK_MONOTONIC).
+  ///        Returns a timer id for CancelTimer. Thread-safe.
+  uint64_t ScheduleAfter(int64_t delay_ms, std::function<void()> fn);
+
+  /// \brief Best-effort cancel: a timer that already fired (or is firing)
+  ///        is gone. Thread-safe.
+  void CancelTimer(uint64_t id);
+
+  /// \brief Registers `fd` for `events` (EPOLLIN and/or EPOLLOUT,
+  ///        level-triggered). The handler runs on the loop thread until
+  ///        Remove(fd). Thread-safe.
+  Status Add(int fd, uint32_t events, IoHandler handler);
+
+  /// \brief Changes the interest set of a registered fd. Thread-safe.
+  Status Modify(int fd, uint32_t events);
+
+  /// \brief Deregisters `fd`; must precede close(fd). Thread-safe. After
+  ///        Remove returns (called on the loop thread: immediately), the
+  ///        handler will not be invoked again.
+  void Remove(int fd);
+
+ private:
+  EventLoop(int epoll_fd, int wake_fd, int timer_fd);
+
+  void Run();
+  void DrainWake();
+  void FireDueTimers();
+  void RearmTimerLocked();  // timer_mu_ held
+
+  const int epoll_fd_;
+  const int wake_fd_;   // eventfd
+  const int timer_fd_;  // CLOCK_MONOTONIC timerfd
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+
+  // fd -> handler. shared_ptr so a handler fired from an epoll batch stays
+  // valid even if another event in the same batch removed the fd.
+  std::mutex handlers_mu_;
+  std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
+
+  // Cross-thread posted functions.
+  std::mutex pending_mu_;
+  std::vector<std::function<void()>> pending_;
+
+  // Timer heap: (absolute monotonic ms, id); fns live in timer_fns_ so
+  // CancelTimer is an erase, and a popped entry whose id is gone is skipped.
+  struct TimerEntry {
+    int64_t deadline_ms;
+    uint64_t id;
+    bool operator>(const TimerEntry& other) const {
+      return deadline_ms != other.deadline_ms
+                 ? deadline_ms > other.deadline_ms
+                 : id > other.id;
+    }
+  };
+  std::mutex timer_mu_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timer_heap_;
+  std::map<uint64_t, std::function<void()>> timer_fns_;
+  uint64_t next_timer_id_ = 1;
+};
+
+}  // namespace embellish::server
+
+#endif  // EMBELLISH_SERVER_EVENT_LOOP_H_

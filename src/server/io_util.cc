@@ -1,0 +1,284 @@
+#include "server/io_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/endian.h"
+#include "common/strings.h"
+#include "server/framing.h"
+
+namespace embellish::server {
+
+namespace {
+
+// One Pump() call reads at most this much, so a firehosing peer yields the
+// loop back after a bounded slice (level-triggered epoll re-arms for the
+// rest).
+constexpr size_t kPumpBudgetBytes = 1u << 20;
+
+constexpr size_t kReadChunkBytes = 64u << 10;
+
+// Waits for `events` (POLLIN/POLLOUT) on `fd` until the absolute monotonic
+// deadline. OK when the fd is ready; Unavailable on timeout.
+Status PollFor(int fd, short events, int64_t deadline_ms) {
+  for (;;) {
+    int wait_ms = -1;
+    if (deadline_ms != kNoDeadline) {
+      const int64_t remaining = deadline_ms - MonotonicMillis();
+      if (remaining <= 0) {
+        return Status::Unavailable("socket I/O deadline exceeded");
+      }
+      wait_ms = static_cast<int>(std::min<int64_t>(remaining, INT32_MAX));
+    }
+    pollfd pfd{fd, events, 0};
+    const int rc = poll(&pfd, 1, wait_ms);
+    if (rc > 0) return Status::OK();  // ready (or error/hup: syscall reports)
+    if (rc == 0) {
+      return Status::Unavailable("socket I/O deadline exceeded");
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(
+        StringPrintf("poll: %s", std::strerror(errno)));
+  }
+}
+
+}  // namespace
+
+int64_t MonotonicMillis() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+int64_t DeadlineFromNow(int timeout_ms) {
+  if (timeout_ms < 0) return kNoDeadline;
+  return MonotonicMillis() + timeout_ms;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(
+        StringPrintf("fcntl O_NONBLOCK: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status SetBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    return Status::IoError(
+        StringPrintf("fcntl ~O_NONBLOCK: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<ConnectStart> StartConnect(const std::string& host, uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(
+        StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument(
+        StringPrintf("not a numeric IPv4 address: %s", host.c_str()));
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    close(fd);
+    return nb;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    return ConnectStart{fd, true};
+  }
+  if (errno == EINPROGRESS) {
+    return ConnectStart{fd, false};
+  }
+  int err = errno;
+  close(fd);
+  return Status::Unavailable(StringPrintf(
+      "connect %s:%u: %s", host.c_str(), port, std::strerror(err)));
+}
+
+Result<int> ConnectWithDeadline(const std::string& host, uint16_t port,
+                                int timeout_ms) {
+  EMB_ASSIGN_OR_RETURN(ConnectStart start, StartConnect(host, port));
+  if (!start.connected) {
+    Status ready = PollFor(start.fd, POLLOUT, DeadlineFromNow(timeout_ms));
+    if (!ready.ok()) {
+      close(start.fd);
+      return Status::Unavailable(StringPrintf(
+          "connect %s:%u: %s", host.c_str(), port,
+          ready.message().c_str()));
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (getsockopt(start.fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      close(start.fd);
+      return Status::Unavailable(StringPrintf(
+          "connect %s:%u: %s", host.c_str(), port,
+          std::strerror(so_error != 0 ? so_error : errno)));
+    }
+  }
+  return start.fd;
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t size,
+                int64_t deadline_ms) {
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a peer that died mid-write must produce EPIPE, not
+    // SIGPIPE.
+    ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      EMB_RETURN_NOT_OK(PollFor(fd, POLLOUT, deadline_ms));
+      continue;
+    }
+    return Status::Unavailable(StringPrintf(
+        "send failed after %zu/%zu bytes: %s", sent, size,
+        n < 0 ? std::strerror(errno) : "connection closed"));
+  }
+  return Status::OK();
+}
+
+Status ReadExactly(int fd, uint8_t* data, size_t size, int64_t deadline_ms) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = recv(fd, data + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      EMB_RETURN_NOT_OK(PollFor(fd, POLLIN, deadline_ms));
+      continue;
+    }
+    return Status::Unavailable(StringPrintf(
+        "recv failed after %zu/%zu bytes: %s", got, size,
+        n < 0 ? std::strerror(errno) : "connection closed"));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFrameFd(int fd, size_t max_frame_bytes,
+                                         int64_t deadline_ms) {
+  std::vector<uint8_t> bytes(kFrameHeaderBytes);
+  EMB_RETURN_NOT_OK(
+      ReadExactly(fd, bytes.data(), kFrameHeaderBytes, deadline_ms));
+  const size_t payload_size = GetU32(bytes.data() + 16);
+  if (payload_size > max_frame_bytes - kFrameHeaderBytes) {
+    return Status::Unavailable(StringPrintf(
+        "peer declared an oversized %zu-byte frame payload", payload_size));
+  }
+  bytes.resize(kFrameHeaderBytes + payload_size);
+  EMB_RETURN_NOT_OK(ReadExactly(fd, bytes.data() + kFrameHeaderBytes,
+                                payload_size, deadline_ms));
+  return bytes;
+}
+
+// --- FrameReader -------------------------------------------------------------
+
+FrameReader::FrameReader(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+Result<bool> FrameReader::Pump(int fd) {
+  uint8_t chunk[kReadChunkBytes];
+  size_t pumped = 0;
+  while (pumped < kPumpBudgetBytes) {
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.insert(buf_.end(), chunk, chunk + n);
+      pumped += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // clean EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return Status::Unavailable(
+        StringPrintf("recv: %s", std::strerror(errno)));
+  }
+  return true;  // budget spent; the level-triggered loop will re-arm
+}
+
+Result<bool> FrameReader::Next(std::vector<uint8_t>* frame) {
+  const size_t available = buffered_bytes();
+  if (available < kFrameHeaderBytes) return CompactAndWait();
+  const size_t payload_size = GetU32(buf_.data() + pos_ + 16);
+  if (payload_size > max_frame_bytes_ - kFrameHeaderBytes) {
+    return Status::Corruption(StringPrintf(
+        "peer declared an oversized %zu-byte frame payload", payload_size));
+  }
+  const size_t total = kFrameHeaderBytes + payload_size;
+  if (available < total) return CompactAndWait();
+  frame->assign(buf_.begin() + pos_, buf_.begin() + pos_ + total);
+  pos_ += total;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return true;
+}
+
+Result<bool> FrameReader::CompactAndWait() {
+  // Consumed prefix beyond a chunk's worth: slide the partial frame down so
+  // a long-lived connection cannot grow the buffer without bound.
+  if (pos_ >= kReadChunkBytes) {
+    buf_.erase(buf_.begin(), buf_.begin() + pos_);
+    pos_ = 0;
+  }
+  return false;
+}
+
+// --- FrameWriter -------------------------------------------------------------
+
+void FrameWriter::Enqueue(std::vector<uint8_t> frame) {
+  pending_bytes_ += frame.size();
+  queue_.push_back(std::move(frame));
+}
+
+Result<bool> FrameWriter::Flush(int fd) {
+  while (!queue_.empty()) {
+    const std::vector<uint8_t>& head = queue_.front();
+    ssize_t n = send(fd, head.data() + head_offset_,
+                     head.size() - head_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      head_offset_ += static_cast<size_t>(n);
+      pending_bytes_ -= static_cast<size_t>(n);
+      if (head_offset_ == head.size()) {
+        queue_.pop_front();
+        head_offset_ = 0;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    return Status::Unavailable(StringPrintf(
+        "send: %s", n < 0 ? std::strerror(errno) : "connection closed"));
+  }
+  return true;
+}
+
+}  // namespace embellish::server

@@ -1,0 +1,348 @@
+#include "server/multiplexed_transport.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+#include "common/strings.h"
+#include "server/framing.h"
+
+namespace embellish::server {
+
+Result<std::unique_ptr<MultiplexedTransport>> MultiplexedTransport::Connect(
+    const std::string& host, uint16_t port, EventLoop* loop,
+    const MultiplexedTransportOptions& options) {
+  EMB_ASSIGN_OR_RETURN(
+      int fd, ConnectWithDeadline(host, port, options.connect_timeout_ms));
+  std::unique_ptr<MultiplexedTransport> transport(new MultiplexedTransport(
+      loop, host, port, /*can_reconnect=*/true, options));
+  Status registered = transport->Register(fd, ConnState::kConnected);
+  if (!registered.ok()) {
+    close(fd);
+    return registered;
+  }
+  return transport;
+}
+
+Result<std::unique_ptr<MultiplexedTransport>> MultiplexedTransport::Adopt(
+    int fd, EventLoop* loop, const MultiplexedTransportOptions& options) {
+  EMB_RETURN_NOT_OK(SetNonBlocking(fd));
+  std::unique_ptr<MultiplexedTransport> transport(new MultiplexedTransport(
+      loop, /*host=*/"", /*port=*/0, /*can_reconnect=*/false, options));
+  Status registered = transport->Register(fd, ConnState::kConnected);
+  if (!registered.ok()) return registered;  // caller keeps ownership of fd
+  return transport;
+}
+
+MultiplexedTransport::MultiplexedTransport(
+    EventLoop* loop, std::string host, uint16_t port, bool can_reconnect,
+    const MultiplexedTransportOptions& options)
+    : loop_(loop),
+      host_(std::move(host)),
+      port_(port),
+      can_reconnect_(can_reconnect),
+      options_(options) {}
+
+Status MultiplexedTransport::Register(int fd, ConnState state) {
+  fd_ = fd;
+  state_ = state;
+  interest_ = state == ConnState::kConnecting ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  return loop_->Add(fd, interest_, [this](uint32_t ev) { OnIoEvent(ev); });
+}
+
+MultiplexedTransport::~MultiplexedTransport() {
+  if (loop_->IsRunning() && !loop_->InLoopThread()) {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    loop_->RunInLoop([this, &mu, &cv, &done] {
+      TeardownInLoop();
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&done] { return done; });
+  } else {
+    // Loop already stopped (or we are on it): nothing else can touch the
+    // loop-confined state concurrently.
+    TeardownInLoop();
+  }
+}
+
+void MultiplexedTransport::TeardownInLoop() {
+  ResetConnection(Status::Unavailable("transport shutting down"));
+  resets_.fetch_sub(1, std::memory_order_relaxed);  // shutdown is not a fault
+}
+
+Result<std::vector<uint8_t>> MultiplexedTransport::RoundTrip(
+    const std::vector<uint8_t>& request) {
+  if (loop_->InLoopThread()) {
+    return Status::FailedPrecondition(
+        "blocking RoundTrip on the event-loop thread would deadlock");
+  }
+  struct Wait {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<std::vector<uint8_t>> result = std::vector<uint8_t>{};
+  };
+  auto wait = std::make_shared<Wait>();
+  SubmitRoundTrip(request, [wait](Result<std::vector<uint8_t>> outcome) {
+    std::lock_guard<std::mutex> lock(wait->mu);
+    wait->result = std::move(outcome);
+    wait->done = true;
+    wait->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(wait->mu);
+  wait->cv.wait(lock, [&wait] { return wait->done; });
+  return std::move(wait->result);
+}
+
+void MultiplexedTransport::SubmitRoundTrip(const std::vector<uint8_t>& request,
+                                           RoundTripCompletion done) {
+  // Parse the correlation key on the submitter's thread: a malformed
+  // request is the submitter's bug and fails inline, before any I/O.
+  Result<Frame> frame = DecodeFrame(request);
+  if (!frame.ok()) {
+    done(frame.status());
+    return;
+  }
+  if (frame->kind != FrameKind::kShardRequest) {
+    done(Status::InvalidArgument(
+        "multiplexed transport carries kShardRequest frames only"));
+    return;
+  }
+  Result<ShardEnvelope> envelope = DecodeShardEnvelope(frame->payload);
+  if (!envelope.ok()) {
+    done(envelope.status());
+    return;
+  }
+  Key key{envelope->epoch, envelope->seq};
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  loop_->RunInLoop([this, key, request, done = std::move(done)]() mutable {
+    SubmitInLoop(key, std::move(request), std::move(done));
+  });
+}
+
+void MultiplexedTransport::SubmitInLoop(Key key, std::vector<uint8_t> request,
+                                        RoundTripCompletion done) {
+  if (pending_.count(key) != 0) {
+    done(Status::InvalidArgument(StringPrintf(
+        "duplicate in-flight correlation key (epoch %llu, seq %llu)",
+        static_cast<unsigned long long>(key.first),
+        static_cast<unsigned long long>(key.second))));
+    return;
+  }
+  if (state_ == ConnState::kDisconnected) {
+    Status started = StartConnectInLoop();
+    if (!started.ok()) {
+      done(started);
+      return;
+    }
+  }
+  const uint64_t timer_id = loop_->ScheduleAfter(
+      options_.io_timeout_ms, [this, key] { OnTimeout(key); });
+  pending_.emplace(key, Pending{std::move(done), timer_id});
+  writer_.Enqueue(std::move(request));
+  if (state_ == ConnState::kConnected) {
+    OnWritable();
+  }
+  // kConnecting: frames sit queued until FinishConnect flushes them.
+}
+
+Status MultiplexedTransport::StartConnectInLoop() {
+  if (!can_reconnect_) {
+    return Status::Unavailable(
+        "adopted connection is gone and has no reconnect endpoint");
+  }
+  EMB_ASSIGN_OR_RETURN(ConnectStart start, StartConnect(host_, port_));
+  Status registered = Register(
+      start.fd, start.connected ? ConnState::kConnected : ConnState::kConnecting);
+  if (!registered.ok()) {
+    close(start.fd);
+    fd_ = -1;
+    state_ = ConnState::kDisconnected;
+    return registered;
+  }
+  if (state_ == ConnState::kConnecting) {
+    connect_timer_id_ =
+        loop_->ScheduleAfter(options_.connect_timeout_ms, [this] {
+          if (state_ == ConnState::kConnecting) {
+            ResetConnection(Status::Unavailable(StringPrintf(
+                "connect %s:%u: deadline exceeded", host_.c_str(), port_)));
+          }
+        });
+  }
+  return Status::OK();
+}
+
+void MultiplexedTransport::FinishConnect() {
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+      so_error != 0) {
+    ResetConnection(Status::Unavailable(StringPrintf(
+        "connect %s:%u: %s", host_.c_str(), port_,
+        std::strerror(so_error != 0 ? so_error : errno))));
+    return;
+  }
+  state_ = ConnState::kConnected;
+  if (connect_timer_id_ != 0) {
+    loop_->CancelTimer(connect_timer_id_);
+    connect_timer_id_ = 0;
+  }
+  OnWritable();
+}
+
+void MultiplexedTransport::OnIoEvent(uint32_t events) {
+  if (state_ == ConnState::kConnecting) {
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      ResetConnection(Status::Unavailable(StringPrintf(
+          "connect %s:%u: connection refused", host_.c_str(), port_)));
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) FinishConnect();
+    return;
+  }
+  if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+    OnReadable();
+  }
+  if (state_ == ConnState::kConnected && (events & EPOLLOUT) != 0) {
+    OnWritable();
+  }
+}
+
+void MultiplexedTransport::OnReadable() {
+  Result<bool> open = reader_.Pump(fd_);
+  if (!open.ok()) {
+    ResetConnection(open.status());
+    return;
+  }
+  std::vector<uint8_t> frame;
+  for (;;) {
+    Result<bool> has = reader_.Next(&frame);
+    if (!has.ok()) {
+      ResetConnection(has.status());
+      return;
+    }
+    if (!*has) break;
+    HandleResponseFrame(std::move(frame));
+    if (state_ != ConnState::kConnected) return;  // poisoned mid-batch
+  }
+  if (!*open) {
+    ResetConnection(Status::Unavailable("shard closed the connection"));
+  }
+}
+
+void MultiplexedTransport::OnWritable() {
+  Result<bool> drained = writer_.Flush(fd_);
+  if (!drained.ok()) {
+    ResetConnection(drained.status());
+    return;
+  }
+  UpdateInterest();
+}
+
+void MultiplexedTransport::UpdateInterest() {
+  const uint32_t wanted =
+      EPOLLIN | (writer_.empty() ? 0u : static_cast<uint32_t>(EPOLLOUT));
+  if (wanted != interest_) {
+    interest_ = wanted;
+    (void)loop_->Modify(fd_, wanted);
+  }
+}
+
+void MultiplexedTransport::HandleResponseFrame(std::vector<uint8_t> frame) {
+  Result<Frame> decoded = DecodeFrame(frame);
+  if (!decoded.ok()) {
+    // The stream is no longer frame-aligned; nothing after this byte can be
+    // trusted to belong to anyone.
+    ResetConnection(decoded.status());
+    return;
+  }
+  if (decoded->kind == FrameKind::kShardResponse) {
+    Result<ShardEnvelope> envelope = DecodeShardEnvelope(decoded->payload);
+    if (!envelope.ok()) {
+      ResetConnection(envelope.status());
+      return;
+    }
+    auto it = pending_.find(Key{envelope->epoch, envelope->seq});
+    if (it == pending_.end()) {
+      // Duplicate, stale replay, or fabricated: never deliverable to any
+      // submitter, and in particular never to the WRONG one.
+      orphan_responses_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Pending pending = std::move(it->second);
+    pending_.erase(it);
+    loop_->CancelTimer(pending.timer_id);
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    pending.done(std::move(frame));
+    return;
+  }
+  // An outer kError (or any non-response kind) carries no envelope, so it
+  // cannot name the request it answers — on a pipelined connection that is
+  // a stream desync, and every in-flight trip must fail typed rather than
+  // risk a wrong-request merge.
+  Status cause = Status::Unavailable("shard sent an uncorrelatable frame");
+  if (decoded->kind == FrameKind::kError) {
+    Status transported = Status::OK();
+    if (DecodeError(decoded->payload, &transported).ok()) {
+      cause = transported;
+    }
+  }
+  ResetConnection(cause);
+}
+
+void MultiplexedTransport::OnTimeout(Key key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // response won the race
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  timeouts_.fetch_add(1, std::memory_order_relaxed);
+  // The connection stays up: one slow request must not fail its siblings.
+  // If the response arrives later it is dropped as an orphan.
+  pending.done(Status::Unavailable(StringPrintf(
+      "multiplexed round trip timed out after %d ms", options_.io_timeout_ms)));
+}
+
+void MultiplexedTransport::ResetConnection(const Status& cause) {
+  resets_.fetch_add(1, std::memory_order_relaxed);
+  if (connect_timer_id_ != 0) {
+    loop_->CancelTimer(connect_timer_id_);
+    connect_timer_id_ = 0;
+  }
+  if (fd_ >= 0) {
+    loop_->Remove(fd_);
+    close(fd_);
+    fd_ = -1;
+  }
+  state_ = ConnState::kDisconnected;
+  interest_ = 0;
+  reader_.Reset();
+  writer_.Reset();
+  std::map<Key, Pending> failed;
+  failed.swap(pending_);
+  for (auto& [key, pending] : failed) {
+    (void)key;
+    loop_->CancelTimer(pending.timer_id);
+    pending.done(cause);
+  }
+}
+
+MultiplexedTransportStats MultiplexedTransport::stats() const {
+  MultiplexedTransportStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.responses = responses_.load(std::memory_order_relaxed);
+  out.orphan_responses = orphan_responses_.load(std::memory_order_relaxed);
+  out.timeouts = timeouts_.load(std::memory_order_relaxed);
+  out.resets = resets_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace embellish::server

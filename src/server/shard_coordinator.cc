@@ -7,6 +7,8 @@
 
 #include "common/strings.h"
 #include "core/sharded_retrieval.h"
+#include "server/async_frontend.h"
+#include "server/io_util.h"
 #include "core/wire_format.h"
 #include "index/sharding.h"
 
@@ -62,6 +64,14 @@ ShardCoordinator::ShardCoordinator(
   }
 }
 
+ShardCoordinator::~ShardCoordinator() {
+  // Async attempts orphaned by an answered trip (late hedge losers,
+  // abandoned failovers) complete later on the transports' loop threads and
+  // touch breakers/counters; they must all land before members die.
+  std::unique_lock<std::mutex> lock(async_drain_mu_);
+  async_drain_cv_.wait(lock, [this] { return async_outstanding_ == 0; });
+}
+
 size_t ShardCoordinator::session_count() const { return sessions_.size(); }
 
 CoordinatorStats ShardCoordinator::stats() const {
@@ -89,6 +99,11 @@ CoordinatorStats ShardCoordinator::stats() const {
   snapshot.shed = counters_.shed.load(std::memory_order_relaxed);
   snapshot.degraded_answers =
       counters_.degraded_answers.load(std::memory_order_relaxed);
+  snapshot.blocking_io_trips =
+      counters_.blocking_io_trips.load(std::memory_order_relaxed);
+  snapshot.async_io_trips =
+      counters_.async_io_trips.load(std::memory_order_relaxed);
+  snapshot.trip_micros = counters_.trip_micros.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -104,13 +119,46 @@ std::vector<uint8_t> ShardCoordinator::PassThroughError(
   return EncodeFrame(FrameKind::kError, session_id, payload);
 }
 
+std::vector<uint8_t> ShardCoordinator::BuildShardRequest(
+    size_t shard, uint64_t seq, const std::vector<uint8_t>& inner) {
+  return EncodeFrame(FrameKind::kShardRequest, 0,
+                     EncodeShardEnvelope(shard, options_.epoch, seq, inner));
+}
+
 Result<Frame> ShardCoordinator::ReplicaTrip(
     size_t shard, size_t replica, const std::vector<uint8_t>& inner) {
   const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<uint8_t> request =
-      EncodeFrame(FrameKind::kShardRequest, 0,
-                  EncodeShardEnvelope(shard, options_.epoch, seq, inner));
+  std::vector<uint8_t> request = BuildShardRequest(shard, seq, inner);
   Count(&AtomicStats::shard_trips);
+  ShardTransport* transport = replicas_[shard][replica];
+  // A multiplexed transport does its socket I/O on the loop thread even for
+  // this blocking-convenience call (the caller merely awaits a latch), so
+  // only a genuinely blocking channel counts a worker parked on I/O.
+  Count(transport->SupportsAsyncSubmit() ? &AtomicStats::async_io_trips
+                                         : &AtomicStats::blocking_io_trips);
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<std::vector<uint8_t>> response = [&] {
+    if (transport->SupportsAsyncSubmit()) {
+      // A multiplexed transport is thread-safe and interleaves in-flight
+      // round trips itself; serializing it here would flatten them.
+      return transport->RoundTrip(request);
+    }
+    // Plain blocking channels: one round trip at a time.
+    std::lock_guard<std::mutex> lock(*transport_mu_[shard][replica]);
+    return transport->RoundTrip(request);
+  }();
+  counters_.trip_micros.fetch_add(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count(),
+      std::memory_order_relaxed);
+  return SettleReplicaTrip(shard, replica, seq, std::move(response));
+}
+
+Result<Frame> ShardCoordinator::SettleReplicaTrip(
+    size_t shard, size_t replica, uint64_t seq,
+    Result<std::vector<uint8_t>> response) {
   std::atomic<uint32_t>& breaker = *replica_failures_[shard][replica];
   auto fail = [&](Status status) -> Result<Frame> {
     Count(&AtomicStats::shard_failures);
@@ -118,11 +166,6 @@ Result<Frame> ShardCoordinator::ReplicaTrip(
     return status;
   };
 
-  Result<std::vector<uint8_t>> response = [&] {
-    // Transports are plain blocking channels; one round trip at a time.
-    std::lock_guard<std::mutex> lock(*transport_mu_[shard][replica]);
-    return replicas_[shard][replica]->RoundTrip(request);
-  }();
   if (!response.ok()) {
     return fail(Status::Unavailable(StringPrintf(
         "shard %zu transport: %s", shard,
@@ -210,6 +253,268 @@ std::vector<size_t> ShardCoordinator::ReplicaOrder(size_t shard) {
   return closed;
 }
 
+void ShardCoordinator::AsyncReplicaTrip(
+    size_t shard, size_t replica, const std::vector<uint8_t>& inner,
+    std::function<void(Result<Frame>)> done) {
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint8_t> request = BuildShardRequest(shard, seq, inner);
+  Count(&AtomicStats::shard_trips);
+  Count(&AtomicStats::async_io_trips);
+  {
+    std::lock_guard<std::mutex> lock(async_drain_mu_);
+    ++async_outstanding_;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  replicas_[shard][replica]->SubmitRoundTrip(
+      request, [this, shard, replica, seq, start, done = std::move(done)](
+                   Result<std::vector<uint8_t>> response) {
+        counters_.trip_micros.fetch_add(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count(),
+            std::memory_order_relaxed);
+        done(SettleReplicaTrip(shard, replica, seq, std::move(response)));
+        std::lock_guard<std::mutex> lock(async_drain_mu_);
+        if (--async_outstanding_ == 0) async_drain_cv_.notify_all();
+      });
+}
+
+bool ShardCoordinator::AsyncCapable(size_t shard) const {
+  if (replicas_[shard].empty()) return false;
+  for (ShardTransport* t : replicas_[shard]) {
+    if (!t->SupportsAsyncSubmit()) return false;
+  }
+  return true;
+}
+
+bool ShardCoordinator::AllAsyncCapable() const {
+  if (replicas_.empty()) return false;
+  for (size_t s = 0; s < replicas_.size(); ++s) {
+    if (!AsyncCapable(s)) return false;
+  }
+  return true;
+}
+
+namespace {
+// Attempt provenance for the async fan-out's stats accounting.
+enum AttemptKind : int {
+  kPrimaryAttempt = 0,
+  kHedgeAttempt = 1,
+  kFailoverAttempt = 2,
+};
+}  // namespace
+
+std::vector<Result<Frame>> ShardCoordinator::AsyncFanOutShards(
+    const std::vector<size_t>& shards, const std::vector<uint8_t>& inner) {
+  // One logical trip per slice, all primaries submitted before anything is
+  // awaited: N round trips in flight, zero threads parked on sockets. The
+  // per-trip failover walk and the hedged duplicate reproduce the blocking
+  // path's semantics — same ReplicaOrder, same attempt budget, same "every
+  // attempt has its own seq" isolation — but failovers resubmit from the
+  // completion callback and hedges fire from this awaiting thread at their
+  // monotonic deadlines (async hedging needs no executor to race on).
+  struct Trip {
+    size_t shard = 0;
+    std::vector<size_t> order;
+    size_t next_idx = 0;  // next failover candidate in `order`
+    size_t budget = 0;
+    size_t outstanding = 0;  // attempts in flight
+    bool done = false;
+    bool hedge_armed = false;  // a hedge may still fire at hedge_deadline_ms
+    int64_t hedge_deadline_ms = 0;
+    bool primary_failed = false;
+    Result<Frame> result{Status::Internal("shard not contacted")};
+  };
+  struct Fan {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t open = 0;
+    std::vector<Trip> trips;
+  };
+  auto fan = std::make_shared<Fan>();
+  fan->trips.resize(shards.size());
+
+  const bool hedging = options_.hedge_delay_ms >= 0;
+  const int64_t hedge_deadline = MonotonicMillis() + options_.hedge_delay_ms;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    Trip& trip = fan->trips[i];
+    trip.shard = shards[i];
+    trip.order = ReplicaOrder(trip.shard);
+    if (trip.order.empty()) {
+      Count(&AtomicStats::shard_failures);
+      trip.done = true;
+      trip.result = Status::Unavailable(
+          StringPrintf("slice %zu has no replica transports", trip.shard));
+      continue;
+    }
+    trip.budget = options_.max_attempts == 0
+                      ? trip.order.size()
+                      : std::min(options_.max_attempts, trip.order.size());
+    trip.next_idx = 1;
+    trip.hedge_armed = hedging && trip.budget >= 2;
+    trip.hedge_deadline_ms = hedge_deadline;
+    ++fan->open;
+  }
+
+  // submit/on_result recurse into each other (a failover submission's
+  // completion settles through on_result again), so both live behind
+  // shared_ptrs the completions capture — but on_result holds submit only
+  // weakly, or the mutual capture would be a shared_ptr cycle that leaks
+  // the fan. The weak lock cannot fail when it matters: a resubmission
+  // only happens while its trip is open, and open > 0 pins this function
+  // (whose local `submit` owns the target) in the await loop below.
+  // `inner` is captured by reference for the same reason: the caller
+  // cannot return — and pop its frame — until open == 0.
+  auto submit =
+      std::make_shared<std::function<void(size_t, int, size_t)>>();
+  auto on_result =
+      std::make_shared<std::function<void(size_t, int, Result<Frame>)>>();
+  std::weak_ptr<std::function<void(size_t, int, size_t)>> weak_submit =
+      submit;
+
+  *submit = [this, fan, on_result, &inner](size_t t, int kind,
+                                           size_t replica) {
+    AsyncReplicaTrip(fan->trips[t].shard, replica, inner,
+                     [on_result, t, kind](Result<Frame> r) {
+                       (*on_result)(t, kind, std::move(r));
+                     });
+  };
+
+  *on_result = [this, fan, weak_submit](size_t t, int kind,
+                                        Result<Frame> r) {
+    size_t resubmit_replica = 0;
+    bool resubmit = false;
+    {
+      std::lock_guard<std::mutex> lock(fan->mu);
+      Trip& trip = fan->trips[t];
+      --trip.outstanding;
+      if (trip.done) return;  // late loser: breaker already settled, drop
+      if (r.ok()) {
+        if (kind == kHedgeAttempt) {
+          Count(&AtomicStats::hedge_wins);
+          if (trip.primary_failed) Count(&AtomicStats::failovers);
+        } else if (kind == kFailoverAttempt) {
+          Count(&AtomicStats::failovers);
+        }
+        trip.done = true;
+        trip.result = std::move(r);
+        --fan->open;
+        fan->cv.notify_all();
+        return;
+      }
+      if (kind == kPrimaryAttempt) trip.primary_failed = true;
+      trip.result = std::move(r);  // latest failure, surfaced if all fail
+      if (trip.next_idx < trip.budget) {
+        resubmit_replica = trip.order[trip.next_idx++];
+        ++trip.outstanding;
+        resubmit = true;
+        Count(&AtomicStats::retries);
+      } else {
+        trip.hedge_armed = false;  // nothing left for a hedge to try
+        if (trip.outstanding == 0) {
+          trip.done = true;
+          --fan->open;
+          fan->cv.notify_all();
+        }
+      }
+    }
+    // Outside fan->mu: the submission may complete inline (e.g. a
+    // disconnected transport fails it on the spot) and re-enter on_result.
+    if (resubmit) {
+      if (auto s = weak_submit.lock()) (*s)(t, kFailoverAttempt, resubmit_replica);
+    }
+  };
+
+  for (size_t i = 0; i < fan->trips.size(); ++i) {
+    Trip& trip = fan->trips[i];
+    if (trip.done) continue;
+    {
+      std::lock_guard<std::mutex> lock(fan->mu);
+      ++trip.outstanding;
+    }
+    (*submit)(i, kPrimaryAttempt, trip.order[0]);
+  }
+
+  // Await all trips, firing due hedges: this is the ONLY blocked thread of
+  // the whole fan-out.
+  std::unique_lock<std::mutex> lock(fan->mu);
+  while (fan->open > 0) {
+    int64_t next_deadline = INT64_MAX;
+    for (const Trip& trip : fan->trips) {
+      if (!trip.done && trip.hedge_armed) {
+        next_deadline = std::min(next_deadline, trip.hedge_deadline_ms);
+      }
+    }
+    if (next_deadline == INT64_MAX) {
+      fan->cv.wait(lock);
+      continue;
+    }
+    const int64_t now = MonotonicMillis();
+    if (now < next_deadline) {
+      fan->cv.wait_for(lock, std::chrono::milliseconds(next_deadline - now));
+      continue;  // re-evaluate: trips may have landed meanwhile
+    }
+    std::vector<std::pair<size_t, size_t>> fires;  // (trip, replica)
+    for (size_t i = 0; i < fan->trips.size(); ++i) {
+      Trip& trip = fan->trips[i];
+      if (trip.done || !trip.hedge_armed || trip.hedge_deadline_ms > now) {
+        continue;
+      }
+      trip.hedge_armed = false;
+      if (trip.next_idx < trip.budget) {
+        const size_t replica = trip.order[trip.next_idx++];
+        ++trip.outstanding;
+        Count(&AtomicStats::hedges_fired);
+        fires.emplace_back(i, replica);
+      }
+    }
+    lock.unlock();
+    for (const auto& [t, replica] : fires) {
+      (*submit)(t, kHedgeAttempt, replica);
+    }
+    lock.lock();
+  }
+
+  std::vector<Result<Frame>> out;
+  out.reserve(fan->trips.size());
+  for (Trip& trip : fan->trips) out.push_back(std::move(trip.result));
+  return out;
+}
+
+std::vector<std::vector<Result<Frame>>>
+ShardCoordinator::AsyncFanOutAllReplicas(const std::vector<uint8_t>& inner) {
+  // Registration traffic wants an answer from EVERY replica, so there is no
+  // failover or hedging — just every (slice, replica) attempt in flight at
+  // once and one awaiting thread.
+  struct Fan {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t open = 0;
+    std::vector<std::vector<Result<Frame>>> out;
+  };
+  auto fan = std::make_shared<Fan>();
+  fan->out.resize(replicas_.size());
+  size_t total = 0;
+  for (size_t s = 0; s < replicas_.size(); ++s) {
+    fan->out[s].assign(replicas_[s].size(),
+                       Result<Frame>(Status::Internal("replica not contacted")));
+    total += replicas_[s].size();
+  }
+  fan->open = total;
+  for (size_t s = 0; s < replicas_.size(); ++s) {
+    for (size_t r = 0; r < replicas_[s].size(); ++r) {
+      AsyncReplicaTrip(s, r, inner, [fan, s, r](Result<Frame> result) {
+        std::lock_guard<std::mutex> lock(fan->mu);
+        fan->out[s][r] = std::move(result);
+        if (--fan->open == 0) fan->cv.notify_all();
+      });
+    }
+  }
+  std::unique_lock<std::mutex> lock(fan->mu);
+  fan->cv.wait(lock, [&fan] { return fan->open == 0; });
+  return std::move(fan->out);
+}
+
 ShardCoordinator::HedgeOutcome ShardCoordinator::HedgedTrip(
     size_t shard, size_t primary, size_t hedge,
     const std::vector<uint8_t>& inner) {
@@ -234,7 +539,8 @@ ShardCoordinator::HedgeOutcome ShardCoordinator::HedgedTrip(
   // mistaken for the winner's. Caveat: ParallelFor joins both chunks, so a
   // hedge that is still in flight when the primary lands extends the trip
   // by its transport timeout at worst — the price of hedging over blocking
-  // transports (the ROADMAP's async request loop removes it).
+  // transports (the async submit path doesn't pay it: both trips ride the
+  // event loop and the loser is abandoned to the orphan counter).
   pool_->ParallelFor(0, 2, /*min_grain=*/1, [&](size_t begin, size_t end) {
     for (size_t task = begin; task < end; ++task) {
       if (task == 0) {
@@ -286,6 +592,13 @@ ShardCoordinator::HedgeOutcome ShardCoordinator::HedgedTrip(
 
 Result<Frame> ShardCoordinator::ShardRoundTrip(
     size_t shard, const std::vector<uint8_t>& inner) {
+  if (AsyncCapable(shard)) {
+    // Submit-and-await even for a single slice: the PIR path then pins no
+    // worker on the socket either, and failover/hedging run identically.
+    std::vector<Result<Frame>> out =
+        AsyncFanOutShards(std::vector<size_t>{shard}, inner);
+    return std::move(out[0]);
+  }
   const std::vector<size_t> order = ReplicaOrder(shard);
   if (order.empty()) {
     Count(&AtomicStats::shard_failures);
@@ -335,6 +648,11 @@ Result<Frame> ShardCoordinator::ShardRoundTrip(
 std::vector<Result<Frame>> ShardCoordinator::FanOut(
     const std::vector<uint8_t>& inner) {
   const size_t shards = replicas_.size();
+  if (AllAsyncCapable()) {
+    std::vector<size_t> all(shards);
+    for (size_t s = 0; s < shards; ++s) all[s] = s;
+    return AsyncFanOutShards(all, inner);
+  }
   std::vector<Result<Frame>> out(
       shards, Result<Frame>(Status::Internal("shard not contacted")));
   // The round trips overlap as executor tasks (each one blocks on its
@@ -349,6 +667,7 @@ std::vector<Result<Frame>> ShardCoordinator::FanOut(
 
 std::vector<std::vector<Result<Frame>>> ShardCoordinator::FanOutAllReplicas(
     const std::vector<uint8_t>& inner) {
+  if (AllAsyncCapable()) return AsyncFanOutAllReplicas(inner);
   const size_t shards = replicas_.size();
   std::vector<std::vector<Result<Frame>>> out(shards);
   std::vector<std::pair<size_t, size_t>> pairs;
@@ -457,6 +776,21 @@ std::vector<uint8_t> ShardCoordinator::BusyFrame() {
   Count(&AtomicStats::frames);
   return ErrorFrame(
       0, Status::Busy("coordinator in-flight budget exhausted; request shed"));
+}
+
+Result<std::unique_ptr<AsyncFrontEnd>> ShardCoordinator::ServeAsync(
+    int listen_fd, EventLoop* loop) {
+  return ServeAsync(listen_fd, loop, AsyncFrontEndOptions{});
+}
+
+Result<std::unique_ptr<AsyncFrontEnd>> ShardCoordinator::ServeAsync(
+    int listen_fd, EventLoop* loop, const AsyncFrontEndOptions& options) {
+  return AsyncFrontEnd::Create(
+      listen_fd, loop,
+      [this](const std::vector<std::vector<uint8_t>>& requests) {
+        return HandleBatch(requests);
+      },
+      options);
 }
 
 std::vector<uint8_t> ShardCoordinator::HandleFrame(

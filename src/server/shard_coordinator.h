@@ -63,7 +63,9 @@
 #define EMBELLISH_SERVER_SHARD_COORDINATOR_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -76,6 +78,11 @@
 #include "server/shard_transport.h"
 
 namespace embellish::server {
+
+// Fwd-declared; include server/async_frontend.h to call ServeAsync.
+class AsyncFrontEnd;
+class EventLoop;
+struct AsyncFrontEndOptions;
 
 /// \brief Coordinator construction knobs.
 struct ShardCoordinatorOptions {
@@ -106,11 +113,11 @@ struct ShardCoordinatorOptions {
   /// WITHOUT a pool but with fanout_threads > 1 spawns an owned executor
   /// of that width (the pre-executor dedicated fan-out pool, minus the
   /// old region collision); with a null pool and fanout_threads <= 1 the
-  /// fan-out is sequential. Caveat: the executor's eager wake-ups are
-  /// clamped to spare *hardware* threads, so on a single-core machine
-  /// overlap of these I/O-bound round trips only begins once a parked
-  /// worker's idle rescan fires (~10 ms) — the ROADMAP's async request
-  /// loop is the real fix for overlapping I/O without burning threads.
+  /// fan-out is sequential. All of the above applies to BLOCKING
+  /// transports only: when every replica of a shard supports async
+  /// submit (MultiplexedTransport), the fan-out submits all shards to
+  /// the event loop and waits on completions — no pool tasks, no workers
+  /// parked on sockets, and this cap is irrelevant.
   size_t fanout_threads = 0;
 
   /// Upstream response-cache capacity in entries; 0 (default) disables it.
@@ -195,6 +202,19 @@ struct CoordinatorStats {
   uint64_t failovers = 0;     ///< trips answered by a non-primary replica
   uint64_t shed = 0;          ///< requests refused with kBusy (admission)
   uint64_t degraded_answers = 0;  ///< partial-merge responses produced
+  /// Physical replica attempts that parked the calling worker on blocking
+  /// transport I/O. Zero in a fully multiplexed deployment — the acceptance
+  /// invariant for the async fan-out: N overlapped round trips pin zero
+  /// executor workers.
+  uint64_t blocking_io_trips = 0;
+  /// Physical replica attempts submitted through SubmitRoundTrip (the
+  /// submitter returned immediately; the event loop completed the trip).
+  uint64_t async_io_trips = 0;
+  /// Summed wall-clock microseconds spent inside physical replica attempts
+  /// (submit to completion). trip_micros / wall-clock elapsed is the
+  /// in-flight-RTT overlap factor the coordinator bench reports: ~1 means
+  /// sequential trips, ~N means N round trips genuinely in flight at once.
+  uint64_t trip_micros = 0;
 };
 
 /// \brief Client-facing frame loop over remote shards.
@@ -215,6 +235,11 @@ class ShardCoordinator {
                    const ShardCoordinatorOptions& options = {},
                    ThreadPool* pool = nullptr);
 
+  /// \brief Blocks until every in-flight async replica attempt has
+  ///        completed (late hedge losers and orphaned failover attempts
+  ///        reference coordinator state from their completions).
+  ~ShardCoordinator();
+
   /// \brief Pings every shard: verifies liveness, fences the epoch, checks
   ///        each shard serves exactly one slice, and learns the shared
   ///        bucket_count (all shards must agree). Runs lazily on the first
@@ -229,6 +254,15 @@ class ShardCoordinator {
   ///        `requests[i]`, bit-identical to serial handling.
   std::vector<std::vector<uint8_t>> HandleBatch(
       const std::vector<std::vector<uint8_t>>& requests);
+
+  /// \brief Serves this coordinator's HandleBatch behind an AsyncFrontEnd
+  ///        on `loop` — with multiplexed shard transports on the same loop,
+  ///        the full client-to-shard path runs without any thread blocked
+  ///        on a socket. Takes ownership of `listen_fd`.
+  Result<std::unique_ptr<AsyncFrontEnd>> ServeAsync(int listen_fd,
+                                                    EventLoop* loop);
+  Result<std::unique_ptr<AsyncFrontEnd>> ServeAsync(
+      int listen_fd, EventLoop* loop, const AsyncFrontEndOptions& options);
 
   size_t shard_count() const { return replicas_.size(); }
 
@@ -260,6 +294,46 @@ class ShardCoordinator {
   // breaker_threshold.
   Result<Frame> ReplicaTrip(size_t shard, size_t replica,
                             const std::vector<uint8_t>& inner);
+
+  // The envelope for one physical attempt: seq is the per-attempt fencing
+  // token SettleReplicaTrip validates against the response echo.
+  std::vector<uint8_t> BuildShardRequest(size_t shard, uint64_t seq,
+                                         const std::vector<uint8_t>& inner);
+
+  // The response half of ReplicaTrip, shared verbatim by the blocking and
+  // submit-and-await paths: decode, validate the (shard, epoch, seq) echo,
+  // decode the inner frame, settle the replica's circuit breaker.
+  Result<Frame> SettleReplicaTrip(size_t shard, size_t replica, uint64_t seq,
+                                  Result<std::vector<uint8_t>> response);
+
+  // One physical attempt through SubmitRoundTrip: the caller's thread
+  // returns immediately; `done` runs with the settled outcome on whatever
+  // thread completes the trip (the multiplexer's loop thread) and must not
+  // block. Tracked in async_outstanding_ so the destructor can drain.
+  void AsyncReplicaTrip(size_t shard, size_t replica,
+                        const std::vector<uint8_t>& inner,
+                        std::function<void(Result<Frame>)> done);
+
+  // True when every replica of `shard` (resp. of every slice) supports
+  // thread-safe non-blocking submission — the gate for the async fan-out
+  // (mixed deployments keep the blocking path for correctness).
+  bool AsyncCapable(size_t shard) const;
+  bool AllAsyncCapable() const;
+
+  // Submit-and-await fan-out: one logical trip per listed slice, all
+  // submitted up front through the multiplexed transports, so N round
+  // trips are in flight with ZERO workers parked on sockets — the awaiting
+  // caller is the only blocked thread. Failover resubmits the next replica
+  // from the completion callback; hedges fire from the awaiting caller at
+  // their monotonic deadlines (no pool needed, unlike the blocking path).
+  // out[i] answers shards[i].
+  std::vector<Result<Frame>> AsyncFanOutShards(
+      const std::vector<size_t>& shards, const std::vector<uint8_t>& inner);
+
+  // Registration traffic, async flavor: one attempt per replica of every
+  // slice, all in flight at once.
+  std::vector<std::vector<Result<Frame>>> AsyncFanOutAllReplicas(
+      const std::vector<uint8_t>& inner);
 
   // One *logical* round trip for the slice: walks ReplicaOrder(shard) —
   // failing over, optionally hedging the first attempt onto a second
@@ -346,6 +420,9 @@ class ShardCoordinator {
     std::atomic<uint64_t> failovers{0};
     std::atomic<uint64_t> shed{0};
     std::atomic<uint64_t> degraded_answers{0};
+    std::atomic<uint64_t> blocking_io_trips{0};
+    std::atomic<uint64_t> async_io_trips{0};
+    std::atomic<uint64_t> trip_micros{0};
   };
 
   void Count(std::atomic<uint64_t> AtomicStats::*field) {
@@ -380,6 +457,13 @@ class ShardCoordinator {
 
   // In-flight request count against options_.max_inflight.
   std::atomic<size_t> inflight_{0};
+
+  // In-flight async replica attempts (submitted, completion not yet
+  // returned). The destructor waits for zero: a late hedge loser's
+  // completion still runs SettleReplicaTrip against this coordinator.
+  mutable std::mutex async_drain_mu_;
+  std::condition_variable async_drain_cv_;
+  size_t async_outstanding_ = 0;
 
   std::atomic<uint64_t> seq_{0};
 

@@ -12,9 +12,11 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <utility>
 
 #include "common/endian.h"
 #include "common/strings.h"
+#include "server/io_util.h"
 
 namespace embellish::server {
 
@@ -84,99 +86,18 @@ std::vector<uint8_t> ShardEndpoint::HandleFrame(
 
 namespace {
 
-Status SetIoTimeout(int fd, int timeout_ms) {
-  timeval tv;
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
-      setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
-    return Status::IoError(StringPrintf("setsockopt timeout: %s",
-                                        std::strerror(errno)));
-  }
-  return Status::OK();
-}
-
+// Deadline-bounded connect (io_util): non-blocking connect + monotonic
+// poll, then back to blocking mode for this blocking transport.
 Result<int> ConnectLoopbackFd(const std::string& host, uint16_t port,
                               const TcpTransportOptions& options) {
-  int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Unavailable(StringPrintf("socket: %s",
-                                            std::strerror(errno)));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  EMB_ASSIGN_OR_RETURN(
+      int fd, ConnectWithDeadline(host, port, options.connect_timeout_ms));
+  Status blocking = SetBlocking(fd);
+  if (!blocking.ok()) {
     close(fd);
-    return Status::InvalidArgument(
-        StringPrintf("not a numeric IPv4 address: %s", host.c_str()));
-  }
-  Status timeout_status = SetIoTimeout(fd, options.connect_timeout_ms);
-  if (!timeout_status.ok()) {
-    close(fd);
-    return timeout_status;
-  }
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    int err = errno;
-    close(fd);
-    return Status::Unavailable(StringPrintf("connect %s:%u: %s", host.c_str(),
-                                            port, std::strerror(err)));
-  }
-  int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  timeout_status = SetIoTimeout(fd, options.io_timeout_ms);
-  if (!timeout_status.ok()) {
-    close(fd);
-    return timeout_status;
+    return blocking;
   }
   return fd;
-}
-
-// MSG_NOSIGNAL: a peer that died mid-write must produce EPIPE, not SIGPIPE.
-Status WriteAll(int fd, const uint8_t* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return Status::Unavailable(StringPrintf(
-          "send failed after %zu/%zu bytes: %s", sent, size,
-          n < 0 ? std::strerror(errno) : "connection closed"));
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-Status ReadAll(int fd, uint8_t* data, size_t size) {
-  size_t got = 0;
-  while (got < size) {
-    ssize_t n = recv(fd, data + got, size - got, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return Status::Unavailable(StringPrintf(
-          "recv failed after %zu/%zu bytes: %s", got, size,
-          n < 0 ? std::strerror(errno) : "connection closed"));
-    }
-    got += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-// Reads one complete frame: the fixed header first (whose declared payload
-// size is bounded before any allocation), then the payload.
-Result<std::vector<uint8_t>> ReadFrame(int fd) {
-  std::vector<uint8_t> bytes(kFrameHeaderBytes);
-  EMB_RETURN_NOT_OK(ReadAll(fd, bytes.data(), kFrameHeaderBytes));
-  const size_t payload_size = GetU32(bytes.data() + 16);
-  if (payload_size > kMaxTransportFrameBytes - kFrameHeaderBytes) {
-    return Status::Unavailable(StringPrintf(
-        "peer declared an oversized %zu-byte frame payload", payload_size));
-  }
-  bytes.resize(kFrameHeaderBytes + payload_size);
-  EMB_RETURN_NOT_OK(
-      ReadAll(fd, bytes.data() + kFrameHeaderBytes, payload_size));
-  return bytes;
 }
 
 }  // namespace
@@ -210,14 +131,19 @@ Status TcpTransport::EnsureConnected() {
 
 Result<std::vector<uint8_t>> TcpTransport::TrySend(
     const std::vector<uint8_t>& request) {
-  Status write_status = WriteAll(fd_, request.data(), request.size());
+  // Each phase gets one whole-operation monotonic deadline: the write must
+  // land within io_timeout_ms, and the response — however the peer paces
+  // its bytes — within io_timeout_ms of the write completing.
+  Status write_status = WriteAll(fd_, request.data(), request.size(),
+                                 DeadlineFromNow(options_.io_timeout_ms));
   if (!write_status.ok()) {
     // Tear the connection down so the next call reconnects cleanly — a
     // half-written frame would desynchronize the stream.
     Disconnect();
     return write_status;
   }
-  auto response = ReadFrame(fd_);
+  auto response = ReadFrameFd(fd_, kMaxTransportFrameBytes,
+                              DeadlineFromNow(options_.io_timeout_ms));
   if (!response.ok()) Disconnect();
   return response;
 }
@@ -299,7 +225,11 @@ Status ServeShardConnections(int listen_fd, ShardEndpoint* endpoint) {
     int one = 1;
     setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     for (;;) {
-      auto request = ReadFrame(conn);
+      // No read deadline: a shard waits indefinitely for its coordinator's
+      // next request (requests may also arrive pipelined from a
+      // MultiplexedTransport; responses go back in request order, which is
+      // exactly the order the multiplexer's seqs expect).
+      auto request = ReadFrameFd(conn, kMaxTransportFrameBytes);
       if (!request.ok()) break;  // peer gone or hostile length; drop it
       std::vector<uint8_t> response = endpoint->HandleFrame(*request);
       if (!WriteAll(conn, response.data(), response.size()).ok()) break;
@@ -326,25 +256,18 @@ FaultyTransportStats FaultyTransport::stats() const {
 
 TransportFault FaultyTransport::NextFaultLocked() {
   const size_t call = stats_.calls++;
+  TransportFault fault = TransportFault::kNone;
   if (!options_.schedule.empty()) {
-    if (call < options_.schedule.size()) return options_.schedule[call];
-    if (options_.cycle) {
-      return options_.schedule[call % options_.schedule.size()];
+    if (call < options_.schedule.size()) {
+      fault = options_.schedule[call];
+    } else if (options_.cycle) {
+      fault = options_.schedule[call % options_.schedule.size()];
     }
-    return TransportFault::kNone;
-  }
-  if (options_.fault_rate > 0 && rng_.Bernoulli(options_.fault_rate)) {
+  } else if (options_.fault_rate > 0 && rng_.Bernoulli(options_.fault_rate)) {
     // kNone excluded: a drawn fault is a fault.
-    return static_cast<TransportFault>(
+    fault = static_cast<TransportFault>(
         1 + rng_.Uniform(static_cast<uint64_t>(TransportFault::kDelay)));
   }
-  return TransportFault::kNone;
-}
-
-Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
-    const std::vector<uint8_t>& request) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const TransportFault fault = NextFaultLocked();
   switch (fault) {
     case TransportFault::kNone: break;
     case TransportFault::kDrop: ++stats_.drops; break;
@@ -353,19 +276,22 @@ Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
     case TransportFault::kReorder: ++stats_.reorders; break;
     case TransportFault::kDelay: ++stats_.delays; break;
   }
+  return fault;
+}
 
+Result<std::vector<uint8_t>> FaultyTransport::MutateResponseLocked(
+    TransportFault fault, Result<std::vector<uint8_t>> inner) {
   switch (fault) {
     case TransportFault::kNone:
-      return inner_->RoundTrip(request);
-    case TransportFault::kDrop: {
-      // The shard processes the request; its response never arrives. This
+    case TransportFault::kDelay:
+      return inner;
+    case TransportFault::kDrop:
+      // The shard processed the request; its response never arrives. This
       // is what a timeout on a live-but-unreachable shard looks like.
-      (void)inner_->RoundTrip(request);
       return Status::Unavailable("injected fault: response frame dropped");
-    }
     case TransportFault::kTruncate: {
-      EMB_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                           inner_->RoundTrip(request));
+      if (!inner.ok()) return inner;
+      std::vector<uint8_t> response = std::move(*inner);
       // Chop strictly short of the full length so a scheduled truncation
       // always damages the frame (an intact delivery would make
       // "fault => typed error" assertions seed-dependent).
@@ -375,8 +301,8 @@ Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
       return response;
     }
     case TransportFault::kBitFlip: {
-      EMB_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                           inner_->RoundTrip(request));
+      if (!inner.ok()) return inner;
+      std::vector<uint8_t> response = std::move(*inner);
       if (!response.empty()) {
         const size_t bit = rng_.Uniform(response.size() * 8);
         response[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
@@ -387,12 +313,11 @@ Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
       // Swap this response with the previously held one; the first reorder
       // (nothing held yet) degrades to a drop. The stale response carries a
       // stale envelope seq, which the coordinator must reject.
-      EMB_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                           inner_->RoundTrip(request));
+      if (!inner.ok()) return inner;
       std::vector<uint8_t> out;
       const bool had_held = has_held_;
       if (had_held) out = std::move(held_);
-      held_ = std::move(response);
+      held_ = std::move(*inner);
       has_held_ = true;
       if (!had_held) {
         return Status::Unavailable(
@@ -400,13 +325,49 @@ Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
       }
       return out;
     }
-    case TransportFault::kDelay: {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.delay_ms));
-      return inner_->RoundTrip(request);
-    }
   }
   return Status::Internal("unreachable fault kind");
+}
+
+Result<std::vector<uint8_t>> FaultyTransport::RoundTrip(
+    const std::vector<uint8_t>& request) {
+  // The blocking path keeps the pre-async contract: one mutex across the
+  // whole inner round trip, so the decorator also serializes.
+  std::lock_guard<std::mutex> lock(mu_);
+  const TransportFault fault = NextFaultLocked();
+  if (fault == TransportFault::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.delay_ms));
+  }
+  return MutateResponseLocked(fault, inner_->RoundTrip(request));
+}
+
+void FaultyTransport::SubmitRoundTrip(const std::vector<uint8_t>& request,
+                                      RoundTripCompletion done) {
+  TransportFault fault;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault = NextFaultLocked();
+  }
+  inner_->SubmitRoundTrip(
+      request, [this, fault, done = std::move(done)](
+                   Result<std::vector<uint8_t>> inner) mutable {
+        Result<std::vector<uint8_t>> mutated = [&] {
+          std::lock_guard<std::mutex> lock(mu_);
+          return MutateResponseLocked(fault, std::move(inner));
+        }();
+        if (fault == TransportFault::kDelay && options_.delay_ms > 0) {
+          // The inner completion typically runs on an event-loop thread; a
+          // sleep there would delay every other in-flight trip too, which
+          // is not what kDelay models. Deliver late from a detached thread.
+          std::thread([delay = options_.delay_ms, done = std::move(done),
+                       m = std::move(mutated)]() mutable {
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+            done(std::move(m));
+          }).detach();
+          return;
+        }
+        done(std::move(mutated));
+      });
 }
 
 }  // namespace embellish::server

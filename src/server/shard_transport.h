@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -45,18 +46,40 @@ namespace embellish::server {
 ///        corrupt length field must bound the allocation it can force.
 inline constexpr size_t kMaxTransportFrameBytes = (64u << 20) + kFrameHeaderBytes;
 
-/// \brief A blocking request/response channel for framed bytes.
+/// \brief A request/response channel for framed bytes.
 class ShardTransport {
  public:
+  /// \brief Delivers one round trip's outcome. May run on any thread (for a
+  ///        MultiplexedTransport: the event-loop thread) and must not block.
+  using RoundTripCompletion =
+      std::function<void(Result<std::vector<uint8_t>>)>;
+
   virtual ~ShardTransport() = default;
 
   /// \brief Sends one frame and blocks for the response frame. Any
   ///        transport-level failure (peer dead, timeout, short read) is a
   ///        non-OK status — implementations must not hang forever and must
   ///        not crash, whatever the peer does. Implementations need not be
-  ///        thread-safe; the coordinator serializes calls per transport.
+  ///        thread-safe unless SupportsAsyncSubmit() is true; the
+  ///        coordinator serializes calls per non-multiplexed transport.
   virtual Result<std::vector<uint8_t>> RoundTrip(
       const std::vector<uint8_t>& request) = 0;
+
+  /// \brief True when SubmitRoundTrip is genuinely non-blocking AND
+  ///        concurrent RoundTrip/SubmitRoundTrip calls are thread-safe
+  ///        (in-flight requests interleave on the channel instead of
+  ///        queueing). The coordinator then switches that slice's fan-out
+  ///        to submit-and-await: no executor worker parks on transport I/O.
+  virtual bool SupportsAsyncSubmit() const { return false; }
+
+  /// \brief Starts one round trip and delivers the outcome to `done`
+  ///        exactly once. The base implementation degrades to the blocking
+  ///        RoundTrip inline — callers must already hold whatever
+  ///        serialization the transport needs in that case.
+  virtual void SubmitRoundTrip(const std::vector<uint8_t>& request,
+                               RoundTripCompletion done) {
+    done(RoundTrip(request));
+  }
 };
 
 /// \brief Server side of the shard protocol: envelope validation + fencing
@@ -101,10 +124,18 @@ class InProcessTransport : public ShardTransport {
 // --- TCP --------------------------------------------------------------------
 
 /// \brief Socket knobs. Timeouts are what turn a dead shard into a typed
-///        Unavailable instead of a wedged coordinator.
+///        Unavailable instead of a wedged coordinator. All deadlines are
+///        absolute CLOCK_MONOTONIC deadlines (see server/io_util.h): a
+///        wall-clock step cannot spuriously expire an in-flight round trip,
+///        and a peer trickling one byte per timeout window cannot extend a
+///        round trip unboundedly the way the old per-syscall SO_RCVTIMEO
+///        timeouts allowed.
 struct TcpTransportOptions {
   int connect_timeout_ms = 5000;
-  int io_timeout_ms = 5000;  ///< per send/recv syscall
+  /// Bounds the WHOLE request write, and separately the WHOLE response
+  /// read (the read deadline starts once the request is fully written, so
+  /// legitimate shard compute time is not charged against the send).
+  int io_timeout_ms = 5000;
 };
 
 /// \brief Blocking TCP client for one shard. After any failure the
@@ -201,9 +232,13 @@ struct FaultyTransportOptions {
 };
 
 /// \brief Decorator wrapping any transport with seeded, reproducible
-///        transport faults. Thread-safe (a single mutex covers the inner
-///        transport, so it also serializes — which matches the coordinator's
-///        per-transport locking).
+///        transport faults. Thread-safe. The blocking path holds a single
+///        mutex across the inner round trip (serializing, which matches the
+///        coordinator's per-transport locking for non-multiplexed inners);
+///        the async path holds it only around the fault draw and the
+///        response mutation, so concurrent in-flight submits through a
+///        MultiplexedTransport stay concurrent — the decorator composes
+///        with the multiplexer instead of flattening it.
 class FaultyTransport : public ShardTransport {
  public:
   /// \brief `inner` must outlive the decorator.
@@ -211,6 +246,16 @@ class FaultyTransport : public ShardTransport {
 
   Result<std::vector<uint8_t>> RoundTrip(
       const std::vector<uint8_t>& request) override;
+
+  /// \brief Async submission is exposed iff the inner transport exposes it;
+  ///        the same fault schedule applies to submitted trips (a kDelay
+  ///        completion is deferred off-thread so it never stalls the inner
+  ///        transport's event loop).
+  bool SupportsAsyncSubmit() const override {
+    return inner_->SupportsAsyncSubmit();
+  }
+  void SubmitRoundTrip(const std::vector<uint8_t>& request,
+                       RoundTripCompletion done) override;
 
   /// \brief Faults actually injected so far (kNone entries excluded).
   size_t faults_injected() const;
@@ -220,6 +265,12 @@ class FaultyTransport : public ShardTransport {
 
  private:
   TransportFault NextFaultLocked();
+
+  // Applies `fault`'s response-side damage (truncate / bit-flip / reorder
+  // swap / drop) to one inner outcome; kNone and kDelay pass through.
+  // Caller holds mu_ (for the rng and the reorder hold slot).
+  Result<std::vector<uint8_t>> MutateResponseLocked(
+      TransportFault fault, Result<std::vector<uint8_t>> response);
 
   ShardTransport* inner_;  // not owned
   const FaultyTransportOptions options_;

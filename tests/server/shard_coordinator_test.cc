@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "index/builder.h"
+#include "server/io_util.h"
 #include "server/session_client.h"
 #include "testutil.h"
 
@@ -509,43 +510,18 @@ TEST_F(ShardCoordinatorTest, TcpTransportOverLoopback) {
   for (auto& t : serve_threads) t.join();
 }
 
+// Thin adapters over the shared io_util helpers (the bounded socket loops
+// used to live here as a third hand-rolled copy).
 namespace tcp_testutil {
-
-bool ReadExactFd(int fd, uint8_t* buf, size_t n) {
-  size_t got = 0;
-  while (got < n) {
-    ssize_t r = recv(fd, buf + got, n - got, 0);
-    if (r <= 0) return false;
-    got += static_cast<size_t>(r);
-  }
-  return true;
-}
 
 // Reads one full frame (header + payload) off `fd`; empty on disconnect.
 std::vector<uint8_t> ReadOneFrame(int fd) {
-  std::vector<uint8_t> frame(kFrameHeaderBytes);
-  if (!ReadExactFd(fd, frame.data(), frame.size())) return {};
-  // Payload size: big-endian u32 at header offset 16 (see framing.h).
-  const uint32_t payload = static_cast<uint32_t>(frame[16]) << 24 |
-                           static_cast<uint32_t>(frame[17]) << 16 |
-                           static_cast<uint32_t>(frame[18]) << 8 |
-                           static_cast<uint32_t>(frame[19]);
-  frame.resize(kFrameHeaderBytes + payload);
-  if (payload != 0 &&
-      !ReadExactFd(fd, frame.data() + kFrameHeaderBytes, payload)) {
-    return {};
-  }
-  return frame;
+  auto frame = ReadFrameFd(fd, kMaxTransportFrameBytes);
+  return frame.ok() ? *std::move(frame) : std::vector<uint8_t>{};
 }
 
 bool WriteAllFd(int fd, const std::vector<uint8_t>& bytes) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    ssize_t r = send(fd, bytes.data() + sent, bytes.size() - sent, 0);
-    if (r <= 0) return false;
-    sent += static_cast<size_t>(r);
-  }
-  return true;
+  return WriteAll(fd, bytes.data(), bytes.size()).ok();
 }
 
 }  // namespace tcp_testutil
