@@ -1,0 +1,60 @@
+// The answer-path / heavy-build counted invariant (PR 7 style).
+//
+// The live-index catalog (index/epoch.h) promises that serving threads
+// never perform — or wait on — index (re)construction: deltas and reshards
+// are built on background threads against pinned immutable snapshots and
+// installed by an atomic swap. Promises rot; counters do not. Every heavy
+// build entry point (index construction, sharding splits, delta merges,
+// storage layout builds) calls NoteHeavyBuild(); the serving tiers mark
+// their request-handling threads with ScopedAnswerPath. A heavy build
+// executed on a marked thread bumps a process-wide counter, and the ingest
+// tests, the live-ingest example, and fig_ingest all assert it stays zero —
+// so wiring a rebuild into a request handler (or an epoch-resolution path
+// that quietly re-splits an index) fails loudly instead of shipping as a
+// latency cliff.
+
+#ifndef EMBELLISH_COMMON_ANSWER_PATH_H_
+#define EMBELLISH_COMMON_ANSWER_PATH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace embellish::common {
+
+namespace internal {
+inline std::atomic<uint64_t> g_answer_path_builds{0};
+inline thread_local uint32_t tl_answer_path_depth = 0;
+}  // namespace internal
+
+/// \brief True while the current thread is inside a marked answer-path
+///        scope (request handling in a serving tier).
+inline bool OnAnswerPath() { return internal::tl_answer_path_depth > 0; }
+
+/// \brief Marks the current thread as an answer-path thread for the scope's
+///        lifetime. Nestable (batch dispatch inside frame handling).
+class ScopedAnswerPath {
+ public:
+  ScopedAnswerPath() { ++internal::tl_answer_path_depth; }
+  ~ScopedAnswerPath() { --internal::tl_answer_path_depth; }
+  ScopedAnswerPath(const ScopedAnswerPath&) = delete;
+  ScopedAnswerPath& operator=(const ScopedAnswerPath&) = delete;
+};
+
+/// \brief Called by every heavy build entry point (index builds, shard
+///        splits, delta merges, layout builds). Counts the build against
+///        the invariant when it runs on a marked answer-path thread.
+inline void NoteHeavyBuild() {
+  if (OnAnswerPath()) {
+    internal::g_answer_path_builds.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// \brief Process-wide count of heavy builds observed on answer-path
+///        threads. The ingest suites assert this never moves.
+inline uint64_t AnswerPathBuilds() {
+  return internal::g_answer_path_builds.load(std::memory_order_relaxed);
+}
+
+}  // namespace embellish::common
+
+#endif  // EMBELLISH_COMMON_ANSWER_PATH_H_

@@ -26,6 +26,7 @@
 #ifndef EMBELLISH_EMBELLISH_H_
 #define EMBELLISH_EMBELLISH_H_
 
+#include "common/answer_path.h"  // IWYU pragma: export
 #include "common/log.h"          // IWYU pragma: export
 #include "common/rng.h"          // IWYU pragma: export
 #include "common/status.h"       // IWYU pragma: export
@@ -59,6 +60,7 @@
 
 #include "index/builder.h"       // IWYU pragma: export
 #include "index/dictionary.h"    // IWYU pragma: export
+#include "index/epoch.h"         // IWYU pragma: export
 #include "index/impact.h"        // IWYU pragma: export
 #include "index/inverted_index.h"// IWYU pragma: export
 #include "index/sharding.h"      // IWYU pragma: export

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "common/answer_path.h"
+
 namespace embellish::index {
 
 Status IndexBuildOptions::Validate() const {
@@ -25,6 +27,7 @@ Status IndexBuildOptions::Validate() const {
 Result<BuildOutput> BuildIndex(const corpus::Corpus& corpus,
                                const IndexBuildOptions& options) {
   EMB_RETURN_NOT_OK(options.Validate());
+  common::NoteHeavyBuild();
   const size_t num_docs = corpus.document_count();
   if (num_docs == 0) {
     return Status::InvalidArgument("corpus is empty");
@@ -96,6 +99,103 @@ Result<BuildOutput> BuildIndex(const corpus::Corpus& corpus,
   return BuildOutput{
       InvertedIndex(num_docs, std::move(lists), options.impact_bits),
       quantizer, max_impact};
+}
+
+uint32_t FrozenCorpusStats::DocumentFrequency(wordnet::TermId term) const {
+  auto it = doc_frequency.find(term);
+  // Unseen at capture time: clamp to 1 so ln(1 + N/f_t) stays finite. The
+  // term was absent from the frozen collection, so "rarest possible" is the
+  // faithful reading of the frozen statistics.
+  return it == doc_frequency.end() ? 1u : std::max(1u, it->second);
+}
+
+FrozenCorpusStats CaptureCorpusStats(const corpus::Corpus& corpus) {
+  FrozenCorpusStats stats;
+  stats.num_docs = corpus.document_count();
+  stats.avg_doc_len = stats.num_docs == 0
+                          ? 0.0
+                          : static_cast<double>(corpus.TotalTokens()) /
+                                static_cast<double>(stats.num_docs);
+  for (wordnet::TermId term : corpus.DistinctTerms()) {
+    stats.doc_frequency[term] = corpus.DocumentFrequency(term);
+  }
+  return stats;
+}
+
+Result<std::unordered_map<wordnet::TermId, std::vector<Posting>>>
+BuildDeltaLists(const std::vector<corpus::Document>& docs,
+                const FrozenCorpusStats& stats,
+                const ImpactQuantizer& quantizer,
+                const IndexBuildOptions& options) {
+  EMB_RETURN_NOT_OK(options.Validate());
+  if (stats.num_docs == 0) {
+    return Status::FailedPrecondition("frozen statistics are empty");
+  }
+  common::NoteHeavyBuild();
+
+  // Same two passes as BuildIndex, but N / f_t / avg_doc_len come from the
+  // frozen snapshot and the quantizer is the frozen one (impacts above the
+  // frozen maximum saturate at max_level — acceptable drift until the next
+  // full rebuild, and deterministic either way).
+  std::unordered_map<wordnet::TermId, std::vector<Posting>> lists;
+  for (const corpus::Document& doc : docs) {
+    std::map<wordnet::TermId, uint32_t> tf;
+    for (wordnet::TermId t : doc.tokens) ++tf[t];
+    if (tf.empty()) continue;
+
+    double w_d = 1.0;
+    if (options.scoring == ScoringModel::kCosine) {
+      double norm_sq = 0.0;
+      for (const auto& [term, f_dt] : tf) {
+        double w = DocTermWeight(f_dt);
+        norm_sq += w * w;
+      }
+      w_d = std::sqrt(norm_sq);
+    }
+
+    for (const auto& [term, f_dt] : tf) {
+      double p_dt;
+      if (options.scoring == ScoringModel::kCosine) {
+        p_dt = DocTermWeight(f_dt) *
+               TermWeight(stats.num_docs, stats.DocumentFrequency(term)) / w_d;
+      } else {
+        p_dt = Bm25Impact(stats.num_docs, stats.DocumentFrequency(term), f_dt,
+                          static_cast<double>(doc.tokens.size()),
+                          stats.avg_doc_len, options.bm25);
+      }
+      lists[term].push_back(Posting{doc.id, quantizer.Quantize(p_dt)});
+    }
+  }
+  for (auto& [term, list] : lists) {
+    std::sort(list.begin(), list.end(), PostingOrder);
+  }
+  return lists;
+}
+
+InvertedIndex MergeDeltaLists(
+    const InvertedIndex& base,
+    const std::unordered_map<wordnet::TermId, std::vector<Posting>>& delta,
+    size_t new_num_docs) {
+  common::NoteHeavyBuild();
+  std::unordered_map<wordnet::TermId, std::vector<Posting>> merged;
+  merged.reserve(base.term_count() + delta.size());
+  for (wordnet::TermId term : base.IndexedTerms()) {
+    const std::vector<Posting>& list = *base.postings(term);
+    auto dit = delta.find(term);
+    if (dit == delta.end()) {
+      merged.emplace(term, list);
+      continue;
+    }
+    std::vector<Posting> out;
+    out.reserve(list.size() + dit->second.size());
+    std::merge(list.begin(), list.end(), dit->second.begin(),
+               dit->second.end(), std::back_inserter(out), PostingOrder);
+    merged.emplace(term, std::move(out));
+  }
+  for (const auto& [term, list] : delta) {
+    if (!merged.count(term)) merged.emplace(term, list);
+  }
+  return InvertedIndex(new_num_docs, std::move(merged), base.impact_bits());
 }
 
 }  // namespace embellish::index

@@ -48,6 +48,50 @@ struct BuildOutput {
 Result<BuildOutput> BuildIndex(const corpus::Corpus& corpus,
                                const IndexBuildOptions& options = {});
 
+/// \brief Collection statistics captured at full-build time and held fixed
+///        across incremental deltas.
+///
+/// Delta documents are scored with the N, f_t, and average-length values
+/// frozen here (and the frozen quantizer), not with post-ingest statistics.
+/// That keeps every epoch's postings a pure function of (seed corpus, delta
+/// sequence) — the property the bit-identity suites depend on — and mirrors
+/// how segment-based engines defer statistics refresh to the next full
+/// rebuild (here: the next `Reshard`/`Create`, which recaptures nothing —
+/// stats stay frozen until a catalog is rebuilt from a corpus).
+struct FrozenCorpusStats {
+  uint64_t num_docs = 0;
+  double avg_doc_len = 0.0;
+  std::unordered_map<wordnet::TermId, uint32_t> doc_frequency;
+
+  /// \brief f_t under the frozen statistics. Terms unseen at capture time
+  ///        get f_t = 1 (the smallest in-collection frequency) so their
+  ///        TermWeight stays finite.
+  uint32_t DocumentFrequency(wordnet::TermId term) const;
+};
+
+/// \brief Captures the statistics `BuildIndex` derived from `corpus`.
+FrozenCorpusStats CaptureCorpusStats(const corpus::Corpus& corpus);
+
+/// \brief Per-term delta posting lists for a batch of new documents, scored
+///        against frozen statistics and discretized with the frozen
+///        quantizer. Document ids must already be assigned (the catalog
+///        numbers them sequentially past the current epoch's count). Lists
+///        come back in canonical impact order.
+Result<std::unordered_map<wordnet::TermId, std::vector<Posting>>>
+BuildDeltaLists(const std::vector<corpus::Document>& docs,
+                const FrozenCorpusStats& stats,
+                const ImpactQuantizer& quantizer,
+                const IndexBuildOptions& options);
+
+/// \brief Merges delta lists into `base`, producing a successor index with
+///        `new_num_docs` documents. Per-term sorted merge preserving the
+///        canonical impact order; `base` is untouched (it is someone's
+///        pinned epoch).
+InvertedIndex MergeDeltaLists(
+    const InvertedIndex& base,
+    const std::unordered_map<wordnet::TermId, std::vector<Posting>>& delta,
+    size_t new_num_docs);
+
 }  // namespace embellish::index
 
 #endif  // EMBELLISH_INDEX_BUILDER_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/answer_path.h"
+
 namespace embellish::index {
 
 namespace {
@@ -72,9 +74,21 @@ ShardedIndex::ShardedIndex(ShardingOptions options, size_t num_docs,
                            std::vector<InvertedIndex> shards)
     : options_(options), num_docs_(num_docs), shards_(std::move(shards)) {}
 
+Result<ShardedIndex> ShardedIndex::FromShards(ShardingOptions options,
+                                              size_t num_docs,
+                                              std::vector<InvertedIndex> shards) {
+  EMB_RETURN_NOT_OK(options.Validate());
+  if (shards.size() != options.shard_count) {
+    return Status::InvalidArgument(
+        "FromShards: shard vector does not match options.shard_count");
+  }
+  return ShardedIndex(options, num_docs, std::move(shards));
+}
+
 Result<ShardedIndex> ShardedIndex::Build(const InvertedIndex& index,
                                          const ShardingOptions& options) {
   EMB_RETURN_NOT_OK(options.Validate());
+  common::NoteHeavyBuild();
   const size_t shards = options.shard_count;
   const size_t num_docs = index.document_count();
 

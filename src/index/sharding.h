@@ -79,6 +79,16 @@ class ShardedIndex {
   static Result<ShardedIndex> Build(const InvertedIndex& index,
                                     const ShardingOptions& options);
 
+  /// \brief Assembles a ShardedIndex from already-built per-shard indexes.
+  ///        The delta-ingest path in index/epoch.cc builds successor shards
+  ///        by merging per-shard delta lists instead of re-splitting the
+  ///        merged monolith; this is the trusted assembly point. Callers own
+  ///        the invariant that the shards partition the documents the way
+  ///        `options` describes.
+  static Result<ShardedIndex> FromShards(ShardingOptions options,
+                                         size_t num_docs,
+                                         std::vector<InvertedIndex> shards);
+
   const ShardingOptions& options() const { return options_; }
   size_t shard_count() const { return shards_.size(); }
   size_t document_count() const { return num_docs_; }

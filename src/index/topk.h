@@ -31,6 +31,13 @@ struct ScoredDoc {
 struct EvalStats {
   uint64_t postings_scanned = 0;  ///< postings read from inverted lists
   bool early_terminated = false;  ///< top-k stopped before draining the lists
+
+  /// Shard-trip accounting for the epoch-aware sharded evaluator
+  /// (EvaluateTopKEpoch): shards actually evaluated vs. shards proven
+  /// irrelevant by their impact upper bound and skipped. The skip
+  /// regression test asserts identical top-k bytes with skipped > 0.
+  uint64_t shards_visited = 0;
+  uint64_t shards_skipped = 0;
 };
 
 /// \brief Canonical result ordering: score desc, then doc id asc.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/answer_path.h"
 #include "common/stopwatch.h"
 #include "core/wire_format.h"
 #include "index/topk.h"
@@ -10,88 +11,182 @@
 
 namespace embellish::server {
 
-std::unique_ptr<index::InvertedIndex> EmbellishServer::BuildSliceIndex(
-    const index::InvertedIndex& index, const EmbellishServerOptions& options) {
-  if (options.shard_slice == SIZE_MAX) return nullptr;
-  // Slice mode composes with a ShardCoordinator, not with in-process
-  // sharding; an invalid configuration serves the full index instead.
-  if (options.shard_count > 1) return nullptr;
-  if (options.shard_slice_count == 0 ||
-      options.shard_slice >= options.shard_slice_count) {
-    return nullptr;
+std::unique_ptr<index::IndexCatalog> EmbellishServer::MakeShimCatalog(
+    const index::InvertedIndex* index, const core::BucketOrganization* buckets,
+    const storage::StorageLayout* layout,
+    const EmbellishServerOptions& options) {
+  // Replicates the pre-catalog ctor's topology decisions. Slice mode
+  // composes with a ShardCoordinator, not with in-process sharding; an
+  // invalid slice configuration falls back (and is reported by
+  // slice_config_invalid(), resolved per epoch in BuildEngines).
+  index::IndexCatalogOptions catalog_options;
+  const bool slice_valid =
+      options.shard_slice != SIZE_MAX && options.shard_count <= 1 &&
+      options.shard_slice_count > 0 &&
+      options.shard_slice < options.shard_slice_count;
+  if (slice_valid) {
+    catalog_options.sharding.shard_count = options.shard_slice_count;
+    catalog_options.sharding.partition = options.shard_partition;
+  } else if (options.shard_count > 1) {
+    catalog_options.sharding.shard_count = options.shard_count;
+    catalog_options.sharding.partition = options.shard_partition;
   }
-  index::ShardingOptions sharding;
-  sharding.shard_count = options.shard_slice_count;
-  sharding.partition = options.shard_partition;
-  auto sharded = index::ShardedIndex::Build(index, sharding);
-  if (!sharded.ok()) return nullptr;
-  return std::make_unique<index::InvertedIndex>(
-      sharded->shard(options.shard_slice));
+  catalog_options.build_layouts = layout != nullptr;
+  catalog_options.layout_policy =
+      layout != nullptr ? layout->policy()
+                        : storage::LayoutPolicy::kBucketColocated;
+  catalog_options.disk = options.disk;
+  auto catalog =
+      index::IndexCatalog::Freeze(index, buckets, layout, catalog_options);
+  // Freeze fails only on null inputs or invalid sharding, both of which
+  // were construction-order bugs under the old ctor too.
+  return catalog.ok() ? std::move(catalog).value() : nullptr;
 }
+
+EmbellishServer::EmbellishServer(index::IndexCatalog* catalog,
+                                 const EmbellishServerOptions& options,
+                                 ThreadPool* pool)
+    : EmbellishServer(nullptr, catalog, options, pool) {}
 
 EmbellishServer::EmbellishServer(const index::InvertedIndex* index,
                                  const core::BucketOrganization* buckets,
                                  const storage::StorageLayout* layout,
                                  const EmbellishServerOptions& options,
                                  ThreadPool* pool)
+    : EmbellishServer(MakeShimCatalog(index, buckets, layout, options), nullptr,
+                      options, pool) {}
+
+EmbellishServer::EmbellishServer(
+    std::unique_ptr<index::IndexCatalog> owned_catalog,
+    index::IndexCatalog* catalog, const EmbellishServerOptions& options,
+    ThreadPool* pool)
     : options_(options),
-      slice_index_(BuildSliceIndex(*index, options)),
-      slice_layout_(slice_index_ != nullptr && layout != nullptr
-                        ? std::make_unique<storage::StorageLayout>(
-                              storage::StorageLayout::Build(
-                                  *slice_index_, buckets->buckets(),
-                                  layout->policy(), options.disk))
-                        : nullptr),
-      serve_index_(slice_index_ != nullptr ? slice_index_.get() : index),
       // No caller pool, but intra-query shard parallelism requested: spawn
       // an owned executor of the requested width and serve everything from
       // it — the pre-executor dedicated-shard-pool behavior, minus the old
       // one-region-at-a-time collision.
       owned_pool_(pool == nullptr && options.shard_threads > 1 &&
-                          options.shard_count > 1 && slice_index_ == nullptr
+                          options.shard_count > 1 &&
+                          options.shard_slice == SIZE_MAX
                       ? std::make_unique<ThreadPool>(options.shard_threads)
                       : nullptr),
       pool_(pool != nullptr ? pool : owned_pool_.get()),
-      // The monolithic engines share the executor: their internal
-      // ParallelFor regions (Algorithm 4 entries, PIR rows) nest inside the
-      // batch region and compose instead of colliding (parallel outputs are
-      // bit-identical to serial — the PR 1 equivalence tests).
-      pr_server_(serve_index_, buckets,
-                 slice_layout_ != nullptr ? slice_layout_.get() : layout,
-                 options.disk, options.pr, pool_),
-      pir_server_(serve_index_, buckets,
-                  slice_layout_ != nullptr ? slice_layout_.get() : layout,
-                  options.disk, pool_),
-      bucket_count_(buckets->bucket_count()),
+      owned_catalog_(std::move(owned_catalog)),
+      catalog_(catalog != nullptr ? catalog : owned_catalog_.get()),
+      bucket_count_(catalog_->Acquire()->buckets().bucket_count()),
       sessions_(options.max_sessions, options.session_idle_frames),
       cache_(options.cache_capacity, options.cache_max_bytes) {
-  if (slice_index_ != nullptr || options.shard_count <= 1) return;
+  // Resolve the initial epoch eagerly so construction surfaces any
+  // topology problem immediately (and the first request pays no assembly).
+  engines_ = BuildEngines(catalog_->Acquire());
+}
 
-  index::ShardingOptions sharding;
-  sharding.shard_count = options.shard_count;
-  sharding.partition = options.shard_partition;
-  auto sharded = index::ShardedIndex::Build(*index, sharding);
-  if (!sharded.ok()) return;  // unreachable for shard_count > 1; stay monolithic
-  sharded_index_ = std::make_unique<index::ShardedIndex>(std::move(*sharded));
+std::shared_ptr<const EmbellishServer::EpochEngines>
+EmbellishServer::BuildEngines(
+    std::shared_ptr<const index::IndexEpoch> snapshot) const {
+  auto engines = std::make_shared<EpochEngines>();
+  const index::IndexEpoch& epoch = *snapshot;
+  engines->epoch = std::move(snapshot);
 
-  const std::vector<storage::StorageLayout>* layouts = nullptr;
-  if (layout != nullptr) {
-    shard_layouts_ = core::BuildShardLayouts(*sharded_index_, *buckets,
-                                             layout->policy(), options.disk);
-    layouts = &shard_layouts_;
+  // Slice resolution against THIS epoch. Params must be valid, and the
+  // epoch's partition must actually be the slice topology (after a
+  // background Reshard to a different shard count it no longer is; the
+  // server then serves the full index and flags the mismatch).
+  const bool slice_requested = options_.shard_slice != SIZE_MAX;
+  const bool slice_params_valid =
+      slice_requested && options_.shard_count <= 1 &&
+      options_.shard_slice_count > 0 &&
+      options_.shard_slice < options_.shard_slice_count;
+  if (slice_params_valid) {
+    if (options_.shard_slice_count == 1) {
+      // A 1-way partition's only slice IS the full index.
+      engines->slice_active = true;
+      engines->serve_index = &epoch.index();
+      engines->serve_layout = epoch.layout();
+    } else if (epoch.sharded() != nullptr &&
+               epoch.shard_count() == options_.shard_slice_count &&
+               epoch.sharding().partition == options_.shard_partition) {
+      engines->slice_active = true;
+      engines->serve_index = &epoch.sharded()->shard(options_.shard_slice);
+      engines->serve_layout =
+          epoch.shard_layouts() != nullptr
+              ? &(*epoch.shard_layouts())[options_.shard_slice]
+              : nullptr;
+    } else {
+      engines->slice_invalid = true;  // epoch/slice topology mismatch
+    }
+  } else if (slice_requested) {
+    engines->slice_invalid = true;  // bad params (old-ctor fallback rules)
   }
-  // Shard fan-outs run on the shared executor (nested inside batch regions
-  // when batched); shard_threads survives as the per-query concurrency cap.
-  sharded_pr_ = std::make_unique<core::ShardedPrivateRetrievalServer>(
-      sharded_index_.get(), buckets, layouts, options.disk, options.pr,
-      pool_, options.shard_threads);
-  sharded_pir_ = std::make_unique<core::ShardedPirRetrievalServer>(
-      sharded_index_.get(), buckets, layouts, options.disk, pool_,
-      options.shard_threads);
-  shard_pir_mu_.reserve(sharded_index_->shard_count());
-  for (size_t s = 0; s < sharded_index_->shard_count(); ++s) {
-    shard_pir_mu_.push_back(std::make_unique<std::mutex>());
+
+  if (!engines->slice_active && epoch.sharded() != nullptr) {
+    // Sharded serving: fan-outs run on the shared executor, capped by
+    // shard_threads; every pointer handed to the engines lives inside the
+    // pinned snapshot.
+    engines->sharded_pr = std::make_unique<core::ShardedPrivateRetrievalServer>(
+        epoch.sharded(), &epoch.buckets(), epoch.shard_layouts(),
+        options_.disk, options_.pr, pool_, options_.shard_threads);
+    engines->sharded_pir = std::make_unique<core::ShardedPirRetrievalServer>(
+        epoch.sharded(), &epoch.buckets(), epoch.shard_layouts(),
+        options_.disk, pool_, options_.shard_threads);
+    engines->shard_pir_mu.reserve(epoch.shard_count());
+    for (size_t s = 0; s < epoch.shard_count(); ++s) {
+      engines->shard_pir_mu.push_back(std::make_unique<std::mutex>());
+    }
+    engines->serve_index = &epoch.index();
+    engines->serve_layout = epoch.layout();
+    engines->advertised_shards = epoch.shard_count();
+    return engines;
   }
+
+  // Monolithic serving (full index, a slice, or the mismatch fallback).
+  if (engines->serve_index == nullptr) {
+    engines->serve_index = &epoch.index();
+    engines->serve_layout = epoch.layout();
+  }
+  engines->pr = std::make_unique<core::PrivateRetrievalServer>(
+      engines->serve_index, &epoch.buckets(), engines->serve_layout,
+      options_.disk, options_.pr, pool_);
+  engines->pir = std::make_unique<core::PirRetrievalServer>(
+      engines->serve_index, &epoch.buckets(), engines->serve_layout,
+      options_.disk, pool_);
+  engines->pir_mu = std::make_unique<std::mutex>();
+  engines->advertised_shards = 1;
+  return engines;
+}
+
+std::shared_ptr<const EmbellishServer::EpochEngines>
+EmbellishServer::ResolveEngines() const {
+  std::shared_ptr<const index::IndexEpoch> snapshot = catalog_->Acquire();
+  {
+    std::lock_guard<std::mutex> lock(engines_mu_);
+    if (engines_ != nullptr && engines_->epoch == snapshot) return engines_;
+  }
+  // A new epoch was installed: assemble a bundle for it OUTSIDE the lock
+  // (pointer assembly only — no index builds, so this is answer-path safe
+  // and concurrent resolvers merely race to install equivalent bundles).
+  std::shared_ptr<const EpochEngines> built = BuildEngines(std::move(snapshot));
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  if (engines_ != nullptr &&
+      engines_->epoch->epoch() >= built->epoch->epoch()) {
+    // A racer installed this epoch (its lazy PIR matrices may already be
+    // warm — prefer it), or a newer one (never regress).
+    return engines_;
+  }
+  engines_ = std::move(built);
+  return engines_;
+}
+
+size_t EmbellishServer::shard_count() const {
+  return ResolveEngines()->advertised_shards;
+}
+
+bool EmbellishServer::serves_slice() const {
+  return ResolveEngines()->slice_active;
+}
+
+bool EmbellishServer::slice_config_invalid() const {
+  return ResolveEngines()->slice_invalid;
 }
 
 void EmbellishServer::MergeDelta(const ServerStats& d) {
@@ -110,6 +205,8 @@ void EmbellishServer::MergeDelta(const ServerStats& d) {
   t.downlink_bytes += d.downlink_bytes;
   t.server_cpu_ms += d.server_cpu_ms;
   t.server_io_ms += d.server_io_ms;
+  t.topk_shards_visited += d.topk_shards_visited;
+  t.topk_shards_skipped += d.topk_shards_skipped;
 }
 
 size_t EmbellishServer::AcquireInflight(size_t want) {
@@ -145,11 +242,15 @@ EmbellishServer::RequestOutcome EmbellishServer::BusyOutcome() {
 
 std::vector<uint8_t> EmbellishServer::HandleFrame(
     const std::vector<uint8_t>& request) {
+  // Pin the current epoch for this frame; a successor installing mid-flight
+  // changes nothing we can observe.
+  std::shared_ptr<const EpochEngines> engines = ResolveEngines();
+  common::ScopedAnswerPath answer_path;
   RequestOutcome outcome;
   if (AcquireInflight(1) == 0) {
     outcome = BusyOutcome();
   } else {
-    outcome = ProcessOne(request);
+    outcome = ProcessOne(*engines, request);
     ReleaseInflight(1);
   }
   MergeDelta(outcome.delta);
@@ -158,15 +259,19 @@ std::vector<uint8_t> EmbellishServer::HandleFrame(
 
 std::vector<std::vector<uint8_t>> EmbellishServer::HandleBatch(
     const std::vector<std::vector<uint8_t>>& requests) {
+  // One pin per batch: every request in the batch answers against the same
+  // immutable snapshot, whatever the catalog installs meanwhile.
+  std::shared_ptr<const EpochEngines> engines = ResolveEngines();
   std::vector<std::vector<uint8_t>> responses(requests.size());
   // Admission is reserved for the whole batch up front: the first `granted`
   // requests are processed, the rest are shed with typed kBusy frames — a
   // deterministic suffix, so the client knows exactly which to resend.
   const size_t granted = AcquireInflight(requests.size());
   auto handle_range = [&](size_t begin, size_t end) {
+    common::ScopedAnswerPath answer_path;
     for (size_t i = begin; i < end; ++i) {
       RequestOutcome outcome =
-          i < granted ? ProcessOne(requests[i]) : BusyOutcome();
+          i < granted ? ProcessOne(*engines, requests[i]) : BusyOutcome();
       MergeDelta(outcome.delta);
       responses[i] = std::move(outcome.response);
     }
@@ -205,11 +310,20 @@ Result<std::unique_ptr<AsyncFrontEnd>> EmbellishServer::ServeAsync(
 size_t EmbellishServer::session_count() const { return sessions_.size(); }
 
 ServerStats EmbellishServer::stats() const {
+  const index::IndexCatalogStats catalog_stats = catalog_->stats();
   std::lock_guard<std::mutex> lock(stats_mu_);
   ServerStats snapshot = totals_;
   snapshot.cache_hits = cache_.hits();
   snapshot.cache_misses = cache_.misses();
   snapshot.sessions_expired = sessions_.expired_total();
+  snapshot.epoch_swaps = catalog_stats.epoch_swaps;
+  snapshot.delta_docs_ingested = catalog_stats.delta_docs_ingested;
+  snapshot.reshard_micros = catalog_stats.reshard_micros;
+  snapshot.pinned_epochs =
+      catalog_stats.pinned_epochs > 0
+          ? static_cast<uint64_t>(catalog_stats.pinned_epochs)
+          : 0;
+  snapshot.answer_path_builds = catalog_stats.answer_path_builds;
   return snapshot;
 }
 
@@ -222,9 +336,8 @@ EmbellishServer::RequestOutcome EmbellishServer::ErrorOutcome(
   return outcome;
 }
 
-
 EmbellishServer::RequestOutcome EmbellishServer::ProcessOne(
-    const std::vector<uint8_t>& request) {
+    const EpochEngines& engines, const std::vector<uint8_t>& request) {
   frame_clock_.fetch_add(1, std::memory_order_relaxed);
   RequestOutcome outcome;
   auto frame = DecodeFrame(request);
@@ -238,16 +351,16 @@ EmbellishServer::RequestOutcome EmbellishServer::ProcessOne(
                     frame_clock_.load(std::memory_order_relaxed));
     switch (frame->kind) {
       case FrameKind::kHello:
-        outcome = HandleHello(*frame);
+        outcome = HandleHello(engines, *frame);
         break;
       case FrameKind::kQuery:
-        outcome = HandleQuery(*frame);
+        outcome = HandleQuery(engines, *frame);
         break;
       case FrameKind::kPirQuery:
-        outcome = HandlePirQuery(*frame);
+        outcome = HandlePirQuery(engines, *frame);
         break;
       case FrameKind::kTopKQuery:
-        outcome = HandleTopK(*frame);
+        outcome = HandleTopK(engines, *frame);
         break;
       default:
         outcome = ErrorOutcome(
@@ -263,7 +376,7 @@ EmbellishServer::RequestOutcome EmbellishServer::ProcessOne(
 }
 
 EmbellishServer::RequestOutcome EmbellishServer::HandleHello(
-    const Frame& frame) {
+    const EpochEngines& engines, const Frame& frame) {
   auto pk = DecodeHello(frame.payload);
   if (!pk.ok()) return ErrorOutcome(frame.session_id, pk.status());
   if (!sessions_.Register(
@@ -280,13 +393,13 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleHello(
   // executions (and to know it has to query every shard).
   outcome.response =
       EncodeFrame(FrameKind::kHelloOk, frame.session_id,
-                  EncodeHelloOk(shard_count(), bucket_count_));
+                  EncodeHelloOk(engines.advertised_shards, bucket_count_));
   outcome.delta.hellos = 1;
   return outcome;
 }
 
 EmbellishServer::RequestOutcome EmbellishServer::HandleQuery(
-    const Frame& frame) {
+    const EpochEngines& engines, const Frame& frame) {
   SessionTable::Entry session = sessions_.Find(frame.session_id);
   if (session.pk == nullptr) {
     return ErrorOutcome(frame.session_id,
@@ -299,7 +412,7 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleQuery(
   if (cache_.enabled()) {  // key building copies the payload; skip when off
     key = ResponseCache::MakeKey(static_cast<uint8_t>(frame.kind),
                                  frame.session_id, session.epoch,
-                                 frame.payload);
+                                 engines.epoch->epoch(), frame.payload);
     if (cache_.Get(key, &outcome.response)) {
       outcome.delta.queries = 1;
       return outcome;
@@ -313,9 +426,9 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleQuery(
   // The sharded engine's merged candidate set is bit-identical to the
   // monolithic server's, so the encoded response frame (and any cached
   // copy) does not depend on the shard configuration.
-  auto result = sharded_pr_ != nullptr
-                    ? sharded_pr_->Process(*query, pk, &costs)
-                    : pr_server_.Process(*query, pk, &costs);
+  auto result = engines.sharded_pr != nullptr
+                    ? engines.sharded_pr->Process(*query, pk, &costs)
+                    : engines.pr->Process(*query, pk, &costs);
   if (!result.ok()) return ErrorOutcome(frame.session_id, result.status());
 
   outcome.response = EncodeFrame(FrameKind::kResult, frame.session_id,
@@ -328,13 +441,13 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleQuery(
 }
 
 EmbellishServer::RequestOutcome EmbellishServer::HandlePirQuery(
-    const Frame& frame) {
+    const EpochEngines& engines, const Frame& frame) {
   auto payload = DecodePirQuery(frame.payload);
   if (!payload.ok()) return ErrorOutcome(frame.session_id, payload.status());
 
   // When sharded, the frame's bucket field is shard-qualified:
   // shard * bucket_count + bucket (see PirBucketField).
-  const bool sharded = sharded_pir_ != nullptr;
+  const bool sharded = engines.sharded_pir != nullptr;
   if (sharded && bucket_count_ == 0) {
     return ErrorOutcome(frame.session_id,
                         Status::OutOfRange("server has no buckets"));
@@ -354,19 +467,22 @@ EmbellishServer::RequestOutcome EmbellishServer::HandlePirQuery(
   RequestOutcome outcome;
   // PIR answers depend only on the payload (the modulus travels inside it),
   // never on any registered key, so entries are keyed *globally* — session
-  // and epoch components pinned to zero — and one session's answer serves
-  // every session that replays the same payload. Because the response frame
-  // header embeds the requester's session id, the cache stores the response
-  // payload and the frame is rebuilt per request: bit-identical bytes for
-  // the same session, correctly addressed for every other. Per-shard
-  // answers still occupy distinct entries because the payload embeds the
-  // shard-qualified bucket field. (PR entries, by contrast, stay keyed by
-  // session *and* registration epoch — their ciphertexts are bound to the
-  // session's key.)
+  // and registration-epoch components pinned to zero — and one session's
+  // answer serves every session that replays the same payload. Because the
+  // response frame header embeds the requester's session id, the cache
+  // stores the response payload and the frame is rebuilt per request:
+  // bit-identical bytes for the same session, correctly addressed for every
+  // other. Per-shard answers still occupy distinct entries because the
+  // payload embeds the shard-qualified bucket field, and the database epoch
+  // in the key keeps answers from crossing a delta/reshard cutover (a PIR
+  // answer is a function of the epoch's exact shard layout). (PR entries,
+  // by contrast, stay keyed by session *and* registration epoch — their
+  // ciphertexts are bound to the session's key.)
   std::string key;
   if (cache_.enabled()) {
     key = ResponseCache::MakeKey(static_cast<uint8_t>(frame.kind),
-                                 /*session_id=*/0, /*epoch=*/0, frame.payload);
+                                 /*session_id=*/0, /*epoch=*/0,
+                                 engines.epoch->epoch(), frame.payload);
     std::vector<uint8_t> cached_payload;
     if (cache_.Get(key, &cached_payload)) {
       outcome.response = EncodeFrame(FrameKind::kPirResult, frame.session_id,
@@ -379,18 +495,19 @@ EmbellishServer::RequestOutcome EmbellishServer::HandlePirQuery(
   core::RetrievalCosts costs;
   Result<crypto::PirResponse> response = [&]() -> Result<crypto::PirResponse> {
     if (sharded) {
-      if (shard >= sharded_pir_->shard_count()) {
+      if (shard >= engines.sharded_pir->shard_count()) {
         return Status::OutOfRange("shard-qualified bucket out of range");
       }
       // Per-shard lock: requests addressing different shards build and
       // consult their lazy bucket matrices concurrently.
-      std::lock_guard<std::mutex> lock(*shard_pir_mu_[shard]);
-      return sharded_pir_->Answer(shard, bucket, payload->query, &costs);
+      std::lock_guard<std::mutex> lock(*engines.shard_pir_mu[shard]);
+      return engines.sharded_pir->Answer(shard, bucket, payload->query,
+                                         &costs);
     }
     // The lazy bucket-matrix cache inside PirRetrievalServer is not
     // thread-safe; serialize the whole execution.
-    std::lock_guard<std::mutex> lock(pir_mu_);
-    return pir_server_.Answer(bucket, payload->query, &costs);
+    std::lock_guard<std::mutex> lock(*engines.pir_mu);
+    return engines.pir->Answer(bucket, payload->query, &costs);
   }();
   if (!response.ok()) return ErrorOutcome(frame.session_id, response.status());
 
@@ -407,7 +524,7 @@ EmbellishServer::RequestOutcome EmbellishServer::HandlePirQuery(
 }
 
 EmbellishServer::RequestOutcome EmbellishServer::HandleTopK(
-    const Frame& frame) {
+    const EpochEngines& engines, const Frame& frame) {
   auto query = DecodeTopKQuery(frame.payload);
   if (!query.ok()) return ErrorOutcome(frame.session_id, query.status());
 
@@ -417,7 +534,8 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleTopK(
   std::string key;
   if (cache_.enabled()) {
     key = ResponseCache::MakeKey(static_cast<uint8_t>(frame.kind),
-                                 /*session_id=*/0, /*epoch=*/0, frame.payload);
+                                 /*session_id=*/0, /*epoch=*/0,
+                                 engines.epoch->epoch(), frame.payload);
     std::vector<uint8_t> cached_payload;
     if (cache_.Get(key, &cached_payload)) {
       outcome.response = EncodeFrame(FrameKind::kTopKResult, frame.session_id,
@@ -429,17 +547,25 @@ EmbellishServer::RequestOutcome EmbellishServer::HandleTopK(
 
   CpuStopwatch cpu;
   std::vector<index::ScoredDoc> top;
-  if (sharded_index_ != nullptr) {
-    top = index::EvaluateTopKSharded(*sharded_index_, query->terms, query->k,
-                                     pool_, /*stats=*/nullptr,
-                                     options_.shard_threads);
+  if (engines.sharded_pr != nullptr) {
+    // Epoch-aware fan-out with impact-bound shard skipping: shards whose
+    // stored bound proves them outside the top k are never visited, and
+    // the result bytes are still bit-identical to the monolithic
+    // evaluation (the skip guard is strict; see EvaluateTopKEpoch).
+    index::EvalStats eval_stats;
+    top = index::EvaluateTopKEpoch(*engines.epoch, query->terms, query->k,
+                                   pool_, &eval_stats,
+                                   options_.shard_threads);
+    outcome.delta.topk_shards_visited = eval_stats.shards_visited;
+    outcome.delta.topk_shards_skipped = eval_stats.shards_skipped;
   } else {
     // Full accumulation, not Figure 10 early termination: wire responses
     // must be configuration-independent so a coordinator merge over slice
     // servers is bit-identical to any monolithic answer, and the
     // early-terminated scores are order-dependent lower bounds.
-    top = index::EvaluateFull(*serve_index_, query->terms);
+    top = index::EvaluateFull(*engines.serve_index, query->terms);
     if (top.size() > query->k) top.resize(query->k);
+    outcome.delta.topk_shards_visited = 1;
   }
   std::vector<uint8_t> response_payload = EncodeTopKResult(top);
   outcome.response = EncodeFrame(FrameKind::kTopKResult, frame.session_id,

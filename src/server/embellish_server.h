@@ -38,6 +38,20 @@
 // ShardCoordinator (server/shard_coordinator.h) that merges the slices'
 // answers back into the monolithic bytes.
 //
+// Live index (PR 8): the server serves from an index::IndexCatalog instead
+// of raw index pointers. Each HandleFrame/HandleBatch call pins the
+// catalog's current IndexEpoch (shared_ptr acquire) and answers the whole
+// batch against that immutable snapshot — a background ApplyDelta or
+// Reshard installing a successor mid-batch changes nothing the batch can
+// observe, and the pinned snapshot cannot be torn down under it. The
+// per-epoch answer engines (cheap pointer-bundles) are cached and rebuilt
+// only when the epoch advances; response-cache keys carry the database
+// epoch so a cutover invalidates stale answers without flushing unrelated
+// entries. The legacy raw-pointer constructor survives as a shim wrapping
+// its arguments in a single-frozen-epoch catalog. No unpinned index
+// pointer crosses a batch boundary, and no answer-path thread ever
+// performs a heavy build (counted: common/answer_path.h).
+//
 // Every request produces a response frame; malformed or failing requests are
 // answered with a kError frame carrying the transported Status, so one
 // hostile client cannot take the loop down.
@@ -56,6 +70,7 @@
 #include "core/pir_retrieval.h"
 #include "core/private_retrieval.h"
 #include "core/sharded_retrieval.h"
+#include "index/epoch.h"
 #include "index/sharding.h"
 #include "server/framing.h"
 #include "server/response_cache.h"
@@ -165,14 +180,43 @@ struct ServerStats {
   uint64_t downlink_bytes = 0;  ///< response frame bytes produced
   double server_cpu_ms = 0;     ///< answer-engine CPU (cache hits cost none)
   double server_io_ms = 0;      ///< simulated disk model
+
+  // Live-index counters (snapshotted from the IndexCatalog; the legacy
+  // frozen-catalog shim reports zeros for the mutation counters).
+  uint64_t epoch_swaps = 0;          ///< successor snapshots installed
+  uint64_t delta_docs_ingested = 0;  ///< documents ingested via ApplyDelta
+  uint64_t reshard_micros = 0;       ///< background reshard build time
+  uint64_t pinned_epochs = 0;        ///< snapshots currently alive
+  uint64_t answer_path_builds = 0;   ///< heavy builds on answer threads (0!)
+
+  // Impact-bound shard skipping on the plaintext top-k path.
+  uint64_t topk_shards_visited = 0;
+  uint64_t topk_shards_skipped = 0;
 };
 
 /// \brief Multi-session batched answer server.
 class EmbellishServer {
  public:
-  /// \brief `layout` may be null (skips I/O accounting); `pool` may be null
-  ///        (HandleBatch degrades to a serial loop). All pointers must
-  ///        outlive the server.
+  /// \brief Serve from a live catalog (not owned; must outlive the server).
+  ///        The serving topology — monolithic, sharded, slice — follows
+  ///        each pinned epoch: options.shard_count/shard_partition are
+  ///        ignored in favor of the catalog's sharding, while
+  ///        options.shard_slice selects the slice of the epoch's partition
+  ///        to serve (valid while the epoch's shard count matches
+  ///        shard_slice_count; a mismatched epoch serves the full index and
+  ///        reports slice_config_invalid()). `pool` may be null (HandleBatch
+  ///        degrades to a serial loop).
+  EmbellishServer(index::IndexCatalog* catalog,
+                  const EmbellishServerOptions& options = {},
+                  ThreadPool* pool = nullptr);
+
+  /// \brief Legacy frozen-index constructor: wraps the raw pointers in an
+  ///        owned single-frozen-epoch IndexCatalog (IndexCatalog::Freeze)
+  ///        and serves from that. `layout` may be null (skips I/O
+  ///        accounting); `pool` may be null (HandleBatch degrades to a
+  ///        serial loop). All pointers must outlive the server. Behavior —
+  ///        including sharding via options.shard_count and slice mode — is
+  ///        unchanged from the pre-catalog server.
   EmbellishServer(const index::InvertedIndex* index,
                   const core::BucketOrganization* buckets,
                   const storage::StorageLayout* layout,
@@ -202,29 +246,31 @@ class EmbellishServer {
   /// \brief Number of registered sessions.
   size_t session_count() const;
 
-  /// \brief Configured shard count (1 = monolithic; a slice server is
-  ///        monolithic over its slice).
-  size_t shard_count() const {
-    return sharded_index_ != nullptr ? sharded_index_->shard_count() : 1;
-  }
+  /// \brief Shard count of the current epoch's serving topology (1 =
+  ///        monolithic; a slice server is monolithic over its slice).
+  size_t shard_count() const;
 
   /// \brief Buckets in the organization this server answers against.
   size_t bucket_count() const { return bucket_count_; }
 
   /// \brief True when this server serves one slice of a document partition
-  ///        (see EmbellishServerOptions::shard_slice).
-  bool serves_slice() const { return slice_index_ != nullptr; }
+  ///        (see EmbellishServerOptions::shard_slice) under the current
+  ///        epoch.
+  bool serves_slice() const;
 
   /// \brief True when slice mode was requested but the configuration was
-  ///        invalid (slice >= count, zero count, or combined with
-  ///        in-process sharding), so the server fell back to the full
-  ///        index. A ShardEndpoint refuses to serve such a server: a
-  ///        misconfigured slice behind a coordinator would merge
-  ///        overlapping document sets and silently diverge from the
-  ///        monolithic answer, which must fail loudly instead.
-  bool slice_config_invalid() const {
-    return options_.shard_slice != SIZE_MAX && slice_index_ == nullptr;
-  }
+  ///        invalid (slice >= count, zero count, combined with in-process
+  ///        sharding, or — catalog-backed — an epoch whose partition does
+  ///        not match the slice topology), so the server fell back. A
+  ///        ShardEndpoint refuses to serve such a server: a misconfigured
+  ///        slice behind a coordinator would merge overlapping document
+  ///        sets and silently diverge from the monolithic answer, which
+  ///        must fail loudly instead.
+  bool slice_config_invalid() const;
+
+  /// \brief The catalog this server serves from (the owned shim catalog for
+  ///        legacy-constructed servers).
+  const index::IndexCatalog& catalog() const { return *catalog_; }
 
   /// \brief The shard-qualified bucket field a kPirQuery frame must carry
   ///        to address `bucket` on `shard` of this server. The wire field
@@ -246,7 +292,45 @@ class EmbellishServer {
     ServerStats delta;
   };
 
-  RequestOutcome ProcessOne(const std::vector<uint8_t>& request);
+  // Everything one batch needs to answer against one pinned epoch. The
+  // snapshot shared_ptr is the FIRST member: every raw pointer below (the
+  // engines' internal index/layout pointers included) points into the
+  // pinned snapshot, so it can never dangle while the bundle is alive —
+  // the satellite-2 fencing: no unpinned index pointer crosses a batch
+  // boundary. Engine construction is pointer-assembly (no index builds),
+  // so resolving a fresh epoch on the answer path stays cheap; the lazy
+  // PIR bucket matrices re-warm per epoch on first use, exactly as a
+  // freshly constructed server's would.
+  struct EpochEngines {
+    std::shared_ptr<const index::IndexEpoch> epoch;
+
+    const index::InvertedIndex* serve_index = nullptr;    // slice or full
+    const storage::StorageLayout* serve_layout = nullptr; // may be null
+    bool slice_active = false;
+    bool slice_invalid = false;
+    size_t advertised_shards = 1;  // hello-ok topology (slice advertises 1)
+
+    // Monolithic engines (null when serving sharded).
+    std::unique_ptr<core::PrivateRetrievalServer> pr;
+    std::unique_ptr<core::PirRetrievalServer> pir;
+    std::unique_ptr<std::mutex> pir_mu;
+
+    // Sharded engines (null when serving monolithic/slice).
+    std::unique_ptr<core::ShardedPrivateRetrievalServer> sharded_pr;
+    std::unique_ptr<core::ShardedPirRetrievalServer> sharded_pir;
+    std::vector<std::unique_ptr<std::mutex>> shard_pir_mu;
+  };
+
+  // Pins the catalog's current epoch and returns the (possibly cached)
+  // engine bundle for it. Never regresses to an older epoch, and prefers
+  // an already-installed bundle for the same epoch (its lazy PIR matrices
+  // are warm). Never blocks on a catalog build.
+  std::shared_ptr<const EpochEngines> ResolveEngines() const;
+  std::shared_ptr<const EpochEngines> BuildEngines(
+      std::shared_ptr<const index::IndexEpoch> snapshot) const;
+
+  RequestOutcome ProcessOne(const EpochEngines& engines,
+                            const std::vector<uint8_t>& request);
 
   // Admission control: grants up to `want` in-flight slots (all of them
   // when max_inflight is 0); ReleaseInflight returns what was granted.
@@ -258,42 +342,40 @@ class EmbellishServer {
   // Folds one request's counters into totals_ under stats_mu_.
   void MergeDelta(const ServerStats& delta);
 
-  RequestOutcome HandleHello(const Frame& frame);
-  RequestOutcome HandleQuery(const Frame& frame);
-  RequestOutcome HandlePirQuery(const Frame& frame);
-  RequestOutcome HandleTopK(const Frame& frame);
+  RequestOutcome HandleHello(const EpochEngines& engines, const Frame& frame);
+  RequestOutcome HandleQuery(const EpochEngines& engines, const Frame& frame);
+  RequestOutcome HandlePirQuery(const EpochEngines& engines,
+                                const Frame& frame);
+  RequestOutcome HandleTopK(const EpochEngines& engines, const Frame& frame);
   static RequestOutcome ErrorOutcome(uint64_t session_id,
                                      const Status& status);
 
-  // Slice mode: the owned sub-index (and its layout) this server answers
-  // from; null when serving the caller's full index. Built before the
-  // answer engines so their construction can point at the slice.
-  static std::unique_ptr<index::InvertedIndex> BuildSliceIndex(
-      const index::InvertedIndex& index, const EmbellishServerOptions& options);
+  // The legacy-ctor shim: wraps the raw pointers in a frozen single-epoch
+  // catalog replicating the old in-ctor topology decisions (slice config →
+  // slice_count-way partition, shard_count → sharding, else monolithic).
+  static std::unique_ptr<index::IndexCatalog> MakeShimCatalog(
+      const index::InvertedIndex* index, const core::BucketOrganization* buckets,
+      const storage::StorageLayout* layout,
+      const EmbellishServerOptions& options);
+
+  // Both public constructors delegate here.
+  EmbellishServer(std::unique_ptr<index::IndexCatalog> owned_catalog,
+                  index::IndexCatalog* catalog,
+                  const EmbellishServerOptions& options, ThreadPool* pool);
 
   const EmbellishServerOptions options_;
-  std::unique_ptr<index::InvertedIndex> slice_index_;
-  std::unique_ptr<storage::StorageLayout> slice_layout_;
-  const index::InvertedIndex* serve_index_;  // slice or caller's index
   // Spawned only when the caller passed no pool but asked for intra-query
   // shard parallelism (shard_threads > 1 on a sharded server); pool_ then
-  // points at it and the whole server shares it. Declared before the
-  // engines so it exists when they are constructed.
+  // points at it and the whole server shares it.
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;  // caller's pool or owned_pool_; null => all serial
-  // The monolithic engines share the executor: their internal regions
-  // (Algorithm 4 bucket entries, PIR answer rows) nest inside batch
-  // regions and compose.
-  const core::PrivateRetrievalServer pr_server_;
-  const core::PirRetrievalServer pir_server_;
-  const size_t bucket_count_;
 
-  // Sharded engines; null when shard_count <= 1 (monolithic dispatch).
-  // They fan out over the same shared executor, capped by shard_threads.
-  std::unique_ptr<index::ShardedIndex> sharded_index_;
-  std::vector<storage::StorageLayout> shard_layouts_;
-  std::unique_ptr<core::ShardedPrivateRetrievalServer> sharded_pr_;
-  std::unique_ptr<core::ShardedPirRetrievalServer> sharded_pir_;
+  // The live catalog; owned_catalog_ holds the legacy shim when the server
+  // was constructed from raw pointers.
+  std::unique_ptr<index::IndexCatalog> owned_catalog_;
+  index::IndexCatalog* catalog_;  // owned_catalog_.get() or caller's
+
+  const size_t bucket_count_;
 
   // Registered sessions: the key plus a registration epoch folded into
   // cache keys so a re-hello can never be answered with a cached response
@@ -307,12 +389,11 @@ class EmbellishServer {
   // In-flight request count against options_.max_inflight.
   std::atomic<size_t> inflight_{0};
 
-  // PirRetrievalServer's lazy matrix cache is not thread-safe; batch workers
-  // serialize PIR answers through this mutex (PR queries run concurrently).
-  // When sharded, shard_pir_mu_[shard] replaces it: requests addressing
-  // different shards answer concurrently.
-  mutable std::mutex pir_mu_;
-  mutable std::vector<std::unique_ptr<std::mutex>> shard_pir_mu_;
+  // Current epoch's engine bundle; replaced (never mutated) when a batch
+  // observes a newer epoch. Readers hold their own shared_ptr for the
+  // batch, so replacement never invalidates an in-flight batch's engines.
+  mutable std::mutex engines_mu_;
+  mutable std::shared_ptr<const EpochEngines> engines_;
 
   ResponseCache cache_;
 

@@ -6,16 +6,19 @@ ResponseCache::ResponseCache(size_t capacity, size_t max_total_bytes)
     : capacity_(capacity), max_total_bytes_(max_total_bytes) {}
 
 std::string ResponseCache::MakeKey(uint8_t kind, uint64_t session_id,
-                                   uint64_t epoch,
+                                   uint64_t epoch, uint64_t database_epoch,
                                    const std::vector<uint8_t>& payload) {
   std::string key;
-  key.reserve(17 + payload.size());
+  key.reserve(25 + payload.size());
   key.push_back(static_cast<char>(kind));
   for (int shift = 56; shift >= 0; shift -= 8) {
     key.push_back(static_cast<char>(session_id >> shift));
   }
   for (int shift = 56; shift >= 0; shift -= 8) {
     key.push_back(static_cast<char>(epoch >> shift));
+  }
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    key.push_back(static_cast<char>(database_epoch >> shift));
   }
   if (!payload.empty()) {  // data() may be null when empty; append needs non-null
     key.append(reinterpret_cast<const char*>(payload.data()), payload.size());

@@ -61,7 +61,16 @@ class ResponseCache {
   ///        itself: a kPirQuery payload embeds the shard-qualified bucket
   ///        field, so per-shard answers occupy distinct entries without any
   ///        extra key component.
+  ///
+  ///        `database_epoch` is the orthogonal second generation axis: the
+  ///        IndexCatalog epoch the answer was computed against. A delta or
+  ///        reshard cutover bumps it, so every answer cached under the
+  ///        superseded snapshot misses naturally — without flushing entries
+  ///        for other generations and without touching the
+  ///        registration-epoch (re-hello) invalidation, which keeps its
+  ///        existing behavior.
   static std::string MakeKey(uint8_t kind, uint64_t session_id, uint64_t epoch,
+                             uint64_t database_epoch,
                              const std::vector<uint8_t>& payload);
 
   /// \brief On hit, copies the cached response frame into `out` and marks

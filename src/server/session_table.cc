@@ -21,6 +21,19 @@ size_t SessionTable::size() const {
   return sessions_.size();
 }
 
+std::vector<std::pair<uint64_t, std::shared_ptr<const crypto::BenalohPublicKey>>>
+SessionTable::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<
+      std::pair<uint64_t, std::shared_ptr<const crypto::BenalohPublicKey>>>
+      out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, entry] : sessions_) {
+    out.emplace_back(id, entry.pk);
+  }
+  return out;
+}
+
 void SessionTable::SweepLocked(uint64_t now) {
   if (idle_frames_ == 0) return;
   uint64_t swept = 0;

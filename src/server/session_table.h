@@ -32,6 +32,8 @@
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "crypto/benaloh.h"
 
@@ -68,6 +70,13 @@ class SessionTable {
                 uint64_t now);
 
   size_t size() const;
+
+  /// \brief A consistent copy of every live registration's (id, key) —
+  ///        what a coordinator re-pushes to its slice servers at an epoch
+  ///        cutover. Keys are shared, not copied.
+  std::vector<std::pair<uint64_t,
+                        std::shared_ptr<const crypto::BenalohPublicKey>>>
+  Snapshot() const;
 
   /// \brief Total idle sessions swept so far (keys released).
   uint64_t expired_total() const {

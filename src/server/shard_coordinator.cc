@@ -49,6 +49,7 @@ ShardCoordinator::ShardCoordinator(
                       : nullptr),
       pool_(pool != nullptr ? pool : owned_pool_.get()),
       probe_rng_(options.probe_seed),
+      epoch_(options.epoch),
       sessions_(options.max_sessions, options.session_idle_frames),
       cache_(options.cache_capacity, options.cache_max_bytes) {
   transport_mu_.reserve(replicas_.size());
@@ -99,6 +100,8 @@ CoordinatorStats ShardCoordinator::stats() const {
   snapshot.shed = counters_.shed.load(std::memory_order_relaxed);
   snapshot.degraded_answers =
       counters_.degraded_answers.load(std::memory_order_relaxed);
+  snapshot.epoch_swaps =
+      counters_.epoch_swaps.load(std::memory_order_relaxed);
   snapshot.blocking_io_trips =
       counters_.blocking_io_trips.load(std::memory_order_relaxed);
   snapshot.async_io_trips =
@@ -121,8 +124,10 @@ std::vector<uint8_t> ShardCoordinator::PassThroughError(
 
 std::vector<uint8_t> ShardCoordinator::BuildShardRequest(
     size_t shard, uint64_t seq, const std::vector<uint8_t>& inner) {
-  return EncodeFrame(FrameKind::kShardRequest, 0,
-                     EncodeShardEnvelope(shard, options_.epoch, seq, inner));
+  return EncodeFrame(
+      FrameKind::kShardRequest, 0,
+      EncodeShardEnvelope(shard, epoch_.load(std::memory_order_acquire), seq,
+                          inner));
 }
 
 Result<Frame> ShardCoordinator::ReplicaTrip(
@@ -200,8 +205,12 @@ Result<Frame> ShardCoordinator::SettleReplicaTrip(
         envelope.status().ToString().c_str())));
   }
   // The echo is what catches misrouted, stale-coordinator and reordered
-  // responses before any bytes reach a merge.
-  if (envelope->shard_id != shard || envelope->epoch != options_.epoch ||
+  // responses before any bytes reach a merge. The epoch is read at
+  // validation time, not send time: a response that raced an AdvanceEpoch
+  // cutover carries the superseded epoch and is refused here — the fence
+  // that keeps pre-cutover answers out of post-cutover merges.
+  const uint64_t fencing_epoch = epoch_.load(std::memory_order_acquire);
+  if (envelope->shard_id != shard || envelope->epoch != fencing_epoch ||
       envelope->seq != seq) {
     return fail(Status::Unavailable(StringPrintf(
         "shard %zu response envelope mismatch (shard %zu epoch %llu seq "
@@ -209,7 +218,7 @@ Result<Frame> ShardCoordinator::SettleReplicaTrip(
         shard, envelope->shard_id,
         static_cast<unsigned long long>(envelope->epoch),
         static_cast<unsigned long long>(envelope->seq), shard,
-        static_cast<unsigned long long>(options_.epoch),
+        static_cast<unsigned long long>(fencing_epoch),
         static_cast<unsigned long long>(seq))));
   }
   auto inner_frame = DecodeFrame(envelope->inner);
@@ -749,6 +758,36 @@ Status ShardCoordinator::Handshake() {
   return Status::OK();
 }
 
+Status ShardCoordinator::AdvanceEpoch() {
+  std::lock_guard<std::mutex> cutover(cutover_mu_);
+  // Bump first: from this instant every in-flight response stamped with
+  // the superseded epoch fails its envelope echo in SettleReplicaTrip and
+  // can never be merged. Requests racing the bump see a typed
+  // kUnavailable and retry — fencing trades a transient error for the
+  // impossibility of merging pre-cutover bytes.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  handshaken_.store(false, std::memory_order_release);
+  counters_.epoch_swaps.fetch_add(1, std::memory_order_relaxed);
+  // Re-verify the (possibly restarted or re-sharded) slice topology under
+  // the new epoch before any request traffic relies on it.
+  EMB_RETURN_NOT_OK(Handshake());
+  // Re-push slice state: a cutover that restarted a slice server (or swapped
+  // in a resharded deployment) wiped its session table; re-offering every
+  // registered key keeps established sessions working without a
+  // client-visible re-hello. ReRegisterOnShards would also repair these
+  // lazily per session, but the eager push keeps the cutover's cost off the
+  // first post-cutover query of every session.
+  for (const auto& [session_id, pk] : sessions_.Snapshot()) {
+    if (!ReRegisterOnShards(session_id, *pk)) {
+      return Status::Unavailable(StringPrintf(
+          "session %llu could not be re-registered on every slice after the "
+          "epoch cutover",
+          static_cast<unsigned long long>(session_id)));
+    }
+  }
+  return Status::OK();
+}
+
 size_t ShardCoordinator::AcquireInflight(size_t want) {
   if (options_.max_inflight == 0) return want;
   size_t current = inflight_.load(std::memory_order_relaxed);
@@ -998,12 +1037,15 @@ std::vector<uint8_t> ShardCoordinator::HandleQuery(
   // recurring genuine-term set a byte-identical uplink, so a hit replays
   // the previously merged response without touching any shard; the epoch
   // component means a re-hello (new key, new epoch) can never be answered
-  // with bytes merged under the superseded key.
+  // with bytes merged under the superseded key. The coordinator's fencing
+  // epoch doubles as the database-epoch key component: AdvanceEpoch is how
+  // an index cutover reaches the coordinator, so responses merged against
+  // the superseded index generation miss naturally after it.
   std::string cache_key;
   if (cache_.enabled()) {
     cache_key = ResponseCache::MakeKey(static_cast<uint8_t>(frame.kind),
                                        frame.session_id, session.epoch,
-                                       frame.payload);
+                                       epoch(), frame.payload);
     std::vector<uint8_t> cached;
     if (cache_.Get(cache_key, &cached)) {
       Count(&AtomicStats::queries);

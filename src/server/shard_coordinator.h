@@ -86,9 +86,10 @@ struct AsyncFrontEndOptions;
 
 /// \brief Coordinator construction knobs.
 struct ShardCoordinatorOptions {
-  /// Fencing token stamped into every downstream envelope. A replacement
-  /// coordinator should start with a higher epoch; shards then refuse the
-  /// superseded one.
+  /// Seed for the live fencing epoch stamped into every downstream
+  /// envelope. A replacement coordinator should start with a higher epoch;
+  /// shards then refuse the superseded one. AdvanceEpoch() bumps the live
+  /// value at each index cutover.
   uint64_t epoch = 1;
 
   /// Maximum registered client sessions (the coordinator keeps each
@@ -202,6 +203,7 @@ struct CoordinatorStats {
   uint64_t failovers = 0;     ///< trips answered by a non-primary replica
   uint64_t shed = 0;          ///< requests refused with kBusy (admission)
   uint64_t degraded_answers = 0;  ///< partial-merge responses produced
+  uint64_t epoch_swaps = 0;   ///< AdvanceEpoch cutovers driven
   /// Physical replica attempts that parked the calling worker on blocking
   /// transport I/O. Zero in a fully multiplexed deployment — the acceptance
   /// invariant for the async fan-out: N overlapped round trips pin zero
@@ -245,6 +247,21 @@ class ShardCoordinator {
   ///        bucket_count (all shards must agree). Runs lazily on the first
   ///        request if not called; idempotent once it has succeeded.
   Status Handshake();
+
+  /// \brief Drives an index cutover from the coordinator's side: bumps the
+  ///        fencing epoch — from that instant any in-flight response still
+  ///        carrying the superseded epoch fails its envelope echo and can
+  ///        never be merged — then re-handshakes the (possibly restarted or
+  ///        re-sharded) slice servers and re-pushes every registered
+  ///        session's key to every replica, so established sessions survive
+  ///        the cutover without a client-visible re-hello. Serialized
+  ///        against concurrent AdvanceEpoch calls; concurrent request
+  ///        traffic rides through (a request racing the bump may get a
+  ///        typed kUnavailable for its fenced trip and simply retries).
+  Status AdvanceEpoch();
+
+  /// \brief The current fencing epoch stamped into downstream envelopes.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// \brief Same surface as EmbellishServer::HandleFrame — one request
   ///        frame in, always one response frame out.
@@ -420,6 +437,7 @@ class ShardCoordinator {
     std::atomic<uint64_t> failovers{0};
     std::atomic<uint64_t> shed{0};
     std::atomic<uint64_t> degraded_answers{0};
+    std::atomic<uint64_t> epoch_swaps{0};
     std::atomic<uint64_t> blocking_io_trips{0};
     std::atomic<uint64_t> async_io_trips{0};
     std::atomic<uint64_t> trip_micros{0};
@@ -466,6 +484,16 @@ class ShardCoordinator {
   size_t async_outstanding_ = 0;
 
   std::atomic<uint64_t> seq_{0};
+
+  // The live fencing epoch (seeded from options_.epoch): every downstream
+  // envelope stamps the current value, and SettleReplicaTrip validates the
+  // echo against the current value too — so an AdvanceEpoch mid-flight
+  // fences off the old generation's responses at the merge boundary.
+  std::atomic<uint64_t> epoch_;
+
+  // Serializes AdvanceEpoch cutovers (request traffic is not serialized
+  // against them — the epoch bump IS the fence).
+  std::mutex cutover_mu_;
 
   std::mutex handshake_mu_;
   // Lock-free fast path for the per-request handshake check; the mutex

@@ -1,5 +1,6 @@
 #include "storage/layout.h"
 
+#include "common/answer_path.h"
 #include "common/strings.h"
 
 namespace embellish::storage {
@@ -8,6 +9,7 @@ StorageLayout StorageLayout::Build(
     const index::InvertedIndex& index,
     const std::vector<std::vector<wordnet::TermId>>& groups,
     LayoutPolicy policy, const DiskModelOptions& disk_options) {
+  common::NoteHeavyBuild();
   StorageLayout layout;
   layout.policy_ = policy;
   layout.group_extents_.reserve(groups.size());

@@ -1,0 +1,211 @@
+// Cross-epoch response-cache correctness: an answer cached under database
+// epoch E must miss after the catalog installs E+1 (delta or reshard), the
+// coordinator's fencing-epoch bump must do the same for its upstream cache,
+// and the orthogonal registration-epoch (re-hello) invalidation keeps its
+// existing behavior on the catalog-backed server.
+
+#include <gtest/gtest.h>
+
+#include "index/epoch.h"
+#include "index/topk.h"
+#include "server/embellish_server.h"
+#include "server/session_client.h"
+#include "server/shard_coordinator.h"
+#include "server/shard_transport.h"
+#include "testutil.h"
+
+namespace embellish::server {
+namespace {
+
+class EpochCacheTest : public ::testing::Test {
+ protected:
+  EpochCacheTest()
+      : lex_(testutil::SmallSyntheticLexicon(1500, 911)),
+        corp_(testutil::SmallCorpus(lex_, 130, 912)),
+        org_(std::make_shared<core::BucketOrganization>(
+            testutil::MakeBuckets(lex_, 4, 64))) {}
+
+  std::unique_ptr<index::IndexCatalog> MakeLiveCatalog(size_t shards) {
+    index::IndexCatalogOptions options;
+    options.sharding.shard_count = shards;
+    auto catalog = index::IndexCatalog::Create(corp_, org_, options);
+    EXPECT_TRUE(catalog.ok()) << catalog.status().ToString();
+    return std::move(*catalog);
+  }
+
+  SessionClient MakeClient(uint64_t session_id, uint64_t seed) {
+    crypto::BenalohKeyOptions ko;
+    ko.key_bits = 256;
+    ko.r = 59049;
+    return std::move(SessionClient::Create(session_id, org_.get(), ko, seed))
+        .value();
+  }
+
+  std::vector<corpus::Document> SomeDeltaDocs(size_t count, uint64_t salt) {
+    auto terms = corp_.DistinctTerms();
+    std::vector<corpus::Document> docs(count);
+    for (size_t d = 0; d < count; ++d) {
+      for (size_t t = 0; t < 40; ++t) {
+        docs[d].tokens.push_back(terms[(salt + 13 * d + 5 * t) % terms.size()]);
+      }
+    }
+    return docs;
+  }
+
+  std::vector<wordnet::TermId> SomeTerms(size_t a, size_t b) {
+    auto terms = corp_.DistinctTerms();
+    return {terms[a % terms.size()], terms[b % terms.size()]};
+  }
+
+  wordnet::WordNetDatabase lex_;
+  corpus::Corpus corp_;
+  std::shared_ptr<core::BucketOrganization> org_;
+};
+
+TEST_F(EpochCacheTest, DeltaCutoverInvalidatesPrEntries) {
+  auto catalog = MakeLiveCatalog(1);
+  EmbellishServerOptions options;
+  options.cache_capacity = 64;
+  EmbellishServer server(catalog.get(), options);
+  SessionClient client = MakeClient(1, 101);
+  server.HandleFrame(client.HelloFrame());
+
+  auto request = client.QueryFrame(SomeTerms(3, 17));
+  ASSERT_TRUE(request.ok());
+  auto first = server.HandleFrame(*request);
+  // Same epoch, same bytes: a hit.
+  EXPECT_EQ(server.HandleFrame(*request), first);
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+
+  // Cutover to epoch 2: the replayed bytes must MISS — the cached answer
+  // was computed against the superseded snapshot and the delta may have
+  // added matching documents.
+  ASSERT_TRUE(catalog->ApplyDelta(SomeDeltaDocs(8, 55)).ok());
+  auto after = server.HandleFrame(*request);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);  // no new hit
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.epoch_swaps, 1u);
+  EXPECT_EQ(stats.delta_docs_ingested, 8u);
+  // The post-cutover answer decodes under the session key (recomputed, not
+  // replayed).
+  EXPECT_TRUE(client.DecodeResultFrame(after, 10).ok());
+
+  // The new epoch's entry now serves replays.
+  EXPECT_EQ(server.HandleFrame(*request), after);
+  EXPECT_EQ(server.stats().cache_hits, 2u);
+}
+
+TEST_F(EpochCacheTest, CutoverInvalidatesGlobalTopKEntries) {
+  auto catalog = MakeLiveCatalog(2);
+  EmbellishServerOptions options;
+  options.cache_capacity = 64;
+  EmbellishServer server(catalog.get(), options);
+
+  auto genuine = SomeTerms(5, 23);
+  auto request = EncodeFrame(FrameKind::kTopKQuery, 6,
+                             EncodeTopKQuery(10, genuine));
+  auto first = server.HandleFrame(request);
+  EXPECT_EQ(server.HandleFrame(request), first);
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+
+  // Delta docs dense in the query terms: the top-k genuinely changes, so a
+  // stale replay would be a WRONG answer, not merely a slow one.
+  std::vector<corpus::Document> docs(3);
+  for (auto& doc : docs) {
+    for (size_t i = 0; i < 50; ++i) doc.tokens.push_back(genuine[0]);
+    doc.tokens.push_back(genuine[1]);
+  }
+  auto next = catalog->ApplyDelta(std::move(docs));
+  ASSERT_TRUE(next.ok());
+
+  auto after = server.HandleFrame(request);
+  EXPECT_EQ(server.stats().cache_hits, 1u);  // missed, recomputed
+  auto frame = DecodeFrame(after);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->kind, FrameKind::kTopKResult);
+  auto decoded = DecodeTopKResult(frame->payload);
+  ASSERT_TRUE(decoded.ok());
+  auto expected = index::EvaluateFull((*next)->index(), genuine);
+  if (expected.size() > 10) expected.resize(10);
+  EXPECT_EQ(*decoded, expected);
+  EXPECT_NE(after, first);  // the ingested docs displaced the old top-k
+}
+
+TEST_F(EpochCacheTest, ReHelloInvalidationSurvivesTheCatalogRefactor) {
+  // The registration-epoch axis is orthogonal to the database epoch: a
+  // re-hello under a fresh key must still prevent replays of ciphertexts
+  // encrypted under the superseded key, with no catalog cutover involved.
+  auto catalog = MakeLiveCatalog(1);
+  EmbellishServerOptions options;
+  options.cache_capacity = 64;
+  EmbellishServer server(catalog.get(), options);
+
+  SessionClient old_client = MakeClient(6, 306);
+  server.HandleFrame(old_client.HelloFrame());
+  auto request = old_client.QueryFrame(SomeTerms(11, 19));
+  ASSERT_TRUE(request.ok());
+  auto first = server.HandleFrame(*request);
+  ASSERT_TRUE(old_client.DecodeResultFrame(first, 10).ok());
+
+  // Same session id, different keypair.
+  SessionClient new_client = MakeClient(6, 307);
+  server.HandleFrame(new_client.HelloFrame());
+  auto replayed = server.HandleFrame(*request);
+  EXPECT_NE(replayed, first);
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+}
+
+TEST_F(EpochCacheTest, CoordinatorEpochBumpInvalidatesUpstreamEntries) {
+  // Rig: two slice servers behind in-process transports, coordinator with
+  // an upstream cache.
+  auto built = index::BuildIndex(corp_, {});
+  ASSERT_TRUE(built.ok());
+  constexpr size_t kSlices = 2;
+  std::vector<std::unique_ptr<EmbellishServer>> slices;
+  std::vector<std::unique_ptr<ShardEndpoint>> endpoints;
+  std::vector<std::unique_ptr<InProcessTransport>> transports;
+  std::vector<ShardTransport*> raw;
+  for (size_t s = 0; s < kSlices; ++s) {
+    EmbellishServerOptions slice_options;
+    slice_options.shard_slice = s;
+    slice_options.shard_slice_count = kSlices;
+    slices.push_back(std::make_unique<EmbellishServer>(
+        &built->index, org_.get(), nullptr, slice_options));
+    endpoints.push_back(
+        std::make_unique<ShardEndpoint>(slices.back().get(), s));
+    transports.push_back(
+        std::make_unique<InProcessTransport>(endpoints.back().get()));
+    raw.push_back(transports.back().get());
+  }
+  ShardCoordinatorOptions copts;
+  copts.cache_capacity = 64;
+  ShardCoordinator coordinator(std::move(raw), copts);
+
+  SessionClient client = MakeClient(9, 409);
+  ASSERT_EQ(DecodeFrame(coordinator.HandleFrame(client.HelloFrame()))->kind,
+            FrameKind::kHelloOk);
+  auto request = client.QueryFrame(SomeTerms(7, 29));
+  ASSERT_TRUE(request.ok());
+  auto first = coordinator.HandleFrame(*request);
+  ASSERT_TRUE(client.DecodeResultFrame(first, 10).ok());
+  EXPECT_EQ(coordinator.HandleFrame(*request), first);
+  EXPECT_EQ(coordinator.stats().cache_hits, 1u);
+  const uint64_t epoch_before = coordinator.epoch();
+
+  // The cutover: fencing epoch bumps, slices re-handshake under it, the
+  // registered session is re-pushed, and the upstream cache generation
+  // rolls — the replay misses and is re-merged (bit-identical here because
+  // the slices' index did not actually change).
+  ASSERT_TRUE(coordinator.AdvanceEpoch().ok());
+  EXPECT_EQ(coordinator.epoch(), epoch_before + 1);
+  EXPECT_EQ(coordinator.stats().epoch_swaps, 1u);
+  auto after = coordinator.HandleFrame(*request);
+  EXPECT_EQ(coordinator.stats().cache_hits, 1u);  // no stale hit
+  EXPECT_EQ(after, first);
+  // The session survived the cutover without a client-visible re-hello.
+  EXPECT_TRUE(client.DecodeResultFrame(after, 10).ok());
+}
+
+}  // namespace
+}  // namespace embellish::server
