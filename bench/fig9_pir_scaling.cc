@@ -16,6 +16,7 @@
 //   EMBELLISH_BENCH_JSON     output path                 (default BENCH_pir.json)
 
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -268,6 +269,117 @@ int main() {
                     "widest engine >= 3x seed throughput");
   bench::ShapeCheck(all_match, "all responses decode to the target column");
 
+  // -- Cross-query batched sweep: AnswerBatch at Q = 1, 2, 8, 32. --
+  // Queries come from several clients (distinct moduli), so each sweep
+  // genuinely crosses Montgomery rings; every batched answer is checked
+  // bit-identical to its serial Answer, and the run FAILS (exit 1) on any
+  // mismatch. ops/query counts each query's own MontMuls plus its share of
+  // the batch's row extractions — the shared work whose amortization is the
+  // point of batching — and must be strictly decreasing in Q while the
+  // four-Russians tables are on.
+  struct BatchPoint {
+    size_t q = 0;
+    double ms = 1e300;
+    crypto::PirBatchStats stats;
+    double ops_per_query = 0;
+  };
+  std::vector<crypto::PirClient> batch_clients;
+  for (size_t c = 0; c < 4; ++c) {
+    auto bc = crypto::PirClient::Create(key_bits, &rng);
+    if (!bc.ok()) {
+      std::fprintf(stderr, "batch client keygen failed: %s\n",
+                   bc.status().ToString().c_str());
+      return 1;
+    }
+    batch_clients.push_back(std::move(*bc));
+  }
+  ThreadPool batch_pool(max_threads);
+  crypto::PirServer batch_server(db, max_threads > 1 ? &batch_pool : nullptr);
+  bool batch_identical = true;
+  std::vector<BatchPoint> batch_points;
+  for (size_t q_width : {1u, 2u, 8u, 32u}) {
+    std::vector<crypto::PirQuery> queries;
+    for (size_t i = 0; i < q_width; ++i) {
+      auto bq = batch_clients[i % batch_clients.size()].BuildQuery(
+          (cols / 2 + i) % cols, cols, &rng);
+      if (!bq.ok()) {
+        std::fprintf(stderr, "batch query build failed: %s\n",
+                     bq.status().ToString().c_str());
+        return 1;
+      }
+      queries.push_back(std::move(*bq));
+    }
+    std::vector<crypto::PirResponse> serial;
+    for (const auto& bq : queries) {
+      auto r = batch_server.Answer(bq);
+      if (!r.ok()) {
+        std::fprintf(stderr, "serial Answer failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      serial.push_back(std::move(*r));
+    }
+    BatchPoint point;
+    point.q = q_width;
+    for (size_t t = 0; t < trials; ++t) {
+      crypto::PirBatchStats stats;
+      Stopwatch sw;
+      auto batch = batch_server.AnswerBatch(
+          std::span<const crypto::PirQuery>(queries), &stats);
+      const double ms = sw.ElapsedMillis();
+      if (!batch.ok()) {
+        std::fprintf(stderr, "AnswerBatch failed: %s\n",
+                     batch.status().ToString().c_str());
+        return 1;
+      }
+      if (ms < point.ms) {
+        point.ms = ms;
+        point.stats = stats;
+      }
+      for (size_t i = 0; i < q_width; ++i) {
+        if ((*batch)[i].gamma != serial[i].gamma) batch_identical = false;
+      }
+    }
+    point.ops_per_query =
+        static_cast<double>(point.stats.mont_muls +
+                            point.stats.rows_extracted) /
+        q_width;
+    batch_points.push_back(point);
+  }
+
+  std::printf("\n== Cross-query batched answering ==\n");
+  std::vector<std::vector<std::string>> batch_rows;
+  for (const BatchPoint& p : batch_points) {
+    batch_rows.push_back(
+        {std::to_string(p.q), StringPrintf("%.2f", p.ms),
+         StringPrintf("%.2f", p.ms / p.q),
+         std::to_string(p.stats.rows_extracted),
+         StringPrintf("%.1f", p.ops_per_query),
+         StringPrintf("%.3fx",
+                      p.ops_per_query / batch_points[0].ops_per_query)});
+  }
+  bench::PrintTable({"Q", "batch ms", "ms/query", "rows extracted",
+                     "ops/query", "vs Q=1"},
+                    batch_rows);
+
+  bool amortization_decreasing = true;
+  for (size_t i = 1; i < batch_points.size(); ++i) {
+    if (batch_points[i].ops_per_query >=
+        batch_points[i - 1].ops_per_query) {
+      amortization_decreasing = false;
+    }
+  }
+  const bool tables_on =
+      batch_points.back().stats.table_queries == batch_points.back().q;
+  bench::ShapeCheck(batch_identical,
+                    "every batched answer bit-identical to serial Answer");
+  bench::ShapeCheck(!tables_on || amortization_decreasing,
+                    "ops/query strictly decreasing in Q (tables on)");
+  if (!batch_identical || (tables_on && !amortization_decreasing)) {
+    std::fprintf(stderr, "batched-answer equivalence/amortization FAILED\n");
+    return 1;
+  }
+
   // -- JSON for the perf trajectory. --
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -294,6 +406,21 @@ int main() {
                  "%.4f, \"speedup_vs_seed\": %.3f}%s\n",
                  m.threads, m.ms, m.mops_per_sec, seed_ms / m.ms,
                  i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"batch\": [\n");
+  for (size_t i = 0; i < batch_points.size(); ++i) {
+    const BatchPoint& p = batch_points[i];
+    std::fprintf(
+        f,
+        "    {\"q\": %zu, \"ms\": %.3f, \"ms_per_query\": %.3f, "
+        "\"mont_muls\": %llu, \"rows_extracted\": %llu, \"sweeps\": %llu, "
+        "\"ops_per_query\": %.2f, \"amortization_vs_q1\": %.4f}%s\n",
+        p.q, p.ms, p.ms / p.q,
+        static_cast<unsigned long long>(p.stats.mont_muls),
+        static_cast<unsigned long long>(p.stats.rows_extracted),
+        static_cast<unsigned long long>(p.stats.sweeps), p.ops_per_query,
+        p.ops_per_query / batch_points[0].ops_per_query,
+        i + 1 < batch_points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -1,6 +1,8 @@
 #include "core/pir_retrieval.h"
 
 #include <algorithm>
+#include <map>
+#include <span>
 #include <unordered_set>
 
 #include "common/stopwatch.h"
@@ -42,6 +44,11 @@ Result<const crypto::PirDatabase*> PirRetrievalServer::BucketMatrix(
   if (bucket >= buckets_->bucket_count()) {
     return Status::OutOfRange(StringPrintf("bucket %zu out of range", bucket));
   }
+  // Lazy materialization happens under the lock (a per-epoch warm-up cost);
+  // the common case — the matrix already exists — holds it only for the
+  // lookup, so concurrent queries never serialize behind each other's
+  // compute.
+  std::lock_guard<std::mutex> lock(*matrix_mu_);
   auto it = matrix_cache_.find(bucket);
   if (it != matrix_cache_.end()) return it->second.get();
 
@@ -89,6 +96,55 @@ Result<crypto::PirResponse> PirRetrievalServer::Answer(
     costs->server_cpu_ms += cpu_ms;
   }
   return response;
+}
+
+Result<std::vector<crypto::PirResponse>> PirRetrievalServer::AnswerBatch(
+    const std::vector<PirBatchItem>& items, RetrievalCosts* costs,
+    crypto::PirBatchStats* stats) const {
+  std::vector<crypto::PirResponse> responses(items.size());
+  if (items.empty()) return responses;
+
+  // Group item indices by bucket (ordered, so evaluation order is
+  // deterministic), preserving arrival order within each group.
+  std::map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].query == nullptr) {
+      return Status::InvalidArgument("null query in PIR batch item");
+    }
+    groups[items[i].bucket].push_back(i);
+  }
+
+  for (const auto& [bucket, indices] : groups) {
+    EMB_ASSIGN_OR_RETURN(const crypto::PirDatabase* matrix,
+                         BucketMatrix(bucket));
+
+    // I/O: one bucket fetch per group — the shared sweep touches every list
+    // in the bucket once for all of the group's queries.
+    if (layout_ != nullptr && costs != nullptr) {
+      storage::SimulatedDisk disk(disk_options_);
+      EMB_RETURN_NOT_OK(layout_->ChargeGroupRead(bucket, &disk));
+      costs->server_io_ms += disk.accumulated_ms();
+    }
+
+    std::vector<const crypto::PirQuery*> queries;
+    queries.reserve(indices.size());
+    for (size_t i : indices) queries.push_back(items[i].query);
+
+    crypto::PirServer server_impl(
+        std::shared_ptr<const crypto::PirDatabase>(matrix, [](auto*) {}),
+        pool_);
+    crypto::PirBatchStats group_stats;
+    EMB_ASSIGN_OR_RETURN(
+        std::vector<crypto::PirResponse> group,
+        server_impl.AnswerBatch(
+            std::span<const crypto::PirQuery* const>(queries), &group_stats));
+    for (size_t j = 0; j < indices.size(); ++j) {
+      responses[indices[j]] = std::move(group[j]);
+    }
+    if (costs != nullptr) costs->server_cpu_ms += group_stats.cpu_ms;
+    if (stats != nullptr) stats->Add(group_stats);
+  }
+  return responses;
 }
 
 PirRetrievalClient::PirRetrievalClient(const BucketOrganization* buckets,

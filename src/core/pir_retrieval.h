@@ -16,7 +16,9 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "core/bucket_organization.h"
@@ -29,11 +31,20 @@
 
 namespace embellish::core {
 
+/// \brief One query of a PIR batch: the bucket it addresses and the decoded
+///        query it carries (not owned; must outlive the call).
+struct PirBatchItem {
+  size_t bucket = 0;
+  const crypto::PirQuery* query = nullptr;
+};
+
 /// \brief Search-engine side: answers per-bucket PIR executions.
 ///
-/// Bucket matrices are materialized lazily and cached (the cache itself is
-/// not thread-safe — callers issue queries from one thread; the protocol
-/// evaluation inside one query fans out over `pool` when supplied).
+/// Answer and AnswerBatch are safe to call concurrently: bucket matrices are
+/// materialized lazily under an internal mutex (held only while a matrix is
+/// built — concurrent queries against already-built buckets proceed without
+/// serialization), matrices are immutable once built, and the protocol
+/// evaluation fans out over `pool` when supplied.
 class PirRetrievalServer {
  public:
   /// \brief `pool` may be null (serial evaluation) and must outlive the
@@ -50,7 +61,18 @@ class PirRetrievalServer {
                                      const crypto::PirQuery& query,
                                      RetrievalCosts* costs) const;
 
-  /// \brief The (lazily built) matrix for a bucket.
+  /// \brief Answers a batch of PIR executions in shared sweeps: items are
+  ///        grouped by bucket and each bucket's matrix is swept once for all
+  ///        of its queries (crypto::PirServer::AnswerBatch), with one bucket
+  ///        fetch of I/O charged per group. Response i corresponds to
+  ///        items[i] and is bit-identical to Answer(items[i]). Counters are
+  ///        added into `stats` when non-null.
+  Result<std::vector<crypto::PirResponse>> AnswerBatch(
+      const std::vector<PirBatchItem>& items, RetrievalCosts* costs,
+      crypto::PirBatchStats* stats = nullptr) const;
+
+  /// \brief The (lazily built) matrix for a bucket. Thread-safe; the
+  ///        returned matrix is immutable and lives as long as the server.
   Result<const crypto::PirDatabase*> BucketMatrix(size_t bucket) const;
 
  private:
@@ -59,6 +81,13 @@ class PirRetrievalServer {
   const storage::StorageLayout* layout_;
   storage::DiskModelOptions disk_options_;
   ThreadPool* pool_;  // not owned; null => serial
+  // Guards matrix_cache_ (lazy materialization); matrices themselves are
+  // immutable after insertion and entries are never evicted, so pointers
+  // handed out remain valid without the lock. Heap-allocated so the server
+  // stays movable (the sharded engine keeps one server per shard in a
+  // vector).
+  mutable std::unique_ptr<std::mutex> matrix_mu_ =
+      std::make_unique<std::mutex>();
   mutable std::unordered_map<size_t, std::unique_ptr<crypto::PirDatabase>>
       matrix_cache_;
 };

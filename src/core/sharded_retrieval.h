@@ -94,12 +94,19 @@ class ShardedPirRetrievalServer {
 
   size_t shard_count() const { return servers_.size(); }
 
-  /// \brief One PIR execution against one shard's bucket matrix. NOT
-  ///        thread-safe per shard (lazy matrix cache); distinct shards may
-  ///        be answered concurrently.
+  /// \brief One PIR execution against one shard's bucket matrix.
+  ///        Thread-safe: the per-shard matrix cache serializes only its lazy
+  ///        builds, so concurrent queries to one shard run in parallel.
   Result<crypto::PirResponse> Answer(size_t shard, size_t bucket,
                                      const crypto::PirQuery& query,
                                      RetrievalCosts* costs) const;
+
+  /// \brief Batched executions against one shard: items grouped by bucket,
+  ///        each bucket matrix swept once for all of its queries. Response i
+  ///        is bit-identical to Answer(shard, items[i]).
+  Result<std::vector<crypto::PirResponse>> AnswerBatch(
+      size_t shard, const std::vector<PirBatchItem>& items,
+      RetrievalCosts* costs, crypto::PirBatchStats* stats = nullptr) const;
 
   /// \brief Answers `query` against `bucket` on every shard (fanned out
   ///        over the pool), in shard order — the per-shard answer

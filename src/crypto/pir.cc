@@ -154,17 +154,54 @@ Result<std::vector<bool>> PirClient::DecodeResponse(
   return bits;
 }
 
+void PirBatchStats::Add(const PirBatchStats& other) {
+  queries += other.queries;
+  sweeps += other.sweeps;
+  budget_splits += other.budget_splits;
+  rows_extracted += other.rows_extracted;
+  mont_muls += other.mont_muls;
+  table_build_muls += other.table_build_muls;
+  table_queries += other.table_queries;
+  cpu_ms += other.cpu_ms;
+}
+
 PirServer::PirServer(std::shared_ptr<const PirDatabase> database,
                      ThreadPool* pool)
     : database_(std::move(database)), pool_(pool) {
   assert(database_ != nullptr);
 }
 
-Result<PirResponse> PirServer::Answer(const PirQuery& query,
-                                      uint64_t* ops_out,
-                                      double* cpu_ms_out) const {
-  const size_t rows = database_->rows();
-  const size_t cols = database_->cols();
+namespace {
+
+constexpr size_t kGroupBits = 8;
+constexpr size_t kTableEntries = size_t{1} << kGroupBits;
+
+// Per-query evaluation state shared by Answer and AnswerBatch: the Montgomery
+// context, the interleaved column factors, and the table-path decision from
+// the amortization cost model. The subset tables themselves are built per
+// sweep (BuildTables) and released afterwards, so a batch never holds more
+// than one sub-batch's tables live.
+struct QueryPlan {
+  explicit QueryPlan(bignum::MontgomeryContext m) : mont(std::move(m)) {}
+
+  bignum::MontgomeryContext mont;
+  size_t k = 0;  // limb width of the modulus
+  // Montgomery forms of q_j and q_j^2, interleaved per column — slot
+  // (2j + bit) holds the factor for b_ij == bit — so the inner loop indexes
+  // adjacent cache lines whichever way the bit falls (Section 5.2: the row
+  // loop is then pure MontMul, which dominates server CPU).
+  std::vector<uint64_t> factors;
+  size_t ngroups = 0;
+  bool use_tables = false;
+  size_t table_bytes = 0;         // footprint of the subset tables if built
+  uint64_t table_build_muls = 0;  // MontMuls to build them
+  // Subset-product tables, layout [group][s1/s2][pattern][limb]; empty until
+  // BuildTables and after ReleaseTables.
+  std::vector<uint64_t> tables;
+};
+
+Result<QueryPlan> PlanQuery(const PirQuery& query, size_t rows, size_t cols,
+                            size_t table_budget_bytes) {
   if (query.q.size() != cols) {
     return Status::InvalidArgument(
         StringPrintf("query width %zu != database width %zu", query.q.size(),
@@ -173,148 +210,273 @@ Result<PirResponse> PirServer::Answer(const PirQuery& query,
   if (query.n.IsZero() || !query.n.IsOdd()) {
     return Status::InvalidArgument("query modulus must be odd and nonzero");
   }
-  CpuStopwatch setup_cpu;  // caller-thread CPU: context + factor-table setup
   auto mont_res = bignum::MontgomeryContext::Create(query.n);
   if (!mont_res.ok()) return mont_res.status();
-  const bignum::MontgomeryContext& mont = mont_res.value();
-  const size_t k = mont.limb_count();
+  QueryPlan plan(std::move(mont_res).value());
+  plan.k = plan.mont.limb_count();
 
-  // Precompute Montgomery forms of q_j and q_j^2 once per query; the row
-  // loop is then pure MontMul, which dominates server CPU (Section 5.2).
-  // The operands live in one flat array, interleaved per column — slot
-  // (2j + bit) holds the factor for b_ij == bit — so the inner loop indexes
-  // adjacent cache lines whichever way the bit falls.
-  std::vector<uint64_t> factors(2 * cols * k);
+  plan.factors.resize(2 * cols * plan.k);
   {
-    bignum::MontgomeryContext::Scratch scratch(mont);
+    bignum::MontgomeryContext::Scratch scratch(plan.mont);
     for (size_t j = 0; j < cols; ++j) {
-      uint64_t* q_slot = factors.data() + (2 * j + 1) * k;
-      uint64_t* q2_slot = factors.data() + (2 * j) * k;
-      mont.ToMontgomeryInto(query.q[j], q_slot, &scratch);
-      mont.MontMulInto(q_slot, q_slot, q2_slot, &scratch);
+      uint64_t* q_slot = plan.factors.data() + (2 * j + 1) * plan.k;
+      uint64_t* q2_slot = plan.factors.data() + (2 * j) * plan.k;
+      plan.mont.ToMontgomeryInto(query.q[j], q_slot, &scratch);
+      plan.mont.MontMulInto(q_slot, q_slot, q2_slot, &scratch);
     }
   }
 
-  // Subset-product tables ("four Russians" over the bit matrix): split the
-  // columns into groups of up to 8. For a group of width w, a row's partial
-  // product  prod_i (bit_i ? q_i : q_i^2)  takes one of 2^w values, and the
-  // 2^w subset products of {q_i} (table S1) and {q_i^2} (table S2) can each
-  // be built with one MontMul per entry. A row then costs
-  //   MontMul(S1[v], S2[~v])            per group (v = the row's w bits)
-  // plus one combining MontMul per extra group — ~2 multiplications per 8
-  // columns instead of 8. The multiset of factors is unchanged, so the gamma
-  // values are bit-identical to the naive chain. Tables are built once per
-  // query (serial setup) and shared read-only across workers.
-  constexpr size_t kGroupBits = 8;
-  const size_t ngroups = (cols + kGroupBits - 1) / kGroupBits;
-  const bool use_tables = rows >= 128 && cols >= 4 &&
-                          ngroups * 2 * (size_t{1} << kGroupBits) * k *
-                                  sizeof(uint64_t) <=
-                              (size_t{4} << 20);
+  plan.ngroups = (cols + kGroupBits - 1) / kGroupBits;
+  plan.table_bytes =
+      plan.ngroups * 2 * kTableEntries * plan.k * sizeof(uint64_t);
+  for (size_t group = 0; group < plan.ngroups; ++group) {
+    const size_t width = std::min(kGroupBits, cols - group * kGroupBits);
+    plan.table_build_muls += 2 * ((uint64_t{1} << width) - width - 1);
+  }
 
-  // tables layout: [group][s1/s2][pattern][limb]
-  const size_t entries = size_t{1} << kGroupBits;
-  std::vector<uint64_t> tables;
-  if (use_tables) {
-    bignum::MontgomeryContext::Scratch scratch(mont);
-    tables.resize(ngroups * 2 * entries * k);
-    for (size_t group = 0; group < ngroups; ++group) {
-      const size_t col0 = group * kGroupBits;
-      const size_t width = std::min(kGroupBits, cols - col0);
-      for (size_t half = 0; half < 2; ++half) {
-        // half 0: S1 over q_j (selector bit 1); half 1: S2 over q_j^2.
-        uint64_t* table = tables.data() + (group * 2 + half) * entries * k;
-        std::memcpy(table, mont.One().data(), k * sizeof(uint64_t));
-        for (size_t v = 1; v < (size_t{1} << width); ++v) {
-          const size_t low = v & (0 - v);
-          const size_t col = col0 + std::countr_zero(low);
-          const uint64_t* base =
-              factors.data() + (2 * col + (half == 0 ? 1 : 0)) * k;
-          uint64_t* dst = table + v * k;
-          if (v == low) {
-            std::memcpy(dst, base, k * sizeof(uint64_t));
-          } else {
-            mont.MontMulInto(table + (v ^ low) * k, base, dst, &scratch);
-          }
+  // Amortization-aware gate (replaces the old `rows >= 128` cliff, which
+  // silently dropped small post-reshard slices onto the naive path): take
+  // the subset-product tables exactly when they strictly reduce the MontMul
+  // count — build cost plus (2g - 1) muls per row versus the naive cols muls
+  // per row — and this query's tables alone fit the budget. Batch width
+  // never flips this decision; budget pressure across a batch splits the
+  // sweep instead (see AnswerBatch).
+  const uint64_t row_muls_tables =
+      static_cast<uint64_t>(rows) * (2 * plan.ngroups - 1);
+  const uint64_t row_muls_naive = static_cast<uint64_t>(rows) * cols;
+  plan.use_tables = cols >= 4 &&
+                    plan.table_build_muls + row_muls_tables < row_muls_naive &&
+                    plan.table_bytes <= table_budget_bytes;
+  return plan;
+}
+
+// MontMuls charged to one query's row sweep (excludes the table build).
+uint64_t RowMuls(const QueryPlan& plan, size_t rows, size_t cols) {
+  return plan.use_tables
+             ? static_cast<uint64_t>(rows) * (2 * plan.ngroups - 1)
+             : static_cast<uint64_t>(rows) * cols;
+}
+
+// Subset-product tables ("four Russians" over the bit matrix): split the
+// columns into groups of up to 8. For a group of width w, a row's partial
+// product  prod_i (bit_i ? q_i : q_i^2)  takes one of 2^w values, and the
+// 2^w subset products of {q_i} (table S1) and {q_i^2} (table S2) can each
+// be built with one MontMul per entry. A row then costs
+//   MontMul(S1[v], S2[~v])            per group (v = the row's w bits)
+// plus one combining MontMul per extra group — ~2 multiplications per 8
+// columns instead of 8. The multiset of factors is unchanged, so the gamma
+// values are bit-identical to the naive chain. Tables are built once per
+// query per sweep (serial setup) and shared read-only across workers.
+void BuildTables(QueryPlan* plan, size_t cols) {
+  const bignum::MontgomeryContext& mont = plan->mont;
+  const size_t k = plan->k;
+  bignum::MontgomeryContext::Scratch scratch(mont);
+  plan->tables.resize(plan->ngroups * 2 * kTableEntries * k);
+  for (size_t group = 0; group < plan->ngroups; ++group) {
+    const size_t col0 = group * kGroupBits;
+    const size_t width = std::min(kGroupBits, cols - col0);
+    for (size_t half = 0; half < 2; ++half) {
+      // half 0: S1 over q_j (selector bit 1); half 1: S2 over q_j^2.
+      uint64_t* table =
+          plan->tables.data() + (group * 2 + half) * kTableEntries * k;
+      std::memcpy(table, mont.One().data(), k * sizeof(uint64_t));
+      for (size_t v = 1; v < (size_t{1} << width); ++v) {
+        const size_t low = v & (0 - v);
+        const size_t col = col0 + std::countr_zero(low);
+        const uint64_t* base =
+            plan->factors.data() + (2 * col + (half == 0 ? 1 : 0)) * k;
+        uint64_t* dst = table + v * k;
+        if (v == low) {
+          std::memcpy(dst, base, k * sizeof(uint64_t));
+        } else {
+          mont.MontMulInto(table + (v ^ low) * k, base, dst, &scratch);
         }
       }
     }
   }
+}
 
-  PirResponse response;
-  response.gamma.resize(rows);
-  bignum::BigInt* gamma = response.gamma.data();
-  const uint64_t* one = mont.One().data();
+void ReleaseTables(QueryPlan* plan) {
+  std::vector<uint64_t>().swap(plan->tables);
+}
 
-  // Row kernel: rows are independent, so [row_begin, row_end) chunks run on
-  // any thread. All per-multiplication state lives in the worker-owned
-  // scratch/buffers; the column loop performs zero heap allocations.
+// One pass over the bit matrix answering every member query: each row is
+// extracted exactly once and each member's per-query state (subset tables or
+// factor chain) is consulted against it. Rows are the parallel axis; all
+// per-multiplication state lives in worker-owned scratch/buffers and the
+// column loops perform zero heap allocations. Per query, the factor multiset
+// and multiplication order match the single-query kernel exactly, so the
+// gammas are bit-identical to serial Answer calls. Returns worker CPU ms.
+double SweepRows(const PirDatabase& db, ThreadPool* pool, size_t cols,
+                 std::vector<QueryPlan>& plans,
+                 const std::vector<size_t>& members,
+                 std::vector<PirResponse>& responses) {
+  const size_t rows = db.rows();
   auto answer_rows = [&](size_t row_begin, size_t row_end) {
-    bignum::MontgomeryContext::Scratch scratch(mont);
-    std::vector<uint64_t> row_words(database_->RowWords());
-    std::vector<uint64_t> acc(k);
-    std::vector<uint64_t> part(k);
-    std::vector<uint64_t> plain(k);
-    for (size_t i = row_begin; i < row_end; ++i) {
-      database_->ExtractRow(i, row_words.data());
-      if (use_tables) {
-        for (size_t group = 0; group < ngroups; ++group) {
-          const size_t col0 = group * kGroupBits;
-          const size_t width = std::min(kGroupBits, cols - col0);
-          const uint64_t mask = (uint64_t{1} << width) - 1;
-          // Groups are byte-aligned, so a group never straddles a word.
-          const uint64_t v =
-              (row_words[col0 / 64] >> (col0 % 64)) & mask;
-          const uint64_t* s1 =
-              tables.data() + (group * 2 + 0) * entries * k + v * k;
-          const uint64_t* s2 =
-              tables.data() + (group * 2 + 1) * entries * k +
-              ((~v) & mask) * k;
-          if (group == 0) {
-            mont.MontMulInto(s1, s2, acc.data(), &scratch);
-          } else {
-            mont.MontMulInto(s1, s2, part.data(), &scratch);
-            mont.MontMulInto(acc.data(), part.data(), acc.data(), &scratch);
-          }
-        }
-      } else {
-        std::memcpy(acc.data(), one, k * sizeof(uint64_t));
-        mont.MontMulSelectInto(factors.data(), row_words.data(), cols,
-                               acc.data(), &scratch);
+    // Worker-owned state: one Scratch per distinct limb width (a Scratch is
+    // width-bound and reusable across contexts of the same width), one
+    // row-word buffer shared by all members, max-width accumulators.
+    std::vector<size_t> widths;
+    std::vector<bignum::MontgomeryContext::Scratch> scratches;
+    std::vector<size_t> scratch_of(members.size());
+    size_t max_k = 0;
+    for (size_t mi = 0; mi < members.size(); ++mi) {
+      const QueryPlan& plan = plans[members[mi]];
+      max_k = std::max(max_k, plan.k);
+      auto it = std::find(widths.begin(), widths.end(), plan.k);
+      if (it == widths.end()) {
+        widths.push_back(plan.k);
+        scratches.emplace_back(plan.mont);
+        it = widths.end() - 1;
       }
-      mont.FromMontgomeryInto(acc.data(), plain.data(), &scratch);
-      gamma[i] = bignum::BigInt::FromLimbs(std::move(plain));
-      plain.resize(k);
+      scratch_of[mi] = static_cast<size_t>(it - widths.begin());
+    }
+    std::vector<uint64_t> row_words(db.RowWords());
+    std::vector<uint64_t> acc(max_k);
+    std::vector<uint64_t> part(max_k);
+    std::vector<uint64_t> plain(max_k);
+    for (size_t i = row_begin; i < row_end; ++i) {
+      db.ExtractRow(i, row_words.data());
+      for (size_t mi = 0; mi < members.size(); ++mi) {
+        QueryPlan& plan = plans[members[mi]];
+        const bignum::MontgomeryContext& mont = plan.mont;
+        const size_t k = plan.k;
+        bignum::MontgomeryContext::Scratch* scratch = &scratches[scratch_of[mi]];
+        if (plan.use_tables) {
+          for (size_t group = 0; group < plan.ngroups; ++group) {
+            const size_t col0 = group * kGroupBits;
+            const size_t width = std::min(kGroupBits, cols - col0);
+            const uint64_t mask = (uint64_t{1} << width) - 1;
+            // Groups are byte-aligned, so a group never straddles a word.
+            const uint64_t v = (row_words[col0 / 64] >> (col0 % 64)) & mask;
+            const uint64_t* s1 =
+                plan.tables.data() + (group * 2 + 0) * kTableEntries * k +
+                v * k;
+            const uint64_t* s2 =
+                plan.tables.data() + (group * 2 + 1) * kTableEntries * k +
+                ((~v) & mask) * k;
+            if (group == 0) {
+              mont.MontMulInto(s1, s2, acc.data(), scratch);
+            } else {
+              mont.MontMulInto(s1, s2, part.data(), scratch);
+              mont.MontMulInto(acc.data(), part.data(), acc.data(), scratch);
+            }
+          }
+        } else {
+          std::memcpy(acc.data(), mont.One().data(), k * sizeof(uint64_t));
+          mont.MontMulSelectInto(plan.factors.data(), row_words.data(), cols,
+                                 acc.data(), scratch);
+        }
+        plain.resize(k);
+        mont.FromMontgomeryInto(acc.data(), plain.data(), scratch);
+        responses[members[mi]].gamma[i] =
+            bignum::BigInt::FromLimbs(std::move(plain));
+      }
     }
   };
 
-  // Total CPU = caller-thread setup + in-kernel CPU summed over workers.
-  double cpu_ms = setup_cpu.ElapsedMillis();
-  if (pool_ != nullptr) {
-    cpu_ms += pool_->ParallelFor(0, rows, /*min_grain=*/4, answer_rows);
-  } else {
-    CpuStopwatch cpu;
-    answer_rows(0, rows);
-    cpu_ms += cpu.ElapsedMillis();
+  if (pool != nullptr) {
+    return pool->ParallelFor(0, rows, /*min_grain=*/4, answer_rows);
+  }
+  CpuStopwatch cpu;
+  answer_rows(0, rows);
+  return cpu.ElapsedMillis();
+}
+
+}  // namespace
+
+Result<PirResponse> PirServer::Answer(const PirQuery& query,
+                                      uint64_t* ops_out,
+                                      double* cpu_ms_out) const {
+  // The single-query answer is exactly the Q=1 batch: one shared code path
+  // is what makes the batch-vs-serial bit-identity claim structural.
+  PirBatchStats stats;
+  const PirQuery* ptr = &query;
+  auto batch = AnswerBatch(std::span<const PirQuery* const>(&ptr, 1), &stats);
+  if (!batch.ok()) return batch.status();
+  if (ops_out != nullptr) *ops_out = stats.mont_muls;
+  if (cpu_ms_out != nullptr) *cpu_ms_out = stats.cpu_ms;
+  std::vector<PirResponse> responses = std::move(batch).value();
+  return std::move(responses[0]);
+}
+
+Result<std::vector<PirResponse>> PirServer::AnswerBatch(
+    std::span<const PirQuery> queries, PirBatchStats* stats) const {
+  std::vector<const PirQuery*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const PirQuery& query : queries) ptrs.push_back(&query);
+  return AnswerBatch(std::span<const PirQuery* const>(ptrs), stats);
+}
+
+Result<std::vector<PirResponse>> PirServer::AnswerBatch(
+    std::span<const PirQuery* const> queries, PirBatchStats* stats) const {
+  const size_t rows = database_->rows();
+  const size_t cols = database_->cols();
+  std::vector<PirResponse> responses(queries.size());
+  if (queries.empty()) return responses;
+
+  CpuStopwatch setup_cpu;  // caller-thread CPU: contexts + factor setup
+  std::vector<QueryPlan> plans;
+  plans.reserve(queries.size());
+  for (const PirQuery* query : queries) {
+    if (query == nullptr) {
+      return Status::InvalidArgument("null PIR query in batch");
+    }
+    auto plan = PlanQuery(*query, rows, cols, table_budget_bytes_);
+    if (!plan.ok()) return plan.status();
+    plans.push_back(std::move(plan).value());
   }
 
-  if (ops_out != nullptr) {
-    if (use_tables) {
-      // Table build: each entry past the identity and the base copies costs
-      // one MontMul. Rows: one MontMul for the first group, two per extra
-      // group (combine + fold).
-      uint64_t table_ops = 0;
-      for (size_t group = 0; group < ngroups; ++group) {
-        const size_t width = std::min(kGroupBits, cols - group * kGroupBits);
-        table_ops += 2 * ((uint64_t{1} << width) - width - 1);
-      }
-      *ops_out = table_ops + static_cast<uint64_t>(rows) * (2 * ngroups - 1);
-    } else {
-      *ops_out = static_cast<uint64_t>(rows) * cols;
+  PirBatchStats local;
+  local.queries = queries.size();
+  local.cpu_ms = setup_cpu.ElapsedMillis();
+
+  // Partition the batch into consecutive sub-batches whose combined table
+  // footprint fits the batch-wide budget. The gate already degraded any
+  // query whose tables alone exceed the budget to the naive path, so every
+  // table query fits in some sub-batch: budget pressure splits the sweep, it
+  // never silently inflates a query onto the naive path.
+  size_t begin = 0;
+  while (begin < plans.size()) {
+    size_t end = begin;
+    size_t live_bytes = 0;
+    while (end < plans.size()) {
+      const size_t bytes = plans[end].use_tables ? plans[end].table_bytes : 0;
+      if (end > begin && live_bytes + bytes > table_budget_bytes_) break;
+      live_bytes += bytes;
+      ++end;
+    }
+    std::vector<size_t> members;
+    members.reserve(end - begin);
+    CpuStopwatch build_cpu;
+    for (size_t m = begin; m < end; ++m) {
+      members.push_back(m);
+      responses[m].gamma.resize(rows);
+      if (plans[m].use_tables) BuildTables(&plans[m], cols);
+    }
+    local.cpu_ms += build_cpu.ElapsedMillis();
+    local.cpu_ms += SweepRows(*database_, pool_, cols, plans, members,
+                              responses);
+    for (size_t m = begin; m < end; ++m) ReleaseTables(&plans[m]);
+    ++local.sweeps;
+    local.rows_extracted += rows;  // shared: each row read once per sweep
+    begin = end;
+  }
+  local.budget_splits = local.sweeps - 1;
+
+  for (const QueryPlan& plan : plans) {
+    // Per-query MontMuls are charged per query — nothing about the modular
+    // arithmetic is shared across moduli — matching Answer's ops_out exactly.
+    local.mont_muls += RowMuls(plan, rows, cols);
+    if (plan.use_tables) {
+      local.mont_muls += plan.table_build_muls;
+      local.table_build_muls += plan.table_build_muls;
+      ++local.table_queries;
     }
   }
-  if (cpu_ms_out != nullptr) *cpu_ms_out = cpu_ms;
-  return response;
+
+  if (stats != nullptr) stats->Add(local);
+  return responses;
 }
 
 }  // namespace embellish::crypto

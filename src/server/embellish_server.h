@@ -28,9 +28,25 @@
 // on the shared executor — options.shard_threads caps one query's draw on
 // the pool — and the merged response frame is bit-identical to the
 // monolithic server's. PIR requests address one (shard, bucket) pair: the
-// frame's bucket field carries shard * bucket_count + bucket, each shard
-// answers independently behind its own mutex, and cache entries are keyed
-// per shard.
+// frame's bucket field carries shard * bucket_count + bucket, shards answer
+// independently (and concurrently — the engines' lazy matrix caches are
+// internally synchronized), and cache entries are keyed per shard.
+//
+// Batched PIR (PR 9): HandleBatch answers the PIR frames of one dispatched
+// batch in shared sweeps. The dispatch pass defers every decoded,
+// cache-missed kPirQuery into a per-batch collector instead of computing it
+// inline; the batch then groups the deferred queries by (database epoch,
+// shard) — the epoch is the batch's single pinned snapshot, so within a
+// batch the grouping key is the shard, and frames that arrive around a
+// cutover land in different batches and therefore different groups — and
+// answers each group through core::PirRetrievalServer::AnswerBatch: each
+// bucket matrix is swept once for all of the group's queries
+// (crypto::PirServer::AnswerBatch extracts each row once), and the
+// per-session response frames are rebuilt from the per-query gammas. The
+// per-shard mutex that used to serialize whole answer computations is gone;
+// what remains serialized is queue admission into the collector and the
+// matrix caches' lazy builds. Every response stays bit-identical to
+// HandleFrame's.
 //
 // Slice mode (options.shard_slice set): the server owns one slice of an
 // N-way document partition and behaves as a monolithic server over it —
@@ -192,6 +208,13 @@ struct ServerStats {
   // Impact-bound shard skipping on the plaintext top-k path.
   uint64_t topk_shards_visited = 0;
   uint64_t topk_shards_skipped = 0;
+
+  // Cross-query batched PIR: HandleBatch groups a batch's PIR frames by
+  // (database epoch, shard) and answers each group in shared sweeps.
+  uint64_t pir_batch_sweeps = 0;     ///< shared matrix sweeps run
+  uint64_t pir_batched_queries = 0;  ///< PIR queries answered via a shared sweep
+  uint64_t pir_batch_budget_splits = 0;  ///< sub-batches forced by the
+                                         ///< batch-wide table budget
 };
 
 /// \brief Multi-session batched answer server.
@@ -286,10 +309,14 @@ class EmbellishServer {
   ServerStats stats() const;
 
  private:
-  // Per-request counters merged into totals_ under stats_mu_.
+  // Per-request counters merged into totals_ under stats_mu_. `deferred`
+  // marks a PIR request parked in the batch collector: the response is
+  // empty for now and the remaining counters (downlink, pir_queries, CPU)
+  // merge when the shared sweep finishes it.
   struct RequestOutcome {
     std::vector<uint8_t> response;
     ServerStats delta;
+    bool deferred = false;
   };
 
   // Everything one batch needs to answer against one pinned epoch. The
@@ -310,15 +337,35 @@ class EmbellishServer {
     bool slice_invalid = false;
     size_t advertised_shards = 1;  // hello-ok topology (slice advertises 1)
 
-    // Monolithic engines (null when serving sharded).
+    // Monolithic engines (null when serving sharded). The PIR engines are
+    // internally thread-safe (their lazy matrix caches serialize only their
+    // builds), so no external answer-compute mutex exists any more — the
+    // per-shard lock convoy that serialized concurrent PIR answers died
+    // with it.
     std::unique_ptr<core::PrivateRetrievalServer> pr;
     std::unique_ptr<core::PirRetrievalServer> pir;
-    std::unique_ptr<std::mutex> pir_mu;
 
     // Sharded engines (null when serving monolithic/slice).
     std::unique_ptr<core::ShardedPrivateRetrievalServer> sharded_pr;
     std::unique_ptr<core::ShardedPirRetrievalServer> sharded_pir;
-    std::vector<std::unique_ptr<std::mutex>> shard_pir_mu;
+  };
+
+  // One dispatched batch's deferred PIR work: the dispatch pass parks every
+  // decoded, cache-missed kPirQuery here, and the batch answers them in
+  // shared per-(epoch, shard) sweeps afterwards. The mutex guards queue
+  // admission only — the one residue of the per-shard serialization that
+  // used to span whole answer computations.
+  struct PendingPir {
+    size_t slot = 0;  // index into the batch's responses
+    uint64_t session_id = 0;
+    size_t shard = 0;
+    size_t bucket = 0;        // shard-local
+    PirQueryPayload payload;  // owns the decoded query
+    std::string cache_key;    // empty when the cache is off
+  };
+  struct PirBatchCollector {
+    std::mutex mu;
+    std::vector<PendingPir> pending;
   };
 
   // Pins the catalog's current epoch and returns the (possibly cached)
@@ -329,8 +376,18 @@ class EmbellishServer {
   std::shared_ptr<const EpochEngines> BuildEngines(
       std::shared_ptr<const index::IndexEpoch> snapshot) const;
 
+  // `collector`, when non-null, makes kPirQuery requests defer their answer
+  // compute into it (outcome.deferred set; `slot` names the response index
+  // the deferred answer must fill). AnswerDeferredPir then answers every
+  // parked query in shared sweeps and writes the finished frames into
+  // `responses`.
   RequestOutcome ProcessOne(const EpochEngines& engines,
-                            const std::vector<uint8_t>& request);
+                            const std::vector<uint8_t>& request,
+                            PirBatchCollector* collector = nullptr,
+                            size_t slot = 0);
+  void AnswerDeferredPir(const EpochEngines& engines,
+                         PirBatchCollector& collector,
+                         std::vector<std::vector<uint8_t>>* responses);
 
   // Admission control: grants up to `want` in-flight slots (all of them
   // when max_inflight is 0); ReleaseInflight returns what was granted.
@@ -345,7 +402,8 @@ class EmbellishServer {
   RequestOutcome HandleHello(const EpochEngines& engines, const Frame& frame);
   RequestOutcome HandleQuery(const EpochEngines& engines, const Frame& frame);
   RequestOutcome HandlePirQuery(const EpochEngines& engines,
-                                const Frame& frame);
+                                const Frame& frame,
+                                PirBatchCollector* collector, size_t slot);
   RequestOutcome HandleTopK(const EpochEngines& engines, const Frame& frame);
   static RequestOutcome ErrorOutcome(uint64_t session_id,
                                      const Status& status);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "index/builder.h"
 #include "testutil.h"
 
@@ -175,6 +177,82 @@ TEST(PirRetrievalTest, MultipleTermsSameBucketFetchedSeparately) {
   // Two executions -> roughly double the traffic of one.
   EXPECT_GT(two.downlink_bytes, one.downlink_bytes);
   EXPECT_GE(two.uplink_bytes, 2 * one.uplink_bytes);
+}
+
+TEST(PirRetrievalTest, AnswerBatchMatchesPerItemAnswers) {
+  // A batch mixing queries for several buckets: responses must be
+  // bit-identical to per-item Answer calls, and I/O must be charged once
+  // per bucket group rather than once per query.
+  PirPipeline p(4);
+  Rng rng(21);
+  // Two indexed terms in each of two distinct buckets.
+  std::vector<std::pair<size_t, size_t>> targets;  // (bucket, slot)
+  for (size_t bkt = 0; bkt < p.org.bucket_count() && targets.size() < 4;
+       ++bkt) {
+    const auto& members = p.org.bucket(bkt);
+    size_t found = 0;
+    for (size_t slot = 0; slot < members.size() && found < 2; ++slot) {
+      if (p.built.index.postings(members[slot]) != nullptr) {
+        targets.emplace_back(bkt, slot);
+        ++found;
+      }
+    }
+  }
+  ASSERT_GE(targets.size(), 4u);
+
+  std::vector<crypto::PirQuery> queries;
+  std::vector<PirBatchItem> items;
+  for (const auto& [bucket, slot] : targets) {
+    auto query =
+        p.client->pir_client().BuildQuery(slot, p.org.bucket(bucket).size(),
+                                          &rng);
+    ASSERT_TRUE(query.ok());
+    queries.push_back(std::move(query).value());
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    items.push_back(PirBatchItem{targets[i].first, &queries[i]});
+  }
+
+  RetrievalCosts batch_costs;
+  crypto::PirBatchStats stats;
+  auto batch = p.server->AnswerBatch(items, &batch_costs, &stats);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), items.size());
+  EXPECT_EQ(stats.queries, items.size());
+
+  RetrievalCosts serial_costs;
+  std::map<size_t, int> buckets_seen;
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto serial = p.server->Answer(items[i].bucket, queries[i], &serial_costs);
+    ASSERT_TRUE(serial.ok());
+    buckets_seen[items[i].bucket]++;
+    ASSERT_EQ((*batch)[i].gamma.size(), serial->gamma.size());
+    for (size_t r = 0; r < serial->gamma.size(); ++r) {
+      ASSERT_EQ((*batch)[i].gamma[r], serial->gamma[r])
+          << "item " << i << " row " << r;
+    }
+  }
+  // Serial answers charge one bucket fetch per query; the batch charges one
+  // per distinct bucket.
+  ASSERT_GT(buckets_seen.size(), 1u);
+  EXPECT_GT(batch_costs.server_io_ms, 0.0);
+  EXPECT_LT(batch_costs.server_io_ms, serial_costs.server_io_ms);
+}
+
+TEST(PirRetrievalTest, AnswerBatchRejectsBadItems) {
+  PirPipeline p(4);
+  Rng rng(22);
+  auto query = p.client->pir_client().BuildQuery(0, p.org.bucket(0).size(),
+                                                 &rng);
+  ASSERT_TRUE(query.ok());
+  RetrievalCosts costs;
+  EXPECT_FALSE(
+      p.server->AnswerBatch({PirBatchItem{999999, &*query}}, &costs).ok());
+  EXPECT_FALSE(
+      p.server->AnswerBatch({PirBatchItem{0, nullptr}}, &costs).ok());
+  auto empty = p.server->AnswerBatch({}, &costs);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
 }
 
 TEST(PirRetrievalTest, ServerRejectsBadBucketIndex) {

@@ -129,6 +129,22 @@ TEST(PirServerTest, RejectsWidthMismatch) {
 }
 
 TEST(PirServerTest, ReportsMultiplicationCount) {
+  auto db = RandomDatabase(16, 3, 8);
+  Rng rng(8);
+  auto client = PirClient::Create(128, &rng);
+  PirServer server(db);
+  auto query = client->BuildQuery(0, 3, &rng);
+  uint64_t ops = 0;
+  auto response = server.Answer(*query, &ops);
+  ASSERT_TRUE(response.ok());
+  // cols < 4 stays on the naive chain: rows x cols products.
+  EXPECT_EQ(ops, 16u * 3u);
+}
+
+TEST(PirServerTest, ReportsTablePathCountWhenTablesPay) {
+  // 16 x 4: one width-4 group costs 2*(16-4-1)=22 build muls plus one mul
+  // per row = 38 < the naive 64, so the cost-model gate takes the tables
+  // even though rows < 128 (the old cliff kept small matrices naive).
   auto db = RandomDatabase(16, 4, 8);
   Rng rng(8);
   auto client = PirClient::Create(128, &rng);
@@ -137,7 +153,7 @@ TEST(PirServerTest, ReportsMultiplicationCount) {
   uint64_t ops = 0;
   auto response = server.Answer(*query, &ops);
   ASSERT_TRUE(response.ok());
-  EXPECT_EQ(ops, 16u * 4u);  // rows x cols products
+  EXPECT_EQ(ops, 22u + 16u);
 }
 
 TEST(PirWireTest, QueryAndResponseSizes) {

@@ -227,6 +227,56 @@ TEST_F(ShardCoordinatorTest, BatchedDispatchMatchesSerial) {
   }
 }
 
+TEST_F(ShardCoordinatorTest, BatchedPirDispatchMatchesSerialAndSharded) {
+  // Batched PIR through the coordinator: each slice server answers its
+  // batch's PIR frames in shared sweeps, and the coordinator-dispatched
+  // bytes must still equal both the serial coordinator path and the
+  // in-process sharded server, for a batch mixing shards and moduli.
+  constexpr size_t kShards = 3;
+  ThreadPool pool(4);
+  EmbellishServerOptions shard_options;
+  shard_options.shard_count = kShards;
+  EmbellishServer sharded(&built_.index, &org_, nullptr, shard_options);
+
+  ShardCoordinatorOptions copts;
+  copts.fanout_threads = 2;
+  Rig rig = MakeRig(kShards, copts);
+  std::vector<ShardTransport*> shared;
+  for (auto& t : rig.transports) shared.push_back(t.get());
+  ShardCoordinator batched(shared, copts, &pool);
+
+  auto terms = built_.index.IndexedTerms();
+  Rng rng(933);
+  std::vector<std::vector<uint8_t>> requests;
+  for (size_t c = 0; c < 2; ++c) {
+    crypto::PirClient pir_client =
+        std::move(crypto::PirClient::Create(256, &rng)).value();
+    for (size_t q = 0; q < 2; ++q) {
+      auto slot = org_.Locate(terms[(31 * c + 13 * q + 3) % terms.size()]);
+      ASSERT_TRUE(slot.ok());
+      auto query = pir_client.BuildQuery(
+          slot->slot, org_.bucket(slot->bucket).size(), &rng);
+      ASSERT_TRUE(query.ok());
+      for (size_t shard = 0; shard < kShards; ++shard) {
+        requests.push_back(EncodeFrame(
+            FrameKind::kPirQuery, 900 + c,
+            EncodePirQuery(batched.PirBucketField(shard, slot->bucket),
+                           *query)));
+      }
+    }
+  }
+
+  auto responses = batched.HandleBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(KindOf(responses[i]), FrameKind::kPirResult) << "request " << i;
+    EXPECT_EQ(responses[i], rig.coordinator->HandleFrame(requests[i]))
+        << "request " << i;
+    EXPECT_EQ(responses[i], sharded.HandleFrame(requests[i]))
+        << "request " << i;
+  }
+}
+
 TEST_F(ShardCoordinatorTest, ResponseCacheShortCircuitsRecurringPrQueries) {
   ShardCoordinatorOptions copts;
   copts.cache_capacity = 64;
