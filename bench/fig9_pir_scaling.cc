@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cpuinfo.h"
+#include "crypto/benaloh.h"
 
 namespace {
 
@@ -380,6 +382,133 @@ int main() {
     return 1;
   }
 
+  // -- Kernel tier sweep: the same Q=8 batch and one EncryptBatch, answered
+  // at every Montgomery kernel tier this CPU supports (scalar, adx, avx2,
+  // ifma). Responses and ciphertexts must be IDENTICAL across tiers — the
+  // run fails (exit 1) on any divergence — and the table reports per-tier
+  // throughput plus the measured SIMD lane fill. Nonces are drawn serially
+  // in message order from a reseeded Rng, so the EncryptBatch comparison is
+  // exact, not statistical.
+  struct KernelPoint {
+    MontKernel kernel;
+    double batch_ms = 1e300;    // AnswerBatch, Q = 8
+    double batch_mops = 0;      // mont_muls per second / 1e6
+    double fill = 0;            // PirBatchStats::simd_fill()
+    double enc_ms = 1e300;      // EncryptBatch of kEncMsgs messages
+    double enc_per_sec = 0;
+    bool match = true;          // identical to the scalar tier's outputs
+  };
+  constexpr size_t kEncMsgs = 64;
+  const size_t kernel_q = 8;
+  std::vector<crypto::PirQuery> kernel_queries;
+  for (size_t i = 0; i < kernel_q; ++i) {
+    auto bq = batch_clients[i % batch_clients.size()].BuildQuery(
+        i % cols, cols, &rng);
+    if (!bq.ok()) {
+      std::fprintf(stderr, "kernel-sweep query build failed\n");
+      return 1;
+    }
+    kernel_queries.push_back(std::move(*bq));
+  }
+  auto benaloh_keys =
+      crypto::BenalohKeyPair::Generate({.key_bits = key_bits}, &rng);
+  if (!benaloh_keys.ok()) {
+    std::fprintf(stderr, "benaloh keygen failed: %s\n",
+                 benaloh_keys.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<uint64_t> enc_messages(kEncMsgs);
+  for (size_t i = 0; i < kEncMsgs; ++i) enc_messages[i] = i * 37 % 59049;
+
+  const MontKernel restore_kernel = SelectedKernel();
+  std::vector<KernelPoint> kernel_points;
+  std::vector<std::vector<bignum::BigInt>> scalar_gammas;
+  std::vector<crypto::BenalohCiphertext> scalar_cts;
+  bool kernels_identical = true;
+  for (MontKernel kernel : {MontKernel::kScalar, MontKernel::kAdx,
+                            MontKernel::kAvx2, MontKernel::kIfma}) {
+    if (ClampToCpu(kernel) != kernel) continue;  // tier above this CPU
+    SetKernelOverride(kernel);
+    KernelPoint point;
+    point.kernel = kernel;
+    crypto::PirBatchStats best_stats;
+    std::vector<crypto::PirResponse> last_batch;
+    for (size_t t = 0; t < trials; ++t) {
+      crypto::PirBatchStats stats;
+      Stopwatch sw;
+      auto batch = batch_server.AnswerBatch(
+          std::span<const crypto::PirQuery>(kernel_queries), &stats);
+      const double ms = sw.ElapsedMillis();
+      if (!batch.ok()) {
+        std::fprintf(stderr, "kernel-sweep AnswerBatch failed\n");
+        return 1;
+      }
+      if (ms < point.batch_ms) {
+        point.batch_ms = ms;
+        best_stats = stats;
+      }
+      last_batch = std::move(*batch);
+    }
+    point.batch_mops =
+        OpsPerSec(best_stats.mont_muls, point.batch_ms) / 1e6;
+    point.fill = best_stats.simd_fill();
+
+    std::vector<crypto::BenalohCiphertext> cts;
+    for (size_t t = 0; t < trials; ++t) {
+      Rng enc_rng(4242);  // reseeded: identical nonces at every tier
+      Stopwatch sw;
+      auto enc = benaloh_keys->public_key().EncryptBatch(enc_messages,
+                                                         &enc_rng,
+                                                         &batch_pool);
+      const double ms = sw.ElapsedMillis();
+      if (!enc.ok()) {
+        std::fprintf(stderr, "kernel-sweep EncryptBatch failed\n");
+        return 1;
+      }
+      point.enc_ms = std::min(point.enc_ms, ms);
+      cts = std::move(*enc);
+    }
+    point.enc_per_sec = OpsPerSec(kEncMsgs, point.enc_ms);
+
+    if (kernel_points.empty()) {  // scalar tier: the reference outputs
+      for (const auto& resp : last_batch) scalar_gammas.push_back(resp.gamma);
+      scalar_cts = std::move(cts);
+    } else {
+      for (size_t i = 0; i < last_batch.size(); ++i) {
+        if (last_batch[i].gamma != scalar_gammas[i]) point.match = false;
+      }
+      for (size_t i = 0; i < cts.size(); ++i) {
+        if (!(cts[i] == scalar_cts[i])) point.match = false;
+      }
+      if (!point.match) kernels_identical = false;
+    }
+    kernel_points.push_back(point);
+  }
+  SetKernelOverride(restore_kernel);
+
+  std::printf("\n== Montgomery kernel tiers (Q=%zu batch, %zu encrypts) ==\n",
+              kernel_q, kEncMsgs);
+  std::vector<std::vector<std::string>> kernel_rows;
+  for (const KernelPoint& p : kernel_points) {
+    kernel_rows.push_back(
+        {KernelName(p.kernel), StringPrintf("%.2f", p.batch_ms),
+         StringPrintf("%.3f", p.batch_mops),
+         StringPrintf("%.3f", p.fill),
+         StringPrintf("%.2f", p.enc_ms),
+         StringPrintf("%.1f", p.enc_per_sec),
+         StringPrintf("%.3fx", kernel_points[0].batch_ms / p.batch_ms),
+         p.match ? "yes" : "NO"});
+  }
+  bench::PrintTable({"kernel", "batch ms", "Mmul/s", "lane fill",
+                     "encrypt ms", "enc/s", "vs scalar", "identical"},
+                    kernel_rows);
+  bench::ShapeCheck(kernels_identical,
+                    "every kernel tier bit-identical to the scalar tier");
+  if (!kernels_identical) {
+    std::fprintf(stderr, "cross-kernel divergence FAILED\n");
+    return 1;
+  }
+
   // -- JSON for the perf trajectory. --
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -421,6 +550,20 @@ int main() {
         static_cast<unsigned long long>(p.stats.sweeps), p.ops_per_query,
         p.ops_per_query / batch_points[0].ops_per_query,
         i + 1 < batch_points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"kernels\": [\n");
+  for (size_t i = 0; i < kernel_points.size(); ++i) {
+    const KernelPoint& p = kernel_points[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"batch_ms\": %.3f, \"batch_mops_per_sec\": "
+        "%.4f, \"simd_fill\": %.4f, \"encrypt_ms\": %.3f, "
+        "\"encrypts_per_sec\": %.1f, \"speedup_vs_scalar\": %.3f, "
+        "\"identical_to_scalar\": %s}%s\n",
+        KernelName(p.kernel), p.batch_ms, p.batch_mops, p.fill, p.enc_ms,
+        p.enc_per_sec, kernel_points[0].batch_ms / p.batch_ms,
+        p.match ? "true" : "false",
+        i + 1 < kernel_points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

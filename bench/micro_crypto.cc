@@ -6,6 +6,7 @@
 
 #include <map>
 
+#include "common/cpuinfo.h"
 #include "embellish.h"
 
 namespace {
@@ -218,6 +219,32 @@ void BM_BenalohEncryptBatch(benchmark::State& state) {
                           static_cast<int64_t>(ms.size()));
 }
 BENCHMARK(BM_BenalohEncryptBatch)->Arg(1)->Arg(4);
+
+// The same 64-message batch pinned to each Montgomery kernel tier (arg =
+// MontKernel ladder index 0..3), the axis the fig9 kernel sweep records into
+// BENCH_pir.json. Tiers above this CPU are skipped rather than silently
+// clamped, so a row labeled "ifma" really ran IFMA.
+void BM_BenalohEncryptBatchKernel(benchmark::State& state) {
+  const auto requested = static_cast<MontKernel>(state.range(0));
+  if (ClampToCpu(requested) != requested) {
+    state.SkipWithError("kernel tier unsupported on this CPU");
+    return;
+  }
+  auto* kp = BenalohKeys(256);
+  Rng rng(15);
+  ThreadPool pool(4);
+  std::vector<uint64_t> ms(64);
+  for (size_t i = 0; i < ms.size(); ++i) ms[i] = i % 2;
+  const MontKernel restore = SetKernelOverride(requested);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp->public_key().EncryptBatch(ms, &rng, &pool));
+  }
+  SetKernelOverride(restore);
+  state.SetLabel(KernelName(requested));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ms.size()));
+}
+BENCHMARK(BM_BenalohEncryptBatchKernel)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_PirDecode(benchmark::State& state) {
   const size_t rows = 4096;

@@ -1,0 +1,608 @@
+#include "bignum/montgomery_lanes.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+// Unlike the MULX/ADX kernel in montgomery.cc — inline asm whose 14-operand
+// constraint set becomes unsatisfiable once ASan/TSan instrumentation raises
+// register pressure — the lane kernels are plain intrinsics that the
+// sanitizers instrument like any other code. They therefore stay enabled in
+// sanitizer builds (and CI runs them under TSan with EMBELLISH_KERNEL pinned
+// to each tier); only the runtime CPU check gates them.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define EMBELLISH_HAVE_LANE_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace embellish::bignum {
+
+namespace {
+
+constexpr uint64_t kMask32 = 0xffffffffull;
+constexpr uint64_t kMask52 = (uint64_t{1} << 52) - 1;
+constexpr size_t kLaneStride = MontgomeryLaneContext::kMaxLanes;
+
+int InternalRadixBits(MontKernel kernel) {
+  return kernel == MontKernel::kIfma ? 52 : 32;
+}
+
+// n^{-1} mod 2^64 for odd n, by Newton iteration (x = n is already correct
+// mod 8 since odd^2 ≡ 1 mod 8; each step doubles the valid bit count).
+uint64_t InverseMod2_64(uint64_t n0) {
+  uint64_t x = n0;
+  for (int i = 0; i < 6; ++i) x *= 2 - n0 * x;
+  return x;
+}
+
+// Splits one lane's k64 64-bit limbs into ki radix-2^radix_bits limbs,
+// written lane-major at block[j*kMaxLanes + lane]. Pure bit movement — the
+// integer value is unchanged.
+void SpreadLimbs(const uint64_t* in64, size_t k64, int radix_bits, size_t ki,
+                 uint64_t* block, size_t lane) {
+  const uint64_t mask = (uint64_t{1} << radix_bits) - 1;
+  const size_t rb = static_cast<size_t>(radix_bits);
+  for (size_t j = 0; j < ki; ++j) {
+    const size_t s = rb * j;
+    const size_t w = s / 64;
+    const size_t sh = s % 64;
+    uint64_t v = (w < k64) ? (in64[w] >> sh) : 0;
+    if (sh + rb > 64 && w + 1 < k64) v |= in64[w + 1] << (64 - sh);
+    block[j * kLaneStride + lane] = v & mask;
+  }
+}
+
+// Inverse of SpreadLimbs: reassembles k64 64-bit limbs from one lane's
+// normalized internal limbs (each < 2^radix_bits). Bits at or above
+// 64*k64 are zero for reduced values and are dropped.
+void GatherLimbs(const uint64_t* block, size_t lane, int radix_bits, size_t ki,
+                 uint64_t* out64, size_t k64) {
+  std::fill(out64, out64 + k64, uint64_t{0});
+  const size_t rb = static_cast<size_t>(radix_bits);
+  for (size_t j = 0; j < ki; ++j) {
+    const uint64_t v = block[j * kLaneStride + lane];
+    const size_t s = rb * j;
+    const size_t w = s / 64;
+    const size_t sh = s % 64;
+    if (w < k64) out64[w] |= v << sh;
+    if (sh + rb > 64 && w + 1 < k64) out64[w + 1] |= v >> (64 - sh);
+  }
+}
+
+#if defined(EMBELLISH_HAVE_LANE_SIMD)
+
+// ---------------------------------------------------------------------------
+// AVX2 backend: 4 lanes per invocation, radix 2^32 limbs in 64-bit lanes.
+//
+// This is textbook CIOS transposed: every scalar variable of the 32-bit
+// algorithm becomes a 4-lane vector, and the per-step bound
+//   t[j] + a_i*b[j] + c  <=  (2^32-1) + (2^32-1)^2 + (2^32-1)  ==  2^64-1
+// fits a 64-bit lane exactly, so carries are propagated eagerly with a
+// shift — no lazy accumulation needed. vpmuludq (_mm256_mul_epu32) reads
+// only the low 32 bits of each lane, which is precisely the masked limbs
+// we keep. All row pointers use the Block stride of 8; the caller invokes
+// the kernel once per 4-lane column group (offset 0 and, when more than 4
+// lanes are live, offset 4 — disjoint columns, so the two calls may share
+// accumulator rows and `out` may alias `a`/`b` across calls).
+// ---------------------------------------------------------------------------
+__attribute__((target("avx2"))) void MontMulLanes4Avx2(
+    const uint64_t* a, const uint64_t* b, uint64_t* out, const uint64_t* n,
+    const uint64_t* np, size_t ki, uint64_t* t) {
+  const __m256i mask = _mm256_set1_epi64x(static_cast<long long>(kMask32));
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi64x(1);
+  const auto row = [](const uint64_t* base, size_t j) {
+    return reinterpret_cast<const __m256i*>(base + j * kLaneStride);
+  };
+  const auto wrow = [](uint64_t* base, size_t j) {
+    return reinterpret_cast<__m256i*>(base + j * kLaneStride);
+  };
+
+  for (size_t j = 0; j <= ki + 1; ++j) _mm256_storeu_si256(wrow(t, j), zero);
+  const __m256i npv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(np));
+
+  for (size_t i = 0; i < ki; ++i) {
+    const __m256i ai = _mm256_loadu_si256(row(a, i));
+    __m256i c = zero;
+    for (size_t j = 0; j < ki; ++j) {
+      const __m256i cur = _mm256_add_epi64(
+          _mm256_add_epi64(_mm256_loadu_si256(row(t, j)),
+                           _mm256_mul_epu32(ai, _mm256_loadu_si256(row(b, j)))),
+          c);
+      _mm256_storeu_si256(wrow(t, j), _mm256_and_si256(cur, mask));
+      c = _mm256_srli_epi64(cur, 32);
+    }
+    __m256i cur = _mm256_add_epi64(_mm256_loadu_si256(row(t, ki)), c);
+    _mm256_storeu_si256(wrow(t, ki), _mm256_and_si256(cur, mask));
+    _mm256_storeu_si256(wrow(t, ki + 1), _mm256_srli_epi64(cur, 32));
+
+    const __m256i t0 = _mm256_loadu_si256(row(t, 0));
+    const __m256i m = _mm256_and_si256(_mm256_mul_epu32(t0, npv), mask);
+    cur = _mm256_add_epi64(t0, _mm256_mul_epu32(m, _mm256_loadu_si256(row(n, 0))));
+    c = _mm256_srli_epi64(cur, 32);
+    for (size_t j = 1; j < ki; ++j) {
+      cur = _mm256_add_epi64(
+          _mm256_add_epi64(_mm256_loadu_si256(row(t, j)),
+                           _mm256_mul_epu32(m, _mm256_loadu_si256(row(n, j)))),
+          c);
+      _mm256_storeu_si256(wrow(t, j - 1), _mm256_and_si256(cur, mask));
+      c = _mm256_srli_epi64(cur, 32);
+    }
+    cur = _mm256_add_epi64(_mm256_loadu_si256(row(t, ki)), c);
+    _mm256_storeu_si256(wrow(t, ki - 1), _mm256_and_si256(cur, mask));
+    c = _mm256_srli_epi64(cur, 32);
+    _mm256_storeu_si256(wrow(t, ki),
+                        _mm256_add_epi64(_mm256_loadu_si256(row(t, ki + 1)), c));
+    _mm256_storeu_si256(wrow(t, ki + 1), zero);
+  }
+
+  // Conditional subtract to the canonical representative: keep t when
+  // t < n (top word zero AND the borrow chain underflowed), else t - n.
+  // Limb values are < 2^32, so the 64-bit lane difference is sign-exact
+  // and bit 63 is the borrow.
+  __m256i borrow = zero;
+  for (size_t j = 0; j < ki; ++j) {
+    const __m256i d = _mm256_sub_epi64(
+        _mm256_sub_epi64(_mm256_loadu_si256(row(t, j)),
+                         _mm256_loadu_si256(row(n, j))),
+        borrow);
+    borrow = _mm256_srli_epi64(d, 63);
+  }
+  const __m256i keep =
+      _mm256_and_si256(_mm256_cmpeq_epi64(_mm256_loadu_si256(row(t, ki)), zero),
+                       _mm256_cmpeq_epi64(borrow, one));
+  borrow = zero;
+  for (size_t j = 0; j < ki; ++j) {
+    const __m256i tj = _mm256_loadu_si256(row(t, j));
+    const __m256i d =
+        _mm256_sub_epi64(_mm256_sub_epi64(tj, _mm256_loadu_si256(row(n, j))),
+                         borrow);
+    borrow = _mm256_srli_epi64(d, 63);
+    _mm256_storeu_si256(wrow(out, j),
+                        _mm256_blendv_epi8(_mm256_and_si256(d, mask), tj, keep));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 IFMA backend: 8 lanes, radix 2^52 limbs, lazy carries.
+//
+// vpmadd52luq/vpmadd52huq accumulate the low/high 52 bits of a 52x52
+// product into a full 64-bit lane, so partial sums are left unnormalized:
+// each accumulator row gains at most ~4*2^52 per outer iteration and lives
+// at most ki+1 iterations, bounding it by ~4*(ki+1)*2^52 << 2^64 for every
+// width this library uses. One carry is still propagated per iteration —
+// t[0] must be exact mod 2^52 before the next m is derived from it — and
+// the conceptual "shift right one limb" is an index rotation: the row
+// window advances through a (2ki+2)-row scratch arena instead of moving
+// data. A single normalization sweep plus the same borrow-chain select as
+// the AVX2 kernel produces the canonical result.
+// ---------------------------------------------------------------------------
+__attribute__((target("avx512f,avx512vl,avx512ifma"))) void MontMulLanes8Ifma(
+    const uint64_t* a, const uint64_t* b, uint64_t* out, const uint64_t* n,
+    const uint64_t* np, size_t ki, uint64_t* t) {
+  const __m512i mask = _mm512_set1_epi64(static_cast<long long>(kMask52));
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i one = _mm512_set1_epi64(1);
+  const auto row = [](const uint64_t* base, size_t j) {
+    return reinterpret_cast<const __m512i*>(base + j * kLaneStride);
+  };
+  const auto wrow = [](uint64_t* base, size_t j) {
+    return reinterpret_cast<__m512i*>(base + j * kLaneStride);
+  };
+
+  for (size_t j = 0; j < 2 * ki + 2; ++j) _mm512_storeu_si512(wrow(t, j), zero);
+  const __m512i npv = _mm512_loadu_si512(reinterpret_cast<const __m512i*>(np));
+
+  size_t base = 0;  // row window start; advancing it divides by 2^52
+  for (size_t i = 0; i < ki; ++i, ++base) {
+    const __m512i ai = _mm512_loadu_si512(row(a, i));
+    for (size_t j = 0; j < ki; ++j) {
+      _mm512_storeu_si512(
+          wrow(t, base + j),
+          _mm512_madd52lo_epu64(_mm512_loadu_si512(row(t, base + j)), ai,
+                                _mm512_loadu_si512(row(b, j))));
+    }
+    const __m512i t0 = _mm512_loadu_si512(row(t, base));
+    const __m512i m = _mm512_madd52lo_epu64(zero, t0, npv);
+    for (size_t j = 0; j < ki; ++j) {
+      _mm512_storeu_si512(
+          wrow(t, base + j),
+          _mm512_madd52lo_epu64(_mm512_loadu_si512(row(t, base + j)), m,
+                                _mm512_loadu_si512(row(n, j))));
+    }
+    // t[0] is now ≡ 0 mod 2^52; push its upper bits into t[1] before the
+    // window advances past it.
+    const __m512i carry =
+        _mm512_srli_epi64(_mm512_loadu_si512(row(t, base)), 52);
+    _mm512_storeu_si512(
+        wrow(t, base + 1),
+        _mm512_add_epi64(_mm512_loadu_si512(row(t, base + 1)), carry));
+    // High halves land one position up — exactly where the advanced window
+    // expects them.
+    for (size_t j = 0; j < ki; ++j) {
+      __m512i acc = _mm512_loadu_si512(row(t, base + 1 + j));
+      acc = _mm512_madd52hi_epu64(acc, ai, _mm512_loadu_si512(row(b, j)));
+      acc = _mm512_madd52hi_epu64(acc, m, _mm512_loadu_si512(row(n, j)));
+      _mm512_storeu_si512(wrow(t, base + 1 + j), acc);
+    }
+  }
+
+  // Normalize the lazy accumulators into out (52-bit limbs) and capture the
+  // top word; the true value is < 2n so the top is 0 or 1 per lane.
+  __m512i c = zero;
+  for (size_t j = 0; j < ki; ++j) {
+    const __m512i cur =
+        _mm512_add_epi64(_mm512_loadu_si512(row(t, base + j)), c);
+    _mm512_storeu_si512(wrow(out, j), _mm512_and_si512(cur, mask));
+    c = _mm512_srli_epi64(cur, 52);
+  }
+  const __m512i top =
+      _mm512_add_epi64(_mm512_loadu_si512(row(t, base + ki)), c);
+
+  __m512i borrow = zero;
+  for (size_t j = 0; j < ki; ++j) {
+    const __m512i d = _mm512_sub_epi64(
+        _mm512_sub_epi64(_mm512_loadu_si512(row(out, j)),
+                         _mm512_loadu_si512(row(n, j))),
+        borrow);
+    borrow = _mm512_srli_epi64(d, 63);
+  }
+  const __mmask8 keep = _mm512_cmpeq_epi64_mask(top, zero) &
+                        _mm512_cmpeq_epi64_mask(borrow, one);
+  borrow = zero;
+  for (size_t j = 0; j < ki; ++j) {
+    const __m512i tj = _mm512_loadu_si512(row(out, j));
+    const __m512i d = _mm512_sub_epi64(
+        _mm512_sub_epi64(tj, _mm512_loadu_si512(row(n, j))), borrow);
+    borrow = _mm512_srli_epi64(d, 63);
+    _mm512_storeu_si512(wrow(out, j),
+                        _mm512_mask_mov_epi64(_mm512_and_si512(d, mask), keep, tj));
+  }
+}
+
+#endif  // EMBELLISH_HAVE_LANE_SIMD
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scratch
+// ---------------------------------------------------------------------------
+
+MontgomeryLaneContext::Scratch::Scratch(const MontgomeryLaneContext& ctx)
+    : t_((2 * ctx.ki_ + 2) * kMaxLanes, 0),
+      tmp_(ctx.MakeBlock()),
+      mont_(*ctx.contexts_[0]) {}
+
+void MontgomeryLaneContext::Scratch::EnsureExpBuffers(
+    const MontgomeryLaneContext& ctx) {
+  if (sq_.size() < ctx.block_words_) sq_.assign(ctx.block_words_, 0);
+  if (window_.size() < MontgomeryContext::kExpWindowTableSize) {
+    window_.resize(MontgomeryContext::kExpWindowTableSize);
+  }
+  for (Block& w : window_) {
+    if (w.size() < ctx.block_words_) w.assign(ctx.block_words_, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Result<MontgomeryLaneContext> MontgomeryLaneContext::Create(
+    std::span<const MontgomeryContext* const> lanes) {
+  return CreateWithKernel(lanes, SelectedKernel());
+}
+
+Result<MontgomeryLaneContext> MontgomeryLaneContext::CreateWithKernel(
+    std::span<const MontgomeryContext* const> lanes, MontKernel kernel) {
+  if (lanes.empty() || lanes.size() > kMaxLanes) {
+    return Status::InvalidArgument("lane count must be in [1, 8]");
+  }
+  const size_t k64 = lanes[0]->limb_count();
+  for (const MontgomeryContext* ctx : lanes) {
+    if (ctx == nullptr) {
+      return Status::InvalidArgument("lane context must not be null");
+    }
+    if (ctx->limb_count() != k64) {
+      return Status::InvalidArgument("lane moduli must share one limb width");
+    }
+  }
+
+  kernel = ClampToCpu(kernel);
+  // The lane engine's tiers are the vector ones; the ADX tier belongs to the
+  // scalar single-residue path, so anything below AVX2 delegates per lane.
+  if (kernel < MontKernel::kAvx2) kernel = MontKernel::kScalar;
+#if !defined(EMBELLISH_HAVE_LANE_SIMD)
+  kernel = MontKernel::kScalar;
+#endif
+
+  MontgomeryLaneContext ctx;
+  ctx.lanes_ = lanes.size();
+  ctx.k64_ = k64;
+  ctx.kernel_ = kernel;
+  ctx.contexts_.assign(lanes.begin(), lanes.end());
+
+  const int radix = InternalRadixBits(kernel);
+  ctx.ki_ = kernel == MontKernel::kIfma ? (64 * k64 + 51) / 52
+            : kernel == MontKernel::kAvx2 ? 2 * k64
+                                          : k64;
+  ctx.block_words_ = ctx.ki_ * kMaxLanes;
+  ctx.one_block_.assign(ctx.block_words_, 0);
+
+  if (!ctx.vectorized()) {
+    // Lane-contiguous layout: lane l at [l*k64, (l+1)*k64).
+    for (size_t l = 0; l < ctx.lanes_; ++l) {
+      std::copy(lanes[l]->One().begin(), lanes[l]->One().end(),
+                ctx.one_block_.begin() + l * k64);
+    }
+    return ctx;
+  }
+
+  ctx.n_block_.assign(ctx.block_words_, 0);
+  ctx.nprime_lanes_.assign(kMaxLanes, 0);
+  ctx.plain_one_.assign(ctx.block_words_, 0);
+  const bool ifma = kernel == MontKernel::kIfma;
+  if (ifma) {
+    ctx.to_internal_.assign(ctx.block_words_, 0);
+    ctx.from_internal_.assign(ctx.block_words_, 0);
+  }
+
+  std::vector<uint64_t> limbs(k64);
+  const auto spread_bigint = [&](const BigInt& v, uint64_t* block, size_t l) {
+    std::fill(limbs.begin(), limbs.end(), uint64_t{0});
+    std::copy(v.limbs().begin(), v.limbs().end(), limbs.begin());
+    SpreadLimbs(limbs.data(), k64, radix, ctx.ki_, block, l);
+  };
+
+  const uint64_t radix_mask = (uint64_t{1} << radix) - 1;
+  for (size_t l = 0; l < kMaxLanes; ++l) {
+    // Padding lanes replicate lane 0: valid moduli, results discarded.
+    const size_t src = l < ctx.lanes_ ? l : 0;
+    const MontgomeryContext& mc = *lanes[src];
+    spread_bigint(mc.modulus(), ctx.n_block_.data(), l);
+    ctx.nprime_lanes_[l] =
+        (~InverseMod2_64(mc.modulus().Low64()) + 1) & radix_mask;
+    ctx.plain_one_[l] = 1;
+    if (ifma) {
+      // R52 = 2^(52*ki) is the vector domain's Montgomery radix; the scalar
+      // domain's is R = 2^(64*k64). Pack multiplies by R52^2 * R^{-1}
+      // (= 2^(104*ki - 64*k64), exponent nonnegative since 52*ki >= 64*k64)
+      // and Unpack by R mod n; both via MontMul52, which divides by R52.
+      const BigInt& n = mc.modulus();
+      spread_bigint(BigInt::PowerOfTwo(52 * ctx.ki_) % n,
+                    ctx.one_block_.data(), l);
+      spread_bigint(BigInt::PowerOfTwo(104 * ctx.ki_ - 64 * k64) % n,
+                    ctx.to_internal_.data(), l);
+      std::fill(limbs.begin(), limbs.end(), uint64_t{0});
+      std::copy(mc.One().begin(), mc.One().end(), limbs.begin());
+      SpreadLimbs(limbs.data(), k64, radix, ctx.ki_, ctx.from_internal_.data(),
+                  l);
+    } else {
+      // Radix 2^32 with ki = 2*k64 has the same Montgomery radix as the
+      // scalar engine (2^(32*2*k64) = 2^(64*k64)), so the packed form of
+      // the scalar engine's One *is* the vector domain's One.
+      std::fill(limbs.begin(), limbs.end(), uint64_t{0});
+      std::copy(mc.One().begin(), mc.One().end(), limbs.begin());
+      SpreadLimbs(limbs.data(), k64, radix, ctx.ki_, ctx.one_block_.data(), l);
+    }
+  }
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Representation moves
+// ---------------------------------------------------------------------------
+
+void MontgomeryLaneContext::Pack(const uint64_t* const* lane_values, Block* out,
+                                 Scratch* scratch) const {
+  assert(out->size() == block_words_);
+  if (!vectorized()) {
+    for (size_t l = 0; l < lanes_; ++l) {
+      std::memcpy(out->data() + l * k64_, lane_values[l],
+                  k64_ * sizeof(uint64_t));
+    }
+    return;
+  }
+  const int radix = InternalRadixBits(kernel_);
+  for (size_t l = 0; l < lanes_; ++l) {
+    SpreadLimbs(lane_values[l], k64_, radix, ki_, out->data(), l);
+  }
+  for (size_t l = lanes_; l < kMaxLanes; ++l) {
+    for (size_t j = 0; j < ki_; ++j) (*out)[j * kMaxLanes + l] = 0;
+  }
+  if (kernel_ == MontKernel::kIfma) {
+    // Exact bit repack above left the value in the scalar Montgomery domain
+    // (aR); this multiplication moves it to the 52-bit domain (aR52).
+    MulSimd(*out, to_internal_, out, scratch);
+  }
+}
+
+void MontgomeryLaneContext::Unpack(const Block& in, uint64_t* const* lane_values,
+                                   Scratch* scratch) const {
+  assert(in.size() == block_words_);
+  if (!vectorized()) {
+    for (size_t l = 0; l < lanes_; ++l) {
+      std::memcpy(lane_values[l], in.data() + l * k64_,
+                  k64_ * sizeof(uint64_t));
+    }
+    return;
+  }
+  const int radix = InternalRadixBits(kernel_);
+  const Block* src = &in;
+  if (kernel_ == MontKernel::kIfma) {
+    MulSimd(in, from_internal_, &scratch->tmp_, scratch);
+    src = &scratch->tmp_;
+  }
+  for (size_t l = 0; l < lanes_; ++l) {
+    GatherLimbs(src->data(), l, radix, ki_, lane_values[l], k64_);
+  }
+}
+
+void MontgomeryLaneContext::FromMontgomery(const Block& a,
+                                           uint64_t* const* plain_out,
+                                           Scratch* scratch) const {
+  assert(a.size() == block_words_);
+  if (!vectorized()) {
+    for (size_t l = 0; l < lanes_; ++l) {
+      contexts_[l]->FromMontgomeryInto(a.data() + l * k64_, plain_out[l],
+                                       &scratch->mont_);
+    }
+    return;
+  }
+  // Montgomery-multiplying by plain 1 divides by the domain radix — same
+  // construction as the scalar engine's FromMontgomeryInto, and the result
+  // is the canonical plain value either way.
+  MulSimd(a, plain_one_, &scratch->tmp_, scratch);
+  const int radix = InternalRadixBits(kernel_);
+  for (size_t l = 0; l < lanes_; ++l) {
+    GatherLimbs(scratch->tmp_.data(), l, radix, ki_, plain_out[l], k64_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+void MontgomeryLaneContext::Mul(const Block& a, const Block& b, Block* out,
+                                Scratch* scratch) const {
+  if (vectorized()) {
+    MulSimd(a, b, out, scratch);
+  } else {
+    MulScalar(a, b, out, scratch);
+  }
+}
+
+void MontgomeryLaneContext::MulScalar(const Block& a, const Block& b,
+                                      Block* out, Scratch* scratch) const {
+  for (size_t l = 0; l < lanes_; ++l) {
+    contexts_[l]->MontMulInto(a.data() + l * k64_, b.data() + l * k64_,
+                              out->data() + l * k64_, &scratch->mont_);
+  }
+}
+
+void MontgomeryLaneContext::MulSimd(const Block& a, const Block& b, Block* out,
+                                    Scratch* scratch) const {
+  assert(a.size() == block_words_ && b.size() == block_words_ &&
+         out->size() == block_words_);
+#if defined(EMBELLISH_HAVE_LANE_SIMD)
+  uint64_t* t = scratch->t_.data();
+  if (kernel_ == MontKernel::kIfma) {
+    MontMulLanes8Ifma(a.data(), b.data(), out->data(), n_block_.data(),
+                      nprime_lanes_.data(), ki_, t);
+    return;
+  }
+  MontMulLanes4Avx2(a.data(), b.data(), out->data(), n_block_.data(),
+                    nprime_lanes_.data(), ki_, t);
+  if (lanes_ > 4) {
+    // Columns 4..7; disjoint from the first call, so sharing t is fine and
+    // out aliasing a/b stays safe (the first call only wrote columns 0..3).
+    MontMulLanes4Avx2(a.data() + 4, b.data() + 4, out->data() + 4,
+                      n_block_.data() + 4, nprime_lanes_.data() + 4, ki_,
+                      t + 4);
+  }
+#else
+  (void)a;
+  (void)b;
+  (void)out;
+  (void)scratch;
+  assert(false && "SIMD lane kernel selected without SIMD support");
+#endif
+}
+
+void MontgomeryLaneContext::BlendByMask(const Block& src,
+                                        const uint64_t* lane_masks,
+                                        Block* dst) const {
+  for (size_t l = 0; l < lanes_; ++l) {
+    if (lane_masks[l] == 0) continue;
+    for (size_t j = 0; j < ki_; ++j) {
+      (*dst)[j * kMaxLanes + l] = src[j * kMaxLanes + l];
+    }
+  }
+}
+
+void MontgomeryLaneContext::ModExpUniform(const Block& base, const BigInt& e,
+                                          Block* out, Scratch* scratch) const {
+  assert(out != &base && "out must not alias the base");
+  if (!vectorized()) {
+    for (size_t l = 0; l < lanes_; ++l) {
+      contexts_[l]->ModExpInto(base.data() + l * k64_, e,
+                               out->data() + l * k64_, &scratch->mont_);
+    }
+    return;
+  }
+  std::copy(one_block_.begin(), one_block_.end(), out->begin());
+  if (e.IsZero()) return;
+  const size_t bits = e.BitLength();
+
+  if (bits <= static_cast<size_t>(MontgomeryContext::kExpWindowBits)) {
+    for (size_t i = bits; i-- > 0;) {
+      MulSimd(*out, *out, out, scratch);
+      if (e.Bit(i)) MulSimd(*out, base, out, scratch);
+    }
+    return;
+  }
+
+  // Same sliding-window schedule as the scalar ModExpInto, lifted to lane
+  // blocks: window_[i] = base^(2i+1) per lane.
+  scratch->EnsureExpBuffers(*this);
+  std::vector<Block>& win = scratch->window_;
+  std::copy(base.begin(), base.end(), win[0].begin());
+  MulSimd(base, base, &scratch->sq_, scratch);
+  for (size_t i = 1; i < MontgomeryContext::kExpWindowTableSize; ++i) {
+    MulSimd(win[i - 1], scratch->sq_, &win[i], scratch);
+  }
+
+  ptrdiff_t i = static_cast<ptrdiff_t>(bits) - 1;
+  while (i >= 0) {
+    if (!e.Bit(static_cast<size_t>(i))) {
+      MulSimd(*out, *out, out, scratch);
+      --i;
+      continue;
+    }
+    ptrdiff_t l = i - (MontgomeryContext::kExpWindowBits - 1);
+    if (l < 0) l = 0;
+    while (!e.Bit(static_cast<size_t>(l))) ++l;
+    uint32_t w = 0;
+    for (ptrdiff_t j = i; j >= l; --j) {
+      w = (w << 1) | static_cast<uint32_t>(e.Bit(static_cast<size_t>(j)));
+    }
+    for (ptrdiff_t j = i; j >= l; --j) {
+      MulSimd(*out, *out, out, scratch);
+    }
+    MulSimd(*out, win[(w - 1) / 2], out, scratch);
+    i = l - 1;
+  }
+}
+
+void MontgomeryLaneContext::ModExpSmall(const Block& base, const uint64_t* exps,
+                                        Block* out, Scratch* scratch) const {
+  assert(out != &base && "out must not alias the base");
+  if (!vectorized()) {
+    for (size_t l = 0; l < lanes_; ++l) {
+      contexts_[l]->ModExpInto(base.data() + l * k64_, BigInt(exps[l]),
+                               out->data() + l * k64_, &scratch->mont_);
+    }
+    return;
+  }
+  std::copy(one_block_.begin(), one_block_.end(), out->begin());
+  uint64_t any = 0;
+  for (size_t l = 0; l < lanes_; ++l) any |= exps[l];
+  if (any == 0) return;
+
+  // Square-always / multiply-always: exponents diverge per lane, so every
+  // round performs the multiplication and a per-lane blend decides whether
+  // it lands — uniform lane work, no branches on exponent bits.
+  scratch->EnsureExpBuffers(*this);
+  uint64_t masks[kMaxLanes];
+  for (size_t i = 64 - static_cast<size_t>(std::countl_zero(any)); i-- > 0;) {
+    MulSimd(*out, *out, out, scratch);
+    MulSimd(*out, base, &scratch->sq_, scratch);
+    for (size_t l = 0; l < lanes_; ++l) {
+      masks[l] = ((exps[l] >> i) & 1) != 0 ? ~uint64_t{0} : 0;
+    }
+    BlendByMask(scratch->sq_, masks, out);
+  }
+}
+
+}  // namespace embellish::bignum

@@ -1,0 +1,188 @@
+// Multi-buffer (vertical) SIMD Montgomery engine: up to 8 *independent*
+// residues advance in lockstep, one per SIMD lane. This is the standard
+// multi-buffer crypto technique — no attempt is made to vectorize a single
+// wide multiplication; instead the batch dimension the callers already have
+// (independent EncryptBatch messages, independent per-query PIR accumulators
+// folding the same row) becomes the vector dimension.
+//
+// Three backends sit behind one API, runtime-dispatched via common/cpuinfo:
+//  - scalar  : per-lane calls into MontgomeryContext (always available)
+//  - avx2    : 4 lanes per 256-bit vector, reduced-radix 2^32 limbs
+//              (vpmuludq 32x32->64 partial products, eager 32-bit carries)
+//  - ifma    : 8 lanes per 512-bit vector, radix 2^52 limbs
+//              (vpmadd52luq/vpmadd52huq, lazy carries, one normalization
+//              sweep at the end)
+//
+// Operand layout is lane-major ("limb-sliced"): limb i of lane l lives at
+// block[i * kMaxLanes + l], so one vector load reads limb i of every lane.
+// Lane counts 1..8 are all legal; unused lanes are padded internally with a
+// copy of lane 0 (valid arithmetic, results discarded).
+//
+// EQUIVALENCE CONTRACT — the property the differential fuzz test pins and
+// the PIR/crypto callers rely on: for every lane l and any operands in the
+// scalar engine's representation (k 64-bit limbs, Montgomery form w.r.t.
+// R = 2^(64k), fully reduced),
+//
+//   Unpack(Mul(Pack(a), Pack(b)))[l]    == MontMulInto(a[l], b[l])
+//   Unpack(ModExpUniform(Pack(a), e))[l] == ModExpInto(a[l], e)
+//   FromMontgomery(Pack(a))[l]          == FromMontgomeryInto(a[l])
+//
+// bit for bit. The internal radix is invisible: the AVX2 backend's radix
+// 2^32 satisfies 2^(32*2k) = R so packing is a pure limb split, while the
+// IFMA backend's radix 2^52 changes the Montgomery domain, so Pack/Unpack
+// fold one extra lane multiplication by a precomputed constant
+// (R52^2 * R^{-1} mod n, resp. R mod n) to convert domains exactly. Both
+// backends reduce fully, and the canonical Montgomery product is unique, so
+// bit-identity is structural rather than coincidental.
+//
+// Lanes may carry *different moduli* (they must share one limb width): the
+// modulus limbs and n' are themselves lane-sliced vectors. This is what
+// lets the batched PIR sweep fold one extracted row into up to 8 queries'
+// accumulators — each query has its own n — in a single kernel call.
+
+#ifndef EMBELLISH_BIGNUM_MONTGOMERY_LANES_H_
+#define EMBELLISH_BIGNUM_MONTGOMERY_LANES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "bignum/montgomery.h"
+#include "common/cpuinfo.h"
+#include "common/status.h"
+
+namespace embellish::bignum {
+
+/// \brief Vertical SIMD Montgomery multiplier over 1..8 independent lanes.
+class MontgomeryLaneContext {
+ public:
+  /// \brief Logical lane capacity; also the physical slice stride of every
+  ///        Block regardless of backend.
+  static constexpr size_t kMaxLanes = 8;
+
+  /// \brief Packed lane-major state: limb i of lane l at [i*kMaxLanes + l],
+  ///        in the backend's internal radix and Montgomery domain. Opaque to
+  ///        callers; size it with MakeBlock and move it between the scalar
+  ///        representation only through Pack/Unpack/FromMontgomery.
+  using Block = std::vector<uint64_t>;
+
+  /// \brief Reusable workspace for the lane kernels (accumulator rows,
+  ///        staging, exponentiation window). Not thread-safe: one Scratch
+  ///        per worker thread, bound to the context that created it (or any
+  ///        context of the same limb width and backend).
+  class Scratch {
+   public:
+    explicit Scratch(const MontgomeryLaneContext& ctx);
+
+   private:
+    friend class MontgomeryLaneContext;
+
+    void EnsureExpBuffers(const MontgomeryLaneContext& ctx);
+
+    std::vector<uint64_t> t_;       // kernel accumulator + staging rows
+    Block tmp_;                     // one-block staging (pack conversion)
+    Block sq_;                      // ModExp: base^2
+    std::vector<Block> window_;     // ModExp: odd-power table
+    MontgomeryContext::Scratch mont_;  // scalar-backend delegation
+  };
+
+  /// \brief Builds a lane context over `lanes.size()` (1..kMaxLanes)
+  ///        Montgomery contexts of identical 64-bit limb width. Lanes may
+  ///        repeat one context (EncryptBatch: one public key) or differ per
+  ///        lane (PIR: one modulus per query). The pointed-to contexts must
+  ///        outlive the lane context. Dispatches to SelectedKernel().
+  static Result<MontgomeryLaneContext> Create(
+      std::span<const MontgomeryContext* const> lanes);
+
+  /// \brief As Create, but pins the backend tier explicitly (tests and
+  ///        bench sweeps); the request is clamped to what the CPU supports.
+  static Result<MontgomeryLaneContext> CreateWithKernel(
+      std::span<const MontgomeryContext* const> lanes, MontKernel kernel);
+
+  size_t lanes() const { return lanes_; }
+  /// \brief Limb width of the *scalar* representation (64-bit limbs).
+  size_t limb_count() const { return k64_; }
+  /// \brief The backend tier Create resolved to.
+  MontKernel kernel() const { return kernel_; }
+  /// \brief True when lane calls execute SIMD vectors (avx2/ifma tiers);
+  ///        false means the scalar backend loops over lanes.
+  bool vectorized() const { return kernel_ >= MontKernel::kAvx2; }
+
+  /// \brief A zeroed block sized for this context.
+  Block MakeBlock() const { return Block(block_words_, 0); }
+
+  /// \brief Montgomery form of 1 per lane, packed (the product identity).
+  const Block& One() const { return one_block_; }
+
+  // -- Representation moves ------------------------------------------------
+
+  /// \brief Packs lane values from the scalar representation (limb_count()
+  ///        64-bit limbs each, Montgomery form, fully reduced below the
+  ///        lane's modulus). `lane_values` holds lanes() pointers.
+  void Pack(const uint64_t* const* lane_values, Block* out,
+            Scratch* scratch) const;
+
+  /// \brief Inverse of Pack: writes limb_count() 64-bit limbs per lane,
+  ///        bit-identical to what the scalar engine would hold.
+  void Unpack(const Block& in, uint64_t* const* lane_values,
+              Scratch* scratch) const;
+
+  /// \brief Converts out of Montgomery form: writes each lane's plain value
+  ///        (aR^{-1}... i.e. a for input aR) as limb_count() 64-bit limbs,
+  ///        bit-identical to scalar FromMontgomeryInto.
+  void FromMontgomery(const Block& a, uint64_t* const* plain_out,
+                      Scratch* scratch) const;
+
+  // -- Arithmetic (all lanes advance together) -----------------------------
+
+  /// \brief out[l] = a[l] * b[l] * R^{-1} mod n_l — the per-lane Montgomery
+  ///        product. `out` may alias `a` and/or `b`.
+  void Mul(const Block& a, const Block& b, Block* out, Scratch* scratch) const;
+
+  /// \brief out[l] = base[l]^e — one exponent shared by every lane (the
+  ///        EncryptBatch u^r / u^n shape). Sliding-window, same schedule as
+  ///        the scalar engine. `out` must not alias `base`.
+  void ModExpUniform(const Block& base, const BigInt& e, Block* out,
+                     Scratch* scratch) const;
+
+  /// \brief out[l] = base[l]^(exps[l]) — per-lane small exponents (the
+  ///        EncryptBatch g^m shape; m < 2^64). Square-always /
+  ///        multiply-always with a per-lane blend on the exponent bit, so
+  ///        divergent exponents never branch. `out` must not alias `base`.
+  void ModExpSmall(const Block& base, const uint64_t* exps, Block* out,
+                   Scratch* scratch) const;
+
+ private:
+  MontgomeryLaneContext() = default;
+
+  // Backend implementations (montgomery_lanes.cc).
+  void MulScalar(const Block& a, const Block& b, Block* out,
+                 Scratch* scratch) const;
+  void MulSimd(const Block& a, const Block& b, Block* out,
+               Scratch* scratch) const;
+  void BlendByMask(const Block& src, const uint64_t* lane_masks,
+                   Block* dst) const;
+
+  size_t lanes_ = 0;          // logical lanes (1..kMaxLanes)
+  size_t k64_ = 0;            // scalar limb width
+  size_t ki_ = 0;             // internal limb width (radix-dependent)
+  size_t block_words_ = 0;    // ki_ * kMaxLanes (scalar backend: k64_ * lanes_)
+  MontKernel kernel_ = MontKernel::kScalar;
+
+  std::vector<const MontgomeryContext*> contexts_;  // per lane, not owned
+
+  // SIMD backends: lane-sliced modulus limbs (internal radix), per-lane
+  // n' = -n^{-1} mod 2^radix, packed Montgomery one, and — IFMA only — the
+  // domain-conversion constants described in the header comment.
+  std::vector<uint64_t> n_block_;
+  std::vector<uint64_t> nprime_lanes_;
+  Block one_block_;
+  Block to_internal_;    // Pack:   multiply by R52^2 * R^{-1} mod n
+  Block from_internal_;  // Unpack: multiply by R mod n
+  Block plain_one_;      // FromMontgomery: multiply by 1
+};
+
+}  // namespace embellish::bignum
+
+#endif  // EMBELLISH_BIGNUM_MONTGOMERY_LANES_H_

@@ -1,0 +1,112 @@
+#include "common/cpuinfo.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace embellish {
+
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  f.adx = __builtin_cpu_supports("adx") != 0;
+  f.bmi2 = __builtin_cpu_supports("bmi2") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  // The IFMA lane kernel uses 512-bit vectors plus VL-encoded helpers, so
+  // all three bits must be present before the tier is offered.
+  f.avx512ifma = __builtin_cpu_supports("avx512ifma") != 0 &&
+                 __builtin_cpu_supports("avx512f") != 0 &&
+                 __builtin_cpu_supports("avx512vl") != 0;
+#endif
+  return f;
+}
+
+// Selected tier, encoded as int(MontKernel); -1 until first use.
+std::atomic<int> g_selected{-1};
+
+MontKernel InitialSelection() {
+  MontKernel kernel = MaxSupportedKernel();
+  const char* env = std::getenv("EMBELLISH_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    MontKernel requested;
+    if (KernelFromName(env, &requested)) {
+      kernel = ClampToCpu(requested);
+    }
+    // An unrecognized value keeps the auto selection: benches print the
+    // resolved KernelName, so a typo is visible rather than silently scalar.
+  }
+  return kernel;
+}
+
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+const char* KernelName(MontKernel kernel) {
+  switch (kernel) {
+    case MontKernel::kScalar: return "scalar";
+    case MontKernel::kAdx: return "adx";
+    case MontKernel::kAvx2: return "avx2";
+    case MontKernel::kIfma: return "ifma";
+  }
+  return "unknown";
+}
+
+bool KernelFromName(const char* name, MontKernel* out) {
+  if (name == nullptr || out == nullptr) return false;
+  for (MontKernel kernel : {MontKernel::kScalar, MontKernel::kAdx,
+                            MontKernel::kAvx2, MontKernel::kIfma}) {
+    if (std::strcmp(name, KernelName(kernel)) == 0) {
+      *out = kernel;
+      return true;
+    }
+  }
+  return false;
+}
+
+MontKernel MaxSupportedKernel() {
+  const CpuFeatures& f = GetCpuFeatures();
+  if (f.avx512ifma) return MontKernel::kIfma;
+  if (f.avx2) return MontKernel::kAvx2;
+  if (f.adx && f.bmi2) return MontKernel::kAdx;
+  return MontKernel::kScalar;
+}
+
+MontKernel ClampToCpu(MontKernel kernel) {
+  // The ladder is ordered by ISA requirements, but the tiers are not
+  // strictly nested in hardware terms (an AVX2 machine without ADX exists in
+  // principle), so clamp against the specific feature each tier needs.
+  const CpuFeatures& f = GetCpuFeatures();
+  if (kernel == MontKernel::kIfma && !f.avx512ifma) kernel = MontKernel::kAvx2;
+  if (kernel == MontKernel::kAvx2 && !f.avx2) kernel = MontKernel::kAdx;
+  if (kernel == MontKernel::kAdx && !(f.adx && f.bmi2)) {
+    kernel = MontKernel::kScalar;
+  }
+  return kernel;
+}
+
+MontKernel SelectedKernel() {
+  int cur = g_selected.load(std::memory_order_relaxed);
+  if (cur < 0) {
+    const int initial = static_cast<int>(InitialSelection());
+    // Several threads may race the first read; they all compute the same
+    // value, so a plain store is fine either way.
+    g_selected.store(initial, std::memory_order_relaxed);
+    cur = initial;
+  }
+  return static_cast<MontKernel>(cur);
+}
+
+MontKernel SetKernelOverride(MontKernel kernel) {
+  const MontKernel previous = SelectedKernel();
+  g_selected.store(static_cast<int>(ClampToCpu(kernel)),
+                   std::memory_order_relaxed);
+  return previous;
+}
+
+}  // namespace embellish

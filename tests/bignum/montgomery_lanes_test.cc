@@ -1,0 +1,294 @@
+// Differential fuzzing of the multi-lane SIMD Montgomery engine against the
+// scalar MontgomeryContext. The lane kernels use different internal radices
+// (2^32 for AVX2, 2^52 for IFMA) but fully reduce every product, and the
+// canonical Montgomery representative is unique — so every backend must match
+// the scalar engine bit for bit on every lane, for every operand stream.
+// That exact property is what lets EncryptBatch and the PIR sweep swap
+// kernels per-process (EMBELLISH_KERNEL) without changing a single output
+// byte; this test is the proof obligation behind the swap.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "bignum/modmath.h"
+#include "bignum/montgomery.h"
+#include "bignum/montgomery_lanes.h"
+#include "bignum/prime.h"
+#include "common/cpuinfo.h"
+#include "common/rng.h"
+
+namespace embellish::bignum {
+namespace {
+
+using Block = MontgomeryLaneContext::Block;
+
+// Odd modulus with the top bit of `bits` set, so every lane created from one
+// width has the same limb count (the lane engine requires it, as do the PIR
+// batch groups).
+BigInt RandomOddModulus(size_t bits, Rng* rng) {
+  BigInt m = RandomBits(bits, rng) % BigInt::PowerOfTwo(bits - 1) +
+             BigInt::PowerOfTwo(bits - 1);
+  if (m.IsEven()) m += BigInt(1);
+  return m;
+}
+
+struct LaneFixture {
+  std::vector<BigInt> moduli;
+  std::vector<MontgomeryContext> ctxs;
+  std::vector<const MontgomeryContext*> ptrs;
+  std::optional<MontgomeryLaneContext> lane;
+  size_t k = 0;
+
+  static LaneFixture Make(MontKernel kernel, size_t bits, size_t nlanes,
+                          Rng* rng) {
+    LaneFixture f;
+    f.ctxs.reserve(nlanes);
+    for (size_t l = 0; l < nlanes; ++l) {
+      f.moduli.push_back(RandomOddModulus(bits, rng));
+      auto ctx = MontgomeryContext::Create(f.moduli.back());
+      EXPECT_TRUE(ctx.ok());
+      f.ctxs.push_back(std::move(*ctx));
+    }
+    for (const MontgomeryContext& c : f.ctxs) f.ptrs.push_back(&c);
+    auto lane = MontgomeryLaneContext::CreateWithKernel(f.ptrs, kernel);
+    EXPECT_TRUE(lane.ok());
+    f.lane.emplace(std::move(*lane));
+    f.k = f.ctxs[0].limb_count();
+    return f;
+  }
+
+  std::vector<std::vector<uint64_t>> RandomMontOperands(Rng* rng) {
+    std::vector<std::vector<uint64_t>> out;
+    for (size_t l = 0; l < ctxs.size(); ++l) {
+      out.push_back(ctxs[l].ToMontgomery(RandomBelow(moduli[l], rng)));
+    }
+    return out;
+  }
+
+  Block PackAll(const std::vector<std::vector<uint64_t>>& vals,
+                MontgomeryLaneContext::Scratch* scratch) {
+    std::vector<const uint64_t*> p;
+    for (const auto& v : vals) p.push_back(v.data());
+    Block b = lane->MakeBlock();
+    lane->Pack(p.data(), &b, scratch);
+    return b;
+  }
+
+  std::vector<std::vector<uint64_t>> UnpackAll(
+      const Block& b, MontgomeryLaneContext::Scratch* scratch) {
+    std::vector<std::vector<uint64_t>> vals(ctxs.size(),
+                                            std::vector<uint64_t>(k));
+    std::vector<uint64_t*> p;
+    for (auto& v : vals) p.push_back(v.data());
+    lane->Unpack(b, p.data(), scratch);
+    return vals;
+  }
+};
+
+// All four ladder names; CreateWithKernel clamps to CPU support and folds
+// the ADX tier into the scalar backend, so every entry is runnable anywhere
+// (on non-AVX hardware several entries simply exercise the scalar backend
+// again — cheap, and it keeps the test list static).
+const MontKernel kAllKernels[] = {MontKernel::kScalar, MontKernel::kAdx,
+                                  MontKernel::kAvx2, MontKernel::kIfma};
+
+class LaneWidthFuzz : public ::testing::TestWithParam<size_t> {
+ protected:
+  size_t bits() const { return GetParam(); }
+};
+
+TEST_P(LaneWidthFuzz, PackUnpackRoundTripsEveryLaneCount) {
+  Rng rng(9000 + bits());
+  for (MontKernel kernel : kAllKernels) {
+    for (size_t nlanes = 1; nlanes <= MontgomeryLaneContext::kMaxLanes;
+         ++nlanes) {
+      LaneFixture f = LaneFixture::Make(kernel, bits(), nlanes, &rng);
+      MontgomeryLaneContext::Scratch scratch(*f.lane);
+      auto vals = f.RandomMontOperands(&rng);
+      Block packed = f.PackAll(vals, &scratch);
+      auto back = f.UnpackAll(packed, &scratch);
+      for (size_t l = 0; l < nlanes; ++l) {
+        EXPECT_EQ(back[l], vals[l])
+            << KernelName(f.lane->kernel()) << " lane " << l << "/" << nlanes;
+      }
+    }
+  }
+}
+
+TEST_P(LaneWidthFuzz, MulChainMatchesScalarBitForBit) {
+  Rng rng(9100 + bits());
+  for (MontKernel kernel : kAllKernels) {
+    for (size_t nlanes = 1; nlanes <= MontgomeryLaneContext::kMaxLanes;
+         ++nlanes) {
+      LaneFixture f = LaneFixture::Make(kernel, bits(), nlanes, &rng);
+      MontgomeryLaneContext::Scratch scratch(*f.lane);
+      MontgomeryContext::Scratch ms(f.ctxs[0]);
+      auto a = f.RandomMontOperands(&rng);
+      auto b = f.RandomMontOperands(&rng);
+
+      // Scalar reference: acc = a; acc *= b; acc *= acc; acc *= b.
+      auto ref = a;
+      for (size_t l = 0; l < nlanes; ++l) {
+        f.ctxs[l].MontMulInto(ref[l].data(), b[l].data(), ref[l].data(), &ms);
+        f.ctxs[l].MontMulInto(ref[l].data(), ref[l].data(), ref[l].data(),
+                              &ms);
+        f.ctxs[l].MontMulInto(ref[l].data(), b[l].data(), ref[l].data(), &ms);
+      }
+
+      Block acc = f.PackAll(a, &scratch);
+      Block bb = f.PackAll(b, &scratch);
+      f.lane->Mul(acc, bb, &acc, &scratch);   // aliased out, like the sweep
+      f.lane->Mul(acc, acc, &acc, &scratch);  // squaring, fully aliased
+      f.lane->Mul(acc, bb, &acc, &scratch);
+      auto got = f.UnpackAll(acc, &scratch);
+      for (size_t l = 0; l < nlanes; ++l) {
+        EXPECT_EQ(got[l], ref[l])
+            << KernelName(f.lane->kernel()) << " lane " << l << "/" << nlanes;
+      }
+    }
+  }
+}
+
+TEST_P(LaneWidthFuzz, FromMontgomeryMatchesScalar) {
+  Rng rng(9200 + bits());
+  for (MontKernel kernel : kAllKernels) {
+    for (size_t nlanes : {size_t{1}, size_t{3}, size_t{5}, size_t{8}}) {
+      LaneFixture f = LaneFixture::Make(kernel, bits(), nlanes, &rng);
+      MontgomeryLaneContext::Scratch scratch(*f.lane);
+      MontgomeryContext::Scratch ms(f.ctxs[0]);
+      auto a = f.RandomMontOperands(&rng);
+      std::vector<std::vector<uint64_t>> ref(nlanes,
+                                             std::vector<uint64_t>(f.k));
+      for (size_t l = 0; l < nlanes; ++l) {
+        f.ctxs[l].FromMontgomeryInto(a[l].data(), ref[l].data(), &ms);
+      }
+      Block packed = f.PackAll(a, &scratch);
+      std::vector<std::vector<uint64_t>> got(nlanes,
+                                             std::vector<uint64_t>(f.k));
+      std::vector<uint64_t*> p;
+      for (auto& v : got) p.push_back(v.data());
+      f.lane->FromMontgomery(packed, p.data(), &scratch);
+      for (size_t l = 0; l < nlanes; ++l) {
+        EXPECT_EQ(got[l], ref[l])
+            << KernelName(f.lane->kernel()) << " lane " << l << "/" << nlanes;
+      }
+    }
+  }
+}
+
+TEST_P(LaneWidthFuzz, ModExpUniformMatchesScalar) {
+  Rng rng(9300 + bits());
+  for (MontKernel kernel : kAllKernels) {
+    for (size_t nlanes : {size_t{1}, size_t{4}, size_t{7}, size_t{8}}) {
+      LaneFixture f = LaneFixture::Make(kernel, bits(), nlanes, &rng);
+      MontgomeryLaneContext::Scratch scratch(*f.lane);
+      MontgomeryContext::Scratch ms(f.ctxs[0]);
+      auto a = f.RandomMontOperands(&rng);
+      // Exponent sizes straddle the tiny-exponent shortcut (<= window bits)
+      // and the sliding-window path, like u^r (small prime r) vs u^n.
+      for (size_t ebits : {size_t{1}, size_t{3}, size_t{17}, bits()}) {
+        BigInt e = RandomBits(ebits, &rng);
+        std::vector<std::vector<uint64_t>> ref(nlanes,
+                                               std::vector<uint64_t>(f.k));
+        for (size_t l = 0; l < nlanes; ++l) {
+          f.ctxs[l].ModExpInto(a[l].data(), e, ref[l].data(), &ms);
+        }
+        Block packed = f.PackAll(a, &scratch);
+        Block out = f.lane->MakeBlock();
+        f.lane->ModExpUniform(packed, e, &out, &scratch);
+        auto got = f.UnpackAll(out, &scratch);
+        for (size_t l = 0; l < nlanes; ++l) {
+          EXPECT_EQ(got[l], ref[l])
+              << KernelName(f.lane->kernel()) << " lane " << l << "/" << nlanes
+              << " ebits " << ebits;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LaneWidthFuzz, ModExpSmallMatchesScalarPerLaneExponents) {
+  Rng rng(9400 + bits());
+  for (MontKernel kernel : kAllKernels) {
+    for (size_t nlanes : {size_t{2}, size_t{6}, size_t{8}}) {
+      LaneFixture f = LaneFixture::Make(kernel, bits(), nlanes, &rng);
+      MontgomeryLaneContext::Scratch scratch(*f.lane);
+      MontgomeryContext::Scratch ms(f.ctxs[0]);
+      auto a = f.RandomMontOperands(&rng);
+      // Divergent per-lane exponents including the 0/1 indicator values the
+      // Benaloh message path actually uses.
+      std::vector<uint64_t> exps(nlanes);
+      for (size_t l = 0; l < nlanes; ++l) {
+        switch (l % 4) {
+          case 0: exps[l] = 0; break;
+          case 1: exps[l] = 1; break;
+          case 2: exps[l] = rng.Uniform(1u << 16); break;
+          default: exps[l] = rng.Next64(); break;
+        }
+      }
+      std::vector<std::vector<uint64_t>> ref(nlanes,
+                                             std::vector<uint64_t>(f.k));
+      for (size_t l = 0; l < nlanes; ++l) {
+        f.ctxs[l].ModExpInto(a[l].data(), BigInt(exps[l]), ref[l].data(), &ms);
+      }
+      Block packed = f.PackAll(a, &scratch);
+      Block out = f.lane->MakeBlock();
+      f.lane->ModExpSmall(packed, exps.data(), &out, &scratch);
+      auto got = f.UnpackAll(out, &scratch);
+      for (size_t l = 0; l < nlanes; ++l) {
+        EXPECT_EQ(got[l], ref[l])
+            << KernelName(f.lane->kernel()) << " lane " << l << "/" << nlanes
+            << " e=" << exps[l];
+      }
+    }
+  }
+}
+
+// The widths the crypto layer actually uses: Benaloh moduli at 128/256/384
+// and Paillier n^2 at 512 (for 256-bit n).
+INSTANTIATE_TEST_SUITE_P(Widths, LaneWidthFuzz,
+                         ::testing::Values(128, 256, 384, 512));
+
+TEST(MontgomeryLanesTest, RejectsMixedLimbWidths) {
+  Rng rng(77);
+  auto m128 = MontgomeryContext::Create(RandomOddModulus(128, &rng));
+  auto m256 = MontgomeryContext::Create(RandomOddModulus(256, &rng));
+  ASSERT_TRUE(m128.ok() && m256.ok());
+  const MontgomeryContext* lanes[] = {&*m128, &*m256};
+  auto lane = MontgomeryLaneContext::Create(lanes);
+  EXPECT_FALSE(lane.ok());
+}
+
+TEST(MontgomeryLanesTest, RejectsEmptyAndOversizedLaneSets) {
+  Rng rng(78);
+  auto m = MontgomeryContext::Create(RandomOddModulus(128, &rng));
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(
+      MontgomeryLaneContext::Create(std::span<const MontgomeryContext* const>{})
+          .ok());
+  std::vector<const MontgomeryContext*> nine(9, &*m);
+  EXPECT_FALSE(MontgomeryLaneContext::Create(nine).ok());
+}
+
+TEST(MontgomeryLanesTest, KernelRequestClampsToCpuAndLadder) {
+  Rng rng(79);
+  auto m = MontgomeryContext::Create(RandomOddModulus(256, &rng));
+  ASSERT_TRUE(m.ok());
+  const MontgomeryContext* lanes[] = {&*m};
+  for (MontKernel kernel : kAllKernels) {
+    auto lane = MontgomeryLaneContext::CreateWithKernel(lanes, kernel);
+    ASSERT_TRUE(lane.ok());
+    // Resolved tier is scalar or a vector tier the CPU supports; the ADX
+    // tier never leaks through (it has no lane implementation).
+    EXPECT_NE(lane->kernel(), MontKernel::kAdx);
+    EXPECT_LE(lane->kernel(), ClampToCpu(kernel));
+    EXPECT_EQ(lane->vectorized(), lane->kernel() >= MontKernel::kAvx2);
+  }
+}
+
+}  // namespace
+}  // namespace embellish::bignum

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cpuinfo.h"
 #include "common/thread_pool.h"
 
 namespace embellish::crypto {
@@ -263,6 +264,89 @@ TEST(PirBatchTest, BudgetBelowOneTableSetFallsBackToNaivePerQuery) {
       ASSERT_EQ((*batch)[qi].gamma[i], reference.gamma[i]);
     }
   }
+}
+
+TEST(PirBatchTest, EveryKernelTierIsBitIdenticalAndKeepsTheMulFormula) {
+  // The SIMD lane path must change nothing observable except speed: at every
+  // kernel tier the CPU supports, the batch gammas match the seed reference
+  // bit for bit, and mont_muls follows the same pinned formula — lane
+  // batching never re-counts logical multiplications.
+  Rng rng(59);
+  const size_t rows = 128, cols = 8, q_count = 8;
+  auto db = RandomDatabase(rows, cols, 61);
+  auto clients = MakeClients(3, 256, &rng);
+  auto queries = MakeQueries(clients, q_count, cols, &rng);
+  const uint64_t build = 494, per_row = 1;
+
+  const MontKernel restore = SelectedKernel();
+  for (MontKernel kernel : {MontKernel::kScalar, MontKernel::kAdx,
+                            MontKernel::kAvx2, MontKernel::kIfma}) {
+    if (ClampToCpu(kernel) != kernel) continue;  // CPU can't run this tier
+    SetKernelOverride(kernel);
+    SCOPED_TRACE(KernelName(kernel));
+    PirServer server(db);
+    PirBatchStats stats;
+    auto batch = server.AnswerBatch(
+        std::span<const PirQuery>(queries.data(), queries.size()), &stats);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(stats.mont_muls, q_count * (build + rows * per_row));
+    for (size_t qi = 0; qi < q_count; ++qi) {
+      const PirResponse reference = AnswerSerialReference(*db, queries[qi]);
+      for (size_t i = 0; i < rows; ++i) {
+        ASSERT_EQ((*batch)[qi].gamma[i], reference.gamma[i])
+            << "query " << qi << " diverged from reference at row " << i;
+      }
+    }
+    if (kernel >= MontKernel::kAvx2) {
+      // One full lane group of 8 same-width queries: every vector mul
+      // carries 8 live lanes, and the invocation count is one query's worth
+      // of logical muls (the group shares each kernel call).
+      EXPECT_EQ(stats.simd_lane_muls, build + rows * per_row);
+      EXPECT_EQ(stats.simd_active_lanes, 8 * stats.simd_lane_muls);
+      EXPECT_DOUBLE_EQ(stats.simd_fill(), 1.0);
+    } else {
+      EXPECT_EQ(stats.simd_lane_muls, 0u) << "scalar sweep must not claim "
+                                             "vector work";
+      EXPECT_EQ(stats.simd_fill(), 0.0);
+    }
+  }
+  SetKernelOverride(restore);
+}
+
+TEST(PirBatchTest, LaneOccupancyCountsPartialGroupsTruthfully) {
+  // Q=5 same-width queries form one 5-lane group: fill = 5/8. A singleton
+  // (Q=1) never enters the lane engine at all.
+  if (ClampToCpu(MontKernel::kAvx2) != MontKernel::kAvx2) {
+    GTEST_SKIP() << "no vector tier on this CPU";
+  }
+  Rng rng(67);
+  const size_t rows = 96, cols = 8;
+  auto db = RandomDatabase(rows, cols, 71);
+  auto clients = MakeClients(2, 256, &rng);
+  PirServer server(db);
+
+  const MontKernel restore = SelectedKernel();
+  SetKernelOverride(MaxSupportedKernel());
+  {
+    auto queries = MakeQueries(clients, 5, cols, &rng);
+    PirBatchStats stats;
+    auto batch = server.AnswerBatch(
+        std::span<const PirQuery>(queries.data(), queries.size()), &stats);
+    ASSERT_TRUE(batch.ok());
+    ExpectBatchMatchesSerial(server, queries, *batch);
+    ASSERT_GT(stats.simd_lane_muls, 0u);
+    EXPECT_EQ(stats.simd_active_lanes, 5 * stats.simd_lane_muls);
+    EXPECT_DOUBLE_EQ(stats.simd_fill(), 5.0 / 8.0);
+  }
+  {
+    auto queries = MakeQueries(clients, 1, cols, &rng);
+    PirBatchStats stats;
+    auto batch = server.AnswerBatch(
+        std::span<const PirQuery>(queries.data(), queries.size()), &stats);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(stats.simd_lane_muls, 0u);
+  }
+  SetKernelOverride(restore);
 }
 
 TEST(PirBatchTest, EmptyBatchAndInvalidQueryHandling) {
